@@ -1,0 +1,102 @@
+//! Ablations of the scheduler design choices the paper calls out:
+//!
+//! - §4.6 operation order vs cycle order ("operations are scheduled in
+//!   operation order, rather than cycle order");
+//! - §4.6 eq 1, the communication-cost unit-assignment heuristic;
+//! - §4.4 closing-first / smallest-copy-range-first stub search ordering;
+//! - §4.4 the permutation search budget.
+//!
+//! For each configuration the harness prints the achieved IIs and copy
+//! counts on the distributed and clustered(4) machines (quality), and
+//! Criterion measures the scheduling time (cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csched_core::{schedule_kernel, SchedulerConfig};
+use csched_machine::Architecture;
+
+fn configs() -> Vec<(&'static str, SchedulerConfig)> {
+    let tiny_budget = SchedulerConfig {
+        search_budget: 8,
+        ..SchedulerConfig::default()
+    };
+    vec![
+        ("paper", SchedulerConfig::paper()),
+        ("cycle-order", SchedulerConfig::cycle_order()),
+        ("no-comm-cost", SchedulerConfig::without_comm_cost()),
+        ("no-closing-first", SchedulerConfig::without_closing_first()),
+        ("budget-8", tiny_budget),
+    ]
+}
+
+fn quality_table(archs: &[Architecture]) {
+    println!("Ablation: II (copies) per configuration");
+    print!("{:<18}", "config");
+    for arch in archs {
+        for name in csched_bench::FAST_KERNELS {
+            print!("{:>18}", format!("{}/{}", name, arch.name().replace("imagine-", "")));
+        }
+    }
+    println!();
+    for (label, config) in configs() {
+        print!("{label:<18}");
+        // Cap the II walk so configurations that cannot schedule a kernel
+        // report `fail` quickly; 64 is far above every achievable II here.
+        let config = SchedulerConfig {
+            max_ii: 64,
+            ..config
+        };
+        for arch in archs {
+            for name in csched_bench::FAST_KERNELS {
+                let w = csched_kernels::by_name(name).expect("known kernel");
+                match schedule_kernel(arch, &w.kernel, config.clone()) {
+                    Ok(s) => print!(
+                        "{:>18}",
+                        format!("{} ({})", s.ii().unwrap_or(0), s.num_copies())
+                    ),
+                    Err(_) => print!("{:>18}", "fail"),
+                }
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let archs = vec![
+        csched_machine::imagine::distributed(),
+        csched_machine::imagine::clustered(4),
+    ];
+    quality_table(&archs);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let w = csched_kernels::by_name("FFT").expect("known kernel");
+    for (label, config) in configs() {
+        // Cap the II search for timing purposes: ablated configurations
+        // that cannot schedule a kernel at any II would otherwise walk to
+        // `max_ii` on every sample; "time to fail fast" is the meaningful
+        // number for them.
+        let timed = SchedulerConfig {
+            max_ii: 32,
+            ..config
+        };
+        for arch in &archs {
+            group.bench_with_input(
+                BenchmarkId::new(label, arch.name()),
+                &(&w, arch, &timed),
+                |b, (w, arch, config)| {
+                    b.iter(|| {
+                        schedule_kernel(arch, &w.kernel, (*config).clone())
+                            .map(|s| s.ii())
+                            .ok()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

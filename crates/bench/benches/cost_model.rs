@@ -1,0 +1,52 @@
+//! Figures 25–27 (register-file area / power / delay bars) and the §8
+//! scaling projection, plus a Criterion measurement of the cost model
+//! itself across machine scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csched_machine::{cost, imagine};
+
+fn print_figures() {
+    let rows = csched_eval::costs::figures_25_27();
+    println!("{}", csched_eval::report::figures_25_27(&rows));
+    println!(
+        "{}",
+        csched_eval::report::headline(&csched_eval::costs::headline(), None)
+    );
+    println!(
+        "{}",
+        csched_eval::report::scaling(&csched_eval::costs::scaling(&[1, 2, 4, 8]))
+    );
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    print_figures();
+
+    let params = cost::CostParams::default();
+    let mut group = c.benchmark_group("cost_model");
+    for scale in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("estimate/distributed", scale),
+            &scale,
+            |b, &s| {
+                let arch = imagine::distributed_scaled(s);
+                b.iter(|| cost::estimate(&arch, &params).area())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("estimate/central", scale),
+            &scale,
+            |b, &s| {
+                let arch = imagine::central_scaled(s);
+                b.iter(|| cost::estimate(&arch, &params).area())
+            },
+        );
+    }
+    group.bench_function("copy_connectivity/distributed", |b| {
+        let arch = imagine::distributed();
+        b.iter(|| arch.copy_connectivity().is_copy_connected())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

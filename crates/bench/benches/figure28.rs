@@ -1,0 +1,44 @@
+//! Figure 28: kernel speedup vs register file architecture.
+//!
+//! Prints the full per-kernel table (the paper's figure as rows), then
+//! benchmarks the scheduler on a representative kernel per architecture so
+//! regressions in communication-scheduling cost show up in Criterion
+//! history.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csched_core::{schedule_kernel, SchedulerConfig};
+
+fn print_figure28() {
+    let workloads = csched_kernels::all();
+    let archs = csched_machine::imagine::all_variants();
+    let grid = csched_eval::run_grid(&workloads, &archs, &SchedulerConfig::default(), false)
+        .expect("the whole grid schedules");
+    println!("{}", csched_eval::report::figure28(&grid));
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    print_figure28();
+
+    let mut group = c.benchmark_group("figure28/schedule");
+    group.sample_size(10);
+    for name in csched_bench::FAST_KERNELS {
+        let w = csched_kernels::by_name(name).expect("known kernel");
+        for arch in csched_machine::imagine::all_variants() {
+            group.bench_with_input(
+                BenchmarkId::new(*name, arch.name()),
+                &(&w, &arch),
+                |b, (w, arch)| {
+                    b.iter(|| {
+                        schedule_kernel(arch, &w.kernel, SchedulerConfig::default())
+                            .expect("schedules")
+                            .ii()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 29: overall speedup vs register file architecture (geometric
+//! mean over the Table 1 kernels), plus the §5 textual claims.
+//!
+//! Prints the figure, asserts the qualitative claims (shape, not absolute
+//! numbers), then benchmarks the full-grid evaluation end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csched_core::SchedulerConfig;
+
+fn print_and_check_figure29() {
+    let workloads = csched_kernels::all();
+    let archs = csched_machine::imagine::all_variants();
+    let grid = csched_eval::run_grid(&workloads, &archs, &SchedulerConfig::default(), false)
+        .expect("the whole grid schedules");
+    println!("{}", csched_eval::report::figure29(&grid));
+
+    let overall = grid.overall_speedups();
+    // The paper's shape: central = 1.0 is the upper bound; distributed is
+    // close behind; the clustered organisations pay for their copies
+    // (paper: 1.00 / 0.82 / 0.82 / 0.98).
+    assert!((overall[0] - 1.0).abs() < 1e-9, "central is the baseline");
+    assert!(overall[3] > overall[2], "distributed beats clustered(4)");
+    assert!(overall[3] >= 0.8, "distributed near parity: {:.2}", overall[3]);
+    for (i, v) in overall.iter().enumerate().skip(1) {
+        assert!(*v <= 1.0 + 1e-9, "architecture {i} beat central: {v:.2}");
+    }
+    println!(
+        "claims: distributed/central = {:.2} (paper 0.98), distributed/clustered4 = {:.2} (paper 1.20)",
+        overall[3],
+        overall[3] / overall[2]
+    );
+}
+
+fn bench_grid(c: &mut Criterion) {
+    print_and_check_figure29();
+
+    // Benchmark the full evaluation pipeline on the fast kernels only.
+    let workloads: Vec<_> = csched_kernels::all()
+        .into_iter()
+        .filter(|w| csched_bench::FAST_KERNELS.contains(&w.kernel.name()))
+        .collect();
+    let archs = csched_machine::imagine::all_variants();
+    let mut group = c.benchmark_group("figure29");
+    group.sample_size(10);
+    group.bench_function("grid/fast-kernels/no-sim", |b| {
+        b.iter(|| {
+            csched_eval::run_grid(&workloads, &archs, &SchedulerConfig::default(), false)
+                .expect("schedules")
+                .overall_speedups()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid);
+criterion_main!(benches);

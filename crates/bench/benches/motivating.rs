@@ -1,0 +1,45 @@
+//! The §2 motivating example (Figures 4–7) as a micro-benchmark: the
+//! smallest workload that requires communication scheduling. Prints the
+//! schedule grid, then measures the placement engine on it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csched_core::{schedule_kernel, SchedulerConfig};
+use csched_ir::{Kernel, KernelBuilder};
+use csched_machine::{toy, Opcode};
+
+fn figure4() -> Kernel {
+    let mut kb = KernelBuilder::new("figure4");
+    let mem = kb.region("mem", true);
+    let b = kb.straight_block("fragment");
+    let a = kb.load(b, mem, 0i64.into(), 0i64.into());
+    let bv = kb.push(b, Opcode::IAdd, [1i64.into(), 2i64.into()]);
+    let cv = kb.push(b, Opcode::IAdd, [3i64.into(), 4i64.into()]);
+    let s4 = kb.push(b, Opcode::IAdd, [a.into(), bv.into()]);
+    let s5 = kb.push(b, Opcode::IAdd, [a.into(), cv.into()]);
+    kb.store(b, mem, 10i64.into(), 0i64.into(), s4.into());
+    kb.store(b, mem, 11i64.into(), 0i64.into(), s5.into());
+    kb.build().expect("figure 4 fragment is well-formed")
+}
+
+fn bench_motivating(c: &mut Criterion) {
+    let arch = toy::motivating_example();
+    let kernel = figure4();
+    let schedule =
+        schedule_kernel(&arch, &kernel, SchedulerConfig::default()).expect("schedules");
+    println!("{}", schedule.render(&arch, &kernel));
+    println!(
+        "copies inserted: {} (the paper's Figure 13 route for `a`)",
+        schedule.num_copies()
+    );
+
+    c.bench_function("motivating/schedule", |b| {
+        b.iter(|| {
+            schedule_kernel(&arch, &kernel, SchedulerConfig::default())
+                .expect("schedules")
+                .num_copies()
+        })
+    });
+}
+
+criterion_group!(benches, bench_motivating);
+criterion_main!(benches);

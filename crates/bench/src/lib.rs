@@ -1,0 +1,18 @@
+//! # csched-bench — benchmark harnesses for the paper's tables and figures
+//!
+//! Each Criterion bench target regenerates one artifact of the paper's
+//! evaluation and measures the scheduler while doing so:
+//!
+//! - `figure28` — per-kernel speedup vs register-file architecture;
+//! - `figure29` — overall (geometric-mean) speedup, plus the §5 claims;
+//! - `cost_model` — Figures 25–27 and the §8 scaling projection;
+//! - `ablations` — the §4.4/§4.6 design choices (operation order, the
+//!   eq 1 communication-cost heuristic, closing-first stub ordering,
+//!   permutation search budget);
+//! - `motivating` — the §2 example on the Figure 5 machine.
+//!
+//! Run with `cargo bench -p csched-bench`; each target prints its table
+//! before measuring.
+
+/// Kernels small enough to schedule repeatedly inside a Criterion loop.
+pub const FAST_KERNELS: &[&str] = &["FFT", "Merge", "Block Warp", "Sort", "DCT"];

@@ -1,0 +1,482 @@
+//! The scheduler driver: the outer loop of Figure 11.
+//!
+//! Straight-line blocks are list-scheduled; the loop block is modulo
+//! scheduled with an initiation-interval search starting at
+//! `max(RecMII, ResMII)`. Operations are visited in *operation order*
+//! (decreasing critical-path height, §4.6) by default, or in cycle order
+//! for the ablation configuration. Every tentative placement is accepted
+//! or rejected by communication scheduling ([`Engine::place`]).
+
+use std::fmt;
+
+use csched_ir::{BlockId, DepGraph, DepKind, Kernel, OpId};
+use csched_machine::{Architecture, FuId, Opcode};
+
+use crate::config::{ScheduleOrder, SchedulerConfig};
+use crate::engine::{Engine, OrderEdge};
+use crate::schedule::Schedule;
+use crate::universe::SOpId;
+
+/// Errors from [`schedule_kernel`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The architecture violates the Appendix A copy-connectivity
+    /// constraint, so communication scheduling cannot guarantee
+    /// completion.
+    NotCopyConnected,
+    /// No functional unit can execute `opcode`.
+    NoCapableUnit {
+        /// The unsupported opcode.
+        opcode: Opcode,
+    },
+    /// A straight-line block operation could not be placed within the
+    /// configured delay budget.
+    BlockFailed {
+        /// The block that failed.
+        block: BlockId,
+        /// The kernel operation that could not be placed.
+        op: OpId,
+    },
+    /// No initiation interval up to the configured maximum produced a
+    /// valid loop schedule.
+    IiExhausted {
+        /// The maximum II tried.
+        max_ii: u32,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NotCopyConnected => {
+                write!(f, "architecture is not copy-connected (Appendix A)")
+            }
+            SchedError::NoCapableUnit { opcode } => {
+                write!(f, "no functional unit can execute {opcode}")
+            }
+            SchedError::BlockFailed { block, op } => {
+                write!(f, "could not place {op} in block {block}")
+            }
+            SchedError::IiExhausted { max_ii } => {
+                write!(f, "no valid loop schedule up to II={max_ii}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// The resource-constrained minimum initiation interval: each operation
+/// spreads its issue-occupancy over the units able to execute it.
+pub fn res_mii(arch: &Architecture, kernel: &Kernel) -> u32 {
+    let Some(lb) = kernel.loop_block() else {
+        return 1;
+    };
+    let mut load = vec![0.0f64; arch.num_fus()];
+    for &op in kernel.block(lb).ops() {
+        let opcode = kernel.op(op).opcode();
+        let fus = arch.fus_for(opcode);
+        if fus.is_empty() {
+            continue;
+        }
+        let share = 1.0 / fus.len() as f64;
+        for fu in fus {
+            let interval = arch
+                .fu(fu)
+                .capability(opcode)
+                .map(|c| c.issue_interval)
+                .unwrap_or(1);
+            load[fu.index()] += share * interval as f64;
+        }
+    }
+    load.iter().fold(1.0f64, |a, &b| a.max(b)).ceil() as u32
+}
+
+/// Minimum latency of `opcode` over all capable units.
+fn min_latency(arch: &Architecture, opcode: Opcode) -> u32 {
+    arch.fus_for(opcode)
+        .into_iter()
+        .filter_map(|f| arch.fu(f).capability(opcode))
+        .map(|c| c.latency)
+        .min()
+        .unwrap_or(1)
+}
+
+/// Schedules `kernel` on `arch` with the paper's algorithm.
+///
+/// # Errors
+///
+/// See [`SchedError`]. On copy-connected architectures with capable units,
+/// failures only arise from exhausting the configured II or delay budgets.
+///
+/// # Examples
+///
+/// ```
+/// use csched_core::{schedule_kernel, SchedulerConfig};
+/// use csched_ir::KernelBuilder;
+/// use csched_machine::{toy, Opcode};
+///
+/// let mut kb = KernelBuilder::new("tiny");
+/// let b = kb.straight_block("b");
+/// let x = kb.push(b, Opcode::IAdd, [1i64.into(), 2i64.into()]);
+/// kb.push(b, Opcode::IAdd, [x.into(), 3i64.into()]);
+/// let kernel = kb.build()?;
+///
+/// let arch = toy::motivating_example();
+/// let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default())?;
+/// assert!(schedule.ii().is_none()); // no loop block
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule_kernel(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+) -> Result<Schedule, SchedError> {
+    if !arch.copy_connectivity().is_copy_connected() {
+        return Err(SchedError::NotCopyConnected);
+    }
+    for op in kernel.op_ids() {
+        if arch.fus_for(kernel.op(op).opcode()).is_empty() {
+            return Err(SchedError::NoCapableUnit {
+                opcode: kernel.op(op).opcode(),
+            });
+        }
+    }
+
+    let graph = DepGraph::build(kernel, |opcode| min_latency(arch, opcode));
+    let order_edges: Vec<OrderEdge> = graph
+        .edges()
+        .iter()
+        .filter(|e| e.kind == DepKind::Mem)
+        .filter(|e| kernel.op(e.from).block() == kernel.op(e.to).block())
+        .map(|e| OrderEdge {
+            from: SOpId::from_raw(e.from.index()),
+            to: SOpId::from_raw(e.to.index()),
+            distance: e.distance,
+        })
+        .collect();
+    let asap = graph.asap(kernel);
+
+    let has_loop = kernel.loop_block().is_some();
+    let mii = if has_loop {
+        graph.rec_mii(kernel).max(res_mii(arch, kernel))
+    } else {
+        1
+    };
+
+    // Larger kernels legitimately need more placement attempts per II.
+    let attempts_cap = config
+        .max_attempts_per_ii
+        .saturating_mul(1 + kernel.num_ops() as u64 / 48);
+    let mut slack = config.cross_block_copy_slack;
+    for slack_round in 0..2 {
+        let mut ii = mii;
+        let mut failures = 0u32;
+        while ii <= config.max_ii {
+            let mut cfg = config.clone();
+            cfg.cross_block_copy_slack = slack;
+            cfg.max_attempts_per_ii = attempts_cap;
+            let mut engine = Engine::new(arch, kernel, cfg, order_edges.clone(), asap.clone(), ii);
+            engine.stats.ii_tried = ii - mii + 1;
+            if slack_round > 0 {
+                engine.stats.backtracked = true;
+            }
+            match run_blocks(&mut engine, kernel, &graph, &config) {
+                Ok(()) => {
+                    debug_assert!(engine.all_closed());
+                    return Ok(engine.into_schedule(has_loop));
+                }
+                Err(RunError::Block(block, op)) if !kernel.block(block).is_loop() => {
+                    if engine.stats.cross_block_copy_failures > 0 && slack_round == 0 {
+                        break; // grow slack and retry (§4.5 equivalent)
+                    }
+                    return Err(SchedError::BlockFailed { block, op });
+                }
+                Err(RunError::Block(b, op)) => {
+                    if std::env::var_os("CSCHED_DEBUG").is_some() {
+                        eprintln!(
+                            "[csched] II={ii} failed at {op} ({:?}) in block {b}, attempts={}",
+                            kernel.op(op).opcode(),
+                            engine.stats.attempts
+                        );
+                    }
+                    if engine.stats.cross_block_copy_failures > 0 && slack_round == 0 {
+                        break; // §4.5: widen the writer-side copy range
+                    }
+                    // Escalating II steps keep the search near-linear in
+                    // schedule quality while bounding its cost on kernels
+                    // whose achievable II sits far above the MII.
+                    failures += 1;
+                    ii += match failures {
+                        0..=4 => 1,
+                        5..=10 => 2,
+                        11..=16 => 4,
+                        _ => 8,
+                    };
+                }
+            }
+        }
+        if ii > config.max_ii {
+            return Err(SchedError::IiExhausted {
+                max_ii: config.max_ii,
+            });
+        }
+        slack *= 8;
+    }
+    Err(SchedError::IiExhausted {
+        max_ii: config.max_ii,
+    })
+}
+
+enum RunError {
+    Block(BlockId, OpId),
+}
+
+fn run_blocks(
+    engine: &mut Engine<'_>,
+    kernel: &Kernel,
+    graph: &DepGraph,
+    config: &SchedulerConfig,
+) -> Result<(), RunError> {
+    for block in kernel.block_ids() {
+        match config.order {
+            ScheduleOrder::Operation => {
+                for op in graph.operation_order(kernel, block) {
+                    if !place_with_window(engine, kernel, op, config) {
+                        return Err(RunError::Block(block, op));
+                    }
+                }
+            }
+            ScheduleOrder::Cycle => {
+                schedule_block_cycle_order(engine, kernel, graph, block, config)
+                    .map_err(|op| RunError::Block(block, op))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Window of feasible issue cycles for `op` given already-placed partners.
+fn window(engine: &Engine<'_>, kernel: &Kernel, op: OpId) -> (i64, Option<i64>) {
+    let sop = SOpId::from_raw(op.index());
+    let block = kernel.op(op).block();
+    let is_loop = kernel.block(block).is_loop();
+    let bii = if is_loop { engine.ii() as i64 } else { 1 };
+    let u = engine_universe(engine);
+    let mut earliest = 0i64;
+    let mut latest: Option<i64> = None;
+    for &cid in &u.comms_to(sop) {
+        let c = u.comm(cid);
+        if engine_block(engine, c.producer) != block {
+            continue;
+        }
+        if let Some(p) = engine.placement(c.producer) {
+            earliest = earliest.max(p.completion() + 1 - c.distance as i64 * bii);
+        }
+    }
+    for &cid in u.comms_from(sop) {
+        let c = u.comm(cid);
+        if engine_block(engine, c.consumer) != block {
+            continue;
+        }
+        if let Some(q) = engine.placement(c.consumer) {
+            // op must complete before the consumer reads; conservative with
+            // min latency 1.
+            let bound = q.cycle + c.distance as i64 * bii - 1;
+            latest = Some(latest.map_or(bound, |l: i64| l.min(bound)));
+        }
+    }
+    (earliest, latest)
+}
+
+fn engine_universe<'e>(engine: &'e Engine<'_>) -> &'e crate::universe::Universe {
+    &engine.universe
+}
+
+fn engine_block(engine: &Engine<'_>, op: SOpId) -> BlockId {
+    engine.universe.op(op).block
+}
+
+/// Candidate functional units for `op` at `cycle`, best first.
+fn ordered_fus(
+    engine: &mut Engine<'_>,
+    kernel: &Kernel,
+    op: OpId,
+    cycle: i64,
+    use_cost: bool,
+) -> Vec<FuId> {
+    let sop = SOpId::from_raw(op.index());
+    let opcode = kernel.op(op).opcode();
+    let fus = engine.arch().fus_for(opcode);
+    let mut scored: Vec<(i64, i64, usize, FuId)> = fus
+        .into_iter()
+        .map(|fu| {
+            let cost = if use_cost {
+                (engine.comm_cost(sop, fu, cycle) * 1024.0) as i64
+            } else {
+                0
+            };
+            // Prefer less-capable units (save flexible ones) and lighter
+            // load as tie-breakers.
+            let load = engine_load(engine, fu);
+            let caps = engine.arch().fu(fu).capabilities().len();
+            (cost, load, caps, fu)
+        })
+        .collect();
+    scored.sort_by_key(|&(cost, load, caps, fu)| (cost, load, caps, fu));
+    scored.truncate(engine.config_ref().max_fu_candidates);
+    scored.into_iter().map(|(_, _, _, f)| f).collect()
+}
+
+fn engine_load(engine: &Engine<'_>, fu: FuId) -> i64 {
+    let mut n = 0i64;
+    for op in engine.universe.op_ids() {
+        if let Some(p) = engine.placement(op) {
+            if p.fu == fu {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn place_with_window(
+    engine: &mut Engine<'_>,
+    kernel: &Kernel,
+    op: OpId,
+    config: &SchedulerConfig,
+) -> bool {
+    let (earliest, latest) = window(engine, kernel, op);
+    let block = kernel.op(op).block();
+    let is_loop = kernel.block(block).is_loop();
+    let cap = if is_loop {
+        // Beyond earliest + II the resource rows repeat, so further delay
+        // only shifts pipeline stages; a little slack helps copy ranges.
+        (engine.ii() as i64 + 8).min(config.max_delay)
+    } else {
+        config.max_delay
+    };
+    let hard_latest = latest.unwrap_or(i64::MAX).min(earliest + cap);
+    let sop = SOpId::from_raw(op.index());
+    // First sweep the window without copy insertion (a short delay is
+    // usually cheaper than a copy's unit slot and latency), then allow
+    // copies (Figure 11's "assign to a different unit / delay" loop with
+    // §4.3 step 5 as the fallback).
+    for allow_copies in [false, true] {
+        let last = if allow_copies {
+            hard_latest
+        } else {
+            hard_latest.min(earliest + config.no_copy_scan)
+        };
+        let mut cycle = earliest;
+        while cycle <= last {
+            if engine.stats.attempts > config.max_attempts_per_ii {
+                return false;
+            }
+            for fu in ordered_fus(engine, kernel, op, cycle, config.comm_cost_heuristic) {
+                if engine.place_ext(sop, fu, cycle, 0, allow_copies) {
+                    return true;
+                }
+            }
+            cycle += 1;
+        }
+    }
+    false
+}
+
+/// Cycle-order ablation: fill each cycle greedily before advancing.
+fn schedule_block_cycle_order(
+    engine: &mut Engine<'_>,
+    kernel: &Kernel,
+    graph: &DepGraph,
+    block: BlockId,
+    config: &SchedulerConfig,
+) -> Result<(), OpId> {
+    let mut remaining: Vec<OpId> = graph.operation_order(kernel, block);
+    let mut cycle = 0i64;
+    let limit = config.max_delay * 4 + 64;
+    while !remaining.is_empty() {
+        if cycle > limit {
+            return Err(remaining[0]);
+        }
+        let mut next_round = Vec::new();
+        for op in remaining {
+            let sop = SOpId::from_raw(op.index());
+            // Ready: every same-block producer is placed.
+            let ready = engine
+                .universe
+                .comms_to(sop)
+                .iter()
+                .all(|&cid| {
+                    let c = engine.universe.comm(cid);
+                    engine_block(engine, c.producer) != block
+                        || c.distance > 0
+                        || engine.placement(c.producer).is_some()
+                });
+            let mut placed = false;
+            if ready {
+                let (earliest, latest) = window(engine, kernel, op);
+                if earliest <= cycle && latest.is_none_or(|l| cycle <= l) {
+                    'fu: for allow_copies in [false, true] {
+                        for fu in
+                            ordered_fus(engine, kernel, op, cycle, config.comm_cost_heuristic)
+                        {
+                            if engine.place_ext(sop, fu, cycle, 0, allow_copies) {
+                                placed = true;
+                                break 'fu;
+                            }
+                        }
+                    }
+                } else if latest.is_some_and(|l| l < cycle) {
+                    return Err(op);
+                }
+            }
+            if !placed {
+                next_round.push(op);
+            }
+        }
+        remaining = next_round;
+        cycle += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csched_ir::KernelBuilder;
+    use csched_machine::toy;
+
+    #[test]
+    fn res_mii_counts_unit_pressure() {
+        let arch = toy::motivating_example();
+        // Loop with 3 adds and one induction increment: 4 add-class ops on
+        // 2 adders -> ResMII >= 2.
+        let mut kb = KernelBuilder::new("addy");
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        let a = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        let b = kb.push(lp, Opcode::IAdd, [a.into(), 2i64.into()]);
+        let _c = kb.push(lp, Opcode::IAdd, [b.into(), 3i64.into()]);
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, i1.into());
+        let k = kb.build().unwrap();
+        assert_eq!(res_mii(&arch, &k), 2);
+    }
+
+    #[test]
+    fn rejects_unsupported_opcode() {
+        let arch = toy::motivating_example();
+        let mut kb = KernelBuilder::new("fp");
+        let b = kb.straight_block("b");
+        kb.push(b, Opcode::FMul, [1.0f64.into(), 2.0f64.into()]);
+        let k = kb.build().unwrap();
+        assert_eq!(
+            schedule_kernel(&arch, &k, SchedulerConfig::default()).unwrap_err(),
+            SchedError::NoCapableUnit {
+                opcode: Opcode::FMul
+            }
+        );
+    }
+}

@@ -1,0 +1,1452 @@
+//! The communication-scheduling engine (paper §4).
+//!
+//! The engine owns the scheduling state for one kernel on one
+//! architecture: operation placements, the per-block resource tables, and
+//! the state of every communication. Its central entry point,
+//! [`Engine::place`], implements the five steps of §4.3 for one tentative
+//! operation placement:
+//!
+//! 1. determine the valid read/write stubs (precomputed per architecture);
+//! 2. find a non-conflicting permutation of read stubs for all
+//!    communications read on the issue row;
+//! 3. find a non-conflicting permutation of write stubs for all
+//!    communications written on the completion row;
+//! 4. assign a route to each closing communication whose stubs meet in
+//!    one register file;
+//! 5. insert and recursively schedule copy operations for the rest.
+//!
+//! Every mutation — placements, stub choices, communication state, table
+//! claims, even universe growth from copy insertion — is journalled, so a
+//! failed placement rolls back exactly and the scheduler can retry on
+//! another functional unit or cycle (the accept/reject protocol of
+//! Figure 11).
+
+use std::collections::HashMap;
+
+use csched_ir::{BlockId, Kernel};
+use csched_machine::{
+    Architecture, Capability, CopyConnectivity, FuId, Opcode, ReadStub, ResourceMap, WriteStub,
+};
+
+use crate::config::SchedulerConfig;
+use crate::schedule::{CommDisposition, Route, SchedStats, Schedule, ScheduledOp};
+use crate::table::{ResourceTable, TableMode};
+use crate::universe::{Comm, CommId, SOpId, Universe};
+
+/// Mutable per-communication scheduling state.
+#[derive(Clone, Copy, Debug, Default)]
+struct CommInfo {
+    /// Tentative (or frozen) write stub once the producer is scheduled.
+    wstub: Option<WriteStub>,
+    /// Whether the write stub may no longer be revised.
+    wstub_frozen: bool,
+    /// Final disposition once closed.
+    disposition: Option<CommDisposition>,
+}
+
+/// Journal entries for engine-state rollback.
+#[derive(Clone, Debug)]
+enum Undo {
+    Comm(CommId, CommInfo),
+    Operand(usize, Option<ReadStub>, bool),
+    Place(SOpId),
+    CopyAdded {
+        ops: usize,
+        comms: usize,
+    },
+    CommAdded,
+}
+
+/// Cached lookup of the `CSCHED_DEBUG{n}` environment flags.
+///
+/// Setting `CSCHED_DEBUG2=1` prints failed copy insertions and
+/// `CSCHED_DEBUG3=1` prints every rejected copy placement with the phase
+/// that rejected it; the driver prints per-II failures under
+/// `CSCHED_DEBUG=1`. These exist for scheduler debugging and are
+/// read once per process.
+pub(crate) fn debug_env(n: usize) -> bool {
+    use std::sync::OnceLock;
+    static FLAGS: OnceLock<[bool; 4]> = OnceLock::new();
+    FLAGS.get_or_init(|| {
+        [0, 1, 2, 3].map(|i| std::env::var_os(format!("CSCHED_DEBUG{i}")).is_some())
+    })[n]
+}
+
+/// An engine savepoint.
+#[derive(Clone, Debug)]
+pub struct EngineSavepoint {
+    journal: usize,
+    tables: Vec<usize>,
+}
+
+/// A memory-ordering constraint (from the kernel dependence graph): the
+/// `to` operation of iteration `i` must issue after the `from` operation
+/// of iteration `i - distance` completes.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderEdge {
+    /// Operation that must complete first.
+    pub from: SOpId,
+    /// Operation that must wait.
+    pub to: SOpId,
+    /// Iteration distance.
+    pub distance: u32,
+}
+
+/// The scheduling engine. See the module docs.
+pub struct Engine<'a> {
+    arch: &'a Architecture,
+    kernel: &'a Kernel,
+    conn: CopyConnectivity,
+    config: SchedulerConfig,
+    /// Operations and communications (grows with copy insertion).
+    pub(crate) universe: Universe,
+    tables: Vec<ResourceTable>,
+    placements: Vec<Option<ScheduledOp>>,
+    comm_info: Vec<CommInfo>,
+    /// Chosen read stub per consumer operand (shared by the operand's
+    /// communications).
+    operand_stub: Vec<Option<ReadStub>>,
+    operand_frozen: Vec<bool>,
+    /// Memory-ordering edges among kernel operations.
+    order_edges: Vec<OrderEdge>,
+    /// ASAP estimate per kernel op (for the copy-range term of eq 1).
+    asap: Vec<i64>,
+    /// Current loop initiation interval (1 when scheduling straight code).
+    ii: u32,
+    journal: Vec<Undo>,
+    /// Remaining copy-scheduling attempts within the current top-level
+    /// placement (bounds the multiplicative cost of recursive copy
+    /// insertion).
+    copy_work: u32,
+    pub(crate) stats: SchedStats,
+    /// Cache: min copies from a unit's writable files to one file.
+    fu_to_rf: HashMap<(FuId, usize), Option<u32>>,
+    /// Cache: min copies for any route from one unit to another's input.
+    route_cache: HashMap<(FuId, FuId, usize), Option<u32>>,
+    /// Cache: min copies from a unit to any input of any unit capable of
+    /// an opcode.
+    fu_to_consumer: HashMap<(FuId, Opcode, usize), Option<u32>>,
+    /// Cache: min copies from one file to any input-readable file of any
+    /// unit capable of an opcode.
+    rf_to_consumer: HashMap<(usize, Opcode, usize), Option<u32>>,
+    /// Cache: min copies from any unit capable of an opcode to one file.
+    producer_to_rf: HashMap<(Opcode, usize), Option<u32>>,
+}
+
+impl<'a> std::fmt::Debug for Engine<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("arch", &self.arch.name())
+            .field("kernel", &self.kernel.name())
+            .field("ops", &self.universe.num_ops())
+            .field("ii", &self.ii)
+            .finish()
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine for `kernel` on `arch`. `order_edges` carries the
+    /// kernel's memory-ordering constraints; `asap` the per-kernel-op ASAP
+    /// estimates used by the eq 1 heuristic. `ii` configures the loop
+    /// block's modulo table (pass 1 when the kernel has no loop).
+    pub fn new(
+        arch: &'a Architecture,
+        kernel: &'a Kernel,
+        config: SchedulerConfig,
+        order_edges: Vec<OrderEdge>,
+        asap: Vec<i64>,
+        ii: u32,
+    ) -> Self {
+        let universe = Universe::build(kernel);
+        let map = ResourceMap::new(arch);
+        let tables: Vec<ResourceTable> = kernel
+            .blocks()
+            .iter()
+            .map(|b| {
+                let mode = if b.is_loop() {
+                    TableMode::Modulo(ii)
+                } else {
+                    TableMode::Linear
+                };
+                ResourceTable::new(map.clone(), mode)
+            })
+            .collect();
+        let num_ops = universe.num_ops();
+        let num_operands: usize = universe.ops.iter().map(|o| o.num_operands).sum();
+        let num_comms = universe.num_comms();
+        Engine {
+            arch,
+            kernel,
+            conn: arch.copy_connectivity(),
+            config,
+            universe,
+            tables,
+            placements: vec![None; num_ops],
+            comm_info: vec![CommInfo::default(); num_comms],
+            operand_stub: vec![None; num_operands],
+            operand_frozen: vec![false; num_operands],
+            order_edges,
+            asap,
+            ii,
+            journal: Vec::new(),
+            copy_work: 0,
+            stats: SchedStats::default(),
+            fu_to_rf: HashMap::new(),
+            route_cache: HashMap::new(),
+            fu_to_consumer: HashMap::new(),
+            rf_to_consumer: HashMap::new(),
+            producer_to_rf: HashMap::new(),
+        }
+    }
+
+    /// The architecture being scheduled for.
+    pub fn arch(&self) -> &Architecture {
+        self.arch
+    }
+
+    /// The engine's scheduler configuration.
+    pub fn config_ref(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Number of buses already carrying a value on `cycle`'s row of
+    /// `block`'s table — a congestion probe for diagnosing bus-bound
+    /// schedules (the Table 1 FIR kernels saturate the distributed
+    /// machine's ten global buses, for example).
+    pub fn row_bus_pressure(&self, block: BlockId, cycle: i64) -> usize {
+        let table = &self.tables[block.index()];
+        self.arch
+            .bus_ids()
+            .filter(|&b| table.occupancy(cycle, csched_machine::Resource::Bus(b)) > 0)
+            .count()
+    }
+
+    /// The configured initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Placement of `op`, if scheduled.
+    pub fn placement(&self, op: SOpId) -> Option<ScheduledOp> {
+        self.placements[op.index()]
+    }
+
+    // ----- journalling -----
+
+    fn savepoint(&self) -> EngineSavepoint {
+        EngineSavepoint {
+            journal: self.journal.len(),
+            tables: self.tables.iter().map(|t| t.savepoint()).collect(),
+        }
+    }
+
+    fn rollback(&mut self, sp: &EngineSavepoint) {
+        while self.journal.len() > sp.journal {
+            match self.journal.pop().expect("len checked") {
+                Undo::Comm(id, info) => self.comm_info[id.index()] = info,
+                Undo::Operand(idx, stub, frozen) => {
+                    self.operand_stub[idx] = stub;
+                    self.operand_frozen[idx] = frozen;
+                }
+                Undo::Place(op) => self.placements[op.index()] = None,
+                Undo::CommAdded => {
+                    self.universe.remove_last_comm();
+                    self.comm_info.pop();
+                }
+                Undo::CopyAdded { ops, comms } => {
+                    self.universe.remove_last_copy();
+                    debug_assert_eq!(self.universe.num_ops(), ops);
+                    debug_assert_eq!(self.universe.num_comms(), comms);
+                    self.placements.truncate(ops);
+                    self.comm_info.truncate(comms);
+                    let operands: usize =
+                        self.universe.ops.iter().map(|o| o.num_operands).sum();
+                    self.operand_stub.truncate(operands);
+                    self.operand_frozen.truncate(operands);
+                }
+            }
+        }
+        for (t, &tsp) in self.tables.iter_mut().zip(&sp.tables) {
+            t.rollback(tsp);
+        }
+    }
+
+    fn set_comm_info(&mut self, comm: CommId, info: CommInfo) {
+        self.journal
+            .push(Undo::Comm(comm, self.comm_info[comm.index()]));
+        self.comm_info[comm.index()] = info;
+    }
+
+    fn set_operand(&mut self, idx: usize, stub: Option<ReadStub>, frozen: bool) {
+        self.journal.push(Undo::Operand(
+            idx,
+            self.operand_stub[idx],
+            self.operand_frozen[idx],
+        ));
+        self.operand_stub[idx] = stub;
+        self.operand_frozen[idx] = frozen;
+    }
+
+    // ----- small helpers -----
+
+    fn capability(&self, op: SOpId, fu: FuId) -> Option<Capability> {
+        self.arch.fu(fu).capability(self.universe.op(op).opcode)
+    }
+
+    fn block_of(&self, op: SOpId) -> BlockId {
+        self.universe.op(op).block
+    }
+
+    fn is_loop_block(&self, block: BlockId) -> bool {
+        self.kernel.block(block).is_loop()
+    }
+
+    fn same_row(&self, block: BlockId, a: i64, b: i64) -> bool {
+        if self.is_loop_block(block) {
+            a.rem_euclid(self.ii as i64) == b.rem_euclid(self.ii as i64)
+        } else {
+            a == b
+        }
+    }
+
+    fn block_ii(&self, block: BlockId) -> i64 {
+        if self.is_loop_block(block) {
+            self.ii as i64
+        } else {
+            // Straight-line blocks never have distance > 0 communications.
+            1
+        }
+    }
+
+    fn comm_closed(&self, comm: CommId) -> bool {
+        self.comm_info[comm.index()].disposition.is_some()
+    }
+
+    /// Whether `comm` is *closing*: both endpoints placed and not yet
+    /// closed.
+    fn comm_closing(&self, comm: CommId) -> bool {
+        if self.comm_closed(comm) {
+            return false;
+        }
+        let c = self.universe.comm(comm);
+        self.placements[c.producer.index()].is_some()
+            && self.placements[c.consumer.index()].is_some()
+    }
+
+    /// Minimum copies to move a value from some file writable by `fu` into
+    /// the file `rf` (memoised).
+    fn min_copies_fu_to_rf(&mut self, fu: FuId, rf: usize) -> Option<u32> {
+        if let Some(&hit) = self.fu_to_rf.get(&(fu, rf)) {
+            return hit;
+        }
+        let target = csched_machine::RfId::from_raw(rf);
+        let best = self
+            .arch
+            .write_stubs(fu)
+            .iter()
+            .filter_map(|s| self.conn.copy_distance(s.rf, target))
+            .min();
+        self.fu_to_rf.insert((fu, rf), best);
+        best
+    }
+
+    /// Memoised `CopyConnectivity::min_route_copies`.
+    fn min_route_copies_cached(&mut self, p: FuId, q: FuId, slot: usize) -> Option<u32> {
+        if let Some(&hit) = self.route_cache.get(&(p, q, slot)) {
+            return hit;
+        }
+        let v = self.conn.min_route_copies(self.arch, p, q, slot);
+        self.route_cache.insert((p, q, slot), v);
+        v
+    }
+
+    /// Min copies for a route from `fu` to any unit able to run `opcode`,
+    /// reading operand `slot`.
+    fn min_copies_fu_to_consumer(&mut self, fu: FuId, opcode: Opcode, slot: usize) -> Option<u32> {
+        if let Some(&hit) = self.fu_to_consumer.get(&(fu, opcode, slot)) {
+            return hit;
+        }
+        let v = self
+            .arch
+            .fus_for(opcode)
+            .into_iter()
+            .filter_map(|f| self.min_route_copies_cached(fu, f, slot))
+            .min();
+        self.fu_to_consumer.insert((fu, opcode, slot), v);
+        v
+    }
+
+    /// Min copies from file `rf` to a file readable by operand `slot` of
+    /// any unit able to run `opcode`.
+    fn min_copies_rf_to_consumer(&mut self, rf: usize, opcode: Opcode, slot: usize) -> Option<u32> {
+        if let Some(&hit) = self.rf_to_consumer.get(&(rf, opcode, slot)) {
+            return hit;
+        }
+        let from = csched_machine::RfId::from_raw(rf);
+        let v = self
+            .arch
+            .fus_for(opcode)
+            .into_iter()
+            .flat_map(|f| self.arch.readable_rfs(f, slot))
+            .filter_map(|r| self.conn.copy_distance(from, r))
+            .min();
+        self.rf_to_consumer.insert((rf, opcode, slot), v);
+        v
+    }
+
+    /// Min copies from any unit able to produce via `opcode` into file `rf`.
+    fn min_copies_producer_to_rf(&mut self, opcode: Opcode, rf: usize) -> Option<u32> {
+        if let Some(&hit) = self.producer_to_rf.get(&(opcode, rf)) {
+            return hit;
+        }
+        let v = self
+            .arch
+            .fus_for(opcode)
+            .into_iter()
+            .filter_map(|f| self.min_copies_fu_to_rf(f, rf))
+            .min();
+        self.producer_to_rf.insert((opcode, rf), v);
+        v
+    }
+
+    /// The flat cycle on which `comm`'s value is read, in the producer's
+    /// iteration frame (consumer issue + distance × II).
+    fn comm_read_cycle(&self, comm: &Comm) -> Option<i64> {
+        let p = self.placements[comm.consumer.index()]?;
+        let block = self.block_of(comm.consumer);
+        Some(p.cycle + comm.distance as i64 * self.block_ii(block))
+    }
+
+    /// The copy range (in flat producer-frame cycles) available to connect
+    /// `comm`'s stubs: `None` if an endpoint is unscheduled.
+    fn copy_range(&self, comm_id: CommId) -> Option<(i64, i64)> {
+        let comm = self.universe.comm(comm_id);
+        let wp = self.placements[comm.producer.index()]?;
+        let first = wp.completion() + 1;
+        if self.block_of(comm.producer) != self.block_of(comm.consumer) {
+            // Cross-block: the rest of the writer's block (paper Fig 23),
+            // bounded by the configured slack.
+            return Some((first, wp.completion() + self.config.cross_block_copy_slack));
+        }
+        let read = self.comm_read_cycle(comm)?;
+        Some((first, read - 1))
+    }
+
+    // ----- the five steps -----
+
+    /// Attempts to schedule `op` on `fu` at `cycle` (block-local). Returns
+    /// `true` and keeps all state on success; rolls back everything on
+    /// failure. `depth` guards copy-insertion recursion.
+    pub fn place(&mut self, op: SOpId, fu: FuId, cycle: i64, depth: usize) -> bool {
+        self.place_ext(op, fu, cycle, depth, true)
+    }
+
+    /// [`Engine::place`] with copy insertion optionally disabled: the
+    /// driver first sweeps the placement window without copies (delaying
+    /// an operation is usually cheaper than a copy's unit slot and
+    /// latency), then retries allowing them. Reusing an existing copy is
+    /// always allowed — it consumes no new resources.
+    pub fn place_ext(
+        &mut self,
+        op: SOpId,
+        fu: FuId,
+        cycle: i64,
+        depth: usize,
+        allow_copies: bool,
+    ) -> bool {
+        let Some(cap) = self.capability(op, fu) else {
+            return false;
+        };
+        self.stats.attempts += 1;
+        if depth == 0 {
+            self.copy_work = self.config.max_copy_attempts as u32 * 4;
+        }
+        let block = self.block_of(op);
+        let bii = self.block_ii(block);
+
+        // Timing feasibility against already-scheduled partners.
+        for &cid in &self.universe.comms_to(op) {
+            let c = self.universe.comm(cid);
+            if self.block_of(c.producer) != block {
+                continue; // blocks execute sequentially
+            }
+            if let Some(p) = self.placements[c.producer.index()] {
+                if cycle + c.distance as i64 * bii < p.completion() + 1 {
+                    return false;
+                }
+            }
+        }
+        for &cid in self.universe.comms_from(op) {
+            let c = self.universe.comm(cid).clone();
+            if self.block_of(c.consumer) != block {
+                continue;
+            }
+            if let Some(p) = self.placements[c.consumer.index()] {
+                if p.cycle + c.distance as i64 * bii < cycle + cap.latency as i64 {
+                    return false;
+                }
+            }
+        }
+        for e in &self.order_edges {
+            if e.to == op {
+                if let Some(p) = self.placements[e.from.index()] {
+                    if cycle + e.distance as i64 * bii < p.completion() + 1 {
+                        return false;
+                    }
+                }
+            }
+            if e.from == op {
+                if let Some(p) = self.placements[e.to.index()] {
+                    if p.cycle + e.distance as i64 * bii < cycle + cap.latency as i64 {
+                        return false;
+                    }
+                }
+            }
+        }
+
+        let sp = self.savepoint();
+        let ok = self.place_inner(op, fu, cycle, cap, depth, allow_copies);
+        if !ok {
+            self.stats.rejections += 1;
+            self.rollback(&sp);
+        }
+        ok
+    }
+
+    fn place_inner(
+        &mut self,
+        op: SOpId,
+        fu: FuId,
+        cycle: i64,
+        cap: Capability,
+        depth: usize,
+        allow_copies: bool,
+    ) -> bool {
+        let dbg = self.universe.op(op).opcode == Opcode::Copy && debug_env(3);
+        let block = self.block_of(op);
+        if !self.tables[block.index()].place_issue(cycle, fu, cap.issue_interval, op) {
+            if dbg { eprintln!("[copyplace] {op} {fu}@{cycle}: issue slot busy"); }
+            return false;
+        }
+        self.journal.push(Undo::Place(op));
+        self.placements[op.index()] = Some(ScheduledOp {
+            fu,
+            cycle,
+            latency: cap.latency,
+        });
+
+        // Fast path: choose stubs only for the new operation against the
+        // existing claims. If any of steps 2-5 then fails, fall back to the
+        // full §4.3 re-permutation of every open stub on the affected rows
+        // (which may revise other open communications' stubs to make room).
+        let sp_steps = self.savepoint();
+        if self.steps_two_to_five(op, fu, cycle, cap, depth, true, allow_copies, dbg) {
+            return true;
+        }
+        self.rollback(&sp_steps);
+        self.steps_two_to_five(op, fu, cycle, cap, depth, false, allow_copies, dbg)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn steps_two_to_five(
+        &mut self,
+        op: SOpId,
+        fu: FuId,
+        cycle: i64,
+        cap: Capability,
+        depth: usize,
+        fast: bool,
+        allow_copies: bool,
+        dbg: bool,
+    ) -> bool {
+        let block = self.block_of(op);
+        let only = fast.then_some(op);
+        // Step 2: permutation of read stubs on the issue row.
+        if !self.permute_reads(block, cycle, only) {
+            if dbg { eprintln!("[copyplace] {op} {fu}@{cycle}: read permutation failed (fast={fast})"); }
+            return false;
+        }
+        // Step 3: permutation of write stubs on the completion row.
+        let completion = cycle + cap.latency as i64 - 1;
+        if self.universe.op(op).has_result && !self.permute_writes(block, completion, only) {
+            if dbg { eprintln!("[copyplace] {op} {fu}@{cycle}: write permutation failed (fast={fast})"); }
+            return false;
+        }
+        // Steps 4 + 5: assign routes / insert copies for closing comms.
+        let r = self.close_comms(op, depth, allow_copies);
+        if dbg && !r { eprintln!("[copyplace] {op} {fu}@{cycle}: closing failed (fast={fast})"); }
+        r
+    }
+
+
+    // ----- step 2: read-stub permutation -----
+
+    fn permute_reads(&mut self, block: BlockId, cycle: i64, only: Option<SOpId>) -> bool {
+        // Participants: non-frozen operands of ops placed in `block` whose
+        // issue shares this row, having at least one unclosed communication.
+        // With `only`, restrict to that operation's operands (fast path).
+        let mut participants: Vec<(SOpId, usize)> = Vec::new();
+        for o in self.universe.op_ids() {
+            if let Some(only) = only {
+                if o != only {
+                    continue;
+                }
+            }
+            if self.block_of(o) != block {
+                continue;
+            }
+            let Some(p) = self.placements[o.index()] else {
+                continue;
+            };
+            if !self.same_row(block, p.cycle, cycle) {
+                continue;
+            }
+            for slot in 0..self.universe.op(o).num_operands {
+                let idx = self.universe.operand_index(o, slot);
+                if self.operand_frozen[idx] {
+                    continue;
+                }
+                let comms = self.universe.comms_to_operand(o, slot);
+                if comms.is_empty() {
+                    continue;
+                }
+                if comms.iter().all(|&c| self.comm_closed(c)) {
+                    continue;
+                }
+                participants.push((o, slot));
+            }
+        }
+        if participants.is_empty() {
+            return true;
+        }
+
+        // Release current tentative stubs.
+        for &(o, slot) in &participants {
+            let idx = self.universe.operand_index(o, slot);
+            if let Some(stub) = self.operand_stub[idx] {
+                let p = self.placements[o.index()].expect("participant placed");
+                self.tables[block.index()].unplace_read_stub(p.cycle, stub, o, slot);
+                self.set_operand(idx, None, false);
+            }
+        }
+
+        // Order: operands with closing communications first, smallest copy
+        // range first (§4.4).
+        if self.config.closing_first {
+            let mut keyed: Vec<(i64, usize, (SOpId, usize))> = participants
+                .iter()
+                .enumerate()
+                .map(|(i, &(o, slot))| {
+                    let key = self.operand_search_key(o, slot);
+                    (key, i, (o, slot))
+                })
+                .collect();
+            keyed.sort();
+            participants = keyed.into_iter().map(|(_, _, p)| p).collect();
+        }
+
+        // Candidate stubs per participant, scored.
+        let candidates: Vec<Vec<ReadStub>> = participants
+            .iter()
+            .map(|&(o, slot)| self.read_candidates(o, slot))
+            .collect();
+
+        // Backtracking assignment.
+        let mut budget = self.config.search_budget;
+        let n = participants.len();
+        let mut pos = vec![0usize; n];
+        let mut chosen: Vec<Option<ReadStub>> = vec![None; n];
+        let mut i = 0usize;
+        while i < n {
+            let (o, slot) = participants[i];
+            let p = self.placements[o.index()].expect("placed");
+            let mut advanced = false;
+            while pos[i] < candidates[i].len() {
+                if budget == 0 {
+                    return false;
+                }
+                budget -= 1;
+                let stub = candidates[i][pos[i]];
+                if self.tables[block.index()].place_read_stub(p.cycle, stub, o, slot) {
+                    chosen[i] = Some(stub);
+                    advanced = true;
+                    break;
+                }
+                pos[i] += 1;
+            }
+            if advanced {
+                i += 1;
+                if i < n {
+                    pos[i] = 0;
+                }
+            } else {
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+                let (po, pslot) = participants[i];
+                let pp = self.placements[po.index()].expect("placed");
+                let stub = chosen[i].take().expect("was chosen");
+                self.tables[block.index()].unplace_read_stub(pp.cycle, stub, po, pslot);
+                pos[i] += 1;
+            }
+        }
+        for (k, &(o, slot)) in participants.iter().enumerate() {
+            let idx = self.universe.operand_index(o, slot);
+            self.set_operand(idx, chosen[k], false);
+        }
+        true
+    }
+
+    /// Sort key for the §4.4 ordering: closing communications first
+    /// (smaller key), by smallest copy range.
+    fn operand_search_key(&self, o: SOpId, slot: usize) -> i64 {
+        let mut best: i64 = i64::MAX / 2; // open-only operands go last
+        for &cid in self.universe.comms_to_operand(o, slot) {
+            if self.comm_closing(cid) {
+                if let Some((lo, hi)) = self.copy_range(cid) {
+                    best = best.min(hi - lo);
+                }
+            }
+        }
+        best
+    }
+
+    fn read_candidates(&mut self, o: SOpId, slot: usize) -> Vec<ReadStub> {
+        let fu = match self.placements[o.index()] {
+            Some(p) => p.fu,
+            None => return Vec::new(),
+        };
+        let stubs: Vec<ReadStub> = self.arch.read_stubs(fu, slot).to_vec();
+        let comms: Vec<CommId> = self.universe.comms_to_operand(o, slot).to_vec();
+        let mut scored: Vec<(i64, ReadStub)> = stubs
+            .into_iter()
+            .map(|stub| {
+                let mut score = 0i64;
+                for &cid in &comms {
+                    if self.comm_closed(cid) {
+                        continue;
+                    }
+                    let c = self.universe.comm(cid).clone();
+                    let info = self.comm_info[cid.index()];
+                    let d = if info.wstub_frozen {
+                        let w = info.wstub.expect("frozen implies set");
+                        self.conn.copy_distance(w.rf, stub.rf)
+                    } else if let Some(p) = self.placements[c.producer.index()] {
+                        self.min_copies_fu_to_rf(p.fu, stub.rf.index())
+                    } else {
+                        // Unscheduled producer: optimistic minimum over all
+                        // units able to run it.
+                        let opcode = self.universe.op(c.producer).opcode;
+                        self.min_copies_producer_to_rf(opcode, stub.rf.index())
+                    };
+                    score += match d {
+                        Some(copies) => copies as i64 * 16,
+                        None => 100_000,
+                    };
+                }
+                (score, stub)
+            })
+            .collect();
+        scored.sort_by_key(|&(s, stub)| (s, stub.port, stub.bus));
+        scored.truncate(self.config.max_stub_candidates);
+        scored.into_iter().map(|(_, s)| s).collect()
+    }
+
+    // ----- step 3: write-stub permutation -----
+
+    fn permute_writes(&mut self, block: BlockId, completion: i64, only: Option<SOpId>) -> bool {
+        let mut participants: Vec<CommId> = Vec::new();
+        for cid in self.universe.comm_ids() {
+            if self.comm_closed(cid) || self.comm_info[cid.index()].wstub_frozen {
+                continue;
+            }
+            let c = self.universe.comm(cid);
+            if let Some(only) = only {
+                if c.producer != only {
+                    continue;
+                }
+            }
+            if self.block_of(c.producer) != block {
+                continue;
+            }
+            let Some(p) = self.placements[c.producer.index()] else {
+                continue;
+            };
+            if !self.same_row(block, p.completion(), completion) {
+                continue;
+            }
+            participants.push(cid);
+        }
+        if participants.is_empty() {
+            return true;
+        }
+
+        for &cid in &participants {
+            let info = self.comm_info[cid.index()];
+            if let Some(stub) = info.wstub {
+                let c = self.universe.comm(cid);
+                let p = self.placements[c.producer.index()].expect("participant placed");
+                self.tables[block.index()].unplace_write_stub(
+                    p.completion(),
+                    stub,
+                    c.producer,
+                );
+                self.set_comm_info(cid, CommInfo { wstub: None, ..info });
+            }
+        }
+
+        if self.config.closing_first {
+            let mut keyed: Vec<(i64, i64, u32, CommId)> = participants
+                .iter()
+                .map(|&cid| {
+                    let closing = self.comm_closing(cid);
+                    let range = if closing {
+                        self.copy_range(cid).map(|(lo, hi)| hi - lo).unwrap_or(0)
+                    } else {
+                        i64::MAX / 2
+                    };
+                    (if closing { 0 } else { 1 }, range, cid.index() as u32, cid)
+                })
+                .collect();
+            keyed.sort();
+            participants = keyed.into_iter().map(|(_, _, _, c)| c).collect();
+        }
+
+        let candidates: Vec<Vec<WriteStub>> = participants
+            .iter()
+            .map(|&cid| self.write_candidates(cid))
+            .collect();
+        let mut budget = self.config.search_budget;
+        let n = participants.len();
+        let mut pos = vec![0usize; n];
+        let mut chosen: Vec<Option<WriteStub>> = vec![None; n];
+        let mut i = 0usize;
+        while i < n {
+            let cid = participants[i];
+            let c = self.universe.comm(cid).clone();
+            let p = self.placements[c.producer.index()].expect("placed");
+            let fanout = self.arch.fu(p.fu).output_fanout();
+            let mut advanced = false;
+            while pos[i] < candidates[i].len() {
+                if budget == 0 {
+                    return false;
+                }
+                budget -= 1;
+                let stub = candidates[i][pos[i]];
+                if self.tables[block.index()].place_write_stub(
+                    p.completion(),
+                    stub,
+                    c.producer,
+                    fanout,
+                ) {
+                    chosen[i] = Some(stub);
+                    advanced = true;
+                    break;
+                }
+                pos[i] += 1;
+            }
+            if advanced {
+                i += 1;
+                if i < n {
+                    pos[i] = 0;
+                }
+            } else {
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+                let pc = participants[i];
+                let c = self.universe.comm(pc).clone();
+                let p = self.placements[c.producer.index()].expect("placed");
+                let stub = chosen[i].take().expect("was chosen");
+                self.tables[block.index()].unplace_write_stub(p.completion(), stub, c.producer);
+                pos[i] += 1;
+            }
+        }
+        for (k, &cid) in participants.iter().enumerate() {
+            let info = self.comm_info[cid.index()];
+            self.set_comm_info(
+                cid,
+                CommInfo {
+                    wstub: chosen[k],
+                    ..info
+                },
+            );
+        }
+        true
+    }
+
+    fn write_candidates(&mut self, cid: CommId) -> Vec<WriteStub> {
+        let c = self.universe.comm(cid).clone();
+        let fu = match self.placements[c.producer.index()] {
+            Some(p) => p.fu,
+            None => return Vec::new(),
+        };
+        // Equal-score candidates are rotated by a per-producer seed:
+        // communications from different producers spread across ports and
+        // buses (instead of competing for the first few once the list is
+        // truncated), while sibling communications of one result keep the
+        // same bus order, so broadcasts to several register files align on
+        // a single bus and respect the output fanout.
+        let seed = c.producer.index() as u32;
+        let nports = self.arch.num_write_ports().max(1) as u32;
+        let nbuses = self.arch.num_buses().max(1) as u32;
+        let stubs: Vec<WriteStub> = self.arch.write_stubs(fu).to_vec();
+        let operand_idx = self.universe.operand_index(c.consumer, c.slot);
+        let target_rf = self.operand_stub[operand_idx].map(|s| s.rf);
+        let mut scored: Vec<(i64, WriteStub)> = stubs
+            .into_iter()
+            .map(|stub| {
+                let score = match target_rf {
+                    Some(rf) => match self.conn.copy_distance(stub.rf, rf) {
+                        Some(copies) => copies as i64 * 16,
+                        None => 100_000,
+                    },
+                    None => {
+                        // Consumer unscheduled: minimum copies to any file
+                        // readable by any unit able to run the consumer.
+                        let opcode = self.universe.op(c.consumer).opcode;
+                        self.min_copies_rf_to_consumer(stub.rf.index(), opcode, c.slot)
+                            .map(|copies| copies as i64)
+                            .unwrap_or(100_000)
+                    }
+                };
+                (score, stub)
+            })
+            .collect();
+        scored.sort_by_key(|&(s, stub)| {
+            (
+                s,
+                (stub.port.index() as u32).wrapping_add(seed.wrapping_mul(7)) % nports,
+                (stub.bus.index() as u32).wrapping_add(seed.wrapping_mul(13)) % nbuses,
+            )
+        });
+        scored.truncate(self.config.max_stub_candidates);
+        scored.into_iter().map(|(_, s)| s).collect()
+    }
+
+    // ----- steps 4 and 5: route assignment and copy insertion -----
+
+    fn close_comms(&mut self, op: SOpId, depth: usize, allow_copies: bool) -> bool {
+        let mut closing: Vec<CommId> = self
+            .universe
+            .comms_to(op)
+            .into_iter()
+            .chain(self.universe.comms_from(op).iter().copied())
+            .filter(|&c| self.comm_closing(c))
+            .collect();
+        closing.sort_unstable();
+        closing.dedup();
+        // Smallest copy range first, so tight communications claim routes
+        // before flexible ones.
+        closing.sort_by_key(|&c| self.copy_range(c).map(|(lo, hi)| hi - lo).unwrap_or(0));
+
+        for cid in closing {
+            if self.comm_closed(cid) {
+                continue; // may have been split while closing another
+            }
+            if !self.close_one(cid, depth, allow_copies) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn close_one(&mut self, cid: CommId, depth: usize, allow_copies: bool) -> bool {
+        let c = self.universe.comm(cid).clone();
+        let operand_idx = self.universe.operand_index(c.consumer, c.slot);
+        let rstub = self.operand_stub[operand_idx].expect("consumer placed => stub chosen");
+        let info = self.comm_info[cid.index()];
+        let wstub = info.wstub.expect("producer placed => stub chosen");
+
+        if wstub.rf == rstub.rf {
+            return self.close_direct(cid, Route { wstub, rstub });
+        }
+        // Revise the write stub toward the read stub (the nested write
+        // permutation of §4.3 step 2, simplified to a per-comm revision):
+        // the best reachable file is the read stub's own file (a route), or
+        // failing that the file with the fewest copies to it.
+        if !info.wstub_frozen {
+            self.revise_wstub_toward(cid, rstub.rf);
+            let w = self.comm_info[cid.index()].wstub.expect("still set");
+            if w.rf == rstub.rf {
+                return self.close_direct(cid, Route { wstub: w, rstub });
+            }
+        }
+        let wstub = self.comm_info[cid.index()].wstub.expect("still set");
+        // Try revising the read stub to meet the write stub.
+        if !self.operand_frozen[operand_idx] && self.try_revise_rstub(cid, wstub.rf) {
+            let r = self.operand_stub[operand_idx].expect("just set");
+            return self.close_direct(cid, Route { wstub, rstub: r });
+        }
+        // Step 5: connect the stubs with a copy operation.
+        self.insert_copy(cid, depth, allow_copies)
+    }
+
+    /// Re-chooses `cid`'s tentative write stub to minimise the copy
+    /// distance to `target` (0 = forms a route). Keeps the old stub if no
+    /// strictly better placement is possible.
+    fn revise_wstub_toward(&mut self, cid: CommId, target: csched_machine::RfId) {
+        let c = self.universe.comm(cid).clone();
+        let p = self.placements[c.producer.index()].expect("placed");
+        let block = self.block_of(c.producer);
+        let info = self.comm_info[cid.index()];
+        let old = info.wstub.expect("set");
+        let dist = |rf| self.conn.copy_distance(rf, target).map_or(u32::MAX, |d| d);
+        let current = dist(old.rf);
+        if current == 0 {
+            return;
+        }
+        let mut candidates: Vec<(u32, WriteStub)> = self
+            .arch
+            .write_stubs(p.fu)
+            .iter()
+            .copied()
+            .map(|s| (dist(s.rf), s))
+            .filter(|&(d, _)| d < current)
+            .collect();
+        candidates.sort_by_key(|&(d, s)| (d, s.port, s.bus));
+        if candidates.is_empty() {
+            return;
+        }
+        let fanout = self.arch.fu(p.fu).output_fanout();
+        let sp = self.savepoint();
+        self.tables[block.index()].unplace_write_stub(p.completion(), old, c.producer);
+        for (_, stub) in candidates {
+            if self.tables[block.index()].place_write_stub(p.completion(), stub, c.producer, fanout)
+            {
+                self.set_comm_info(
+                    cid,
+                    CommInfo {
+                        wstub: Some(stub),
+                        ..info
+                    },
+                );
+                return;
+            }
+        }
+        self.rollback(&sp);
+    }
+
+    fn close_direct(&mut self, cid: CommId, route: Route) -> bool {
+        let c = self.universe.comm(cid).clone();
+        let operand_idx = self.universe.operand_index(c.consumer, c.slot);
+        self.set_comm_info(
+            cid,
+            CommInfo {
+                wstub: Some(route.wstub),
+                wstub_frozen: true,
+                disposition: Some(CommDisposition::Direct(route)),
+            },
+        );
+        let stub = self.operand_stub[operand_idx];
+        self.set_operand(operand_idx, stub, true);
+        true
+    }
+
+    fn try_revise_rstub(&mut self, cid: CommId, target: csched_machine::RfId) -> bool {
+        let c = self.universe.comm(cid).clone();
+        let q = self.placements[c.consumer.index()].expect("placed");
+        let block = self.block_of(c.consumer);
+        let operand_idx = self.universe.operand_index(c.consumer, c.slot);
+        let old = self.operand_stub[operand_idx].expect("set");
+        let sp = self.savepoint();
+        self.tables[block.index()].unplace_read_stub(q.cycle, old, c.consumer, c.slot);
+        let candidates: Vec<ReadStub> = self
+            .arch
+            .read_stubs(q.fu, c.slot)
+            .iter()
+            .copied()
+            .filter(|s| s.rf == target)
+            .collect();
+        for stub in candidates {
+            if self.tables[block.index()].place_read_stub(q.cycle, stub, c.consumer, c.slot) {
+                self.set_operand(operand_idx, Some(stub), false);
+                return true;
+            }
+        }
+        self.rollback(&sp);
+        false
+    }
+
+    /// Attaches `cid` to an already-scheduled copy that moves the same
+    /// value into the read stub's register file, if one exists and
+    /// completes before the consumer reads.
+    fn try_reuse_copy(
+        &mut self,
+        cid: CommId,
+        c: &Comm,
+        rstub: ReadStub,
+        cross_block: bool,
+    ) -> bool {
+        let producer_block = self.block_of(c.producer);
+        let read_at = if cross_block {
+            None
+        } else {
+            self.comm_read_cycle(c)
+        };
+        let mut found: Option<(SOpId, WriteStub)> = None;
+        for cand_idx in self.universe.num_kernel_ops()..self.universe.num_ops() {
+            let cand = SOpId::from_raw(cand_idx);
+            if self.universe.op(cand).block != producer_block {
+                continue;
+            }
+            let Some(cp) = self.placements[cand.index()] else {
+                continue;
+            };
+            // Must carry this very value (a distance-0 communication from
+            // the same producer into the copy's operand).
+            let feeds = self
+                .universe
+                .comms_to_operand(cand, 0)
+                .iter()
+                .any(|&c1| {
+                    let k = self.universe.comm(c1);
+                    k.producer == c.producer && k.distance == 0
+                });
+            if !feeds {
+                continue;
+            }
+            // Must already deliver into the target file.
+            let wstub = self.universe.comms_from(cand).iter().find_map(|&c2| {
+                match self.comm_info[c2.index()].disposition {
+                    Some(CommDisposition::Direct(r)) if r.wstub.rf == rstub.rf => Some(r.wstub),
+                    _ => None,
+                }
+            });
+            let Some(wstub) = wstub else { continue };
+            // Must complete before the consumer reads.
+            if let Some(read_at) = read_at {
+                if cp.completion() + 1 > read_at {
+                    continue;
+                }
+            }
+            found = Some((cand, wstub));
+            break;
+        }
+        let Some((cop, wstub)) = found else {
+            return false;
+        };
+        let cp = self.placements[cop.index()].expect("checked placed");
+        // Bump the shared write-stub claim for the new communication (an
+        // identical claim, so it can only dedupe).
+        let fanout = self.arch.fu(cp.fu).output_fanout();
+        if !self.tables[producer_block.index()].place_write_stub(
+            cp.completion(),
+            wstub,
+            cop,
+            fanout,
+        ) {
+            return false;
+        }
+        self.universe.add_comm(Comm {
+            producer: cop,
+            consumer: c.consumer,
+            slot: c.slot,
+            distance: c.distance,
+        });
+        self.comm_info.push(CommInfo {
+            wstub: Some(wstub),
+            wstub_frozen: true,
+            disposition: Some(CommDisposition::Direct(Route { wstub, rstub })),
+        });
+        self.journal.push(Undo::CommAdded);
+        // Freeze the consumer operand and close the original through the
+        // reused copy.
+        let operand_idx = self.universe.operand_index(c.consumer, c.slot);
+        let stub = self.operand_stub[operand_idx];
+        self.set_operand(operand_idx, stub, true);
+        let info = self.comm_info[cid.index()];
+        self.set_comm_info(
+            cid,
+            CommInfo {
+                disposition: Some(CommDisposition::Via(cop)),
+                ..info
+            },
+        );
+        true
+    }
+
+    fn insert_copy(&mut self, cid: CommId, depth: usize, allow_copies: bool) -> bool {
+        if depth >= self.config.max_copy_depth {
+            return false;
+        }
+        let c = self.universe.comm(cid).clone();
+        let operand_idx = self.universe.operand_index(c.consumer, c.slot);
+        let info = self.comm_info[cid.index()];
+        let wstub = info.wstub.expect("set");
+        let rstub = self.operand_stub[operand_idx].expect("set");
+        let _ = rstub;
+        let Some((range_lo, range_hi)) = self.copy_range(cid) else {
+            return false;
+        };
+        if range_lo > range_hi {
+            return false;
+        }
+        let cross_block = self.block_of(c.producer) != self.block_of(c.consumer);
+        let copy_block = self.block_of(c.producer);
+
+        // Prefer reusing an existing copy of the same value into the same
+        // register file: one copy operation can serve every communication
+        // that needs the value there (the hardware reads the register as
+        // often as it likes).
+        if self.try_reuse_copy(cid, &c, rstub, cross_block) {
+            return true;
+        }
+        if !allow_copies {
+            return false; // the driver retries this window allowing copies
+        }
+
+        // Freeze the endpoints: the copy connects exactly these stubs.
+        self.set_comm_info(
+            cid,
+            CommInfo {
+                wstub: Some(wstub),
+                wstub_frozen: true,
+                disposition: None, // set to Via after the copy schedules
+            },
+        );
+        let rs = self.operand_stub[operand_idx];
+        self.set_operand(operand_idx, rs, true);
+
+        let ops_before = self.universe.num_ops();
+        let comms_before = self.universe.num_comms();
+        let copy = self.universe.add_copy(copy_block);
+        // First leg: producer -> copy (same iteration frame); second leg:
+        // copy -> consumer, carrying the original distance.
+        self.universe.add_comm(Comm {
+            producer: c.producer,
+            consumer: copy,
+            slot: 0,
+            distance: 0,
+        });
+        self.universe.add_comm(Comm {
+            producer: copy,
+            consumer: c.consumer,
+            slot: c.slot,
+            distance: c.distance,
+        });
+        self.placements.push(None);
+        self.comm_info.push(CommInfo {
+            wstub: Some(wstub),
+            wstub_frozen: true,
+            disposition: None,
+        });
+        self.comm_info.push(CommInfo::default());
+        self.operand_stub.push(None);
+        self.operand_frozen.push(false);
+        self.journal.push(Undo::CopyAdded {
+            ops: ops_before,
+            comms: comms_before,
+        });
+        self.set_comm_info(
+            cid,
+            CommInfo {
+                wstub: Some(wstub),
+                wstub_frozen: true,
+                disposition: Some(CommDisposition::Via(copy)),
+            },
+        );
+
+        // Schedule the copy like any other operation, restricted to the
+        // copy range. Only units that can read the staged file directly can
+        // complete the route without further copies; a couple of indirect
+        // units are tried as well while recursion depth remains.
+        let mut fus: Vec<(i64, FuId)> = self
+            .arch
+            .fus_for(Opcode::Copy)
+            .into_iter()
+            .map(|f| {
+                let direct = self
+                    .arch
+                    .read_stubs(f, 0)
+                    .iter()
+                    .any(|s| s.rf == wstub.rf);
+                let reach = self
+                    .arch
+                    .read_stubs(f, 0)
+                    .iter()
+                    .filter_map(|s| self.conn.copy_distance(wstub.rf, s.rf))
+                    .min();
+                let base = if direct {
+                    0
+                } else {
+                    match reach {
+                        Some(d) => 8 + d as i64,
+                        None => 100_000,
+                    }
+                };
+                (base, f)
+            })
+            .collect();
+        fus.sort_by_key(|&(s, f)| (s, f));
+        let direct_count = fus.iter().filter(|&&(s, _)| s == 0).count();
+        let keep = if depth + 1 < self.config.max_copy_depth {
+            direct_count + 2
+        } else {
+            direct_count
+        };
+        fus.truncate(keep.max(1));
+
+        let mut tries = 0usize;
+        'search: for cycle in range_lo..=range_hi {
+            for &(score, f) in &fus {
+                if score >= 100_000 {
+                    continue;
+                }
+                let lat = match self.capability(copy, f) {
+                    Some(cap) => cap.latency as i64,
+                    None => continue,
+                };
+                // The copy must complete within the range (completion =
+                // cycle + lat - 1 <= range_hi).
+                if !cross_block && cycle + lat > range_hi + 1 {
+                    continue;
+                }
+                tries += 1;
+                if tries > self.config.max_copy_attempts || self.copy_work == 0 {
+                    break 'search;
+                }
+                self.copy_work -= 1;
+                if self.place(copy, f, cycle, depth + 1) {
+                    return true;
+                }
+            }
+        }
+        if cross_block {
+            // A cross-block copy range cannot grow by delaying the reader;
+            // the driver widens the writer-side slack instead (the paper's
+            // §4.5 backtracking, expressed as range growth).
+            self.stats.cross_block_copy_failures += 1;
+        }
+        if debug_env(2) {
+            eprintln!(
+                "[copyfail] comm {cid:?} range {range_lo}..={range_hi} wrf={:?} rrf={:?} fus={:?} tries={tries}",
+                wstub.rf,
+                rstub.rf,
+                fus.iter().take(4).collect::<Vec<_>>()
+            );
+        }
+        false
+    }
+
+    // ----- finishing -----
+
+    /// Whether every communication has been closed.
+    pub fn all_closed(&self) -> bool {
+        self.universe
+            .comm_ids()
+            .all(|c| self.comm_info[c.index()].disposition.is_some())
+    }
+
+    /// Consumes the engine into a [`Schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operation is unplaced or any communication unclosed;
+    /// the driver only calls this after a complete run.
+    pub fn into_schedule(self, has_loop: bool) -> Schedule {
+        let placements: Vec<ScheduledOp> = self
+            .placements
+            .iter()
+            .map(|p| p.expect("all operations scheduled"))
+            .collect();
+        let dispositions: Vec<CommDisposition> = self
+            .comm_info
+            .iter()
+            .map(|i| i.disposition.expect("all communications closed"))
+            .collect();
+        let mut block_len = vec![0i64; self.kernel.blocks().len()];
+        for (i, p) in placements.iter().enumerate() {
+            let b = self.universe.ops[i].block.index();
+            block_len[b] = block_len[b].max(p.completion() + 1);
+        }
+        let mut stats = self.stats;
+        stats.copies_inserted = (self.universe.num_ops() - self.universe.num_kernel_ops()) as u64;
+        Schedule {
+            arch_name: self.arch.name().to_string(),
+            kernel_name: self.kernel.name().to_string(),
+            universe: self.universe,
+            placements,
+            dispositions,
+            block_len,
+            ii: has_loop.then_some(self.ii),
+            stats,
+        }
+    }
+
+    /// The communication-cost heuristic of §4.6 (eq 1): estimated copies
+    /// divided by (1 + copy range) summed over the open communications
+    /// that assigning `op` to `fu` at `cycle` would affect.
+    pub fn comm_cost(&mut self, op: SOpId, fu: FuId, cycle: i64) -> f64 {
+        let mut cost = 0.0f64;
+        let bii = self.block_ii(self.block_of(op));
+        for &cid in &self.universe.comms_to(op) {
+            let c = self.universe.comm(cid).clone();
+            if self.comm_closed(cid) {
+                continue;
+            }
+            let (copies, prod_done) = match self.placements[c.producer.index()] {
+                Some(p) => {
+                    let best = self
+                        .arch
+                        .read_stubs(fu, c.slot)
+                        .iter()
+                        .filter_map(|rs| self.min_copies_fu_to_rf(p.fu, rs.rf.index()))
+                        .min();
+                    (best, p.completion())
+                }
+                None => {
+                    let kop = self.universe.op(c.producer).kernel_op;
+                    let est = kop.map(|k| self.asap[k.index()]).unwrap_or(0);
+                    (Some(0), est)
+                }
+            };
+            let Some(copies) = copies else {
+                cost += 1000.0;
+                continue;
+            };
+            if copies == 0 {
+                continue;
+            }
+            let range = (cycle + c.distance as i64 * bii - 1 - prod_done).max(0);
+            cost += copies as f64 / (1.0 + range as f64);
+        }
+        let outgoing: Vec<CommId> = self.universe.comms_from(op).to_vec();
+        for cid in outgoing {
+            let c = self.universe.comm(cid).clone();
+            if self.comm_closed(cid) {
+                continue;
+            }
+            let cap = match self.capability(op, fu) {
+                Some(cap) => cap,
+                None => continue,
+            };
+            let completion = cycle + cap.latency as i64 - 1;
+            let (copies, read_at) = match self.placements[c.consumer.index()] {
+                Some(q) => {
+                    let best = self.min_route_copies_cached(fu, q.fu, c.slot);
+                    (best, q.cycle + c.distance as i64 * bii)
+                }
+                None => {
+                    let opcode = self.universe.op(c.consumer).opcode;
+                    let best = self.min_copies_fu_to_consumer(fu, opcode, c.slot);
+                    let kop = self.universe.op(c.consumer).kernel_op;
+                    let est = kop.map(|k| self.asap[k.index()]).unwrap_or(0);
+                    (best, est + c.distance as i64 * bii)
+                }
+            };
+            let Some(copies) = copies else {
+                cost += 1000.0;
+                continue;
+            };
+            if copies == 0 {
+                continue;
+            }
+            let range = (read_at - 1 - completion).max(0);
+            cost += copies as f64 / (1.0 + range as f64);
+        }
+        cost
+    }
+}

@@ -1,0 +1,65 @@
+//! # csched-core — communication scheduling
+//!
+//! The primary contribution of Mattson et al., *Communication Scheduling*
+//! (ASPLOS 2000): a VLIW scheduler component that enables scheduling to
+//! architectures in which functional units share buses and register-file
+//! ports. Every producer→consumer *communication* is made explicit and
+//! composed incrementally from a write stub, zero or more copy operations,
+//! and a read stub; stubs are tentatively allocated as each endpoint
+//! operation is scheduled and frozen into routes when the communication
+//! closes.
+//!
+//! The crate provides:
+//!
+//! - [`schedule_kernel`]: the full scheduler (UAS-style list scheduling
+//!   for straight-line blocks, modulo scheduling for the software-pipelined
+//!   loop, both gated by communication scheduling);
+//! - [`Engine`]: the placement accept/reject machinery (the five steps of
+//!   paper §4.3), reusable inside other scheduling algorithms;
+//! - [`validate`]: an independent checker that re-derives every resource
+//!   and dependence constraint from a finished [`Schedule`];
+//! - [`regalloc`]: the §7 register-pressure post-pass.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use csched_core::{schedule_kernel, SchedulerConfig};
+//! use csched_ir::KernelBuilder;
+//! use csched_machine::{imagine, Opcode};
+//!
+//! // out[i] = in[i] * 3 on the distributed register file machine.
+//! let mut kb = KernelBuilder::new("scale3");
+//! let input = kb.region("in", true);
+//! let output = kb.region("out", true);
+//! let lp = kb.loop_block("body");
+//! let i = kb.loop_var(lp, 0i64.into());
+//! let x = kb.load(lp, input, i.into(), 0i64.into());
+//! let y = kb.push(lp, Opcode::IMul, [x.into(), 3i64.into()]);
+//! kb.store(lp, output, i.into(), 0i64.into(), y.into());
+//! let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+//! kb.set_update(i, i1.into());
+//! let kernel = kb.build()?;
+//!
+//! let arch = imagine::distributed();
+//! let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default())?;
+//! assert!(schedule.ii().unwrap() >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod driver;
+mod engine;
+pub mod regalloc;
+mod schedule;
+mod table;
+mod universe;
+pub mod validate;
+
+pub use config::{ScheduleOrder, SchedulerConfig};
+pub use driver::{res_mii, schedule_kernel, SchedError};
+pub use engine::{Engine, OrderEdge};
+pub use schedule::{CommDisposition, PipelineSlot, Route, SchedStats, Schedule, ScheduledOp};
+pub use table::{ResourceTable, TableMode};
+pub use universe::{Comm, CommId, SOp, SOpId, Universe};

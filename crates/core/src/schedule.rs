@@ -1,0 +1,366 @@
+//! The output of the scheduler: operation placements and communication
+//! routes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use csched_ir::{BlockId, Kernel};
+use csched_machine::{Architecture, FuId, ReadStub, WriteStub};
+
+use crate::universe::{CommId, SOpId, Universe};
+
+
+/// A completed route: the write stub and read stub that carry one
+/// communication (paper Fig 12). Copies appear as separate scheduled
+/// operations whose own communications have their own routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Interconnect writing the value to `wstub.rf` on the producer's
+    /// completion cycle.
+    pub wstub: WriteStub,
+    /// Interconnect reading the value from `rstub.rf` (same register file)
+    /// on the consumer's issue cycle.
+    pub rstub: ReadStub,
+}
+
+/// The final disposition of one communication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommDisposition {
+    /// Routed directly through one register file.
+    Direct(Route),
+    /// Split by an inserted copy operation (paper Fig 22); the copy's own
+    /// communications carry the value.
+    Via(SOpId),
+}
+
+/// Placement of one operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// The functional unit executing the operation.
+    pub fu: FuId,
+    /// Issue cycle, local to the operation's block (for the loop block, a
+    /// flat software-pipeline cycle; resources repeat every II).
+    pub cycle: i64,
+    /// Latency on the chosen unit; the result is written on
+    /// `cycle + latency - 1`.
+    pub latency: u32,
+}
+
+impl ScheduledOp {
+    /// The cycle the operation completes (write stubs are allocated here).
+    pub fn completion(&self) -> i64 {
+        self.cycle + self.latency as i64 - 1
+    }
+}
+
+/// Counters describing the scheduling run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Placement attempts (operation × fu × cycle trials).
+    pub attempts: u64,
+    /// Placements rejected by communication scheduling.
+    pub rejections: u64,
+    /// Copy operations inserted (surviving in the final schedule).
+    pub copies_inserted: u64,
+    /// Initiation intervals tried before success.
+    pub ii_tried: u32,
+    /// Failed cross-block copy insertions (the precondition of the §4.5
+    /// special case).
+    pub cross_block_copy_failures: u64,
+    /// Whether the §4.5 cross-block backtracking case was ever triggered
+    /// (the driver had to widen the writer-side copy range and retry).
+    pub backtracked: bool,
+}
+
+/// A complete schedule for one kernel on one architecture.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    pub(crate) arch_name: String,
+    pub(crate) kernel_name: String,
+    pub(crate) universe: Universe,
+    pub(crate) placements: Vec<ScheduledOp>,
+    pub(crate) dispositions: Vec<CommDisposition>,
+    pub(crate) block_len: Vec<i64>,
+    pub(crate) ii: Option<u32>,
+    pub(crate) stats: SchedStats,
+}
+
+impl Schedule {
+    /// Name of the architecture scheduled for.
+    pub fn arch_name(&self) -> &str {
+        &self.arch_name
+    }
+
+    /// Name of the kernel scheduled.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+
+    /// The scheduling universe (kernel operations plus inserted copies and
+    /// all communications).
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Placement of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn placement(&self, op: SOpId) -> ScheduledOp {
+        self.placements[op.index()]
+    }
+
+    /// Disposition of `comm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm` is out of range.
+    pub fn disposition(&self, comm: CommId) -> CommDisposition {
+        self.dispositions[comm.index()]
+    }
+
+    /// The loop's initiation interval, if the kernel has a loop block.
+    /// This is the paper's per-kernel performance metric ("the schedule
+    /// length of that loop").
+    pub fn ii(&self) -> Option<u32> {
+        self.ii
+    }
+
+    /// Schedule length of `block` in cycles (for the loop block: the flat
+    /// length of one iteration's schedule, ≥ II).
+    pub fn block_len(&self, block: BlockId) -> i64 {
+        self.block_len[block.index()]
+    }
+
+    /// Shifts an operation's issue cycle without touching its routes —
+    /// **test support only**: produces an inconsistent schedule for
+    /// exercising the validator's and simulator's error paths.
+    #[doc(hidden)]
+    pub fn corrupt_placement_for_tests(&mut self, op: SOpId, delta: i64) {
+        self.placements[op.index()].cycle += delta;
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Number of copy operations in the final schedule.
+    pub fn num_copies(&self) -> usize {
+        self.universe.num_ops() - self.universe.num_kernel_ops()
+    }
+
+    /// Resolves the transport of `comm` to its final leg routes, flattening
+    /// any copy chain: returns `(comm, route)` pairs in producer-to-consumer
+    /// order.
+    pub fn transport(&self, comm: CommId) -> Vec<(CommId, Route)> {
+        let mut legs = Vec::new();
+        self.collect_transport(comm, &mut legs);
+        legs
+    }
+
+    fn collect_transport(&self, comm: CommId, legs: &mut Vec<(CommId, Route)>) {
+        match self.disposition(comm) {
+            CommDisposition::Direct(route) => legs.push((comm, route)),
+            CommDisposition::Via(copy) => {
+                // comm was split into (producer -> copy) and (copy -> consumer).
+                let original = self.universe.comm(comm);
+                let first = self
+                    .universe
+                    .comms_to_operand(copy, 0)
+                    .iter()
+                    .copied()
+                    .find(|&c| self.universe.comm(c).producer == original.producer)
+                    .expect("split comms exist");
+                let second = self
+                    .universe
+                    .comms_from(copy)
+                    .iter()
+                    .copied()
+                    .find(|&c| {
+                        let k = self.universe.comm(c);
+                        k.consumer == original.consumer
+                            && k.slot == original.slot
+                            && k.distance == original.distance
+                    })
+                    .expect("split comms exist");
+                self.collect_transport(first, legs);
+                self.collect_transport(second, legs);
+            }
+        }
+    }
+
+    /// Renders the schedule as a cycle × functional-unit grid in the style
+    /// of the paper's Figure 7, one grid per block.
+    pub fn render(&self, arch: &Architecture, kernel: &Kernel) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for block in kernel.block_ids() {
+            let _ = writeln!(
+                out,
+                "block {} ({}){}:",
+                block,
+                kernel.block(block).name(),
+                match (kernel.block(block).is_loop(), self.ii) {
+                    (true, Some(ii)) => format!(" II={ii}"),
+                    _ => String::new(),
+                }
+            );
+            // Collect placements for this block.
+            let mut grid: HashMap<(i64, usize), String> = HashMap::new();
+            let mut max_cycle = 0i64;
+            for op in self.universe.op_ids() {
+                if self.universe.op(op).block != block {
+                    continue;
+                }
+                let p = self.placement(op);
+                max_cycle = max_cycle.max(p.cycle);
+                let label = match self.universe.op(op).kernel_op {
+                    Some(k) => format!("{}:{}", k, kernel.op(k).opcode()),
+                    None => format!("{op}:copy"),
+                };
+                grid.insert((p.cycle, p.fu.index()), label);
+            }
+            let width = 14usize;
+            let _ = write!(out, "{:>6} ", "cycle");
+            for fu in arch.fu_ids() {
+                let _ = write!(out, "{:width$}", arch.fu(fu).name());
+            }
+            let _ = writeln!(out);
+            for cycle in 0..=max_cycle {
+                let _ = write!(out, "{cycle:>6} ");
+                for fu in arch.fu_ids() {
+                    let cell = grid
+                        .get(&(cycle, fu.index()))
+                        .map(String::as_str)
+                        .unwrap_or(".");
+                    let _ = write!(out, "{cell:width$}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule of {} on {}: {} ops ({} copies){}",
+            self.kernel_name,
+            self.arch_name,
+            self.universe.num_ops(),
+            self.num_copies(),
+            match self.ii {
+                Some(ii) => format!(", II={ii}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// One issued operation in an expanded software pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineSlot {
+    /// The operation issued.
+    pub op: SOpId,
+    /// The loop iteration it belongs to.
+    pub iteration: u64,
+    /// The unit executing it.
+    pub fu: FuId,
+}
+
+impl Schedule {
+    /// Expands the loop block's software pipeline for `trip` iterations
+    /// into a flat cycle-indexed issue table (iteration `k` offset by
+    /// `k · II`), the form a code generator's prologue/steady-state/
+    /// epilogue emission works from. Returns an empty table when the
+    /// kernel has no loop.
+    pub fn expand_pipeline(&self, kernel: &Kernel, trip: u64) -> Vec<Vec<PipelineSlot>> {
+        let Some(loop_block) = kernel.loop_block() else {
+            return Vec::new();
+        };
+        let Some(ii) = self.ii else { return Vec::new() };
+        let flat = self.block_len(loop_block);
+        if trip == 0 {
+            return Vec::new();
+        }
+        let total = (flat + (trip as i64 - 1) * ii as i64).max(0) as usize;
+        let mut table: Vec<Vec<PipelineSlot>> = vec![Vec::new(); total];
+        for op in self.universe.op_ids() {
+            if self.universe.op(op).block != loop_block {
+                continue;
+            }
+            let p = self.placement(op);
+            for k in 0..trip {
+                let cycle = (p.cycle + k as i64 * ii as i64) as usize;
+                table[cycle].push(PipelineSlot {
+                    op,
+                    iteration: k,
+                    fu: p.fu,
+                });
+            }
+        }
+        for row in &mut table {
+            row.sort_by_key(|s| (s.fu, s.op));
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use crate::{schedule_kernel, SchedulerConfig};
+    use csched_ir::KernelBuilder;
+    use csched_machine::{imagine, Opcode};
+
+    #[test]
+    fn expansion_has_no_unit_conflicts_and_covers_all_ops() {
+        let mut kb = KernelBuilder::new("pipe");
+        let input = kb.region("in", true);
+        let output = kb.region("out", true);
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        let x = kb.load(lp, input, i.into(), 0i64.into());
+        let y = kb.push(lp, Opcode::FMul, [x.into(), x.into()]);
+        let z = kb.push(lp, Opcode::FAdd, [y.into(), 1.5f64.into()]);
+        kb.store(lp, output, i.into(), 100i64.into(), z.into());
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, i1.into());
+        let kernel = kb.build().unwrap();
+
+        let arch = imagine::distributed();
+        let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+        let trip = 9u64;
+        let table = s.expand_pipeline(&kernel, trip);
+        assert!(!table.is_empty());
+
+        let mut issued = 0usize;
+        for row in &table {
+            // No functional unit issues twice on one cycle.
+            let mut fus: Vec<_> = row.iter().map(|slot| slot.fu).collect();
+            fus.sort_unstable();
+            fus.dedup();
+            assert_eq!(fus.len(), row.len(), "unit double-booked in flat pipeline");
+            issued += row.len();
+        }
+        let loop_ops = s
+            .universe()
+            .op_ids()
+            .filter(|&o| s.universe().op(o).block == kernel.loop_block().unwrap())
+            .count();
+        assert_eq!(issued, loop_ops * trip as usize);
+
+        // Steady state: interior cycles issue from several iterations at
+        // once whenever the flat body is longer than the II.
+        let ii = s.ii().unwrap() as i64;
+        if s.block_len(kernel.loop_block().unwrap()) > ii {
+            let mid = table.len() / 2;
+            let iters: std::collections::HashSet<u64> =
+                table[mid].iter().map(|s| s.iteration).collect();
+            assert!(!iters.is_empty());
+        }
+    }
+}

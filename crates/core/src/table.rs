@@ -1,0 +1,630 @@
+//! Transactional per-cycle resource tables.
+//!
+//! Communication scheduling is trial-heavy: a placement attempt claims
+//! issue slots, outputs, buses and ports, and the whole attempt must be
+//! rolled back exactly if any later step fails (paper §4.3: "if
+//! communication scheduling fails, any routes assigned to communications
+//! to/from the current operation are unassigned"). The table therefore
+//! journals every claim and exposes savepoint/rollback.
+//!
+//! The table understands the paper's sharing rules (§4.2):
+//!
+//! - a functional-unit output produces one result per cycle but may drive
+//!   up to `fanout` buses with it;
+//! - a bus carries one value per cycle and may broadcast it to several
+//!   write ports ("two write stubs for the same result only conflict if
+//!   they write to the same register file using different buses or
+//!   register file ports");
+//! - a write port accepts one (value, bus) pair per cycle;
+//! - read-side resources are claimed per consumer operand; the
+//!   communications of one operand (e.g. a loop variable's init and
+//!   carried communications) share one read stub ("two read stubs for the
+//!   same operand conflict if they are not identical").
+//!
+//! In modulo mode (software pipelining), cycles fold into `cycle mod II`.
+
+use std::collections::HashMap;
+
+use csched_machine::{FuId, ReadPortId, ReadStub, Resource, ResourceMap, WriteStub};
+
+use crate::universe::SOpId;
+
+/// How cycles map onto table rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableMode {
+    /// Straight-line code: each cycle is its own row.
+    Linear,
+    /// Modulo scheduling with the given initiation interval.
+    Modulo(u32),
+}
+
+/// What occupies a resource on a cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Payload {
+    /// Issue slot held by an operation.
+    Op(SOpId),
+    /// Write-side claim: the producing operation (result identity) and the
+    /// bus used.
+    Write { value: SOpId, bus: u32 },
+    /// Write-side bus claim: the value on the bus.
+    WriteBus { value: SOpId },
+    /// Read-side bus claim: the read port driving the bus.
+    ReadBus { port: ReadPortId },
+    /// Read-side claim by a consumer operand.
+    Read { op: SOpId, slot: u8 },
+}
+
+/// A claim journal entry for rollback.
+#[derive(Clone, Copy, Debug)]
+struct JournalEntry {
+    key: (i64, u32),
+    payload: Payload,
+    /// `true` for claims added, `false` for claims released (rollback
+    /// re-adds those).
+    added: bool,
+}
+
+/// The per-block resource table.
+#[derive(Clone, Debug)]
+pub struct ResourceTable {
+    mode: TableMode,
+    map: ResourceMap,
+    slots: HashMap<(i64, u32), Vec<(Payload, u32)>>,
+    journal: Vec<JournalEntry>,
+}
+
+/// A savepoint for rollback (a journal length).
+pub type Savepoint = usize;
+
+impl ResourceTable {
+    /// Creates an empty table for an architecture's resources.
+    pub fn new(map: ResourceMap, mode: TableMode) -> Self {
+        ResourceTable {
+            mode,
+            map,
+            slots: HashMap::new(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// The table's mode.
+    pub fn mode(&self) -> TableMode {
+        self.mode
+    }
+
+    fn key(&self, cycle: i64, resource: Resource) -> (i64, u32) {
+        let c = match self.mode {
+            TableMode::Linear => cycle,
+            TableMode::Modulo(ii) => cycle.rem_euclid(ii as i64),
+        };
+        (c, self.map.index(resource) as u32)
+    }
+
+    /// Number of distinct claims on `resource` at `cycle` (0 = free).
+    pub fn occupancy(&self, cycle: i64, resource: Resource) -> usize {
+        self.slots.get(&self.key(cycle, resource)).map_or(0, Vec::len)
+    }
+
+    /// An order-independent digest of the table's current claims (used by
+    /// tests to prove that rollback restores state exactly, and handy when
+    /// debugging the scheduler).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut entries: Vec<String> = Vec::new();
+        for (key, list) in &self.slots {
+            let mut items: Vec<String> = list.iter().map(|e| format!("{e:?}")).collect();
+            items.sort();
+            entries.push(format!("{key:?}:{items:?}"));
+        }
+        entries.sort();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        entries.hash(&mut h);
+        h.finish()
+    }
+
+    /// Marks the current journal position.
+    pub fn savepoint(&self) -> Savepoint {
+        self.journal.len()
+    }
+
+    /// Reverts every claim change (addition or release) made since `sp`.
+    pub fn rollback(&mut self, sp: Savepoint) {
+        while self.journal.len() > sp {
+            let entry = self.journal.pop().expect("len checked");
+            if entry.added {
+                let list = self
+                    .slots
+                    .get_mut(&entry.key)
+                    .expect("journalled claims exist");
+                let pos = list
+                    .iter()
+                    .position(|(p, _)| *p == entry.payload)
+                    .expect("journalled claims exist");
+                if list[pos].1 > 1 {
+                    list[pos].1 -= 1;
+                } else {
+                    list.swap_remove(pos);
+                }
+                if list.is_empty() {
+                    self.slots.remove(&entry.key);
+                }
+            } else {
+                // Re-add a released claim.
+                let list = self.slots.entry(entry.key).or_default();
+                match list.iter_mut().find(|(p, _)| *p == entry.payload) {
+                    Some((_, count)) => *count += 1,
+                    None => list.push((entry.payload, 1)),
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, key: (i64, u32), payload: Payload) {
+        let list = self
+            .slots
+            .get_mut(&key)
+            .expect("released claims must exist");
+        let pos = list
+            .iter()
+            .position(|(p, _)| *p == payload)
+            .expect("released claims must exist");
+        if list[pos].1 > 1 {
+            list[pos].1 -= 1;
+        } else {
+            list.swap_remove(pos);
+        }
+        if list.is_empty() {
+            self.slots.remove(&key);
+        }
+        self.journal.push(JournalEntry {
+            key,
+            payload,
+            added: false,
+        });
+    }
+
+    /// Releases one placement of a write stub made with
+    /// [`ResourceTable::place_write_stub`] (used when the permutation
+    /// search revises a tentative open-communication stub, paper §4.3
+    /// step 2/3). The release itself is journalled, so a later rollback
+    /// restores the claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stub was not placed.
+    pub fn unplace_write_stub(&mut self, cycle: i64, stub: WriteStub, value: SOpId) {
+        let bus_raw = stub.bus.index() as u32;
+        let okey = self.key(cycle, Resource::FuOutput(stub.fu));
+        self.release(okey, Payload::Write { value, bus: bus_raw });
+        let bkey = self.key(cycle, Resource::Bus(stub.bus));
+        self.release(bkey, Payload::WriteBus { value });
+        let pkey = self.key(cycle, Resource::WritePort(stub.port));
+        self.release(pkey, Payload::Write { value, bus: bus_raw });
+    }
+
+    /// Releases one placement of a read stub made with
+    /// [`ResourceTable::place_read_stub`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stub was not placed.
+    pub fn unplace_read_stub(&mut self, cycle: i64, stub: ReadStub, op: SOpId, slot: usize) {
+        let payload = Payload::Read {
+            op,
+            slot: slot as u8,
+        };
+        let rkey = self.key(cycle, Resource::ReadPort(stub.port));
+        self.release(rkey, payload);
+        let bkey = self.key(cycle, Resource::Bus(stub.bus));
+        self.release(bkey, Payload::ReadBus { port: stub.port });
+        let ikey = self.key(cycle, Resource::FuInput(stub.input()));
+        self.release(ikey, payload);
+    }
+
+    fn try_claim(
+        &mut self,
+        key: (i64, u32),
+        payload: Payload,
+        admit: impl Fn(&[(Payload, u32)], Payload) -> Admission,
+    ) -> bool {
+        let list = self.slots.entry(key).or_default();
+        match admit(list, payload) {
+            Admission::Conflict => {
+                if list.is_empty() {
+                    self.slots.remove(&key);
+                }
+                false
+            }
+            Admission::Identical(pos) => {
+                list[pos].1 += 1;
+                self.journal.push(JournalEntry { key, payload, added: true });
+                true
+            }
+            Admission::Additional => {
+                list.push((payload, 1));
+                self.journal.push(JournalEntry { key, payload, added: true });
+                true
+            }
+        }
+    }
+
+    /// Claims the issue slot of `fu` for `op` on cycles
+    /// `cycle .. cycle + interval` (partially pipelined capabilities hold
+    /// the unit for several cycles). Rolls itself back on failure.
+    pub fn place_issue(&mut self, cycle: i64, fu: FuId, interval: u32, op: SOpId) -> bool {
+        if let TableMode::Modulo(ii) = self.mode {
+            if interval > ii {
+                return false; // cannot re-issue fast enough
+            }
+        }
+        let sp = self.savepoint();
+        for i in 0..interval as i64 {
+            let key = self.key(cycle + i, Resource::FuIssue(fu));
+            let ok = self.try_claim(key, Payload::Op(op), |list, p| match list.first() {
+                None => Admission::Additional,
+                Some((existing, _)) if *existing == p => Admission::Identical(0),
+                Some(_) => Admission::Conflict,
+            });
+            if !ok {
+                self.rollback(sp);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Claims the resources of a write stub on `cycle` for the result of
+    /// `value` (identified by its producing operation). `fanout` is the
+    /// producing unit's maximum simultaneous bus drive count.
+    pub fn place_write_stub(
+        &mut self,
+        cycle: i64,
+        stub: WriteStub,
+        value: SOpId,
+        fanout: usize,
+    ) -> bool {
+        let sp = self.savepoint();
+        let bus_raw = stub.bus.index() as u32;
+
+        // Output: one value; up to `fanout` distinct buses.
+        let okey = self.key(cycle, Resource::FuOutput(stub.fu));
+        let ok = self.try_claim(okey, Payload::Write { value, bus: bus_raw }, |list, p| {
+            let Payload::Write { value: nv, bus: nb } = p else {
+                unreachable!()
+            };
+            let mut distinct = std::collections::HashSet::new();
+            for (e, _) in list {
+                match e {
+                    Payload::Write { value: ev, bus: eb } => {
+                        if *ev != nv {
+                            return Admission::Conflict;
+                        }
+                        distinct.insert(*eb);
+                    }
+                    _ => return Admission::Conflict,
+                }
+            }
+            if let Some(pos) = list.iter().position(|(e, _)| *e == p) {
+                return Admission::Identical(pos);
+            }
+            distinct.insert(nb);
+            if distinct.len() <= fanout {
+                Admission::Additional
+            } else {
+                Admission::Conflict
+            }
+        });
+        if !ok {
+            self.rollback(sp);
+            return false;
+        }
+
+        // Bus: one value, broadcast allowed.
+        let bkey = self.key(cycle, Resource::Bus(stub.bus));
+        let ok = self.try_claim(bkey, Payload::WriteBus { value }, |list, p| {
+            // A bus carries one value per cycle, so at most one distinct
+            // payload can be present.
+            match list.first() {
+                Some((e, _)) if *e == p => Admission::Identical(0),
+                Some(_) => Admission::Conflict,
+                None => Admission::Additional,
+            }
+        });
+        if !ok {
+            self.rollback(sp);
+            return false;
+        }
+
+        // Write port: one (value, bus) pair.
+        let pkey = self.key(cycle, Resource::WritePort(stub.port));
+        let ok = self.try_claim(pkey, Payload::Write { value, bus: bus_raw }, |list, p| {
+            match list.first() {
+                Some((e, _)) if *e == p => Admission::Identical(0),
+                Some(_) => Admission::Conflict,
+                None => Admission::Additional,
+            }
+        });
+        if !ok {
+            self.rollback(sp);
+            return false;
+        }
+        true
+    }
+
+    /// Claims the resources of a read stub on `cycle` for consumer operand
+    /// `(op, slot)`.
+    pub fn place_read_stub(&mut self, cycle: i64, stub: ReadStub, op: SOpId, slot: usize) -> bool {
+        let sp = self.savepoint();
+        let payload = Payload::Read {
+            op,
+            slot: slot as u8,
+        };
+        let exclusive = |list: &[(Payload, u32)], p: Payload| match list.first() {
+            Some((e, _)) if *e == p => Admission::Identical(0),
+            Some(_) => Admission::Conflict,
+            None => Admission::Additional,
+        };
+
+        let rkey = self.key(cycle, Resource::ReadPort(stub.port));
+        if !self.try_claim(rkey, payload, exclusive) {
+            self.rollback(sp);
+            return false;
+        }
+        // Bus: shareable between identical source ports (broadcast).
+        let bkey = self.key(cycle, Resource::Bus(stub.bus));
+        if !self.try_claim(bkey, Payload::ReadBus { port: stub.port }, |list, p| {
+            match list.first() {
+                Some((e, _)) if *e == p => Admission::Identical(0),
+                Some(_) => Admission::Conflict,
+                None => Admission::Additional,
+            }
+        }) {
+            self.rollback(sp);
+            return false;
+        }
+        let ikey = self.key(cycle, Resource::FuInput(stub.input()));
+        if !self.try_claim(ikey, payload, exclusive) {
+            self.rollback(sp);
+            return false;
+        }
+        true
+    }
+
+    /// Whether a write stub could be placed (non-mutating probe).
+    pub fn can_place_write_stub(
+        &mut self,
+        cycle: i64,
+        stub: WriteStub,
+        value: SOpId,
+        fanout: usize,
+    ) -> bool {
+        let sp = self.savepoint();
+        let ok = self.place_write_stub(cycle, stub, value, fanout);
+        self.rollback(sp);
+        ok
+    }
+
+    /// Whether a read stub could be placed (non-mutating probe).
+    pub fn can_place_read_stub(&mut self, cycle: i64, stub: ReadStub, op: SOpId, slot: usize) -> bool {
+        let sp = self.savepoint();
+        let ok = self.place_read_stub(cycle, stub, op, slot);
+        self.rollback(sp);
+        ok
+    }
+}
+
+enum Admission {
+    /// Same claim already present: bump its refcount.
+    Identical(usize),
+    /// Compatible new claim.
+    Additional,
+    /// Incompatible.
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csched_machine::{toy, Architecture};
+
+    fn setup() -> (Architecture, ResourceTable) {
+        let arch = toy::motivating_example();
+        let table = ResourceTable::new(ResourceMap::new(&arch), TableMode::Linear);
+        (arch, table)
+    }
+
+    fn op(i: usize) -> SOpId {
+        SOpId::from_raw(i)
+    }
+
+    #[test]
+    fn issue_slot_is_exclusive() {
+        let (arch, mut t) = setup();
+        let fu = arch.fu_by_name("ADD0").unwrap();
+        assert!(t.place_issue(0, fu, 1, op(0)));
+        assert!(!t.place_issue(0, fu, 1, op(1)));
+        assert!(t.place_issue(1, fu, 1, op(1)));
+    }
+
+    #[test]
+    fn issue_interval_occupies_multiple_cycles() {
+        let (arch, mut t) = setup();
+        let fu = arch.fu_by_name("ADD0").unwrap();
+        assert!(t.place_issue(0, fu, 3, op(0)));
+        assert!(!t.place_issue(2, fu, 1, op(1)));
+        assert!(t.place_issue(3, fu, 1, op(1)));
+    }
+
+    #[test]
+    fn bus_conflict_between_different_values() {
+        let (arch, mut t) = setup();
+        // ADD0 and LS both drive BUS0; two different results on the same
+        // cycle conflict — the Figure 6 incorrect-schedule scenario.
+        let add0 = arch.fu_by_name("ADD0").unwrap();
+        let ls = arch.fu_by_name("LS").unwrap();
+        let s_add = arch.write_stubs(add0)[0];
+        let s_ls = arch
+            .write_stubs(ls)
+            .iter()
+            .copied()
+            .find(|s| s.bus == s_add.bus)
+            .unwrap();
+        assert!(t.place_write_stub(0, s_add, op(0), 1));
+        assert!(!t.place_write_stub(0, s_ls, op(1), 2));
+        // A different cycle is fine.
+        assert!(t.place_write_stub(1, s_ls, op(1), 2));
+    }
+
+    #[test]
+    fn bus_broadcast_of_same_value() {
+        let (arch, mut t) = setup();
+        // LS's BUS1 reaches RF1 and RFC: same value to both ports is legal.
+        let ls = arch.fu_by_name("LS").unwrap();
+        let stubs: Vec<_> = arch
+            .write_stubs(ls)
+            .iter()
+            .copied()
+            .filter(|s| arch.bus(s.bus).name() == "BUS1")
+            .collect();
+        assert_eq!(stubs.len(), 2);
+        assert!(t.place_write_stub(0, stubs[0], op(0), 2));
+        assert!(t.place_write_stub(0, stubs[1], op(0), 2));
+    }
+
+    #[test]
+    fn output_fanout_limits_distinct_buses() {
+        let (arch, mut t) = setup();
+        let ls = arch.fu_by_name("LS").unwrap();
+        let bus0_stub = arch
+            .write_stubs(ls)
+            .iter()
+            .copied()
+            .find(|s| arch.bus(s.bus).name() == "BUS0")
+            .unwrap();
+        let bus1_stub = arch
+            .write_stubs(ls)
+            .iter()
+            .copied()
+            .find(|s| arch.bus(s.bus).name() == "BUS1")
+            .unwrap();
+        // Fanout 1: one bus only.
+        assert!(t.place_write_stub(0, bus0_stub, op(0), 1));
+        assert!(!t.place_write_stub(0, bus1_stub, op(0), 1));
+        // Fanout 2 (LS's real capability): both buses, same value.
+        assert!(t.place_write_stub(1, bus0_stub, op(0), 2));
+        assert!(t.place_write_stub(1, bus1_stub, op(0), 2));
+    }
+
+    #[test]
+    fn output_single_value_per_cycle() {
+        let (arch, mut t) = setup();
+        let ls = arch.fu_by_name("LS").unwrap();
+        let stubs = arch.write_stubs(ls);
+        assert!(t.place_write_stub(0, stubs[0], op(0), 2));
+        let other_bus = stubs
+            .iter()
+            .copied()
+            .find(|s| s.bus != stubs[0].bus)
+            .unwrap();
+        assert!(!t.place_write_stub(0, other_bus, op(1), 2));
+    }
+
+    #[test]
+    fn write_port_same_value_different_bus_conflicts() {
+        let (arch, mut t) = setup();
+        // RFC's shared port is reachable from BUS0 and BUS1. The same value
+        // through different buses conflicts (paper §4.2).
+        let ls = arch.fu_by_name("LS").unwrap();
+        let rfc = arch.rf_by_name("RFC").unwrap();
+        let to_rfc: Vec<_> = arch
+            .write_stubs(ls)
+            .iter()
+            .copied()
+            .filter(|s| s.rf == rfc)
+            .collect();
+        assert_eq!(to_rfc.len(), 2);
+        assert!(t.place_write_stub(0, to_rfc[0], op(0), 2));
+        assert!(!t.place_write_stub(0, to_rfc[1], op(0), 2));
+    }
+
+    #[test]
+    fn read_stub_dedupe_and_conflict() {
+        let (arch, mut t) = setup();
+        let add0 = arch.fu_by_name("ADD0").unwrap();
+        let stub = arch.read_stubs(add0, 0)[0];
+        // Same operand twice (init + carried communications): dedupes.
+        assert!(t.place_read_stub(0, stub, op(5), 0));
+        assert!(t.place_read_stub(0, stub, op(5), 0));
+        // A different operand on the same port conflicts.
+        assert!(!t.place_read_stub(0, stub, op(6), 0));
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let (arch, mut t) = setup();
+        let add0 = arch.fu_by_name("ADD0").unwrap();
+        let stub = arch.write_stubs(add0)[0];
+        assert!(t.place_write_stub(0, stub, op(0), 1));
+        let sp = t.savepoint();
+        assert!(t.place_issue(0, add0, 1, op(1)));
+        let rstub = arch.read_stubs(add0, 0)[0];
+        assert!(t.place_read_stub(0, rstub, op(1), 0));
+        t.rollback(sp);
+        // Issue and read slots are free again; the earlier write remains.
+        assert!(t.place_issue(0, add0, 1, op(9)));
+        assert!(t.place_read_stub(0, rstub, op(9), 0));
+        let other = arch.fu_by_name("LS").unwrap();
+        let conflicting = arch
+            .write_stubs(other)
+            .iter()
+            .copied()
+            .find(|s| s.bus == stub.bus)
+            .unwrap();
+        assert!(!t.place_write_stub(0, conflicting, op(9), 2));
+    }
+
+    #[test]
+    fn refcounted_rollback_keeps_shared_claims() {
+        let (arch, mut t) = setup();
+        let add0 = arch.fu_by_name("ADD0").unwrap();
+        let rstub = arch.read_stubs(add0, 0)[0];
+        assert!(t.place_read_stub(0, rstub, op(5), 0));
+        let sp = t.savepoint();
+        assert!(t.place_read_stub(0, rstub, op(5), 0)); // second comm, same operand
+        t.rollback(sp);
+        // Operand claim is still held by the first communication.
+        assert!(!t.place_read_stub(0, rstub, op(6), 0));
+    }
+
+    #[test]
+    fn modulo_mode_folds_cycles() {
+        let (arch, _) = setup();
+        let mut t = ResourceTable::new(ResourceMap::new(&arch), TableMode::Modulo(4));
+        let fu = arch.fu_by_name("ADD0").unwrap();
+        assert!(t.place_issue(1, fu, 1, op(0)));
+        // Cycle 5 maps to the same modulo slot.
+        assert!(!t.place_issue(5, fu, 1, op(1)));
+        assert!(t.place_issue(6, fu, 1, op(1)));
+    }
+
+    #[test]
+    fn modulo_rejects_interval_beyond_ii() {
+        let (arch, _) = setup();
+        let mut t = ResourceTable::new(ResourceMap::new(&arch), TableMode::Modulo(3));
+        let fu = arch.fu_by_name("ADD0").unwrap();
+        assert!(!t.place_issue(0, fu, 4, op(0)));
+        assert!(t.place_issue(0, fu, 3, op(0)));
+    }
+
+    #[test]
+    fn probes_do_not_mutate() {
+        let (arch, mut t) = setup();
+        let add0 = arch.fu_by_name("ADD0").unwrap();
+        let stub = arch.write_stubs(add0)[0];
+        assert!(t.can_place_write_stub(0, stub, op(0), 1));
+        assert!(t.can_place_write_stub(0, stub, op(1), 1)); // still free
+        let rstub = arch.read_stubs(add0, 1)[0];
+        assert!(t.can_place_read_stub(0, rstub, op(0), 1));
+        assert!(t.can_place_read_stub(0, rstub, op(1), 1));
+    }
+}

@@ -1,0 +1,406 @@
+//! The scheduling universe: the set of operations and communications the
+//! scheduler works on.
+//!
+//! The universe starts as a one-to-one image of the kernel's operations and
+//! grows as communication scheduling inserts copy operations (paper §4.3
+//! step 5, Figure 21). Communications are the paper's §3 abstraction: one
+//! per (producer result, consumer operand) pair, including the two
+//! communications a loop-carried variable induces (one from the preamble
+//! init producer, one from the previous iteration's update producer) —
+//! both of which must share the consumer operand's read stub.
+
+use core::fmt;
+
+use csched_ir::{resolve_producers, BlockId, Kernel, OpId, Operand};
+use csched_machine::Opcode;
+
+/// Identifies an operation in the scheduling universe (kernel operations
+/// first, then inserted copies, in insertion order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SOpId(pub(crate) u32);
+
+impl SOpId {
+    /// Creates an id from a raw dense index.
+    pub fn from_raw(index: usize) -> Self {
+        SOpId(index as u32)
+    }
+
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifies a communication.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommId(pub(crate) u32);
+
+impl CommId {
+    /// Creates an id from a raw dense index.
+    pub fn from_raw(index: usize) -> Self {
+        CommId(index as u32)
+    }
+
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CommId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for CommId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An operation in the scheduling universe.
+#[derive(Clone, Debug)]
+pub struct SOp {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// The block the operation belongs to (copies inherit the block they
+    /// were inserted into).
+    pub block: BlockId,
+    /// The kernel operation this mirrors, or `None` for inserted copies.
+    pub kernel_op: Option<OpId>,
+    /// Number of operand slots (equals `opcode.num_operands()`).
+    pub num_operands: usize,
+    /// Whether the operation produces a result.
+    pub has_result: bool,
+}
+
+/// One communication: the use of one producer's result as one operand of
+/// one consumer (paper §3).
+#[derive(Clone, Debug)]
+pub struct Comm {
+    /// The operation producing the value.
+    pub producer: SOpId,
+    /// The consuming operation.
+    pub consumer: SOpId,
+    /// The consumer's operand slot.
+    pub slot: usize,
+    /// Iteration distance: the consumer of iteration `i` reads the
+    /// producer's result from iteration `i - distance` (0 within an
+    /// iteration or for cross-block/init communications).
+    pub distance: u32,
+}
+
+/// The set of operations and communications being scheduled.
+#[derive(Clone, Debug)]
+pub struct Universe {
+    pub(crate) ops: Vec<SOp>,
+    pub(crate) comms: Vec<Comm>,
+    /// Communications grouped by consumer operand `(consumer, slot)`;
+    /// the groups sharing one read stub.
+    pub(crate) operand_comms: Vec<Vec<CommId>>,
+    /// Flattened index: for op `o`, `operand_base[o.index()] + slot` indexes
+    /// `operand_comms`.
+    pub(crate) operand_base: Vec<usize>,
+    /// Communications grouped by producer.
+    pub(crate) producer_comms: Vec<Vec<CommId>>,
+    /// Number of operations that came from the kernel (a prefix of `ops`).
+    pub(crate) num_kernel_ops: usize,
+}
+
+impl Universe {
+    /// Builds the universe for `kernel`: one [`SOp`] per kernel operation
+    /// and one [`Comm`] per (producer, consumer-operand) pair, resolving
+    /// loop variables to their init and carried producers.
+    pub fn build(kernel: &Kernel) -> Self {
+        let mut ops = Vec::with_capacity(kernel.num_ops());
+        for op_id in kernel.op_ids() {
+            let op = kernel.op(op_id);
+            ops.push(SOp {
+                opcode: op.opcode(),
+                block: op.block(),
+                kernel_op: Some(op_id),
+                num_operands: op.operands().len(),
+                has_result: op.result().is_some(),
+            });
+        }
+        let mut u = Universe {
+            ops,
+            comms: Vec::new(),
+            operand_comms: Vec::new(),
+            operand_base: Vec::new(),
+            producer_comms: Vec::new(),
+            num_kernel_ops: kernel.num_ops(),
+        };
+        u.rebuild_operand_index();
+
+        for op_id in kernel.op_ids() {
+            let op = kernel.op(op_id);
+            for (slot, operand) in op.operands().iter().enumerate() {
+                let Operand::Value(v) = *operand else { continue };
+                for (producer, distance) in resolve_producers(kernel, v) {
+                    u.add_comm(Comm {
+                        producer: SOpId::from_raw(producer.index()),
+                        consumer: SOpId::from_raw(op_id.index()),
+                        slot,
+                        distance,
+                    });
+                }
+            }
+        }
+        u
+    }
+
+    fn rebuild_operand_index(&mut self) {
+        self.operand_base.clear();
+        let mut total = 0usize;
+        for op in &self.ops {
+            self.operand_base.push(total);
+            total += op.num_operands;
+        }
+        self.operand_comms.resize(total, Vec::new());
+        self.producer_comms.resize(self.ops.len(), Vec::new());
+    }
+
+    /// Adds a communication (used during construction and by copy
+    /// insertion) and returns its id.
+    pub fn add_comm(&mut self, comm: Comm) -> CommId {
+        let id = CommId::from_raw(self.comms.len());
+        let oi = self.operand_index(comm.consumer, comm.slot);
+        self.operand_comms[oi].push(id);
+        self.producer_comms[comm.producer.index()].push(id);
+        self.comms.push(comm);
+        id
+    }
+
+    /// Adds a copy operation in `block` and returns its id. The caller
+    /// wires up its communications with [`Universe::add_comm`].
+    pub fn add_copy(&mut self, block: BlockId) -> SOpId {
+        let id = SOpId::from_raw(self.ops.len());
+        self.ops.push(SOp {
+            opcode: Opcode::Copy,
+            block,
+            kernel_op: None,
+            num_operands: 1,
+            has_result: true,
+        });
+        self.operand_base.push(self.operand_comms.len());
+        self.operand_comms.push(Vec::new());
+        self.producer_comms.push(Vec::new());
+        id
+    }
+
+    /// Removes the most recently added communication (used to roll back a
+    /// reused-copy attachment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no communications.
+    pub fn remove_last_comm(&mut self) {
+        let cid = CommId::from_raw(self.comms.len() - 1);
+        let last = self.comms.last().expect("nonempty");
+        let oi = self.operand_index(last.consumer, last.slot);
+        self.operand_comms[oi].retain(|&c| c != cid);
+        self.producer_comms[last.producer.index()].retain(|&c| c != cid);
+        self.comms.pop();
+    }
+
+    /// Removes the most recently added copy operation and any
+    /// communications attached to it (used to roll back a failed copy
+    /// insertion). The copy must be the last operation and its comms the
+    /// last comms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last operation is not an inserted copy.
+    pub fn remove_last_copy(&mut self) {
+        let op = self.ops.last().expect("universe is never empty");
+        assert!(op.kernel_op.is_none(), "can only remove inserted copies");
+        let id = SOpId::from_raw(self.ops.len() - 1);
+        // Drop comms touching the copy; they are by construction the most
+        // recently added ones, but scan defensively.
+        while let Some(last) = self.comms.last() {
+            if last.producer == id || last.consumer == id {
+                let cid = CommId::from_raw(self.comms.len() - 1);
+                let oi = self.operand_index(last.consumer, last.slot);
+                self.operand_comms[oi].retain(|&c| c != cid);
+                self.producer_comms[last.producer.index()].retain(|&c| c != cid);
+                self.comms.pop();
+            } else {
+                break;
+            }
+        }
+        self.ops.pop();
+        self.operand_base.pop();
+        self.operand_comms.pop();
+        self.producer_comms.pop();
+    }
+
+    /// Dense index of the operand `(op, slot)`.
+    pub fn operand_index(&self, op: SOpId, slot: usize) -> usize {
+        self.operand_base[op.index()] + slot
+    }
+
+    /// The operation `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn op(&self, op: SOpId) -> &SOp {
+        &self.ops[op.index()]
+    }
+
+    /// The communication `comm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comm` is out of range.
+    pub fn comm(&self, comm: CommId) -> &Comm {
+        &self.comms[comm.index()]
+    }
+
+    /// Number of operations currently in the universe.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of communications.
+    pub fn num_comms(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// Number of operations that mirror kernel operations.
+    pub fn num_kernel_ops(&self) -> usize {
+        self.num_kernel_ops
+    }
+
+    /// Iterates over all operation ids.
+    pub fn op_ids(&self) -> impl Iterator<Item = SOpId> + '_ {
+        (0..self.ops.len()).map(SOpId::from_raw)
+    }
+
+    /// Iterates over all communication ids.
+    pub fn comm_ids(&self) -> impl Iterator<Item = CommId> + '_ {
+        (0..self.comms.len()).map(CommId::from_raw)
+    }
+
+    /// Communications whose consumer operand is `(op, slot)`.
+    pub fn comms_to_operand(&self, op: SOpId, slot: usize) -> &[CommId] {
+        &self.operand_comms[self.operand_index(op, slot)]
+    }
+
+    /// All communications into `op` across its operands.
+    pub fn comms_to(&self, op: SOpId) -> Vec<CommId> {
+        (0..self.op(op).num_operands)
+            .flat_map(|s| self.comms_to_operand(op, s).iter().copied())
+            .collect()
+    }
+
+    /// Communications out of `op`'s result.
+    pub fn comms_from(&self, op: SOpId) -> &[CommId] {
+        &self.producer_comms[op.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csched_ir::KernelBuilder;
+    use csched_machine::Opcode;
+
+    fn sample() -> Kernel {
+        let mut kb = KernelBuilder::new("sample");
+        let data = kb.region("data", true);
+        let pre = kb.straight_block("pre");
+        let base = kb.push(pre, Opcode::IAdd, [Operand::from(0i64), 0i64.into()]);
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, base.into());
+        let x = kb.load(lp, data, i.into(), 0i64.into());
+        let y = kb.push(lp, Opcode::IAdd, [x.into(), x.into()]);
+        kb.store(lp, data, i.into(), 0i64.into(), y.into());
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, i1.into());
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn comm_extraction() {
+        let k = sample();
+        let u = Universe::build(&k);
+        assert_eq!(u.num_ops(), 5);
+        // i used by: load addr, store addr, increment -> each has 2 comms
+        // (init producer `base` + carried producer `i1`): 6
+        // x used twice by y: 2 comms; y used by store: 1.
+        assert_eq!(u.num_comms(), 9);
+        // load is op index 1 in kernel order (pre op is 0).
+        let load = SOpId::from_raw(1);
+        let to_load = u.comms_to_operand(load, 0);
+        assert_eq!(to_load.len(), 2);
+        let dists: Vec<u32> = to_load.iter().map(|&c| u.comm(c).distance).collect();
+        assert!(dists.contains(&0) && dists.contains(&1));
+    }
+
+    #[test]
+    fn same_value_used_twice_gets_two_comms() {
+        let k = sample();
+        let u = Universe::build(&k);
+        let y = SOpId::from_raw(2);
+        assert_eq!(u.comms_to_operand(y, 0).len(), 1);
+        assert_eq!(u.comms_to_operand(y, 1).len(), 1);
+        assert_ne!(
+            u.comms_to_operand(y, 0)[0],
+            u.comms_to_operand(y, 1)[0],
+            "each operand gets a separate communication (paper §3)"
+        );
+    }
+
+    #[test]
+    fn copy_add_remove_round_trip() {
+        let k = sample();
+        let mut u = Universe::build(&k);
+        let before_ops = u.num_ops();
+        let before_comms = u.num_comms();
+        let copy = u.add_copy(BlockId::from_raw(1));
+        u.add_comm(Comm {
+            producer: SOpId::from_raw(1),
+            consumer: copy,
+            slot: 0,
+            distance: 0,
+        });
+        u.add_comm(Comm {
+            producer: copy,
+            consumer: SOpId::from_raw(2),
+            slot: 0,
+            distance: 0,
+        });
+        assert_eq!(u.num_ops(), before_ops + 1);
+        assert_eq!(u.num_comms(), before_comms + 2);
+        assert_eq!(u.comms_from(copy).len(), 1);
+        u.remove_last_copy();
+        assert_eq!(u.num_ops(), before_ops);
+        assert_eq!(u.num_comms(), before_comms);
+        assert!(u
+            .comm_ids()
+            .all(|c| u.comm(c).producer.index() < before_ops));
+    }
+
+    #[test]
+    fn comms_to_flattens_operands() {
+        let k = sample();
+        let u = Universe::build(&k);
+        let store = SOpId::from_raw(3);
+        assert_eq!(u.comms_to(store).len(), 3); // addr (2: init+carried) + value (1)
+    }
+}

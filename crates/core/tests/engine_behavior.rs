@@ -1,0 +1,146 @@
+//! Behavioural tests of the scheduling engine: copy sharing, broadcasts,
+//! the delay-before-copy policy, and scheduler statistics.
+
+use csched_core::{schedule_kernel, CommDisposition, SOpId, SchedulerConfig};
+use csched_ir::{Kernel, KernelBuilder};
+use csched_machine::{imagine, Opcode};
+
+/// A value consumed by many operations in the *other* cluster: the engine
+/// must reuse one copy per destination file rather than inserting one copy
+/// per communication.
+fn fanout_kernel(consumers: usize) -> Kernel {
+    let mut kb = KernelBuilder::new("fanout");
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let x = kb.load(lp, input, i.into(), 0i64.into());
+    // Many independent consumers of x.
+    for k in 0..consumers {
+        let y = kb.push(lp, Opcode::IAdd, [x.into(), (k as i64).into()]);
+        kb.store(lp, output, i.into(), (100 + 16 * k as i64).into(), y.into());
+    }
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().unwrap()
+}
+
+#[test]
+fn copies_are_shared_between_communications() {
+    // On clustered(2), x lands in one cluster's file and the consumers
+    // spread over both clusters: the cross-cluster consumers must share
+    // copies. With 8 consumers and 2 clusters, a copy-per-communication
+    // scheduler would insert ~4+; sharing needs at most 1 per foreign file
+    // per iteration (a few more are tolerable when the scheduler re-stages,
+    // but far fewer than the consumer count).
+    let arch = imagine::clustered(2);
+    let kernel = fanout_kernel(8);
+    let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+    // Sharing is bounded by timing: a consumer that reads before an
+    // existing copy completes still needs its own. Half the consumer count
+    // is a conservative ceiling; copy-per-communication would need one
+    // each.
+    assert!(
+        s.num_copies() <= 4,
+        "expected shared copies, got {}",
+        s.num_copies()
+    );
+    csched_core::validate::validate(&arch, &kernel, &s).unwrap();
+}
+
+#[test]
+fn broadcasts_reach_many_files_without_copies() {
+    // On the distributed machine every consumer input has its own file,
+    // but one bus can broadcast the value to all of their write ports: the
+    // fanout kernel needs no copies at all.
+    let arch = imagine::distributed();
+    let kernel = fanout_kernel(6);
+    let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+    assert_eq!(s.num_copies(), 0, "broadcast should avoid copies");
+    // And the induction variable's communications are all direct routes.
+    let u = s.universe();
+    let direct = u
+        .comm_ids()
+        .filter(|&c| matches!(s.disposition(c), CommDisposition::Direct(_)))
+        .count();
+    assert_eq!(direct, u.num_comms());
+}
+
+#[test]
+fn central_never_needs_copies_or_rejections_for_tiny_kernels() {
+    let arch = imagine::central();
+    let kernel = fanout_kernel(4);
+    let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+    assert_eq!(s.num_copies(), 0);
+    assert_eq!(s.stats().ii_tried, 1, "first II must fit");
+}
+
+#[test]
+fn stats_reflect_rejections_on_congested_machines() {
+    let arch = imagine::clustered(4);
+    let w = csched_kernels::by_name("Sort").unwrap();
+    let s = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default()).unwrap();
+    let stats = s.stats();
+    assert!(stats.attempts > 0);
+    assert!(
+        stats.rejections > 0,
+        "clustered Sort must reject placements"
+    );
+    assert_eq!(stats.copies_inserted as usize, s.num_copies());
+}
+
+#[test]
+fn transport_chains_are_consistent() {
+    // Every communication's transport chain starts at its producer's unit
+    // and ends at its consumer's input, with adjacent legs linked by copies.
+    let arch = imagine::clustered(4);
+    let kernel = fanout_kernel(8);
+    let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+    let u = s.universe();
+    for cid in u.comm_ids() {
+        let c = u.comm(cid);
+        // Only original (kernel-op to kernel-op) comms have full chains
+        // rooted at dispositions; legs themselves are also comms, so just
+        // check the endpoints line up for every comm's own transport.
+        let legs = s.transport(cid);
+        assert!(!legs.is_empty());
+        let first = u.comm(legs[0].0);
+        let last = u.comm(legs.last().unwrap().0);
+        assert_eq!(first.producer, c.producer);
+        assert_eq!(last.consumer, c.consumer);
+        assert_eq!(last.slot, c.slot);
+        for (leg_id, route) in &legs {
+            let leg = u.comm(*leg_id);
+            assert_eq!(route.wstub.fu, s.placement(leg.producer).fu);
+            assert_eq!(route.rstub.fu, s.placement(leg.consumer).fu);
+        }
+    }
+}
+
+#[test]
+fn renders_mention_copies() {
+    let arch = imagine::clustered(2);
+    let kernel = fanout_kernel(8);
+    let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+    if s.num_copies() > 0 {
+        let grid = s.render(&arch, &kernel);
+        assert!(grid.contains(":copy"), "copies appear in the grid:\n{grid}");
+    }
+    let line = s.to_string();
+    assert!(line.contains("fanout"));
+    assert!(line.contains("II="));
+}
+
+#[test]
+fn schedules_are_deterministic() {
+    let arch = imagine::distributed();
+    let w = csched_kernels::by_name("FFT").unwrap();
+    let a = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default()).unwrap();
+    let b = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default()).unwrap();
+    assert_eq!(a.ii(), b.ii());
+    assert_eq!(a.num_copies(), b.num_copies());
+    for op in a.universe().op_ids() {
+        assert_eq!(a.placement(op), b.placement(op), "{op} placement differs");
+    }
+    let _ = SOpId::from_raw(0);
+}

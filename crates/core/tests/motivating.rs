@@ -1,0 +1,119 @@
+//! End-to-end reproduction of the paper's motivating example (§2):
+//! scheduling the Figure 4 code fragment onto the Figure 5 machine.
+
+use csched_core::{schedule_kernel, SchedulerConfig};
+use csched_ir::{Kernel, KernelBuilder};
+use csched_machine::{toy, Opcode};
+
+/// Figure 4: 1: a = load ...; 2: b = ...+...; 3: c = ...+...;
+/// 4: ... = a + b; 5: ... = a + c.
+fn figure4() -> Kernel {
+    let mut kb = KernelBuilder::new("fig4");
+    let mem = kb.region("mem", true);
+    let b = kb.straight_block("b");
+    let a = kb.load(b, mem, 0i64.into(), 0i64.into());
+    let bv = kb.push(b, Opcode::IAdd, [1i64.into(), 2i64.into()]);
+    let cv = kb.push(b, Opcode::IAdd, [3i64.into(), 4i64.into()]);
+    let s4 = kb.push(b, Opcode::IAdd, [a.into(), bv.into()]);
+    let s5 = kb.push(b, Opcode::IAdd, [a.into(), cv.into()]);
+    kb.store(b, mem, 10i64.into(), 0i64.into(), s4.into());
+    kb.store(b, mem, 11i64.into(), 0i64.into(), s5.into());
+    kb.build().unwrap()
+}
+
+#[test]
+fn motivating_example_schedules() {
+    let arch = toy::motivating_example();
+    let kernel = figure4();
+    let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default())
+        .expect("communication scheduling handles the Figure 5 machine");
+    println!("{}", schedule.render(&arch, &kernel));
+    // All communications closed, every op placed.
+    let u = schedule.universe();
+    assert!(u.num_comms() >= 6);
+    for c in u.comm_ids() {
+        let legs = schedule.transport(c);
+        assert!(!legs.is_empty());
+        for (_, route) in &legs {
+            assert_eq!(route.wstub.rf, route.rstub.rf, "stubs must meet in one file");
+        }
+    }
+}
+
+#[test]
+fn reproduces_figure7_schedule_shape() {
+    use csched_core::SOpId;
+    let arch = toy::motivating_example();
+    let kernel = figure4();
+    let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+
+    // The five compute operations fit in three cycles (paper Figure 7).
+    for i in 0..5 {
+        let p = schedule.placement(SOpId::from_raw(i));
+        assert!(p.completion() <= 2, "op{i} completes at {}", p.completion());
+    }
+
+    // Operation 3 (c = ... + ...) cannot issue on cycle 0: all buses are
+    // taken by a and b (paper Figure 19).
+    let c_op = schedule.placement(SOpId::from_raw(2));
+    assert!(c_op.cycle >= 1, "op2 must be delayed by stub conflicts");
+
+    // The communication of `a` (op0) to op3 (= a + b) routes through the
+    // center register file with exactly one copy executed on the
+    // load/store unit (paper Figures 13 and 24).
+    let u = schedule.universe();
+    let a_to_4 = u
+        .comm_ids()
+        .find(|&c| {
+            u.comm(c).producer == SOpId::from_raw(0) && u.comm(c).consumer == SOpId::from_raw(3)
+        })
+        .expect("communication exists");
+    let legs = schedule.transport(a_to_4);
+    assert_eq!(legs.len(), 2, "one copy splits the communication in two");
+    let rfc = arch.rf_by_name("RFC").unwrap();
+    let rf0 = arch.rf_by_name("RF0").unwrap();
+    let ls = arch.fu_by_name("LS").unwrap();
+    assert_eq!(legs[0].1.wstub.rf, rfc, "a staged through the center file");
+    assert_eq!(legs[1].1.rstub.rf, rf0, "read into ADD0's file");
+    assert_eq!(legs[0].1.rstub.fu, ls, "the copy runs on the load/store unit");
+
+    // The communication of `a` to op4 (= a + c) needs no copy.
+    let a_to_5 = u
+        .comm_ids()
+        .find(|&c| {
+            u.comm(c).producer == SOpId::from_raw(0) && u.comm(c).consumer == SOpId::from_raw(4)
+        })
+        .expect("communication exists");
+    assert_eq!(schedule.transport(a_to_5).len(), 1);
+}
+
+#[test]
+fn copy_ranges_obey_figure23() {
+    // Same-block case of Figure 23: every copy issues strictly after its
+    // producer completes and completes strictly before its consumer reads.
+    let arch = toy::motivating_example();
+    let kernel = figure4();
+    let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+    let u = s.universe();
+    for cid in u.comm_ids() {
+        let legs = s.transport(cid);
+        if legs.len() < 2 {
+            continue;
+        }
+        let original = u.comm(cid);
+        let reader = s.placement(original.consumer);
+        for window in legs.windows(2) {
+            let first = u.comm(window[0].0);
+            let copy = s.placement(first.consumer);
+            let producer = s.placement(first.producer);
+            assert!(
+                copy.cycle >= producer.completion() + 1,
+                "copy issues after the write completes"
+            );
+            assert!(
+                copy.completion() < reader.cycle,
+                "copy completes before the read issues"
+            );
+        }
+    }
+}

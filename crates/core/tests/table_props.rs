@@ -1,0 +1,143 @@
+//! Property tests for the transactional resource table: after any sequence
+//! of placements, releases and nested savepoint/rollback pairs, rolling
+//! back restores the table's claims exactly; and the sharing rules are
+//! honoured under randomly colliding stubs.
+
+use csched_core::{ResourceTable, SOpId, TableMode};
+use csched_machine::{toy, Architecture, ResourceMap};
+use proptest::prelude::*;
+
+fn arch() -> Architecture {
+    toy::motivating_example()
+}
+
+#[derive(Clone, Debug)]
+enum Action {
+    Issue { fu: usize, cycle: i64, op: usize },
+    WriteStub { fu: usize, stub: usize, cycle: i64, value: usize },
+    ReadStub { fu: usize, slot: usize, cycle: i64, op: usize },
+    Checkpoint,
+    Rollback,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..3usize, 0..6i64, 0..8usize)
+            .prop_map(|(fu, cycle, op)| Action::Issue { fu, cycle, op }),
+        (0..3usize, 0..4usize, 0..6i64, 0..8usize)
+            .prop_map(|(fu, stub, cycle, value)| Action::WriteStub { fu, stub, cycle, value }),
+        (0..3usize, 0..2usize, 0..6i64, 0..8usize)
+            .prop_map(|(fu, slot, cycle, op)| Action::ReadStub { fu, slot, cycle, op }),
+        Just(Action::Checkpoint),
+        Just(Action::Rollback),
+    ]
+}
+
+fn apply(table: &mut ResourceTable, arch: &Architecture, action: &Action) {
+    match *action {
+        Action::Issue { fu, cycle, op } => {
+            let fu = csched_machine::FuId::from_raw(fu);
+            let _ = table.place_issue(cycle, fu, 1, SOpId::from_raw(op));
+        }
+        Action::WriteStub { fu, stub, cycle, value } => {
+            let fu = csched_machine::FuId::from_raw(fu);
+            let stubs = arch.write_stubs(fu);
+            if stubs.is_empty() {
+                return;
+            }
+            let stub = stubs[stub % stubs.len()];
+            let fanout = arch.fu(fu).output_fanout();
+            let _ = table.place_write_stub(cycle, stub, SOpId::from_raw(value), fanout);
+        }
+        Action::ReadStub { fu, slot, cycle, op } => {
+            let fu = csched_machine::FuId::from_raw(fu);
+            let slot = slot % arch.fu(fu).num_inputs();
+            let stubs = arch.read_stubs(fu, slot);
+            if stubs.is_empty() {
+                return;
+            }
+            let _ = table.place_read_stub(cycle, stubs[0], SOpId::from_raw(op), slot);
+        }
+        Action::Checkpoint | Action::Rollback => unreachable!("handled by caller"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Nested savepoint/rollback restores the exact claim state no matter
+    /// what happened in between (including failed placements, which must
+    /// clean up after themselves).
+    #[test]
+    fn rollback_is_exact(actions in prop::collection::vec(action_strategy(), 1..60),
+                         modulo in prop::option::of(2u32..6)) {
+        let arch = arch();
+        let mode = match modulo {
+            Some(ii) => TableMode::Modulo(ii),
+            None => TableMode::Linear,
+        };
+        let mut table = ResourceTable::new(ResourceMap::new(&arch), mode);
+        // Stack of (savepoint, fingerprint-at-savepoint).
+        let mut stack = Vec::new();
+        for action in &actions {
+            match action {
+                Action::Checkpoint => {
+                    stack.push((table.savepoint(), table.fingerprint()));
+                }
+                Action::Rollback => {
+                    if let Some((sp, fp)) = stack.pop() {
+                        table.rollback(sp);
+                        prop_assert_eq!(table.fingerprint(), fp, "rollback must be exact");
+                    }
+                }
+                other => apply(&mut table, &arch, other),
+            }
+        }
+        // Unwind everything that remains.
+        while let Some((sp, fp)) = stack.pop() {
+            table.rollback(sp);
+            prop_assert_eq!(table.fingerprint(), fp);
+        }
+    }
+
+    /// A failed placement leaves the table untouched.
+    #[test]
+    fn failed_placements_are_clean(actions in prop::collection::vec(action_strategy(), 1..40)) {
+        let arch = arch();
+        let mut table = ResourceTable::new(ResourceMap::new(&arch), TableMode::Linear);
+        for action in &actions {
+            if matches!(action, Action::Checkpoint | Action::Rollback) {
+                continue;
+            }
+            let before = table.fingerprint();
+            let changed = match *action {
+                Action::Issue { fu, cycle, op } => table.place_issue(
+                    cycle,
+                    csched_machine::FuId::from_raw(fu),
+                    1,
+                    SOpId::from_raw(op),
+                ),
+                Action::WriteStub { fu, stub, cycle, value } => {
+                    let fu = csched_machine::FuId::from_raw(fu);
+                    let stubs = arch.write_stubs(fu);
+                    let stub = stubs[stub % stubs.len()];
+                    table.place_write_stub(
+                        cycle,
+                        stub,
+                        SOpId::from_raw(value),
+                        arch.fu(fu).output_fanout(),
+                    )
+                }
+                Action::ReadStub { fu, slot, cycle, op } => {
+                    let fu = csched_machine::FuId::from_raw(fu);
+                    let slot = slot % arch.fu(fu).num_inputs();
+                    table.place_read_stub(cycle, arch.read_stubs(fu, slot)[0], SOpId::from_raw(op), slot)
+                }
+                _ => unreachable!(),
+            };
+            if !changed {
+                prop_assert_eq!(table.fingerprint(), before, "failed placement must not mutate");
+            }
+        }
+    }
+}

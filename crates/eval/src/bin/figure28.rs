@@ -1,0 +1,19 @@
+//! Regenerates Figure 28 (per-kernel speedup vs register file
+//! architecture) with full validation and simulation of every cell.
+//!
+//! Usage: `cargo run --release -p csched-eval --bin figure28 [--no-sim]`
+
+use csched_core::SchedulerConfig;
+use csched_eval::{grid, report};
+
+fn main() {
+    let simulate = !std::env::args().any(|a| a == "--no-sim");
+    let grid = grid::run_grid(
+        &csched_kernels::all(),
+        &csched_machine::imagine::all_variants(),
+        &SchedulerConfig::default(),
+        simulate,
+    )
+    .unwrap_or_else(|e| panic!("evaluation failed: {e}"));
+    println!("{}", report::figure28(&grid));
+}

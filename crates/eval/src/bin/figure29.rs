@@ -1,0 +1,18 @@
+//! Regenerates Figure 29 (overall speedup vs register file architecture).
+//!
+//! Usage: `cargo run --release -p csched-eval --bin figure29 [--no-sim]`
+
+use csched_core::SchedulerConfig;
+use csched_eval::{grid, report};
+
+fn main() {
+    let simulate = !std::env::args().any(|a| a == "--no-sim");
+    let grid = grid::run_grid(
+        &csched_kernels::all(),
+        &csched_machine::imagine::all_variants(),
+        &SchedulerConfig::default(),
+        simulate,
+    )
+    .unwrap_or_else(|e| panic!("evaluation failed: {e}"));
+    println!("{}", report::figure29(&grid));
+}

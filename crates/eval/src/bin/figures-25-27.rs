@@ -1,0 +1,11 @@
+//! Regenerates the Figures 25–27 register-file cost bars and the §1/§8
+//! headline ratios.
+//!
+//! Usage: `cargo run --release -p csched-eval --bin figures-25-27`
+
+use csched_eval::{costs, report};
+
+fn main() {
+    println!("{}", report::figures_25_27(&costs::figures_25_27()));
+    println!("{}", report::headline(&costs::headline(), None));
+}

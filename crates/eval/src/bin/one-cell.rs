@@ -1,0 +1,76 @@
+//! Schedules one Table 1 kernel on one Imagine organisation and prints
+//! the II, copy count and scheduler statistics — the unit of the
+//! Figure 28 grid, for debugging and exploration.
+//!
+//! Usage:
+//! `cargo run --release -p csched-eval --bin one-cell -- <kernel>
+//! [central|clustered2|clustered4|distributed] [--sim] [--copies]`
+//!
+//! `--sim` executes the schedule against the scalar reference and prints
+//! per-unit utilisation; `--copies` lists every communication that needed
+//! a copy operation.
+
+use csched_core::{schedule_kernel, validate, SchedulerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel_name = args.first().expect("kernel name");
+    let arch_name = args.get(1).map(String::as_str).unwrap_or("distributed");
+    let w = csched_kernels::by_name(kernel_name).expect("unknown kernel");
+    let arch = match arch_name {
+        "central" => csched_machine::imagine::central(),
+        "clustered2" => csched_machine::imagine::clustered(2),
+        "clustered4" => csched_machine::imagine::clustered(4),
+        "distributed" => csched_machine::imagine::distributed(),
+        other => panic!("unknown arch {other}"),
+    };
+    let t = std::time::Instant::now();
+    let s = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default()).expect("schedules");
+    println!(
+        "{} on {}: II={} copies={} attempts={} rejections={} ii_tried={} in {:.2?}",
+        w.kernel.name(),
+        arch.name(),
+        s.ii().unwrap(),
+        s.num_copies(),
+        s.stats().attempts,
+        s.stats().rejections,
+        s.stats().ii_tried,
+        t.elapsed()
+    );
+    validate::validate(&arch, &w.kernel, &s).expect("valid");
+    if args.iter().any(|a| a == "--copies") {
+        let u = s.universe();
+        for cid in u.comm_ids() {
+            if let csched_core::CommDisposition::Via(copy) = s.disposition(cid) {
+                let c = u.comm(cid);
+                let p = s.placement(c.producer);
+                let q = s.placement(c.consumer);
+                eprintln!(
+                    "copy {:?} for {:?}({:?}@{}) -> {:?}({:?}@{}) d={}",
+                    copy,
+                    u.op(c.producer).opcode,
+                    p.fu,
+                    p.cycle,
+                    u.op(c.consumer).opcode,
+                    q.fu,
+                    q.cycle,
+                    c.distance,
+                );
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--sim") {
+        let mut mem = w.memory();
+        let stats = csched_sim::execute(&w.kernel, &s, &mut mem, w.trip).expect("simulates");
+        w.verify(&mem).expect("matches reference");
+        println!(
+            "  simulated OK: {} cycles, {} ops ({} copies), {} bus transfers",
+            stats.cycles, stats.ops_executed, stats.copies_executed, stats.bus_transfers
+        );
+        let mut util = stats.utilization(&arch);
+        util.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (name, u) in util.iter().take(6) {
+            println!("    {name:<6} {:>5.1}%", u * 100.0);
+        }
+    }
+}

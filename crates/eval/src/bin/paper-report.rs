@@ -1,0 +1,35 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Usage: `cargo run --release -p csched-eval --bin paper-report
+//! [--no-sim] [--csv]` (`--csv` appends machine-readable blocks for
+//! plotting).
+
+use csched_core::SchedulerConfig;
+use csched_eval::{costs, grid, report};
+
+fn main() {
+    let simulate = !std::env::args().any(|a| a == "--no-sim");
+    let workloads = csched_kernels::all();
+    println!("{}", report::table1(&workloads));
+
+    let rows = costs::figures_25_27();
+    println!("{}", report::figures_25_27(&rows));
+
+    let archs = csched_machine::imagine::all_variants();
+    let start = std::time::Instant::now();
+    let grid = grid::run_grid(&workloads, &archs, &SchedulerConfig::default(), simulate)
+        .unwrap_or_else(|e| panic!("evaluation failed: {e}"));
+    eprintln!("(grid scheduled in {:.1?})", start.elapsed());
+
+    println!("{}", report::figure28(&grid));
+    println!("{}", report::figure29(&grid));
+    println!("{}", report::headline(&costs::headline(), Some(&grid)));
+    println!("{}", report::scaling(&costs::scaling(&[1, 2, 4])));
+
+    if std::env::args().any(|a| a == "--csv") {
+        println!("--- grid.csv ---");
+        print!("{}", report::grid_csv(&grid));
+        println!("--- cost.csv ---");
+        print!("{}", report::cost_csv(&rows));
+    }
+}

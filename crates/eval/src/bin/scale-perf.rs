@@ -1,0 +1,50 @@
+//! Performance at scale: schedule kernels on the scaled Imagine machines
+//! (the §8 projection covers cost only; this appendix checks that
+//! communication scheduling keeps working as the machine grows, and that
+//! larger distributed machines buy lower IIs through extra buses and
+//! units).
+//!
+//! Usage: `cargo run --release -p csched-eval --bin scale-perf`
+
+use csched_core::{schedule_kernel, validate, SchedulerConfig};
+
+fn main() {
+    let kernels = ["FFT", "DCT", "FIR-FP", "Sort"];
+    println!(
+        "{:<10} {:>6} {:>8} {:>14} {:>10} {:>10}",
+        "kernel", "scale", "units", "arch", "II", "copies"
+    );
+    for name in kernels {
+        let w = csched_kernels::by_name(name).expect("known kernel");
+        for scale in [1usize, 2, 4] {
+            for arch in [
+                csched_machine::imagine::central_scaled(scale),
+                csched_machine::imagine::distributed_scaled(scale),
+            ] {
+                let start = std::time::Instant::now();
+                match schedule_kernel(&arch, &w.kernel, SchedulerConfig::default()) {
+                    Ok(s) => {
+                        validate::validate(&arch, &w.kernel, &s).expect("valid at scale");
+                        println!(
+                            "{:<10} {:>6} {:>8} {:>14} {:>10} {:>10}   ({:.1?})",
+                            name,
+                            scale,
+                            12 * scale,
+                            arch.name().replace("imagine-", ""),
+                            s.ii().unwrap(),
+                            s.num_copies(),
+                            start.elapsed()
+                        );
+                    }
+                    Err(e) => println!(
+                        "{:<10} {:>6} {:>8} {:>14}   failed: {e}",
+                        name,
+                        scale,
+                        12 * scale,
+                        arch.name().replace("imagine-", "")
+                    ),
+                }
+            }
+        }
+    }
+}

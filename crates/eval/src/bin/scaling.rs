@@ -1,0 +1,11 @@
+//! Regenerates the §8 scaling projection (distributed vs clustered cost at
+//! 12..96 arithmetic units).
+//!
+//! Usage: `cargo run --release -p csched-eval --bin scaling`
+
+fn main() {
+    println!(
+        "{}",
+        csched_eval::report::scaling(&csched_eval::costs::scaling(&[1, 2, 4, 8]))
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 1 (the kernel inventory) and self-checks every kernel
+//! against its scalar reference implementation.
+//!
+//! Usage: `cargo run --release -p csched-eval --bin table1`
+
+fn main() {
+    let workloads = csched_kernels::all();
+    println!("{}", csched_eval::report::table1(&workloads));
+    for w in &workloads {
+        w.self_check()
+            .unwrap_or_else(|e| panic!("self-check failed: {e}"));
+    }
+    println!("all {} kernels match their scalar references", workloads.len());
+}

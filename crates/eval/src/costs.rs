@@ -1,0 +1,143 @@
+//! The register-file cost comparisons of Figures 25–27, the §1/§8
+//! headline ratios, and the §8 scaling projection.
+
+use csched_machine::{cost, imagine, Architecture};
+
+/// One row of the Figures 25–27 bar data: normalised area/power/delay.
+#[derive(Clone, Debug)]
+pub struct CostRow {
+    /// Architecture name.
+    pub arch: String,
+    /// Area relative to the central organisation.
+    pub area: f64,
+    /// Peak power relative to the central organisation.
+    pub power: f64,
+    /// Access delay relative to the central organisation.
+    pub delay: f64,
+}
+
+/// Computes the normalised cost rows for a set of architectures, using the
+/// first as the baseline (the paper normalises to central).
+pub fn cost_rows(archs: &[Architecture], params: &cost::CostParams) -> Vec<CostRow> {
+    let reports: Vec<cost::CostReport> = archs.iter().map(|a| cost::estimate(a, params)).collect();
+    let base = &reports[0];
+    reports
+        .iter()
+        .map(|r| {
+            let (area, power, delay) = cost::normalized(r, base);
+            CostRow {
+                arch: r.arch.clone(),
+                area,
+                power,
+                delay,
+            }
+        })
+        .collect()
+}
+
+/// The Figures 25–27 rows for the paper's four organisations.
+pub fn figures_25_27() -> Vec<CostRow> {
+    cost_rows(&imagine::all_variants(), &cost::CostParams::default())
+}
+
+/// The headline comparisons of §1/§8.
+#[derive(Clone, Debug)]
+pub struct Headline {
+    /// Distributed ÷ central: paper reports 9 % area, 6 % power, 37 % delay.
+    pub dist_vs_central: (f64, f64, f64),
+    /// Distributed ÷ clustered(4): paper reports 56 % area, 50 % power.
+    pub dist_vs_clustered: (f64, f64, f64),
+}
+
+/// Computes the headline ratios at the paper's 16-unit configuration.
+pub fn headline() -> Headline {
+    let p = cost::CostParams::default();
+    let central = cost::estimate(&imagine::central(), &p);
+    let clustered = cost::estimate(&imagine::clustered(4), &p);
+    let dist = cost::estimate(&imagine::distributed(), &p);
+    Headline {
+        dist_vs_central: cost::normalized(&dist, &central),
+        dist_vs_clustered: cost::normalized(&dist, &clustered),
+    }
+}
+
+/// One point of the §8 scaling projection.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Scale factor (1 = 12 arithmetic units, 4 = 48).
+    pub scale: usize,
+    /// Arithmetic units at this scale.
+    pub arithmetic_units: usize,
+    /// Distributed ÷ clustered(4) area ratio (paper projects 12 % at 48
+    /// units).
+    pub area_ratio: f64,
+    /// Distributed ÷ clustered(4) power ratio (paper projects 9 %).
+    pub power_ratio: f64,
+    /// Distributed ÷ central area ratio.
+    pub area_vs_central: f64,
+}
+
+/// Computes the scaling sweep for the §8 projection.
+pub fn scaling(scales: &[usize]) -> Vec<ScalePoint> {
+    let p = cost::CostParams::default();
+    scales
+        .iter()
+        .map(|&s| {
+            let central = cost::estimate(&imagine::central_scaled(s), &p);
+            let clustered = cost::estimate(&imagine::clustered_scaled(4, s), &p);
+            let dist = cost::estimate(&imagine::distributed_scaled(s), &p);
+            ScalePoint {
+                scale: s,
+                arithmetic_units: 12 * s,
+                area_ratio: dist.area() / clustered.area(),
+                power_ratio: dist.power() / clustered.power(),
+                area_vs_central: dist.area() / central.area(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_monotone_in_file_count() {
+        let rows = figures_25_27();
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].area - 1.0).abs() < 1e-12, "baseline normalised");
+        // central > clustered(2) > clustered(4) > distributed in area/power.
+        assert!(rows[1].area < rows[0].area);
+        assert!(rows[2].area < rows[1].area);
+        assert!(rows[3].area < rows[2].area);
+        assert!(rows[3].power < rows[2].power);
+        assert!(rows[3].delay < rows[0].delay);
+    }
+
+    #[test]
+    fn headline_in_paper_bands() {
+        let h = headline();
+        let (a, p, d) = h.dist_vs_central;
+        assert!((0.04..=0.16).contains(&a), "area {a:.3} (paper 0.09)");
+        assert!((0.02..=0.12).contains(&p), "power {p:.3} (paper 0.06)");
+        assert!((0.2..=0.55).contains(&d), "delay {d:.3} (paper 0.37)");
+        let (a2, p2, _) = h.dist_vs_clustered;
+        assert!((0.3..=0.8).contains(&a2), "area {a2:.3} (paper 0.56)");
+        assert!((0.25..=0.75).contains(&p2), "power {p2:.3} (paper 0.50)");
+    }
+
+    #[test]
+    fn scaling_gap_widens() {
+        // §8: at 48 units the distributed advantage over clustered roughly
+        // quadruples (56% -> 12% area, 50% -> 9% power).
+        let pts = scaling(&[1, 4]);
+        assert!(pts[1].area_ratio < pts[0].area_ratio);
+        assert!(pts[1].power_ratio < pts[0].power_ratio);
+        assert!(
+            pts[1].area_ratio < 0.45 * pts[0].area_ratio / 0.56 + 0.2,
+            "48-unit area ratio should shrink strongly: {:.3} vs {:.3}",
+            pts[1].area_ratio,
+            pts[0].area_ratio
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # csched-eval — evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5):
+//!
+//! - [`grid::run_grid`] schedules the Table 1 kernels on the four Imagine
+//!   register-file organisations, validates and simulates every schedule,
+//!   and produces the Figure 28 per-kernel speedups and the Figure 29
+//!   overall (geometric-mean) speedup;
+//! - [`costs`] reproduces the Figures 25–27 area/power/delay bars, the
+//!   §1/§8 headline ratios, and the §8 scaling projection;
+//! - [`report`] renders everything as plain-text tables;
+//! - the `paper-report` binary runs the full evaluation in one shot.
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod grid;
+pub mod report;
+
+pub use grid::{run_grid, Grid, GridError};

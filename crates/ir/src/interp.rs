@@ -1,0 +1,560 @@
+//! Reference interpreter: executes a kernel directly from the IR.
+//!
+//! The interpreter is the semantic oracle of the project: the cycle-level
+//! simulator (`csched-sim`) must produce exactly the same memory state for
+//! any schedule of the same kernel. It also validates the kernel's
+//! `iteration_disjoint` region claims by recording every address touched.
+
+use std::collections::HashMap;
+
+use csched_machine::Opcode;
+
+use crate::kernel::{Kernel, OpId, Operand, RegionId};
+use crate::value::Word;
+
+/// Memory state shared between the interpreter and the simulator: a flat
+/// main memory and a scratchpad, both word-addressed and sparse.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Memory {
+    /// Main memory (accessed by `load`/`store`).
+    pub main: HashMap<i64, Word>,
+    /// Scratchpad memory (accessed by `spread`/`spwrite`).
+    pub scratch: HashMap<i64, Word>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes consecutive words starting at `base` into main memory.
+    pub fn write_block(&mut self, base: i64, words: impl IntoIterator<Item = Word>) {
+        for (i, w) in words.into_iter().enumerate() {
+            self.main.insert(base + i as i64, w);
+        }
+    }
+
+    /// Reads `len` consecutive words starting at `base` from main memory,
+    /// substituting integer zero for untouched addresses.
+    pub fn read_block(&self, base: i64, len: usize) -> Vec<Word> {
+        (0..len as i64)
+            .map(|i| self.main.get(&(base + i)).copied().unwrap_or(Word::I(0)))
+            .collect()
+    }
+}
+
+/// Errors raised during interpretation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum InterpError {
+    /// An operand had the wrong type for the opcode.
+    TypeMismatch {
+        /// The offending operation.
+        op: OpId,
+        /// Its opcode.
+        opcode: Opcode,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero {
+        /// The offending operation.
+        op: OpId,
+    },
+    /// A load from an address never stored to.
+    UninitializedLoad {
+        /// The offending operation.
+        op: OpId,
+        /// The address read.
+        addr: i64,
+    },
+    /// A region declared `iteration_disjoint` was accessed at the same
+    /// address by two different loop iterations.
+    RegionAliased {
+        /// The offending region.
+        region: RegionId,
+        /// The shared address.
+        addr: i64,
+        /// The two iterations involved.
+        iterations: (u64, u64),
+    },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::TypeMismatch { op, opcode } => {
+                write!(f, "{op}: operand type mismatch for {opcode}")
+            }
+            InterpError::DivByZero { op } => write!(f, "{op}: division by zero"),
+            InterpError::UninitializedLoad { op, addr } => {
+                write!(f, "{op}: load from uninitialized address {addr}")
+            }
+            InterpError::RegionAliased {
+                region,
+                addr,
+                iterations,
+            } => write!(
+                f,
+                "region {region} declared iteration-disjoint but address {addr} was touched by iterations {} and {}",
+                iterations.0, iterations.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Dynamic operations executed.
+    pub ops_executed: u64,
+    /// Dynamic loads (main memory).
+    pub loads: u64,
+    /// Dynamic stores (main memory).
+    pub stores: u64,
+}
+
+/// Evaluates one opcode on already-fetched operand words.
+///
+/// Shared by the interpreter and the cycle-level simulator so the two can
+/// never diverge on operation semantics.
+///
+/// # Errors
+///
+/// Returns `None`-free errors via `Result`: type mismatches and division
+/// by zero. Memory opcodes are not handled here (they need memory state).
+pub fn eval_pure(op: OpId, opcode: Opcode, args: &[Word]) -> Result<Word, InterpError> {
+    use Opcode::*;
+    let int = |w: Word| {
+        w.as_int()
+            .ok_or(InterpError::TypeMismatch { op, opcode })
+    };
+    let float = |w: Word| {
+        w.as_float()
+            .ok_or(InterpError::TypeMismatch { op, opcode })
+    };
+    let b2i = |b: bool| Word::I(b as i64);
+    Ok(match opcode {
+        IAdd => Word::I(int(args[0])?.wrapping_add(int(args[1])?)),
+        ISub => Word::I(int(args[0])?.wrapping_sub(int(args[1])?)),
+        INeg => Word::I(int(args[0])?.wrapping_neg()),
+        IAbs => Word::I(int(args[0])?.wrapping_abs()),
+        IMin => Word::I(int(args[0])?.min(int(args[1])?)),
+        IMax => Word::I(int(args[0])?.max(int(args[1])?)),
+        And => Word::I(int(args[0])? & int(args[1])?),
+        Or => Word::I(int(args[0])? | int(args[1])?),
+        Xor => Word::I(int(args[0])? ^ int(args[1])?),
+        Not => Word::I(!int(args[0])?),
+        Shl => Word::I(int(args[0])?.wrapping_shl(int(args[1])? as u32 & 63)),
+        Shr => Word::I(((int(args[0])? as u64) >> (int(args[1])? as u32 & 63)) as i64),
+        Sra => Word::I(int(args[0])? >> (int(args[1])? as u32 & 63)),
+        ICmpEq => b2i(int(args[0])? == int(args[1])?),
+        ICmpLt => b2i(int(args[0])? < int(args[1])?),
+        ICmpLe => b2i(int(args[0])? <= int(args[1])?),
+        Select => {
+            if int(args[0])? != 0 {
+                args[1]
+            } else {
+                args[2]
+            }
+        }
+        ItoF => Word::F(int(args[0])? as f64),
+        FtoI => Word::I(float(args[0])? as i64),
+        IMul => Word::I(int(args[0])?.wrapping_mul(int(args[1])?)),
+        IDiv => {
+            let d = int(args[1])?;
+            if d == 0 {
+                return Err(InterpError::DivByZero { op });
+            }
+            Word::I(int(args[0])?.wrapping_div(d))
+        }
+        IRem => {
+            let d = int(args[1])?;
+            if d == 0 {
+                return Err(InterpError::DivByZero { op });
+            }
+            Word::I(int(args[0])?.wrapping_rem(d))
+        }
+        FAdd => Word::F(float(args[0])? + float(args[1])?),
+        FSub => Word::F(float(args[0])? - float(args[1])?),
+        FNeg => Word::F(-float(args[0])?),
+        FAbs => Word::F(float(args[0])?.abs()),
+        FMin => Word::F(float(args[0])?.min(float(args[1])?)),
+        FMax => Word::F(float(args[0])?.max(float(args[1])?)),
+        FMul => Word::F(float(args[0])? * float(args[1])?),
+        FDiv => Word::F(float(args[0])? / float(args[1])?),
+        FSqrt => Word::F(float(args[0])?.sqrt()),
+        FCmpEq => b2i(float(args[0])? == float(args[1])?),
+        FCmpLt => b2i(float(args[0])? < float(args[1])?),
+        FCmpLe => b2i(float(args[0])? <= float(args[1])?),
+        Copy => args[0],
+        // Permute: rotate the low 32 bits left by the control amount — a
+        // simple but data-dependent stand-in for Imagine's permutation unit.
+        Permute => {
+            let v = int(args[0])? as u32;
+            let c = int(args[1])? as u32 & 31;
+            Word::I(v.rotate_left(c) as i64)
+        }
+        Load | Store | SpRead | SpWrite => {
+            unreachable!("memory opcodes are handled by the interpreter loop")
+        }
+    })
+}
+
+/// Runs `kernel` for `trip` iterations of its loop block, mutating
+/// `memory` in place.
+///
+/// # Errors
+///
+/// Propagates [`InterpError`] from any executed operation, including
+/// violated `iteration_disjoint` region claims.
+pub fn run(kernel: &Kernel, memory: &mut Memory, trip: u64) -> Result<InterpStats, InterpError> {
+    let mut values: Vec<Option<Word>> = vec![None; kernel.num_values()];
+    let mut stats = InterpStats::default();
+    // region -> addr -> first iteration that touched it (u64::MAX = preamble)
+    let mut region_touch: HashMap<(usize, i64), u64> = HashMap::new();
+
+    let read_operand = |values: &[Option<Word>], operand: Operand| -> Word {
+        match operand {
+            Operand::Imm(i) => i.to_word(),
+            Operand::Value(v) => values[v.index()]
+                .expect("validated kernels define values before use"),
+        }
+    };
+
+    let exec_block = |values: &mut Vec<Option<Word>>,
+                          memory: &mut Memory,
+                          stats: &mut InterpStats,
+                          region_touch: &mut HashMap<(usize, i64), u64>,
+                          block: crate::kernel::BlockId,
+                          iteration: u64|
+     -> Result<(), InterpError> {
+        for &op_id in kernel.block(block).ops() {
+            let op = kernel.op(op_id);
+            let args: Vec<Word> = op
+                .operands()
+                .iter()
+                .map(|&o| read_operand(values, o))
+                .collect();
+            stats.ops_executed += 1;
+            let result: Option<Word> = match op.opcode() {
+                Opcode::Load | Opcode::SpRead => {
+                    let addr = mem_addr(&args, op_id, op.opcode())?;
+                    let space = if op.opcode() == Opcode::Load {
+                        stats.loads += 1;
+                        &memory.main
+                    } else {
+                        &memory.scratch
+                    };
+                    let w = *space.get(&addr).ok_or(InterpError::UninitializedLoad {
+                        op: op_id,
+                        addr,
+                    })?;
+                    touch_region(kernel, region_touch, op, addr, iteration)?;
+                    Some(w)
+                }
+                Opcode::Store | Opcode::SpWrite => {
+                    let addr = mem_addr(&args, op_id, op.opcode())?;
+                    let space = if op.opcode() == Opcode::Store {
+                        stats.stores += 1;
+                        &mut memory.main
+                    } else {
+                        &mut memory.scratch
+                    };
+                    space.insert(addr, args[2]);
+                    touch_region(kernel, region_touch, op, addr, iteration)?;
+                    None
+                }
+                opcode => Some(eval_pure(op_id, opcode, &args)?),
+            };
+            if let (Some(v), Some(result_id)) = (result, op.result()) {
+                values[result_id.index()] = Some(v);
+            }
+        }
+        Ok(())
+    };
+
+    for block_id in kernel.block_ids() {
+        let block = kernel.block(block_id);
+        if !block.is_loop() {
+            exec_block(
+                &mut values,
+                memory,
+                &mut stats,
+                &mut region_touch,
+                block_id,
+                u64::MAX,
+            )?;
+            continue;
+        }
+        // Loop block: initialize loop vars, run `trip` iterations, applying
+        // updates at each iteration boundary.
+        for lv in block.loop_vars() {
+            values[lv.value().index()] = Some(read_operand(&values, lv.init()));
+        }
+        for iteration in 0..trip {
+            exec_block(
+                &mut values,
+                memory,
+                &mut stats,
+                &mut region_touch,
+                block_id,
+                iteration,
+            )?;
+            let updated: Vec<Word> = block
+                .loop_vars()
+                .iter()
+                .map(|lv| read_operand(&values, lv.update()))
+                .collect();
+            for (lv, w) in block.loop_vars().iter().zip(updated) {
+                values[lv.value().index()] = Some(w);
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Effective address of a memory operation: `base + offset`.
+fn mem_addr(
+    args: &[Word],
+    op: crate::kernel::OpId,
+    opcode: Opcode,
+) -> Result<i64, InterpError> {
+    let base = args[0]
+        .as_int()
+        .ok_or(InterpError::TypeMismatch { op, opcode })?;
+    let offset = args[1]
+        .as_int()
+        .ok_or(InterpError::TypeMismatch { op, opcode })?;
+    Ok(base.wrapping_add(offset))
+}
+
+fn touch_region(
+    kernel: &Kernel,
+    region_touch: &mut HashMap<(usize, i64), u64>,
+    op: &crate::kernel::Operation,
+    addr: i64,
+    iteration: u64,
+) -> Result<(), InterpError> {
+    let Some(region) = op.region() else {
+        return Ok(());
+    };
+    if !kernel.region(region).iteration_disjoint() || iteration == u64::MAX {
+        return Ok(());
+    }
+    match region_touch.entry((region.index(), addr)) {
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(iteration);
+            Ok(())
+        }
+        std::collections::hash_map::Entry::Occupied(e) => {
+            let first = *e.get();
+            if first != iteration {
+                Err(InterpError::RegionAliased {
+                    region,
+                    addr,
+                    iterations: (first, iteration),
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+
+    #[test]
+    fn eval_pure_full_opcode_sweep() {
+        // Every pure opcode evaluates with representative operands and
+        // returns the expected word kind.
+        let op = OpId::from_raw(0);
+        let i = Word::I(12);
+        let j = Word::I(-5);
+        let f = Word::F(2.25);
+        let g = Word::F(-0.5);
+        let cases: Vec<(Opcode, Vec<Word>, Word)> = vec![
+            (Opcode::ISub, vec![i, j], Word::I(17)),
+            (Opcode::INeg, vec![j], Word::I(5)),
+            (Opcode::IAbs, vec![j], Word::I(5)),
+            (Opcode::IMin, vec![i, j], Word::I(-5)),
+            (Opcode::IMax, vec![i, j], Word::I(12)),
+            (Opcode::And, vec![i, Word::I(10)], Word::I(8)),
+            (Opcode::Or, vec![i, Word::I(1)], Word::I(13)),
+            (Opcode::Xor, vec![i, i], Word::I(0)),
+            (Opcode::Not, vec![Word::I(0)], Word::I(-1)),
+            (Opcode::Shl, vec![Word::I(3), Word::I(2)], Word::I(12)),
+            (Opcode::Shr, vec![Word::I(-1), Word::I(62)], Word::I(3)),
+            (Opcode::Sra, vec![Word::I(-8), Word::I(2)], Word::I(-2)),
+            (Opcode::ICmpEq, vec![i, i], Word::I(1)),
+            (Opcode::ICmpLt, vec![j, i], Word::I(1)),
+            (Opcode::ICmpLe, vec![i, i], Word::I(1)),
+            (Opcode::ItoF, vec![Word::I(3)], Word::F(3.0)),
+            (Opcode::FtoI, vec![Word::F(3.9)], Word::I(3)),
+            (Opcode::IMul, vec![i, j], Word::I(-60)),
+            (Opcode::IDiv, vec![i, j], Word::I(-2)),
+            (Opcode::IRem, vec![i, Word::I(5)], Word::I(2)),
+            (Opcode::FSub, vec![f, g], Word::F(2.75)),
+            (Opcode::FNeg, vec![g], Word::F(0.5)),
+            (Opcode::FAbs, vec![g], Word::F(0.5)),
+            (Opcode::FMin, vec![f, g], Word::F(-0.5)),
+            (Opcode::FMax, vec![f, g], Word::F(2.25)),
+            (Opcode::FDiv, vec![f, Word::F(0.5)], Word::F(4.5)),
+            (Opcode::FSqrt, vec![Word::F(6.25)], Word::F(2.5)),
+            (Opcode::FCmpEq, vec![f, f], Word::I(1)),
+            (Opcode::FCmpLt, vec![g, f], Word::I(1)),
+            (Opcode::FCmpLe, vec![f, f], Word::I(1)),
+            (Opcode::FAdd, vec![f, g], Word::F(1.75)),
+            (Opcode::Copy, vec![i], Word::I(12)),
+            (
+                Opcode::Select,
+                vec![Word::I(1), Word::I(7), Word::I(9)],
+                Word::I(7),
+            ),
+        ];
+        for (opcode, args, want) in cases {
+            let got = eval_pure(op, opcode, &args)
+                .unwrap_or_else(|e| panic!("{opcode}: {e}"));
+            assert!(got.bit_eq(want), "{opcode}: got {got}, want {want}");
+        }
+        assert!(matches!(
+            eval_pure(op, Opcode::IRem, &[Word::I(1), Word::I(0)]),
+            Err(InterpError::DivByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_pure_arithmetic() {
+        let op = OpId::from_raw(0);
+        assert_eq!(
+            eval_pure(op, Opcode::IAdd, &[Word::I(2), Word::I(3)]).unwrap(),
+            Word::I(5)
+        );
+        assert_eq!(
+            eval_pure(op, Opcode::FMul, &[Word::F(2.0), Word::F(4.0)]).unwrap(),
+            Word::F(8.0)
+        );
+        assert_eq!(
+            eval_pure(op, Opcode::Select, &[Word::I(0), Word::I(1), Word::I(2)]).unwrap(),
+            Word::I(2)
+        );
+        assert_eq!(
+            eval_pure(op, Opcode::Permute, &[Word::I(1), Word::I(1)]).unwrap(),
+            Word::I(2)
+        );
+        assert!(matches!(
+            eval_pure(op, Opcode::IDiv, &[Word::I(1), Word::I(0)]),
+            Err(InterpError::DivByZero { .. })
+        ));
+        assert!(matches!(
+            eval_pure(op, Opcode::IAdd, &[Word::F(1.0), Word::I(0)]),
+            Err(InterpError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn runs_streaming_loop() {
+        // out[i] = in[i] * 2 for 8 iterations.
+        let mut kb = KernelBuilder::new("double");
+        let input = kb.region("in", true);
+        let output = kb.region("out", true);
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        let x = kb.load(lp, input, i.into(), 0i64.into());
+        let y = kb.push(lp, Opcode::IMul, [x.into(), 2i64.into()]);
+        kb.store(lp, output, i.into(), 100i64.into(), y.into());
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, i1.into());
+        let k = kb.build().unwrap();
+
+        let mut mem = Memory::new();
+        mem.write_block(0, (0..8).map(Word::I));
+        let stats = run(&k, &mut mem, 8).unwrap();
+        assert_eq!(stats.loads, 8);
+        assert_eq!(stats.stores, 8);
+        assert_eq!(stats.ops_executed, 4 * 8);
+        let out = mem.read_block(100, 8);
+        for (i, w) in out.iter().enumerate() {
+            assert_eq!(*w, Word::I(2 * i as i64));
+        }
+    }
+
+    #[test]
+    fn accumulator_semantics() {
+        // sum of in[0..4] as floats.
+        let mut kb = KernelBuilder::new("sum");
+        let input = kb.region("in", true);
+        let out = kb.region("out", true);
+        let pre = kb.straight_block("pre");
+        let zero = kb.push(pre, Opcode::ItoF, [Operand::from(0i64)]);
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        let acc = kb.loop_var(lp, zero.into());
+        let x = kb.load(lp, input, i.into(), 0i64.into());
+        let acc1 = kb.push(lp, Opcode::FAdd, [acc.into(), x.into()]);
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(acc, acc1.into());
+        kb.set_update(i, i1.into());
+        // Store the running sum each iteration to observe it.
+        kb.store(lp, out, i.into(), 0i64.into(), acc1.into());
+        let k = kb.build().unwrap();
+
+        let mut mem = Memory::new();
+        mem.write_block(0, [1.0, 2.0, 3.0, 4.0].map(Word::F));
+        run(&k, &mut mem, 4).unwrap();
+        assert_eq!(mem.main[&3], Word::F(10.0));
+        assert_eq!(mem.main[&0], Word::F(1.0));
+    }
+
+    #[test]
+    fn uninitialized_load_is_an_error() {
+        let mut kb = KernelBuilder::new("uninit");
+        let input = kb.region("in", true);
+        let b = kb.straight_block("b");
+        kb.load(b, input, Operand::from(42i64), 0i64.into());
+        let k = kb.build().unwrap();
+        let mut mem = Memory::new();
+        assert!(matches!(
+            run(&k, &mut mem, 0),
+            Err(InterpError::UninitializedLoad { addr: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_region_alias_violation() {
+        // Claims iteration-disjoint but stores to address 7 every iteration.
+        let mut kb = KernelBuilder::new("alias");
+        let out = kb.region("out", true);
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        kb.store(lp, out, 7i64.into(), 0i64.into(), i.into());
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, i1.into());
+        let k = kb.build().unwrap();
+        let mut mem = Memory::new();
+        assert!(matches!(
+            run(&k, &mut mem, 2),
+            Err(InterpError::RegionAliased { addr: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn scratchpad_round_trip() {
+        let mut kb = KernelBuilder::new("sp");
+        let sp = kb.region("sp", false);
+        let b = kb.straight_block("b");
+        kb.push_mem(b, Opcode::SpWrite, [Operand::from(3i64), 0i64.into(), 9i64.into()], sp);
+        let (_, v) = kb.push_mem(b, Opcode::SpRead, [Operand::from(3i64), 0i64.into()], sp);
+        let out = kb.region("out", true);
+        kb.store(b, out, 0i64.into(), 0i64.into(), v.unwrap().into());
+        let k = kb.build().unwrap();
+        let mut mem = Memory::new();
+        run(&k, &mut mem, 0).unwrap();
+        assert_eq!(mem.main[&0], Word::I(9));
+        assert_eq!(mem.scratch[&3], Word::I(9));
+    }
+}

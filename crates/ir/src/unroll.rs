@@ -1,0 +1,284 @@
+//! Loop unrolling (used to build the paper's `FFT-U4` and
+//! `Block Warp-U2` kernel variants from their base kernels).
+//!
+//! Unrolling by a factor `u` duplicates the loop body `u` times, threading
+//! loop-variable values through the copies; the unrolled kernel executes
+//! `trip / u` iterations to do the work the original did in `trip`.
+
+use std::collections::HashMap;
+
+use crate::kernel::{Kernel, KernelBuilder, KernelError, Operand, ValueId};
+
+/// Unrolls the kernel's loop block by `factor`.
+///
+/// The returned kernel is semantically equivalent when run for
+/// `trip / factor` iterations (callers must arrange for the original trip
+/// count to be divisible by `factor`, as the paper's unrolled kernels do).
+/// Kernels without a loop block are returned unchanged (modulo a name
+/// suffix).
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from rebuilding the kernel (cannot occur for
+/// kernels that passed validation, but the signature keeps the invariant
+/// checkable).
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use csched_ir::{KernelBuilder, unroll};
+/// use csched_machine::Opcode;
+///
+/// let mut kb = KernelBuilder::new("inc");
+/// let lp = kb.loop_block("body");
+/// let i = kb.loop_var(lp, 0i64.into());
+/// let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+/// kb.set_update(i, i1.into());
+/// let k = kb.build()?;
+/// let k4 = unroll(&k, 4)?;
+/// assert_eq!(k4.loop_ops().len(), 4);
+/// # Ok::<(), csched_ir::KernelError>(())
+/// ```
+pub fn unroll(kernel: &Kernel, factor: usize) -> Result<Kernel, KernelError> {
+    assert!(factor >= 1, "unroll factor must be at least 1");
+    let mut kb = KernelBuilder::new(format!("{}-u{}", kernel.name(), factor));
+    kb.description(format!(
+        "{} (inner loop unrolled {} times)",
+        kernel.description(),
+        factor
+    ));
+
+    // Regions are copied one-to-one.
+    let regions: Vec<_> = kernel
+        .regions()
+        .iter()
+        .map(|r| kb.region(r.name(), r.iteration_disjoint()))
+        .collect();
+
+    // Old value -> new operand, for values defined in straight-line blocks.
+    let mut global_map: HashMap<ValueId, Operand> = HashMap::new();
+
+    // Straight-line blocks copy verbatim.
+    for block_id in kernel.block_ids() {
+        let block = kernel.block(block_id);
+        if block.is_loop() {
+            continue;
+        }
+        let nb = kb.straight_block(block.name());
+        for &op_id in block.ops() {
+            let op = kernel.op(op_id);
+            let operands: Vec<Operand> = op
+                .operands()
+                .iter()
+                .map(|&o| map_operand(o, &global_map))
+                .collect();
+            let result = push_any(&mut kb, nb, op, operands, &regions);
+            if let (Some(old), Some(new)) = (op.result(), result) {
+                global_map.insert(old, Operand::Value(new));
+                if let Some(name) = kernel.value_name(old) {
+                    kb.name_value(new, name);
+                }
+            }
+        }
+    }
+
+    let Some(loop_id) = kernel.loop_block() else {
+        return kb.build();
+    };
+    let loop_block = kernel.block(loop_id);
+    let nb = kb.loop_block(loop_block.name());
+
+    // New loop variables mirror the old ones.
+    let new_vars: Vec<ValueId> = loop_block
+        .loop_vars()
+        .iter()
+        .map(|lv| {
+            let init = map_operand(lv.init(), &global_map);
+            let v = kb.loop_var(nb, init);
+            if let Some(name) = kernel.value_name(lv.value()) {
+                kb.name_value(v, name);
+            }
+            v
+        })
+        .collect();
+
+    // state[i] = operand holding loop var i's value at the start of the
+    // current body copy.
+    let mut state: Vec<Operand> = new_vars.iter().map(|&v| Operand::Value(v)).collect();
+    let var_index: HashMap<ValueId, usize> = loop_block
+        .loop_vars()
+        .iter()
+        .enumerate()
+        .map(|(i, lv)| (lv.value(), i))
+        .collect();
+
+    for copy in 0..factor {
+        // Old loop-defined value -> new operand, local to this copy.
+        let mut local_map: HashMap<ValueId, Operand> = HashMap::new();
+        let resolve = |operand: Operand,
+                       local_map: &HashMap<ValueId, Operand>,
+                       state: &[Operand]|
+         -> Operand {
+            match operand.as_value() {
+                None => operand,
+                Some(v) => {
+                    if let Some(&i) = var_index.get(&v) {
+                        state[i]
+                    } else if let Some(&m) = local_map.get(&v) {
+                        m
+                    } else {
+                        // straight-line value
+                        *global_map.get(&v).unwrap_or(&operand)
+                    }
+                }
+            }
+        };
+        for &op_id in loop_block.ops() {
+            let op = kernel.op(op_id);
+            let operands: Vec<Operand> = op
+                .operands()
+                .iter()
+                .map(|&o| resolve(o, &local_map, &state))
+                .collect();
+            let result = push_any(&mut kb, nb, op, operands, &regions);
+            if let (Some(old), Some(new)) = (op.result(), result) {
+                local_map.insert(old, Operand::Value(new));
+                if let Some(name) = kernel.value_name(old) {
+                    kb.name_value(new, format!("{name}.u{copy}"));
+                }
+            }
+        }
+        // Simultaneous loop-variable update at the end of the copy.
+        let next: Vec<Operand> = loop_block
+            .loop_vars()
+            .iter()
+            .map(|lv| resolve(lv.update(), &local_map, &state))
+            .collect();
+        state = next;
+    }
+
+    for (&var, &update) in new_vars.iter().zip(state.iter()) {
+        kb.set_update(var, update);
+    }
+    kb.build()
+}
+
+fn map_operand(operand: Operand, map: &HashMap<ValueId, Operand>) -> Operand {
+    match operand.as_value() {
+        Some(v) => *map.get(&v).unwrap_or(&operand),
+        None => operand,
+    }
+}
+
+fn push_any(
+    kb: &mut KernelBuilder,
+    block: crate::kernel::BlockId,
+    op: &crate::kernel::Operation,
+    operands: Vec<Operand>,
+    regions: &[crate::kernel::RegionId],
+) -> Option<ValueId> {
+    if let Some(region) = op.region() {
+        kb.push_mem(block, op.opcode(), operands, regions[region.index()]).1
+    } else {
+        Some(kb.push(block, op.opcode(), operands))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, Memory};
+    use crate::value::Word;
+    use csched_machine::Opcode;
+
+    /// out[i] = in[i] + running-sum(in[0..=i]) — exercises loads, stores,
+    /// an induction variable and an accumulator recurrence.
+    fn base_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("scan");
+        let input = kb.region("in", true);
+        let output = kb.region("out", true);
+        let pre = kb.straight_block("pre");
+        let zero = kb.push(pre, Opcode::IAdd, [Operand::from(0i64), 0i64.into()]);
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        let acc = kb.loop_var(lp, zero.into());
+        let x = kb.load(lp, input, i.into(), 0i64.into());
+        let acc1 = kb.push(lp, Opcode::IAdd, [acc.into(), x.into()]);
+        let y = kb.push(lp, Opcode::IAdd, [x.into(), acc1.into()]);
+        kb.store(lp, output, i.into(), 1000i64.into(), y.into());
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, i1.into());
+        kb.set_update(acc, acc1.into());
+        kb.build().unwrap()
+    }
+
+    fn run_with_inputs(kernel: &Kernel, trip: u64) -> Vec<Word> {
+        let mut mem = Memory::new();
+        mem.write_block(0, (0..16).map(|v| Word::I(v * 3 + 1)));
+        run(kernel, &mut mem, trip).unwrap();
+        mem.read_block(1000, 16)
+    }
+
+    #[test]
+    fn unroll_preserves_semantics() {
+        let base = base_kernel();
+        let expected = run_with_inputs(&base, 16);
+        for factor in [1usize, 2, 4, 8] {
+            let unrolled = unroll(&base, factor).unwrap();
+            let got = run_with_inputs(&unrolled, 16 / factor as u64);
+            assert_eq!(got, expected, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn unroll_multiplies_loop_ops() {
+        let base = base_kernel();
+        let u4 = unroll(&base, 4).unwrap();
+        assert_eq!(u4.loop_ops().len(), base.loop_ops().len() * 4);
+        // Loop variable count is unchanged.
+        let lb = u4.loop_block().unwrap();
+        assert_eq!(u4.block(lb).loop_vars().len(), 2);
+        assert!(u4.name().ends_with("-u4"));
+    }
+
+    #[test]
+    fn unroll_of_delayed_value() {
+        // a delays b by one iteration through an explicit copy operation
+        // (the IR forbids chaining one loop variable's update to another).
+        let mut kb = KernelBuilder::new("delay");
+        let out = kb.region("out", true);
+        let lp = kb.loop_block("body");
+        let a = kb.loop_var(lp, 100i64.into());
+        let b = kb.loop_var(lp, 0i64.into());
+        let i = kb.loop_var(lp, 0i64.into());
+        kb.store(lp, out, i.into(), 0i64.into(), a.into());
+        let b_now = kb.push(lp, Opcode::IAdd, [b.into(), 0i64.into()]);
+        let b1 = kb.push(lp, Opcode::IAdd, [b.into(), 1i64.into()]);
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(a, b_now.into());
+        kb.set_update(b, b1.into());
+        kb.set_update(i, i1.into());
+        let base = kb.build().unwrap();
+
+        let run_out = |k: &Kernel, trip: u64| {
+            let mut mem = Memory::new();
+            run(k, &mut mem, trip).unwrap();
+            mem.read_block(0, 8)
+        };
+        let expected = run_out(&base, 8);
+        let u2 = unroll(&base, 2).unwrap();
+        assert_eq!(run_out(&u2, 4), expected);
+    }
+
+    #[test]
+    fn unroll_factor_one_is_identity_semantics() {
+        let base = base_kernel();
+        let u1 = unroll(&base, 1).unwrap();
+        assert_eq!(u1.loop_ops().len(), base.loop_ops().len());
+        assert_eq!(run_with_inputs(&u1, 16), run_with_inputs(&base, 16));
+    }
+}

@@ -1,0 +1,142 @@
+//! Runtime values and immediates.
+
+use core::fmt;
+
+/// A runtime word: the machine is word-oriented, with integer and
+/// floating-point interpretations (the paper's kernels mix 16-bit
+/// fixed-point and single-precision floating point; we model both on wide
+/// types since bit-width does not affect scheduling).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Word {
+    /// An integer word.
+    I(i64),
+    /// A floating-point word.
+    F(f64),
+}
+
+impl Word {
+    /// The integer interpretation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for floating-point words.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Word::I(v) => Some(v),
+            Word::F(_) => None,
+        }
+    }
+
+    /// The floating-point interpretation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for integer words.
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Word::F(v) => Some(v),
+            Word::I(_) => None,
+        }
+    }
+
+    /// Whether two words are equal, treating NaN as equal to NaN (used by
+    /// differential tests between the interpreter and the simulator).
+    pub fn bit_eq(self, other: Word) -> bool {
+        match (self, other) {
+            (Word::I(a), Word::I(b)) => a == b,
+            (Word::F(a), Word::F(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Word::I(v) => write!(f, "{v}"),
+            Word::F(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i64> for Word {
+    fn from(v: i64) -> Self {
+        Word::I(v)
+    }
+}
+
+impl From<f64> for Word {
+    fn from(v: f64) -> Self {
+        Word::F(v)
+    }
+}
+
+/// A compile-time immediate operand.
+///
+/// Immediates are encoded in the instruction word and consume no
+/// interconnect: operands that are immediates need no read stub.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Imm {
+    /// Integer immediate.
+    Int(i64),
+    /// Floating-point immediate.
+    Float(f64),
+}
+
+impl Imm {
+    /// The immediate as a runtime word.
+    pub fn to_word(self) -> Word {
+        match self {
+            Imm::Int(v) => Word::I(v),
+            Imm::Float(v) => Word::F(v),
+        }
+    }
+}
+
+impl fmt::Display for Imm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Imm::Int(v) => write!(f, "{v}"),
+            Imm::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i64> for Imm {
+    fn from(v: i64) -> Self {
+        Imm::Int(v)
+    }
+}
+
+impl From<f64> for Imm {
+    fn from(v: f64) -> Self {
+        Imm::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Word::from(3i64).as_int(), Some(3));
+        assert_eq!(Word::from(2.5f64).as_float(), Some(2.5));
+        assert_eq!(Word::from(3i64).as_float(), None);
+        assert_eq!(Imm::from(7i64).to_word(), Word::I(7));
+    }
+
+    #[test]
+    fn bit_eq_handles_nan() {
+        let nan = Word::F(f64::NAN);
+        assert!(nan.bit_eq(nan));
+        assert_ne!(nan, nan); // PartialEq follows IEEE
+        assert!(!Word::I(1).bit_eq(Word::F(1.0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Word::I(-4).to_string(), "-4");
+        assert_eq!(Imm::Float(1.0).to_string(), "1.0");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the textual kernel format: randomly generated
+//! kernels always round-trip (print → parse → print is a fixpoint) and
+//! keep their interpreter semantics.
+
+use csched_ir::{interp, text, Kernel, KernelBuilder, Memory, Operand, ValueId, Word};
+use csched_machine::Opcode;
+use proptest::prelude::*;
+
+const OPS: &[Opcode] = &[
+    Opcode::IAdd,
+    Opcode::ISub,
+    Opcode::IMin,
+    Opcode::IMax,
+    Opcode::And,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::IMul,
+    Opcode::ICmpLe,
+];
+
+/// Builds a deterministic random kernel from a recipe of (op index,
+/// operand picks), including loads, stores and two loop variables.
+fn build(recipe: &[(u8, u8, u8)], float_tail: bool) -> Kernel {
+    let mut kb = KernelBuilder::new("prop");
+    kb.description("property-generated kernel");
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+    let pre = kb.straight_block("pre");
+    let c = kb.push(pre, Opcode::IAdd, [7i64.into(), 5i64.into()]);
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let acc = kb.loop_var(lp, c.into());
+    let x = kb.load(lp, input, i.into(), 0i64.into());
+    let mut pool: Vec<ValueId> = vec![i, acc, c, x];
+    for &(op, a, b) in recipe {
+        let opcode = OPS[op as usize % OPS.len()];
+        let lhs = pool[a as usize % pool.len()];
+        let rhs: Operand = if b % 3 == 0 {
+            (b as i64).into()
+        } else {
+            pool[b as usize % pool.len()].into()
+        };
+        let v = kb.push(lp, opcode, [lhs.into(), rhs]);
+        pool.push(v);
+    }
+    let last = *pool.last().expect("nonempty");
+    if float_tail {
+        let f = kb.push(lp, Opcode::ItoF, [last.into()]);
+        let g = kb.push(lp, Opcode::FMul, [f.into(), 0.25f64.into()]);
+        let h = kb.push(lp, Opcode::FtoI, [g.into()]);
+        kb.store(lp, output, i.into(), 500i64.into(), h.into());
+    }
+    kb.store(lp, output, i.into(), 900i64.into(), last.into());
+    let acc1 = kb.push(lp, Opcode::Xor, [acc.into(), last.into()]);
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(acc, acc1.into());
+    kb.set_update(i, i1.into());
+    kb.build().expect("generated kernels are valid")
+}
+
+fn run_outputs(k: &Kernel, trip: u64) -> Vec<(i64, Word)> {
+    let mut mem = Memory::new();
+    mem.write_block(0, (0..trip as i64).map(|v| Word::I(v * 13 - 5)));
+    interp::run(k, &mut mem, trip).expect("interprets");
+    let mut out: Vec<(i64, Word)> = mem.main.into_iter().collect();
+    out.sort_by_key(|&(a, _)| a);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_kernels_round_trip(
+        recipe in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
+        float_tail in any::<bool>(),
+    ) {
+        let kernel = build(&recipe, float_tail);
+        let printed = text::print(&kernel);
+        let reparsed = text::parse(&printed)
+            .unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        prop_assert_eq!(reparsed.num_ops(), kernel.num_ops());
+        prop_assert_eq!(text::print(&reparsed), printed.clone(), "print is a fixpoint");
+        let sem = |k: &Kernel| {
+            let a = run_outputs(k, 5);
+            let b = run_outputs(k, 5);
+            assert_eq!(a, b);
+            a
+        };
+        prop_assert_eq!(sem(&reparsed), sem(&kernel), "semantics preserved");
+    }
+}

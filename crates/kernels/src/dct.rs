@@ -1,0 +1,209 @@
+//! `DCT` (Table 1): "Discrete Cosine Transform: Transforms an 8x8 matrix
+//! of 16-bit fixed-point numbers."
+//!
+//! Each loop iteration performs one 8-point one-dimensional DCT-II row
+//! transform in Q13 fixed point, using an even/odd butterfly
+//! decomposition: eight loads, a butterfly stage, four even-part and four
+//! odd-part output computations (integer multiplies by constant cosine
+//! immediates, arithmetic shifts), and eight stores. Sixteen iterations
+//! transform the rows and columns' worth of data of one 8×8 matrix pass.
+
+use csched_ir::{Kernel, KernelBuilder, Memory, ValueId, Word};
+use csched_machine::Opcode;
+
+use crate::workload::{prand, small_int, Workload, IN_BASE, OUT_BASE};
+
+/// Q13 cosine constants: `C[k] = round(cos(k·π/16) · 2^13)`.
+pub const COS_Q13: [i64; 8] = [8192, 8035, 7568, 6811, 5793, 4551, 3135, 1598];
+
+/// Fixed-point scale shift.
+pub const SHIFT: i64 = 13;
+
+/// The scalar reference for one 8-point row, bit-exact with the kernel.
+pub fn dct8_reference(x: &[i64; 8]) -> [i64; 8] {
+    let c = COS_Q13;
+    let s07 = x[0] + x[7];
+    let d07 = x[0] - x[7];
+    let s16 = x[1] + x[6];
+    let d16 = x[1] - x[6];
+    let s25 = x[2] + x[5];
+    let d25 = x[2] - x[5];
+    let s34 = x[3] + x[4];
+    let d34 = x[3] - x[4];
+    let e0 = s07 + s34;
+    let e3 = s07 - s34;
+    let e1 = s16 + s25;
+    let e2 = s16 - s25;
+    let mut y = [0i64; 8];
+    y[0] = ((e0 + e1) * c[4]) >> SHIFT;
+    y[4] = ((e0 - e1) * c[4]) >> SHIFT;
+    y[2] = (e3 * c[2] + e2 * c[6]) >> SHIFT;
+    y[6] = (e3 * c[6] - e2 * c[2]) >> SHIFT;
+    y[1] = (d07 * c[1] + d16 * c[3] + d25 * c[5] + d34 * c[7]) >> SHIFT;
+    y[3] = (d07 * c[3] - d16 * c[7] - d25 * c[1] - d34 * c[5]) >> SHIFT;
+    y[5] = (d07 * c[5] - d16 * c[1] + d25 * c[7] + d34 * c[3]) >> SHIFT;
+    y[7] = (d07 * c[7] - d16 * c[5] + d25 * c[3] - d34 * c[1]) >> SHIFT;
+    y
+}
+
+fn build() -> Kernel {
+    let mut kb = KernelBuilder::new("DCT");
+    kb.description(
+        "Discrete Cosine Transform: Transforms an 8x8 matrix of 16-bit fixed-point numbers.",
+    );
+    let input = kb.region("rows", true);
+    let output = kb.region("coeffs", true);
+    let lp = kb.loop_block("row");
+    let i = kb.loop_var(lp, 0i64.into());
+    kb.name_value(i, "row");
+
+    // base = 8 * i
+    let base = kb.push(lp, Opcode::Shl, [i.into(), 3i64.into()]);
+    let x: Vec<ValueId> = (0..8)
+        .map(|k| kb.load(lp, input, base.into(), (IN_BASE + k).into()))
+        .collect();
+
+    let add = |kb: &mut KernelBuilder, a: ValueId, b: ValueId| {
+        kb.push(lp, Opcode::IAdd, [a.into(), b.into()])
+    };
+    let sub = |kb: &mut KernelBuilder, a: ValueId, b: ValueId| {
+        kb.push(lp, Opcode::ISub, [a.into(), b.into()])
+    };
+    let mulc = |kb: &mut KernelBuilder, a: ValueId, k: usize| {
+        kb.push(lp, Opcode::IMul, [a.into(), COS_Q13[k].into()])
+    };
+    let scale = |kb: &mut KernelBuilder, a: ValueId| {
+        kb.push(lp, Opcode::Sra, [a.into(), SHIFT.into()])
+    };
+
+    let s07 = add(&mut kb, x[0], x[7]);
+    let d07 = sub(&mut kb, x[0], x[7]);
+    let s16 = add(&mut kb, x[1], x[6]);
+    let d16 = sub(&mut kb, x[1], x[6]);
+    let s25 = add(&mut kb, x[2], x[5]);
+    let d25 = sub(&mut kb, x[2], x[5]);
+    let s34 = add(&mut kb, x[3], x[4]);
+    let d34 = sub(&mut kb, x[3], x[4]);
+    let e0 = add(&mut kb, s07, s34);
+    let e3 = sub(&mut kb, s07, s34);
+    let e1 = add(&mut kb, s16, s25);
+    let e2 = sub(&mut kb, s16, s25);
+
+    let mut y: [Option<ValueId>; 8] = [None; 8];
+    let t = add(&mut kb, e0, e1);
+    let t = mulc(&mut kb, t, 4);
+    y[0] = Some(scale(&mut kb, t));
+    let t = sub(&mut kb, e0, e1);
+    let t = mulc(&mut kb, t, 4);
+    y[4] = Some(scale(&mut kb, t));
+    let a = mulc(&mut kb, e3, 2);
+    let b = mulc(&mut kb, e2, 6);
+    let t = add(&mut kb, a, b);
+    y[2] = Some(scale(&mut kb, t));
+    let a = mulc(&mut kb, e3, 6);
+    let b = mulc(&mut kb, e2, 2);
+    let t = sub(&mut kb, a, b);
+    y[6] = Some(scale(&mut kb, t));
+
+    // Odd outputs: signed sums of d07..d34 times rotated constants
+    // (out index, c index for d07, then (c index, sign) per remaining d).
+    type OddSpec = (usize, usize, [(usize, i64); 3]);
+    let odd: [OddSpec; 4] = [
+        (1, 1, [(3, 1), (5, 1), (7, 1)]),
+        (3, 3, [(7, -1), (1, -1), (5, -1)]),
+        (5, 5, [(1, -1), (7, 1), (3, 1)]),
+        (7, 7, [(5, -1), (3, 1), (1, -1)]),
+    ];
+    let ds = [d07, d16, d25, d34];
+    for &(out_idx, c0, rest) in &odd {
+        let mut acc = mulc(&mut kb, ds[0], c0);
+        for (d, &(ck, sign)) in ds[1..].iter().zip(rest.iter()) {
+            let prod = mulc(&mut kb, *d, ck);
+            acc = if sign > 0 {
+                add(&mut kb, acc, prod)
+            } else {
+                sub(&mut kb, acc, prod)
+            };
+        }
+        y[out_idx] = Some(scale(&mut kb, acc));
+    }
+
+    for (k, yk) in y.iter().enumerate() {
+        kb.store(
+            lp,
+            output,
+            base.into(),
+            (OUT_BASE + k as i64).into(),
+            yk.expect("all outputs set").into(),
+        );
+    }
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().expect("DCT kernel is well-formed")
+}
+
+fn inputs(trip: u64) -> Memory {
+    let mut r = prand(0xDC7);
+    let mut mem = Memory::new();
+    mem.write_block(
+        IN_BASE,
+        (0..8 * trip as usize).map(|_| Word::I(small_int(&mut r, 255))),
+    );
+    mem
+}
+
+fn expected(trip: u64) -> Vec<(i64, Word)> {
+    let mem = inputs(trip);
+    let mut out = Vec::new();
+    for row in 0..trip as i64 {
+        let words = mem.read_block(IN_BASE + 8 * row, 8);
+        let mut x = [0i64; 8];
+        for (slot, w) in x.iter_mut().zip(&words) {
+            *slot = w.as_int().expect("int inputs");
+        }
+        let y = dct8_reference(&x);
+        for (k, &v) in y.iter().enumerate() {
+            out.push((OUT_BASE + 8 * row + k as i64, Word::I(v)));
+        }
+    }
+    out
+}
+
+/// The `DCT` workload (16 rows = two 8×8 matrices' row passes).
+pub fn dct() -> Workload {
+    Workload {
+        kernel: build(),
+        trip: 16,
+        inputs,
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_matches_reference() {
+        dct().self_check().unwrap();
+    }
+
+    #[test]
+    fn dc_row_concentrates_energy() {
+        // A constant row transforms to a DC coefficient and zeros.
+        let y = dct8_reference(&[100; 8]);
+        assert!(y[0] > 0);
+        for &v in &y[1..] {
+            assert_eq!(v, 0);
+        }
+    }
+
+    #[test]
+    fn uses_multiplies_and_shifts() {
+        let h = dct().kernel.opcode_histogram();
+        assert_eq!(h[&Opcode::IMul], 6 + 16); // even part + odd part
+        assert_eq!(h[&Opcode::Sra], 8);
+        assert_eq!(h[&Opcode::Load], 8);
+        assert_eq!(h[&Opcode::Store], 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! `FFT` and `FFT-U4` (Table 1): "Performs a 1024-point floating-point
+//! FFT" and the same kernel "with the inner loop unrolled four times".
+//!
+//! The kernel is the inner loop of one radix-2 decimation-in-time pass
+//! over a 1024-point complex array (interleaved re/im): each iteration
+//! loads one butterfly pair and its twiddle factor, performs the complex
+//! multiply-add, and stores the pair to the pass's output buffer
+//! (stream processors ping-pong FFT passes between buffers). Butterfly
+//! `i` touches elements `i` and `i + 512`, so iterations access disjoint
+//! addresses and the pass software-pipelines freely.
+
+use csched_ir::{unroll, Kernel, KernelBuilder, Memory, Word};
+use csched_machine::Opcode;
+
+use crate::workload::{prand, small_float, Workload, AUX_BASE, IN_BASE, OUT_BASE};
+
+/// Butterfly span of the simulated pass (1024-point FFT, first stage).
+pub const HALF: i64 = 512;
+
+fn build() -> Kernel {
+    let mut kb = KernelBuilder::new("FFT");
+    kb.description("Fast Fourier Transform: Performs a 1024-point floating-point FFT.");
+    let data = kb.region("in", true);
+    let out = kb.region("out", true);
+    let twiddle = kb.region("twiddle", false); // read-only
+    let lp = kb.loop_block("butterfly");
+    let i = kb.loop_var(lp, 0i64.into());
+    kb.name_value(i, "i");
+
+    // Addresses fold into the accesses: base 2i, immediate offsets.
+    let two_i = kb.push(lp, Opcode::Shl, [i.into(), 1i64.into()]);
+    let ar = kb.load(lp, data, two_i.into(), IN_BASE.into());
+    let ai = kb.load(lp, data, two_i.into(), (IN_BASE + 1).into());
+    let br = kb.load(lp, data, two_i.into(), (IN_BASE + 2 * HALF).into());
+    let bi = kb.load(lp, data, two_i.into(), (IN_BASE + 2 * HALF + 1).into());
+    let wr = kb.load(lp, twiddle, two_i.into(), AUX_BASE.into());
+    let wi = kb.load(lp, twiddle, two_i.into(), (AUX_BASE + 1).into());
+
+    // t = w * b (complex)
+    let brwr = kb.push(lp, Opcode::FMul, [br.into(), wr.into()]);
+    let biwi = kb.push(lp, Opcode::FMul, [bi.into(), wi.into()]);
+    let brwi = kb.push(lp, Opcode::FMul, [br.into(), wi.into()]);
+    let biwr = kb.push(lp, Opcode::FMul, [bi.into(), wr.into()]);
+    let tr = kb.push(lp, Opcode::FSub, [brwr.into(), biwi.into()]);
+    let ti = kb.push(lp, Opcode::FAdd, [brwi.into(), biwr.into()]);
+
+    // a' = a + t; b' = a - t
+    let ar1 = kb.push(lp, Opcode::FAdd, [ar.into(), tr.into()]);
+    let ai1 = kb.push(lp, Opcode::FAdd, [ai.into(), ti.into()]);
+    let br1 = kb.push(lp, Opcode::FSub, [ar.into(), tr.into()]);
+    let bi1 = kb.push(lp, Opcode::FSub, [ai.into(), ti.into()]);
+
+    kb.store(lp, out, two_i.into(), OUT_BASE.into(), ar1.into());
+    kb.store(lp, out, two_i.into(), (OUT_BASE + 1).into(), ai1.into());
+    kb.store(lp, out, two_i.into(), (OUT_BASE + 2 * HALF).into(), br1.into());
+    kb.store(lp, out, two_i.into(), (OUT_BASE + 2 * HALF + 1).into(), bi1.into());
+
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().expect("FFT kernel is well-formed")
+}
+
+fn inputs(trip: u64) -> Memory {
+    let mut r = prand(0xFF7);
+    let mut mem = Memory::new();
+    // Butterfly pairs at i and i + HALF (complex interleaved).
+    for i in 0..trip as i64 {
+        for off in [0, 1] {
+            mem.main
+                .insert(IN_BASE + 2 * i + off, Word::F(small_float(&mut r)));
+            mem.main
+                .insert(IN_BASE + 2 * (i + HALF) + off, Word::F(small_float(&mut r)));
+            mem.main
+                .insert(AUX_BASE + 2 * i + off, Word::F(small_float(&mut r)));
+        }
+    }
+    mem
+}
+
+fn expected(trip: u64) -> Vec<(i64, Word)> {
+    let mem = inputs(trip);
+    let f = |addr: i64| mem.main[&addr].as_float().expect("float inputs");
+    let mut out = Vec::new();
+    for i in 0..trip as i64 {
+        let (ar, ai) = (f(IN_BASE + 2 * i), f(IN_BASE + 2 * i + 1));
+        let (br, bi) = (f(IN_BASE + 2 * (i + HALF)), f(IN_BASE + 2 * (i + HALF) + 1));
+        let (wr, wi) = (f(AUX_BASE + 2 * i), f(AUX_BASE + 2 * i + 1));
+        let tr = br * wr - bi * wi;
+        let ti = br * wi + bi * wr;
+        out.push((OUT_BASE + 2 * i, Word::F(ar + tr)));
+        out.push((OUT_BASE + 2 * i + 1, Word::F(ai + ti)));
+        out.push((OUT_BASE + 2 * (i + HALF), Word::F(ar - tr)));
+        out.push((OUT_BASE + 2 * (i + HALF) + 1, Word::F(ai - ti)));
+    }
+    out
+}
+
+/// The `FFT` workload.
+pub fn fft() -> Workload {
+    Workload {
+        kernel: build(),
+        trip: 8,
+        inputs,
+        expected,
+    }
+}
+
+fn inputs_u4(trip: u64) -> Memory {
+    inputs(trip * 4)
+}
+
+fn expected_u4(trip: u64) -> Vec<(i64, Word)> {
+    expected(trip * 4)
+}
+
+/// The `FFT-U4` workload (inner loop unrolled four times).
+pub fn fft_u4() -> Workload {
+    let base = build();
+    let mut kernel = unroll(&base, 4).expect("FFT unrolls cleanly");
+    // Keep the paper's kernel name.
+    kernel = rename(kernel, "FFT-U4", "FFT with the inner loop unrolled four times.");
+    Workload {
+        kernel,
+        trip: 2, // 2 unrolled iterations = 8 butterflies
+        inputs: inputs_u4,
+        expected: expected_u4,
+    }
+}
+
+pub(crate) fn rename(kernel: Kernel, name: &str, description: &str) -> Kernel {
+    let mut k = kernel;
+    k.set_name(name, description);
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_reference() {
+        fft().self_check().unwrap();
+    }
+
+    #[test]
+    fn fft_u4_matches_reference() {
+        fft_u4().self_check().unwrap();
+    }
+
+    #[test]
+    fn unrolled_body_is_four_times_larger() {
+        assert_eq!(fft_u4().kernel.loop_ops().len(), fft().kernel.loop_ops().len() * 4);
+        assert_eq!(fft_u4().kernel.name(), "FFT-U4");
+    }
+}

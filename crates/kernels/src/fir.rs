@@ -1,0 +1,191 @@
+//! FIR filters (Table 1: `FIR-FP`, 56-tap floating point, and `FIR-INT`,
+//! 16-bit integer coefficients and data).
+//!
+//! Each loop iteration produces one output sample:
+//! `y[i] = Σ_t c[t] · x[i + t]` with the 56 coefficients baked into the
+//! multiply immediates (the filter is fixed at compile time). The sliding
+//! input window is re-loaded each iteration, so the kernel streams 56
+//! loads, 56 multiplies and 55 adds per output — a multiplier-bound body,
+//! as in the paper.
+
+use csched_ir::{Kernel, KernelBuilder, Memory, Operand, Word};
+use csched_machine::Opcode;
+
+use crate::workload::{prand, small_float, small_int, Workload, IN_BASE, OUT_BASE};
+
+/// Number of filter taps (paper: "56-tap ... FIR filter").
+pub const TAPS: usize = 56;
+
+/// The floating-point coefficient table (deterministic, roughly ±1).
+pub fn coefficients_fp() -> [f64; TAPS] {
+    let mut r = prand(0xF1F1);
+    let mut c = [0.0; TAPS];
+    for slot in c.iter_mut() {
+        *slot = small_float(&mut r);
+    }
+    c
+}
+
+/// The integer coefficient table (16-bit range).
+pub fn coefficients_int() -> [i64; TAPS] {
+    let mut r = prand(0xF1F2);
+    let mut c = [0i64; TAPS];
+    for slot in c.iter_mut() {
+        *slot = small_int(&mut r, 127);
+    }
+    c
+}
+
+fn build(name: &str, float: bool) -> Kernel {
+    let mut kb = KernelBuilder::new(name);
+    kb.description(if float {
+        "Finite-Impulse-Response Filter: 56-tap floating-point FIR filter."
+    } else {
+        "FIR with 16-bit integer coefficients and data."
+    });
+    let input = kb.region("x", false); // windows overlap across iterations
+    let output = kb.region("y", true);
+    let lp = kb.loop_block("sample");
+    let i = kb.loop_var(lp, 0i64.into());
+    kb.name_value(i, "i");
+
+    let (mul, add): (Opcode, Opcode) = if float {
+        (Opcode::FMul, Opcode::FAdd)
+    } else {
+        (Opcode::IMul, Opcode::IAdd)
+    };
+    let coeff = |t: usize| -> Operand {
+        if float {
+            coefficients_fp()[t].into()
+        } else {
+            coefficients_int()[t].into()
+        }
+    };
+
+    // Balanced tree reduction of the 56 products (the association order is
+    // mirrored exactly by the scalar reference).
+    let mut level: Vec<csched_ir::ValueId> = (0..TAPS)
+        .map(|t| {
+            let x = kb.load(lp, input, i.into(), (IN_BASE + t as i64).into());
+            kb.push(lp, mul, [x.into(), coeff(t)])
+        })
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2 + 1);
+        for pair in level.chunks(2) {
+            next.push(match pair {
+                [a, b] => kb.push(lp, add, [(*a).into(), (*b).into()]),
+                [a] => *a,
+                _ => unreachable!("chunks(2)"),
+            });
+        }
+        level = next;
+    }
+    kb.store(lp, output, i.into(), OUT_BASE.into(), level[0].into());
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().expect("FIR kernel is well-formed")
+}
+
+fn inputs_fp(trip: u64) -> Memory {
+    let mut r = prand(0xF1F3);
+    let mut mem = Memory::new();
+    mem.write_block(
+        IN_BASE,
+        (0..trip as usize + TAPS).map(|_| Word::F(small_float(&mut r))),
+    );
+    mem
+}
+
+fn expected_fp(trip: u64) -> Vec<(i64, Word)> {
+    let mem = inputs_fp(trip);
+    let c = coefficients_fp();
+    let x = mem.read_block(IN_BASE, trip as usize + TAPS);
+    (0..trip as usize)
+        .map(|i| {
+            // Same association order as the kernel: balanced tree.
+            let mut level: Vec<f64> = c
+                .iter()
+                .enumerate()
+                .map(|(t, &ct)| x[i + t].as_float().expect("float inputs") * ct)
+                .collect();
+            while level.len() > 1 {
+                level = level
+                    .chunks(2)
+                    .map(|p| if p.len() == 2 { p[0] + p[1] } else { p[0] })
+                    .collect();
+            }
+            (OUT_BASE + i as i64, Word::F(level[0]))
+        })
+        .collect()
+}
+
+fn inputs_int(trip: u64) -> Memory {
+    let mut r = prand(0xF1F4);
+    let mut mem = Memory::new();
+    mem.write_block(
+        IN_BASE,
+        (0..trip as usize + TAPS).map(|_| Word::I(small_int(&mut r, 255))),
+    );
+    mem
+}
+
+fn expected_int(trip: u64) -> Vec<(i64, Word)> {
+    let mem = inputs_int(trip);
+    let c = coefficients_int();
+    let x = mem.read_block(IN_BASE, trip as usize + TAPS);
+    (0..trip as usize)
+        .map(|i| {
+            let mut acc = 0i64;
+            for (t, &ct) in c.iter().enumerate() {
+                acc = acc.wrapping_add(x[i + t].as_int().expect("int inputs").wrapping_mul(ct));
+            }
+            (OUT_BASE + i as i64, Word::I(acc))
+        })
+        .collect()
+}
+
+/// The `FIR-FP` workload.
+pub fn fir_fp() -> Workload {
+    Workload {
+        kernel: build("FIR-FP", true),
+        trip: 8,
+        inputs: inputs_fp,
+        expected: expected_fp,
+    }
+}
+
+/// The `FIR-INT` workload.
+pub fn fir_int() -> Workload {
+    Workload {
+        kernel: build("FIR-INT", false),
+        trip: 8,
+        inputs: inputs_int,
+        expected: expected_int,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_fp_matches_reference() {
+        fir_fp().self_check().unwrap();
+    }
+
+    #[test]
+    fn fir_int_matches_reference() {
+        fir_int().self_check().unwrap();
+    }
+
+    #[test]
+    fn body_is_multiplier_heavy() {
+        let w = fir_fp();
+        let h = w.kernel.opcode_histogram();
+        assert_eq!(h[&Opcode::FMul], TAPS);
+        assert_eq!(h[&Opcode::FAdd], TAPS - 1);
+        assert_eq!(h[&Opcode::Load], TAPS);
+        assert_eq!(h[&Opcode::Store], 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! # csched-kernels — the Table 1 evaluation kernels
+//!
+//! The ten graphics, image-processing, signal-processing and sorting
+//! kernels the paper evaluates communication scheduling on (Table 1):
+//! `DCT`, `FFT`, `FFT-U4`, `FIR-FP`, `FIR-INT`, `Block Warp`,
+//! `Block Warp-U2`, `Triangle Transform`, `Sort` and `Merge`. Each kernel
+//! follows the paper's structure — "a short preamble followed by a single
+//! software-pipelined loop" — and ships as a [`Workload`] bundling the IR,
+//! the evaluation trip count, a deterministic input generator, and an
+//! independent scalar reference implementation.
+//!
+//! ```
+//! let workloads = csched_kernels::all();
+//! assert_eq!(workloads.len(), 10);
+//! for w in &workloads {
+//!     w.self_check().expect("kernel IR matches its scalar reference");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dct;
+pub mod fft;
+pub mod fir;
+pub mod sortmerge;
+pub mod warp;
+mod workload;
+
+pub use workload::{prand, small_float, small_int, Workload, AUX_BASE, IN_BASE, OUT_BASE};
+
+/// All ten Table 1 workloads, in the table's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        dct::dct(),
+        fft::fft(),
+        fft::fft_u4(),
+        fir::fir_fp(),
+        fir::fir_int(),
+        warp::block_warp(),
+        warp::block_warp_u2(),
+        warp::triangle_transform(),
+        sortmerge::sort(),
+        sortmerge::merge(),
+    ]
+}
+
+/// Looks up a workload by its Table 1 name (case-insensitive).
+pub fn by_name(name: &str) -> Option<Workload> {
+    all()
+        .into_iter()
+        .find(|w| w.kernel.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_kernels_with_table1_names() {
+        let names: Vec<String> = all().iter().map(|w| w.kernel.name().to_string()).collect();
+        assert_eq!(
+            names,
+            [
+                "DCT",
+                "FFT",
+                "FFT-U4",
+                "FIR-FP",
+                "FIR-INT",
+                "Block Warp",
+                "Block Warp-U2",
+                "Triangle Transform",
+                "Sort",
+                "Merge"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_kernel_self_checks() {
+        for w in all() {
+            w.self_check().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn every_kernel_has_loop_and_description() {
+        for w in all() {
+            assert!(w.kernel.loop_block().is_some(), "{}", w.kernel.name());
+            assert!(!w.kernel.description().is_empty(), "{}", w.kernel.name());
+            assert!(w.trip >= 2, "{}", w.kernel.name());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("fir-fp").is_some());
+        assert!(by_name("DCT").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

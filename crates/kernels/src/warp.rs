@@ -1,0 +1,239 @@
+//! `Block Warp`, `Block Warp-U2` and `Triangle Transform` (Table 1).
+//!
+//! Block Warp "performs a 3-D perspective transformation used for
+//! point-sample rendering": each iteration loads one point, applies a
+//! 4×4 projective transform with compile-time matrix immediates, divides
+//! by `w` (one reciprocal, shared by the three coordinates), and stores
+//! the screen-space point. Triangle Transform applies the same transform
+//! to the three vertices of a triangle per iteration — three divides per
+//! iteration, making it the most divider-bound kernel in the suite.
+
+use csched_ir::{unroll, BlockId, Kernel, KernelBuilder, Memory, RegionId, ValueId, Word};
+use csched_machine::Opcode;
+
+use crate::workload::{prand, small_float, Workload, IN_BASE, OUT_BASE};
+
+/// The fixed 4×4 transform matrix (deterministic, mildly perspective).
+pub fn matrix() -> [[f64; 4]; 4] {
+    let mut r = prand(0x3A9);
+    let mut m = [[0.0; 4]; 4];
+    for row in &mut m {
+        for cell in row.iter_mut() {
+            *cell = small_float(&mut r) * 0.5;
+        }
+    }
+    // Keep w safely away from zero: dominate with a constant term.
+    m[3] = [0.05, -0.04, 0.06, 4.0];
+    m
+}
+
+/// Scalar reference for one point.
+pub fn warp_reference(p: [f64; 3]) -> [f64; 3] {
+    let m = matrix();
+    let row = |r: usize| m[r][0] * p[0] + m[r][1] * p[1] + m[r][2] * p[2] + m[r][3];
+    let (tx, ty, tz, w) = (row(0), row(1), row(2), row(3));
+    let inv = 1.0 / w;
+    [tx * inv, ty * inv, tz * inv]
+}
+
+/// Emits the transform of the point at `in_addr_base + 3·index` into
+/// `out_addr_base + 3·index`, given the per-iteration element index value.
+fn emit_point(
+    kb: &mut KernelBuilder,
+    lp: BlockId,
+    input: RegionId,
+    output: RegionId,
+    index3: ValueId,
+    vertex: i64,
+) {
+    let m = matrix();
+    let mut coords = Vec::with_capacity(3);
+    for c in 0..3i64 {
+        coords.push(kb.load(lp, input, index3.into(), (IN_BASE + 3 * vertex + c).into()));
+    }
+    let row = |kb: &mut KernelBuilder, r: usize| -> ValueId {
+        let mut acc: Option<ValueId> = None;
+        for (c, &coord) in coords.iter().enumerate() {
+            let prod = kb.push(lp, Opcode::FMul, [coord.into(), m[r][c].into()]);
+            acc = Some(match acc {
+                None => prod,
+                Some(a) => kb.push(lp, Opcode::FAdd, [a.into(), prod.into()]),
+            });
+        }
+        kb.push(lp, Opcode::FAdd, [acc.expect("3 coords").into(), m[r][3].into()])
+    };
+    let tx = row(kb, 0);
+    let ty = row(kb, 1);
+    let tz = row(kb, 2);
+    let w = row(kb, 3);
+    let inv = kb.push(lp, Opcode::FDiv, [1.0f64.into(), w.into()]);
+    for (c, t) in [tx, ty, tz].into_iter().enumerate() {
+        let s = kb.push(lp, Opcode::FMul, [t.into(), inv.into()]);
+        kb.store(
+            lp,
+            output,
+            index3.into(),
+            (OUT_BASE + 3 * vertex + c as i64).into(),
+            s.into(),
+        );
+    }
+}
+
+fn build(name: &str, description: &str, vertices: i64) -> Kernel {
+    let mut kb = KernelBuilder::new(name);
+    kb.description(description);
+    let input = kb.region("points", true);
+    let output = kb.region("screen", true);
+    let lp = kb.loop_block("element");
+    let i = kb.loop_var(lp, 0i64.into());
+    kb.name_value(i, "i");
+    // 3 * vertices words per element.
+    let stride = 3 * vertices;
+    let scaled = kb.push(lp, Opcode::IMul, [i.into(), stride.into()]);
+    for v in 0..vertices {
+        emit_point(&mut kb, lp, input, output, scaled, v);
+    }
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().expect("warp kernels are well-formed")
+}
+
+fn inputs_for(trip: u64, vertices: i64, tag: u64) -> Memory {
+    let mut r = prand(tag);
+    let mut mem = Memory::new();
+    mem.write_block(
+        IN_BASE,
+        (0..trip as usize * 3 * vertices as usize).map(|_| Word::F(small_float(&mut r))),
+    );
+    mem
+}
+
+fn expected_for(trip: u64, vertices: i64, tag: u64) -> Vec<(i64, Word)> {
+    let mem = inputs_for(trip, vertices, tag);
+    let mut out = Vec::new();
+    for e in 0..trip as i64 {
+        for v in 0..vertices {
+            let base = 3 * vertices * e + 3 * v;
+            let words = mem.read_block(IN_BASE + base, 3);
+            let p = [
+                words[0].as_float().expect("float"),
+                words[1].as_float().expect("float"),
+                words[2].as_float().expect("float"),
+            ];
+            let s = warp_reference(p);
+            for (c, &val) in s.iter().enumerate() {
+                out.push((OUT_BASE + base + c as i64, Word::F(val)));
+            }
+        }
+    }
+    out
+}
+
+fn warp_inputs(trip: u64) -> Memory {
+    inputs_for(trip, 1, 0x3AA)
+}
+
+fn warp_expected(trip: u64) -> Vec<(i64, Word)> {
+    expected_for(trip, 1, 0x3AA)
+}
+
+fn tri_inputs(trip: u64) -> Memory {
+    inputs_for(trip, 3, 0x3AB)
+}
+
+fn tri_expected(trip: u64) -> Vec<(i64, Word)> {
+    expected_for(trip, 3, 0x3AB)
+}
+
+/// The `Block Warp` workload.
+pub fn block_warp() -> Workload {
+    Workload {
+        kernel: build(
+            "Block Warp",
+            "Performs a 3-D perspective transformation used for point-sample rendering.",
+            1,
+        ),
+        trip: 8,
+        inputs: warp_inputs,
+        expected: warp_expected,
+    }
+}
+
+fn warp_inputs_u2(trip: u64) -> Memory {
+    warp_inputs(trip * 2)
+}
+
+fn warp_expected_u2(trip: u64) -> Vec<(i64, Word)> {
+    warp_expected(trip * 2)
+}
+
+/// The `Block Warp-U2` workload (inner loop unrolled twice).
+pub fn block_warp_u2() -> Workload {
+    let base = block_warp().kernel;
+    let kernel = crate::fft::rename(
+        unroll(&base, 2).expect("warp unrolls cleanly"),
+        "Block Warp-U2",
+        "Block Warp with the inner loop unrolled twice.",
+    );
+    Workload {
+        kernel,
+        trip: 4,
+        inputs: warp_inputs_u2,
+        expected: warp_expected_u2,
+    }
+}
+
+/// The `Triangle Transform` workload.
+pub fn triangle_transform() -> Workload {
+    Workload {
+        kernel: build(
+            "Triangle Transform",
+            "Performs a 3-D perspective transformation on a stream of triangles.",
+            3,
+        ),
+        trip: 4,
+        inputs: tri_inputs,
+        expected: tri_expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_warp_matches_reference() {
+        block_warp().self_check().unwrap();
+    }
+
+    #[test]
+    fn block_warp_u2_matches_reference() {
+        block_warp_u2().self_check().unwrap();
+    }
+
+    #[test]
+    fn triangle_matches_reference() {
+        triangle_transform().self_check().unwrap();
+    }
+
+    #[test]
+    fn divide_counts() {
+        assert_eq!(block_warp().kernel.opcode_histogram()[&Opcode::FDiv], 1);
+        assert_eq!(block_warp_u2().kernel.opcode_histogram()[&Opcode::FDiv], 2);
+        assert_eq!(
+            triangle_transform().kernel.opcode_histogram()[&Opcode::FDiv],
+            3
+        );
+    }
+
+    #[test]
+    fn w_stays_away_from_zero() {
+        let mut r = prand(12345);
+        for _ in 0..1000 {
+            let p = [small_float(&mut r), small_float(&mut r), small_float(&mut r)];
+            let m = matrix();
+            let w = m[3][0] * p[0] + m[3][1] * p[1] + m[3][2] * p[2] + m[3][3];
+            assert!(w.abs() > 1.0, "w = {w}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Workloads: a kernel plus its evaluation inputs and expected outputs.
+//!
+//! Each Table 1 kernel ships as a [`Workload`]: the IR kernel, the trip
+//! count used in the evaluation, an input-memory generator, and an
+//! *independent scalar reference implementation* producing the expected
+//! output words. The reference is written directly in Rust (not via the IR
+//! interpreter), so kernel-authoring bugs cannot hide: IR interpreter,
+//! cycle simulator and scalar reference must all agree.
+
+use csched_ir::{interp, Kernel, Memory, Word};
+
+/// Base address of the primary input region in every workload.
+pub const IN_BASE: i64 = 0;
+/// Base address of the auxiliary input region (coefficients, twiddles,
+/// second stream).
+pub const AUX_BASE: i64 = 100_000;
+/// Base address of the output region.
+pub const OUT_BASE: i64 = 200_000;
+
+/// A kernel with its evaluation harness.
+pub struct Workload {
+    /// The kernel IR.
+    pub kernel: Kernel,
+    /// Loop trip count used in the evaluation.
+    pub trip: u64,
+    /// Builds the input memory for a given trip count.
+    pub inputs: fn(u64) -> Memory,
+    /// Scalar reference: expected `(address, value)` pairs after running
+    /// `trip` iterations on the memory `inputs(trip)` produces.
+    pub expected: fn(u64) -> Vec<(i64, Word)>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("kernel", &self.kernel.name())
+            .field("trip", &self.trip)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// Input memory at the workload's own trip count.
+    pub fn memory(&self) -> Memory {
+        (self.inputs)(self.trip)
+    }
+
+    /// Expected outputs at the workload's own trip count.
+    pub fn expected_outputs(&self) -> Vec<(i64, Word)> {
+        (self.expected)(self.trip)
+    }
+
+    /// Checks `memory` (after execution) against the scalar reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching address.
+    pub fn verify(&self, memory: &Memory) -> Result<(), String> {
+        for (addr, want) in self.expected_outputs() {
+            let got = memory.main.get(&addr).copied();
+            let ok = matches!(got, Some(g) if g.bit_eq(want) || close(g, want));
+            if !ok {
+                return Err(format!(
+                    "{}: address {addr}: expected {want}, got {got:?}",
+                    self.kernel.name()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the IR interpreter on the workload and verifies it against the
+    /// scalar reference (a self-check that the kernel computes what Table 1
+    /// says it computes).
+    ///
+    /// # Errors
+    ///
+    /// Returns interpreter failures or reference mismatches as text.
+    pub fn self_check(&self) -> Result<(), String> {
+        let mut mem = self.memory();
+        interp::run(&self.kernel, &mut mem, self.trip).map_err(|e| e.to_string())?;
+        self.verify(&mem)
+    }
+}
+
+/// Floating-point closeness for reference comparison: the scheduled kernel
+/// evaluates the same expression tree as the reference, so results are
+/// bit-identical in practice; the epsilon only guards against benign
+/// reassociation if a kernel is ever rewritten.
+fn close(a: Word, b: Word) -> bool {
+    match (a, b) {
+        (Word::F(x), Word::F(y)) => (x - y).abs() <= 1e-9 * (1.0 + y.abs()),
+        _ => false,
+    }
+}
+
+/// Deterministic pseudo-random stream used by every input generator
+/// (xorshift64*, fixed seed per tag) — keeps workloads reproducible
+/// without pulling `rand` into the library crate.
+pub fn prand(tag: u64) -> impl FnMut() -> u64 {
+    let mut state = 0x9E3779B97F4A7C15u64 ^ (tag.wrapping_mul(0xD1B54A32D192ED03) | 1);
+    move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// A small signed integer in `[-bound, bound]` from the stream.
+pub fn small_int(r: &mut impl FnMut() -> u64, bound: i64) -> i64 {
+    (r() % (2 * bound as u64 + 1)) as i64 - bound
+}
+
+/// A float in roughly `[-1, 1]` from the stream.
+pub fn small_float(r: &mut impl FnMut() -> u64) -> f64 {
+    (r() % 2_000_001) as f64 / 1_000_000.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prand_is_deterministic_and_tag_sensitive() {
+        let mut a = prand(1);
+        let mut b = prand(1);
+        let mut c = prand(2);
+        let xs: Vec<u64> = (0..8).map(|_| a()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn helpers_stay_in_range() {
+        let mut r = prand(7);
+        for _ in 0..100 {
+            let v = small_int(&mut r, 50);
+            assert!((-50..=50).contains(&v));
+            let f = small_float(&mut r);
+            assert!((-1.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Copy-connectivity analysis (paper Appendix A).
+//!
+//! An architecture is *copy-connected* when, for any producer/consumer pair
+//! of operations, the producer can write its result into *some* register
+//! file from which zero or more copy operations can move it into *some*
+//! register file the consumer's operand input can read. Communication
+//! scheduling is guaranteed to complete only on copy-connected
+//! architectures, so [`CopyConnectivity::is_copy_connected`] is checked by
+//! the scheduler's public entry points.
+//!
+//! The analysis also exposes the minimum number of copy operations needed
+//! between any pair of register files, which the paper's communication-cost
+//! heuristic (eq 1) uses to estimate `requiredCopies`.
+
+use crate::arch::Architecture;
+use crate::ids::{FuId, RfId};
+use crate::op::Opcode;
+
+/// Result of analysing an architecture's copy connectivity.
+///
+/// # Examples
+///
+/// ```
+/// use csched_machine::imagine;
+///
+/// let arch = imagine::clustered(4);
+/// let conn = arch.copy_connectivity();
+/// assert!(conn.is_copy_connected());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CopyConnectivity {
+    num_rfs: usize,
+    /// `dist[a * num_rfs + b]` = minimum copies to move a value from
+    /// register file `a` to register file `b`; `u32::MAX` if unreachable.
+    dist: Vec<u32>,
+    /// Whether every producer-output/consumer-input pair is connected.
+    copy_connected: bool,
+    /// Pairs that break connectivity (producer unit, consumer unit, slot).
+    violations: Vec<(FuId, FuId, usize)>,
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+impl CopyConnectivity {
+    /// Analyses `arch`. Called by [`Architecture::copy_connectivity`].
+    pub(crate) fn analyze(arch: &Architecture) -> Self {
+        let n = arch.num_rfs();
+        let mut dist = vec![UNREACHABLE; n * n];
+        for rf in 0..n {
+            dist[rf * n + rf] = 0;
+        }
+        // One-copy edges: register file A -> B if some copy-capable unit can
+        // read its single operand (slot 0) from A and write its result to B.
+        for fu in arch.fu_ids() {
+            if !arch.fu(fu).can_execute(Opcode::Copy) {
+                continue;
+            }
+            let sources = arch.readable_rfs(fu, 0);
+            let sinks = arch.writable_rfs(fu);
+            for &a in &sources {
+                for &b in &sinks {
+                    if a != b {
+                        let cell = &mut dist[a.index() * n + b.index()];
+                        *cell = (*cell).min(1);
+                    }
+                }
+            }
+        }
+        // Floyd–Warshall for minimum copy counts.
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i * n + k];
+                if dik == UNREACHABLE {
+                    continue;
+                }
+                for j in 0..n {
+                    let dkj = dist[k * n + j];
+                    if dkj == UNREACHABLE {
+                        continue;
+                    }
+                    let through = dik + dkj;
+                    if through < dist[i * n + j] {
+                        dist[i * n + j] = through;
+                    }
+                }
+            }
+        }
+
+        // Appendix A check: for every unit that can produce a result and
+        // every consumer input used by some capability, a finite-copy path
+        // must exist from some writable RF to some readable RF.
+        let mut copy_connected = true;
+        let mut violations = Vec::new();
+        for producer in arch.fu_ids() {
+            let produces = arch
+                .fu(producer)
+                .capabilities()
+                .iter()
+                .any(|c| c.opcode.has_result());
+            if !produces {
+                continue;
+            }
+            let writable = arch.writable_rfs(producer);
+            for consumer in arch.fu_ids() {
+                let cu = arch.fu(consumer);
+                for slot in 0..cu.num_inputs() {
+                    let used = cu
+                        .capabilities()
+                        .iter()
+                        .any(|c| c.opcode.num_operands() > slot);
+                    if !used {
+                        continue;
+                    }
+                    let readable = arch.readable_rfs(consumer, slot);
+                    let reachable = writable.iter().any(|&a| {
+                        readable
+                            .iter()
+                            .any(|&b| dist[a.index() * n + b.index()] != UNREACHABLE)
+                    });
+                    if !reachable {
+                        copy_connected = false;
+                        violations.push((producer, consumer, slot));
+                    }
+                }
+            }
+        }
+
+        CopyConnectivity {
+            num_rfs: n,
+            dist,
+            copy_connected,
+            violations,
+        }
+    }
+
+    /// Whether the architecture satisfies the Appendix A constraint for all
+    /// producer/consumer pairs.
+    pub fn is_copy_connected(&self) -> bool {
+        self.copy_connected
+    }
+
+    /// The `(producer, consumer, operand slot)` triples that violate copy
+    /// connectivity (empty when [`Self::is_copy_connected`] is true).
+    pub fn violations(&self) -> &[(FuId, FuId, usize)] {
+        &self.violations
+    }
+
+    /// Minimum number of copy operations needed to move a value already in
+    /// register file `from` into register file `to` (0 when `from == to`),
+    /// or `None` when impossible.
+    pub fn copy_distance(&self, from: RfId, to: RfId) -> Option<u32> {
+        let d = self.dist[from.index() * self.num_rfs + to.index()];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Minimum copies needed for *any* communication from `producer`'s
+    /// output to `consumer`'s input `slot`, over all stub choices.
+    ///
+    /// Returns `None` if no route exists at all (only possible on
+    /// non-copy-connected machines).
+    pub fn min_route_copies(
+        &self,
+        arch: &Architecture,
+        producer: FuId,
+        consumer: FuId,
+        slot: usize,
+    ) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        for ws in arch.write_stubs(producer) {
+            for rs in arch.read_stubs(consumer, slot) {
+                if let Some(d) = self.copy_distance(ws.rf, rs.rf) {
+                    best = Some(best.map_or(d, |b: u32| b.min(d)));
+                    if best == Some(0) {
+                        return best;
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Architecture {
+    /// Runs (and caches nothing; callers should hold on to the result) the
+    /// copy-connectivity analysis of Appendix A.
+    pub fn copy_connectivity(&self) -> CopyConnectivity {
+        CopyConnectivity::analyze(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchBuilder, FuClass};
+    use crate::op::{default_capability, Opcode};
+
+    /// Two ALUs with private RFs and a copy unit bridging rf0 -> rf1 only.
+    fn one_way_bridge() -> Architecture {
+        let mut b = ArchBuilder::new("bridge");
+        let rf0 = b.register_file("RF0", 8);
+        let rf1 = b.register_file("RF1", 8);
+        let a0 = b.functional_unit(
+            "A0",
+            FuClass::Alu,
+            2,
+            true,
+            [default_capability(Opcode::IAdd)],
+        );
+        let a1 = b.functional_unit(
+            "A1",
+            FuClass::Alu,
+            2,
+            true,
+            [default_capability(Opcode::IAdd)],
+        );
+        let cp = b.functional_unit(
+            "CP",
+            FuClass::CopyUnit,
+            1,
+            true,
+            [default_capability(Opcode::Copy)],
+        );
+        b.dedicated_write(a0, rf0);
+        b.dedicated_write(a1, rf1);
+        for s in 0..2 {
+            b.dedicated_read(rf0, a0, s);
+            b.dedicated_read(rf1, a1, s);
+        }
+        // copy unit reads rf0, writes rf1
+        b.dedicated_read(rf0, cp, 0);
+        b.dedicated_write(cp, rf1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bridge_distances() {
+        let arch = one_way_bridge();
+        let c = arch.copy_connectivity();
+        let rf0 = RfId::from_raw(0);
+        let rf1 = RfId::from_raw(1);
+        assert_eq!(c.copy_distance(rf0, rf0), Some(0));
+        assert_eq!(c.copy_distance(rf0, rf1), Some(1));
+        assert_eq!(c.copy_distance(rf1, rf0), None);
+    }
+
+    #[test]
+    fn one_way_bridge_is_not_copy_connected() {
+        // A1's result can never reach A0's inputs (no rf1 -> rf0 path).
+        let arch = one_way_bridge();
+        let c = arch.copy_connectivity();
+        assert!(!c.is_copy_connected());
+        let a0 = arch.fu_by_name("A0").unwrap();
+        let a1 = arch.fu_by_name("A1").unwrap();
+        assert!(c.violations().iter().any(|&(p, q, _)| p == a1 && q == a0));
+        // But A0 -> A1 is fine (through one copy).
+        assert_eq!(c.min_route_copies(&arch, a0, a1, 0), Some(1));
+        assert_eq!(c.min_route_copies(&arch, a1, a0, 0), None);
+    }
+
+    #[test]
+    fn two_way_bridge_is_copy_connected() {
+        let mut b = ArchBuilder::new("bridge2");
+        let rf0 = b.register_file("RF0", 8);
+        let rf1 = b.register_file("RF1", 8);
+        let a0 = b.functional_unit(
+            "A0",
+            FuClass::Alu,
+            2,
+            true,
+            [default_capability(Opcode::IAdd)],
+        );
+        let a1 = b.functional_unit(
+            "A1",
+            FuClass::Alu,
+            2,
+            true,
+            [default_capability(Opcode::IAdd)],
+        );
+        let cp0 = b.functional_unit(
+            "CP0",
+            FuClass::CopyUnit,
+            1,
+            true,
+            [default_capability(Opcode::Copy)],
+        );
+        let cp1 = b.functional_unit(
+            "CP1",
+            FuClass::CopyUnit,
+            1,
+            true,
+            [default_capability(Opcode::Copy)],
+        );
+        b.dedicated_write(a0, rf0);
+        b.dedicated_write(a1, rf1);
+        for s in 0..2 {
+            b.dedicated_read(rf0, a0, s);
+            b.dedicated_read(rf1, a1, s);
+        }
+        b.dedicated_read(rf0, cp0, 0);
+        b.dedicated_write(cp0, rf1);
+        b.dedicated_read(rf1, cp1, 0);
+        b.dedicated_write(cp1, rf0);
+        let arch = b.build().unwrap();
+        let c = arch.copy_connectivity();
+        assert!(c.is_copy_connected(), "violations: {:?}", c.violations());
+        assert_eq!(c.copy_distance(rf1, rf0), Some(1));
+        let a0 = arch.fu_by_name("A0").unwrap();
+        let a1 = arch.fu_by_name("A1").unwrap();
+        // Same unit: zero copies (write to own RF, read back).
+        assert_eq!(c.min_route_copies(&arch, a0, a0, 0), Some(0));
+        assert_eq!(c.min_route_copies(&arch, a1, a0, 1), Some(1));
+    }
+
+    #[test]
+    fn single_rf_trivially_connected() {
+        let mut b = ArchBuilder::new("single");
+        let rf = b.register_file("RF", 8);
+        let a = b.functional_unit(
+            "A",
+            FuClass::Alu,
+            2,
+            true,
+            [default_capability(Opcode::IAdd)],
+        );
+        b.dedicated_write(a, rf);
+        b.dedicated_read(rf, a, 0);
+        b.dedicated_read(rf, a, 1);
+        let arch = b.build().unwrap();
+        let c = arch.copy_connectivity();
+        assert!(c.is_copy_connected());
+        assert_eq!(
+            c.min_route_copies(&arch, FuId::from_raw(0), FuId::from_raw(0), 1),
+            Some(0)
+        );
+    }
+}

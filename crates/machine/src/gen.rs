@@ -1,0 +1,216 @@
+//! Deterministic random architecture generation, for property testing and
+//! design-space sampling.
+//!
+//! Two families are provided, both copy-connected by construction:
+//!
+//! - [`random_distributed`]: per-input register files over a random number
+//!   of shared global buses (every output reaches every file directly);
+//! - [`random_clustered`]: two cluster register files with dedicated ports
+//!   and copy units bridging both directions (cross-cluster communications
+//!   force copy insertion).
+//!
+//! Generation is seeded and reproducible; the same seed always yields the
+//! same machine.
+
+use crate::arch::{ArchBuilder, Architecture, FuClass};
+use crate::ids::FuId;
+use crate::op::{default_capability, Capability, Opcode};
+
+/// Small deterministic generator (xorshift64*) so machine generation does
+/// not depend on external crates.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed (0 is mapped to a fixed non-zero
+    /// state).
+    pub fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0 = self.0.wrapping_mul(0x2545F4914F6CDD1D);
+        self.0
+    }
+
+    /// Uniform value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Integer opcodes every generated ALU supports (no division or floating
+/// point, so differential tests never trap and are bit-exact).
+pub const GEN_ALU_OPS: &[Opcode] = &[
+    Opcode::IAdd,
+    Opcode::ISub,
+    Opcode::IMin,
+    Opcode::IMax,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::ICmpEq,
+    Opcode::ICmpLt,
+    Opcode::ICmpLe,
+    Opcode::Select,
+];
+
+fn caps(ops: &[Opcode]) -> Vec<Capability> {
+    ops.iter().map(|&o| default_capability(o)).collect()
+}
+
+/// Generates a distributed-style machine: 1–3 ALUs, one multiplier and one
+/// load/store unit, per-input register files, 1–4 shared global buses.
+pub fn random_distributed(seed: u64) -> Architecture {
+    let mut rng = Rng::new(seed.rotate_left(17));
+    let alus = 1 + rng.below(3);
+    let buses = 1 + rng.below(4);
+    let mut b = ArchBuilder::new(format!("gen-dist-{seed:x}"));
+    let mut alu_ops: Vec<Opcode> = GEN_ALU_OPS.to_vec();
+    alu_ops.push(Opcode::Copy);
+
+    let mut units: Vec<(FuId, usize)> = Vec::new();
+    for i in 0..alus {
+        units.push((
+            b.functional_unit(format!("ALU{i}"), FuClass::Alu, 3, true, caps(&alu_ops)),
+            3,
+        ));
+    }
+    units.push((
+        b.functional_unit("MUL", FuClass::Mul, 2, true, caps(&[Opcode::IMul, Opcode::Copy])),
+        2,
+    ));
+    units.push((
+        b.functional_unit("LS", FuClass::Ls, 3, true, caps(&[Opcode::Load, Opcode::Store])),
+        3,
+    ));
+    let bus_ids: Vec<_> = (0..buses).map(|i| b.bus(format!("GB{i}"))).collect();
+    for &(fu, _) in &units {
+        for &bus in &bus_ids {
+            b.connect_output(fu, bus);
+        }
+        if buses > 1 && rng.below(3) == 0 {
+            b.set_output_fanout(fu, 2);
+        }
+    }
+    for &(fu, inputs) in &units {
+        for slot in 0..inputs {
+            let rf = b.register_file(format!("RF_{}_{slot}", fu.index()), 16);
+            let wp = b.write_port(rf);
+            for &bus in &bus_ids {
+                b.connect_bus_to_write_port(bus, wp);
+            }
+            b.dedicated_read(rf, fu, slot);
+        }
+    }
+    b.build().expect("generated machines are well-formed")
+}
+
+/// Generates a two-cluster machine with copy units bridging both
+/// directions.
+pub fn random_clustered(seed: u64) -> Architecture {
+    let mut rng = Rng::new(seed.rotate_left(29));
+    let mut b = ArchBuilder::new(format!("gen-clus-{seed:x}"));
+
+    let rf0 = b.register_file("RF0", 32);
+    let rf1 = b.register_file("RF1", 32);
+    let rfs = [rf0, rf1];
+
+    let assign = |b: &mut ArchBuilder, fu, cluster: usize, inputs: usize| {
+        b.dedicated_write(fu, rfs[cluster]);
+        for slot in 0..inputs {
+            b.dedicated_read(rfs[cluster], fu, slot);
+        }
+    };
+    let alus = 1 + rng.below(2);
+    for i in 0..=alus {
+        let fu = b.functional_unit(format!("ALU{i}"), FuClass::Alu, 3, true, caps(GEN_ALU_OPS));
+        assign(&mut b, fu, i % 2, 3);
+    }
+    let mul = b.functional_unit("MUL", FuClass::Mul, 2, true, caps(&[Opcode::IMul]));
+    assign(&mut b, mul, rng.below(2), 2);
+    let ls = b.functional_unit("LS", FuClass::Ls, 3, true, caps(&[Opcode::Load, Opcode::Store]));
+    assign(&mut b, ls, rng.below(2), 3);
+
+    for (from, to) in [(0usize, 1usize), (1, 0)] {
+        let cp = b.functional_unit(
+            format!("CP{from}"),
+            FuClass::CopyUnit,
+            1,
+            true,
+            caps(&[Opcode::Copy]),
+        );
+        b.dedicated_read(rfs[from], cp, 0);
+        b.dedicated_write(cp, rfs[to]);
+    }
+    b.build().expect("generated machines are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [1u64, 42, 0xDEAD] {
+            let a = random_distributed(seed);
+            let b = random_distributed(seed);
+            assert_eq!(a.num_fus(), b.num_fus());
+            assert_eq!(a.num_rfs(), b.num_rfs());
+            assert_eq!(a.num_buses(), b.num_buses());
+            assert_eq!(a.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn all_generated_machines_are_copy_connected() {
+        for seed in 0..50u64 {
+            let d = random_distributed(seed);
+            assert!(
+                d.copy_connectivity().is_copy_connected(),
+                "distributed seed {seed}"
+            );
+            let c = random_clustered(seed);
+            assert!(
+                c.copy_connectivity().is_copy_connected(),
+                "clustered seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_machines_need_copies_across_clusters() {
+        let arch = random_clustered(7);
+        let conn = arch.copy_connectivity();
+        let rf0 = arch.rf_by_name("RF0").unwrap();
+        let rf1 = arch.rf_by_name("RF1").unwrap();
+        assert_eq!(conn.copy_distance(rf0, rf1), Some(1));
+        assert_eq!(conn.copy_distance(rf1, rf0), Some(1));
+    }
+
+    #[test]
+    fn generated_machines_round_trip_through_text() {
+        for seed in [3u64, 9, 27] {
+            let arch = random_distributed(seed);
+            let text = crate::text::print(&arch);
+            let parsed = crate::text::parse(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(parsed.num_fus(), arch.num_fus());
+            assert_eq!(parsed.num_rfs(), arch.num_rfs());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn rng_rejects_empty_range() {
+        Rng::new(1).below(0);
+    }
+}

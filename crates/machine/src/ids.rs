@@ -1,0 +1,145 @@
+//! Dense, typed identifiers for the components of an [`Architecture`].
+//!
+//! Every component of a machine description (functional units, register
+//! files, buses, ports) is stored in a dense vector and referred to by a
+//! small index newtype. The newtypes prevent mixing up, say, a bus index and
+//! a register-file index at compile time ([C-NEWTYPE]).
+//!
+//! [`Architecture`]: crate::Architecture
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Ids are normally produced by [`ArchBuilder`]; this
+            /// constructor exists for tests and for tools that serialize
+            /// machine descriptions.
+            ///
+            /// [`ArchBuilder`]: crate::ArchBuilder
+            pub fn from_raw(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw dense index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a functional unit within an architecture.
+    FuId,
+    "fu"
+);
+id_type!(
+    /// Identifies a register file within an architecture.
+    RfId,
+    "rf"
+);
+id_type!(
+    /// Identifies a bus within an architecture.
+    ///
+    /// Dedicated point-to-point wires are modelled as buses with a single
+    /// driver and a single receiver, so all data movement is uniformly
+    /// "through a bus".
+    BusId,
+    "bus"
+);
+id_type!(
+    /// Identifies a register-file *write* port, globally within an
+    /// architecture (not per register file).
+    WritePortId,
+    "wp"
+);
+id_type!(
+    /// Identifies a register-file *read* port, globally within an
+    /// architecture (not per register file).
+    ReadPortId,
+    "rp"
+);
+
+/// Identifies one operand input of a functional unit.
+///
+/// Operand `slot` of an operation scheduled on functional unit `fu` is read
+/// through input `slot` of that unit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputRef {
+    /// The functional unit owning the input.
+    pub fu: FuId,
+    /// The input slot (operand position).
+    pub slot: u8,
+}
+
+impl InputRef {
+    /// Creates a reference to input `slot` of `fu`.
+    pub fn new(fu: FuId, slot: usize) -> Self {
+        InputRef {
+            fu,
+            slot: slot as u8,
+        }
+    }
+
+    /// The input slot as a `usize`.
+    pub fn slot(self) -> usize {
+        self.slot as usize
+    }
+}
+
+impl fmt::Debug for InputRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.in{}", self.fu, self.slot)
+    }
+}
+
+impl fmt::Display for InputRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.in{}", self.fu, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let fu = FuId::from_raw(3);
+        assert_eq!(fu.index(), 3);
+        assert_eq!(format!("{fu}"), "fu3");
+        assert_eq!(format!("{fu:?}"), "fu3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(BusId::from_raw(1) < BusId::from_raw(2));
+        assert_eq!(RfId::from_raw(5), RfId::from_raw(5));
+    }
+
+    #[test]
+    fn input_ref_display() {
+        let input = InputRef::new(FuId::from_raw(2), 1);
+        assert_eq!(format!("{input}"), "fu2.in1");
+        assert_eq!(input.slot(), 1);
+    }
+}

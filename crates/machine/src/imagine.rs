@@ -1,0 +1,457 @@
+//! The four register-file organisations of the Imagine stream processor
+//! evaluated in the paper (Figures 25–27), plus scaled variants for the
+//! §8 projection to larger machines.
+//!
+//! All variants share the same mix of functional units and the same
+//! operation latencies (a requirement of the paper's normalisation): per
+//! scale unit, six adders (ALUs), three multipliers, one divider, one
+//! permutation unit, one scratchpad and four load/store units.
+//!
+//! - [`central`]: one register file; every FU input has a dedicated read
+//!   port and every FU output a dedicated write port (Figure 25).
+//! - [`clustered`]: FUs partitioned into 2 or 4 clusters, one register file
+//!   per cluster with dedicated ports; a copy unit per cluster drives a
+//!   global bus into dedicated copy ports of the other clusters' register
+//!   files (Figure 26).
+//! - [`distributed`]: one small register file per FU input with a single
+//!   read port; all FU outputs share ten global buses, any of which can
+//!   drive the single shared write port of any register file (Figure 27).
+//!   Every FU except the scratchpad implements `copy`.
+
+use crate::arch::{ArchBuilder, Architecture, FuClass};
+use crate::ids::{FuId, RfId};
+use crate::op::{default_capability, Capability, Opcode};
+
+/// Number of global buses per scale unit in the distributed organisation
+/// ("each functional unit output can drive any one of ten global buses").
+pub const DISTRIBUTED_BUSES_PER_SCALE: usize = 10;
+
+/// Registers in the central register file at scale 1.
+pub const CENTRAL_CAPACITY: usize = 256;
+
+/// Registers in each distributed (per-input) register file.
+pub const DISTRIBUTED_RF_CAPACITY: usize = 16;
+
+fn alu_opcodes() -> Vec<Opcode> {
+    use Opcode::*;
+    vec![
+        IAdd, ISub, INeg, IAbs, IMin, IMax, And, Or, Xor, Not, Shl, Shr, Sra, ICmpEq, ICmpLt,
+        ICmpLe, Select, ItoF, FtoI, FAdd, FSub, FNeg, FAbs, FMin, FMax, FCmpEq, FCmpLt, FCmpLe,
+    ]
+}
+
+fn caps_for(class: FuClass, with_copy: bool) -> Vec<Capability> {
+    use Opcode::*;
+    let mut ops: Vec<Opcode> = match class {
+        FuClass::Alu => alu_opcodes(),
+        FuClass::Mul => vec![IMul, FMul],
+        FuClass::Div => vec![IDiv, IRem, FDiv, FSqrt],
+        FuClass::Pu => vec![Permute],
+        FuClass::Sp => vec![SpRead, SpWrite],
+        FuClass::Ls => vec![Load, Store],
+        FuClass::CopyUnit => vec![],
+    };
+    if with_copy || class == FuClass::CopyUnit {
+        ops.push(Copy);
+    }
+    ops.into_iter().map(default_capability).collect()
+}
+
+fn inputs_for(class: FuClass) -> usize {
+    match class {
+        FuClass::Alu => 3,                  // third input used by select
+        FuClass::Ls | FuClass::Sp => 3,     // base, offset, store value
+        FuClass::CopyUnit => 1,
+        _ => 2,
+    }
+}
+
+/// The functional-unit mix at a given scale (scale 1 = the paper's 16-unit
+/// machine with 12 arithmetic units).
+///
+/// Returns `(name, class)` pairs in a fixed layout order; this order is the
+/// linear placement used by the cost model.
+pub fn unit_mix(scale: usize) -> Vec<(String, FuClass)> {
+    assert!(scale >= 1, "scale must be at least 1");
+    let mut units = Vec::new();
+    for s in 0..scale {
+        let tag = |base: &str, i: usize| {
+            if scale == 1 {
+                format!("{base}{i}")
+            } else {
+                format!("{base}{}", s * 100 + i)
+            }
+        };
+        for i in 0..6 {
+            units.push((tag("ADD", i), FuClass::Alu));
+        }
+        for i in 0..3 {
+            units.push((tag("MUL", i), FuClass::Mul));
+        }
+        units.push((tag("DIV", 0), FuClass::Div));
+        units.push((tag("PU", 0), FuClass::Pu));
+        units.push((tag("SP", 0), FuClass::Sp));
+        for i in 0..4 {
+            units.push((tag("LS", i), FuClass::Ls));
+        }
+    }
+    units
+}
+
+/// Builds the central register file architecture (Figure 25) at scale 1.
+pub fn central() -> Architecture {
+    central_scaled(1)
+}
+
+/// Builds the central register file architecture at an arbitrary scale.
+pub fn central_scaled(scale: usize) -> Architecture {
+    let mut b = ArchBuilder::new(if scale == 1 {
+        "imagine-central".to_string()
+    } else {
+        format!("imagine-central-x{scale}")
+    });
+    let rf = b.register_file("CRF", CENTRAL_CAPACITY * scale);
+    for (name, class) in unit_mix(scale) {
+        let fu = b.functional_unit(name, class, inputs_for(class), true, caps_for(class, false));
+        b.dedicated_write(fu, rf);
+        for slot in 0..inputs_for(class) {
+            b.dedicated_read(rf, fu, slot);
+        }
+    }
+    b.build().expect("central architecture is well-formed")
+}
+
+/// Builds the clustered register file architecture (Figure 26) with
+/// `clusters` clusters (the paper evaluates 2 and 4) at scale 1.
+///
+/// # Panics
+///
+/// Panics if `clusters` is zero or greater than the number of units.
+pub fn clustered(clusters: usize) -> Architecture {
+    clustered_scaled(clusters, 1)
+}
+
+/// Cluster assignment used by [`clustered_scaled`]: unit `i` (in
+/// [`unit_mix`] order) belongs to cluster `assignments[i]`.
+///
+/// At scale 1 with four clusters this reproduces Figure 26's division:
+/// `[ADD0 ADD1 MUL0 LS0] [ADD2 MUL1 DIV0 LS1] [ADD3 ADD4 MUL2 LS2]
+/// [ADD5 PU SP LS3]`, and the two-cluster division merges adjacent pairs.
+/// Other scales balance each unit class round-robin across clusters.
+pub fn cluster_assignment(clusters: usize, scale: usize) -> Vec<usize> {
+    let mix = unit_mix(scale);
+    if scale == 1 && (clusters == 2 || clusters == 4) {
+        // Figure 26 layout: indexes into unit_mix(1):
+        // 0..6 ADD, 6..9 MUL, 9 DIV, 10 PU, 11 SP, 12..16 LS.
+        let four = [
+            0usize, 0, 1, 2, 2, 3, // ADD0..ADD5
+            0, 1, 2, // MUL0..MUL2
+            1, // DIV
+            3, // PU
+            3, // SP
+            0, 1, 2, 3, // LS0..LS3
+        ];
+        return if clusters == 4 {
+            four.to_vec()
+        } else {
+            four.iter().map(|&c| c / 2).collect()
+        };
+    }
+    // General balanced assignment: round-robin per class.
+    let mut next_per_class: std::collections::HashMap<FuClass, usize> =
+        std::collections::HashMap::new();
+    mix.iter()
+        .map(|&(_, class)| {
+            let n = next_per_class.entry(class).or_insert(0);
+            let c = *n % clusters;
+            *n += 1;
+            c
+        })
+        .collect()
+}
+
+/// Builds the clustered register file architecture at an arbitrary scale.
+///
+/// # Panics
+///
+/// Panics if `clusters` is zero or exceeds the unit count.
+pub fn clustered_scaled(clusters: usize, scale: usize) -> Architecture {
+    let mix = unit_mix(scale);
+    assert!(clusters >= 1 && clusters <= mix.len(), "bad cluster count");
+    let assignment = cluster_assignment(clusters, scale);
+    let mut b = ArchBuilder::new(if scale == 1 {
+        format!("imagine-clustered-{clusters}")
+    } else {
+        format!("imagine-clustered-{clusters}-x{scale}")
+    });
+
+    let per_cluster_capacity = (CENTRAL_CAPACITY * scale / clusters).max(16);
+    let rfs: Vec<RfId> = (0..clusters)
+        .map(|c| b.register_file(format!("RF{c}"), per_cluster_capacity))
+        .collect();
+
+    // Standard units: dedicated ports to their cluster register file.
+    for (i, (name, class)) in mix.iter().enumerate() {
+        let rf = rfs[assignment[i]];
+        let fu = b.functional_unit(
+            name.clone(),
+            *class,
+            inputs_for(*class),
+            true,
+            caps_for(*class, false),
+        );
+        b.dedicated_write(fu, rf);
+        for slot in 0..inputs_for(*class) {
+            b.dedicated_read(rf, fu, slot);
+        }
+    }
+
+    // One copy unit per cluster: reads its own register file, drives a
+    // global bus into a dedicated copy write port of every other cluster's
+    // register file.
+    for c in 0..clusters {
+        let cp = b.functional_unit(
+            format!("CP{c}"),
+            FuClass::CopyUnit,
+            1,
+            true,
+            caps_for(FuClass::CopyUnit, true),
+        );
+        b.dedicated_read(rfs[c], cp, 0);
+        let gbus = b.bus(format!("GB{c}"));
+        b.connect_output(cp, gbus);
+        for (other, &rf) in rfs.iter().enumerate() {
+            if other != c {
+                let wp = b.write_port(rf);
+                b.connect_bus_to_write_port(gbus, wp);
+            }
+        }
+    }
+
+    b.build().expect("clustered architecture is well-formed")
+}
+
+/// Builds the distributed register file architecture (Figure 27) at scale 1.
+pub fn distributed() -> Architecture {
+    distributed_scaled(1)
+}
+
+/// Builds the distributed register file architecture at an arbitrary scale.
+pub fn distributed_scaled(scale: usize) -> Architecture {
+    let mut b = ArchBuilder::new(if scale == 1 {
+        "imagine-distributed".to_string()
+    } else {
+        format!("imagine-distributed-x{scale}")
+    });
+
+    // Global buses shared by all outputs.
+    let buses: Vec<_> = (0..DISTRIBUTED_BUSES_PER_SCALE * scale)
+        .map(|i| b.bus(format!("GB{i}")))
+        .collect();
+
+    let mut fus: Vec<(FuId, FuClass)> = Vec::new();
+    for (name, class) in unit_mix(scale) {
+        // Every unit except the scratchpad implements copy.
+        let with_copy = !matches!(class, FuClass::Sp | FuClass::Ls);
+        let fu = b.functional_unit(
+            name,
+            class,
+            inputs_for(class),
+            true,
+            caps_for(class, with_copy),
+        );
+        // Output can drive any one of the global buses.
+        for &bus in &buses {
+            b.connect_output(fu, bus);
+        }
+        fus.push((fu, class));
+    }
+
+    // One register file per input, with its single write port reachable
+    // from every global bus and a dedicated read path to the input.
+    for &(fu, class) in &fus {
+        for slot in 0..inputs_for(class) {
+            let rf = b.register_file(
+                format!("RF_{}_{}", fu.index(), slot),
+                DISTRIBUTED_RF_CAPACITY,
+            );
+            let wp = b.write_port(rf);
+            for &bus in &buses {
+                b.connect_bus_to_write_port(bus, wp);
+            }
+            b.dedicated_read(rf, fu, slot);
+        }
+    }
+
+    b.build().expect("distributed architecture is well-formed")
+}
+
+/// All four paper configurations, in presentation order (central,
+/// clustered-2, clustered-4, distributed). Used by the evaluation harness.
+pub fn all_variants() -> Vec<Architecture> {
+    vec![central(), clustered(2), clustered(4), distributed()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_mix_counts() {
+        let mix = unit_mix(1);
+        assert_eq!(mix.len(), 16);
+        let count = |c: FuClass| mix.iter().filter(|&&(_, x)| x == c).count();
+        assert_eq!(count(FuClass::Alu), 6);
+        assert_eq!(count(FuClass::Mul), 3);
+        assert_eq!(count(FuClass::Div), 1);
+        assert_eq!(count(FuClass::Pu), 1);
+        assert_eq!(count(FuClass::Sp), 1);
+        assert_eq!(count(FuClass::Ls), 4);
+        assert_eq!(unit_mix(4).len(), 64);
+    }
+
+    #[test]
+    fn central_shape() {
+        let a = central();
+        assert_eq!(a.num_fus(), 16);
+        assert_eq!(a.num_rfs(), 1);
+        // 6*3 + 3*2 + 2 + 2 + 3 + 4*3 = 43 inputs / read ports
+        assert_eq!(a.num_read_ports(), 43);
+        assert_eq!(a.num_write_ports(), 16);
+        assert!(a.copy_connectivity().is_copy_connected());
+    }
+
+    #[test]
+    fn central_routes_never_need_copies() {
+        let a = central();
+        let c = a.copy_connectivity();
+        for p in a.fu_ids() {
+            for q in a.fu_ids() {
+                for slot in 0..a.fu(q).num_inputs() {
+                    assert_eq!(c.min_route_copies(&a, p, q, slot), Some(0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_shape() {
+        for k in [2usize, 4] {
+            let a = clustered(k);
+            assert_eq!(a.num_fus(), 16 + k, "16 units + {k} copy units");
+            assert_eq!(a.num_rfs(), k);
+            assert!(
+                a.copy_connectivity().is_copy_connected(),
+                "clustered({k}) must be copy-connected"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_cross_cluster_needs_one_copy() {
+        let a = clustered(4);
+        let c = a.copy_connectivity();
+        let add0 = a.fu_by_name("ADD0").unwrap(); // cluster 0
+        let add5 = a.fu_by_name("ADD5").unwrap(); // cluster 3
+        assert_eq!(c.min_route_copies(&a, add0, add5, 0), Some(1));
+        let add1 = a.fu_by_name("ADD1").unwrap(); // cluster 0
+        assert_eq!(c.min_route_copies(&a, add0, add1, 0), Some(0));
+    }
+
+    #[test]
+    fn figure26_cluster_division() {
+        let assignment = cluster_assignment(4, 1);
+        let mix = unit_mix(1);
+        let cluster_of = |name: &str| {
+            let idx = mix.iter().position(|(n, _)| n == name).unwrap();
+            assignment[idx]
+        };
+        assert_eq!(cluster_of("ADD0"), 0);
+        assert_eq!(cluster_of("DIV0"), 1);
+        assert_eq!(cluster_of("PU0"), 3);
+        assert_eq!(cluster_of("SP0"), 3);
+        // Each cluster gets exactly one load/store unit.
+        for (i, ls) in ["LS0", "LS1", "LS2", "LS3"].iter().enumerate() {
+            assert_eq!(cluster_of(ls), i);
+        }
+        // Two-cluster division merges adjacent pairs.
+        let two = cluster_assignment(2, 1);
+        for (a4, a2) in assignment.iter().zip(&two) {
+            assert_eq!(a4 / 2, *a2);
+        }
+    }
+
+    #[test]
+    fn distributed_shape() {
+        let a = distributed();
+        assert_eq!(a.num_fus(), 16);
+        assert_eq!(a.num_rfs(), 43); // one per input
+        assert_eq!(a.num_buses(), 10 + 43); // 10 global + 43 dedicated read wires
+        assert_eq!(a.num_write_ports(), 43);
+        assert!(a.copy_connectivity().is_copy_connected());
+    }
+
+    #[test]
+    fn distributed_every_output_reaches_every_rf() {
+        let a = distributed();
+        for fu in a.fu_ids() {
+            assert_eq!(
+                a.writable_rfs(fu).len(),
+                a.num_rfs(),
+                "{} should reach every register file",
+                a.fu(fu).name()
+            );
+            // 10 buses x 43 write ports = 430 write stubs per unit.
+            assert_eq!(a.write_stubs(fu).len(), 430);
+        }
+    }
+
+    #[test]
+    fn distributed_copy_capability_placement() {
+        let a = distributed();
+        use crate::arch::FuClass::*;
+        for fu in a.fu_ids() {
+            let has_copy = a.fu(fu).can_execute(Opcode::Copy);
+            match a.fu(fu).class() {
+                Alu | Mul | Div | Pu => assert!(has_copy, "{}", a.fu(fu).name()),
+                Sp | Ls | CopyUnit => assert!(!has_copy, "{}", a.fu(fu).name()),
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_variants_are_copy_connected() {
+        assert!(central_scaled(2).copy_connectivity().is_copy_connected());
+        assert!(clustered_scaled(4, 4)
+            .copy_connectivity()
+            .is_copy_connected());
+        assert!(distributed_scaled(4)
+            .copy_connectivity()
+            .is_copy_connected());
+        assert_eq!(distributed_scaled(4).num_fus(), 64);
+    }
+
+    #[test]
+    fn all_variants_produces_four() {
+        let v = all_variants();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0].name(), "imagine-central");
+        assert_eq!(v[3].name(), "imagine-distributed");
+    }
+
+    #[test]
+    fn same_unit_mix_everywhere() {
+        // Paper: the mix of functional units is the same for all
+        // architectures (copy units aside).
+        let names = |a: &Architecture| -> Vec<String> {
+            a.fu_ids()
+                .map(|f| a.fu(f).name().to_string())
+                .filter(|n| !n.starts_with("CP"))
+                .collect()
+        };
+        let c = names(&central());
+        assert_eq!(names(&clustered(2)), c);
+        assert_eq!(names(&clustered(4)), c);
+        assert_eq!(names(&distributed()), c);
+    }
+}

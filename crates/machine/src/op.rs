@@ -1,0 +1,424 @@
+//! The operation set understood by the machine model and the scheduler.
+//!
+//! The opcode set covers the needs of the ten media kernels evaluated in the
+//! paper (Table 1): integer and floating-point arithmetic, comparisons and
+//! selects (for if-converted control flow), memory access through the
+//! load/store units, the Imagine permutation and scratchpad units, and the
+//! `Copy` operation that communication scheduling inserts to move values
+//! between register files.
+
+use core::fmt;
+
+/// A machine operation kind.
+///
+/// Operand arity and result presence are intrinsic to the opcode (see
+/// [`Opcode::num_operands`] and [`Opcode::has_result`]); latency is a
+/// property of the functional unit capability executing it (see
+/// [`Capability`]).
+///
+/// [`Capability`]: crate::Capability
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Opcode {
+    // --- integer arithmetic (ALU class) ---
+    /// Integer addition.
+    IAdd,
+    /// Integer subtraction.
+    ISub,
+    /// Integer negation.
+    INeg,
+    /// Integer absolute value.
+    IAbs,
+    /// Integer minimum.
+    IMin,
+    /// Integer maximum.
+    IMax,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Bitwise complement.
+    Not,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Integer equality comparison; result is 0 or 1.
+    ICmpEq,
+    /// Integer signed less-than; result is 0 or 1.
+    ICmpLt,
+    /// Integer signed less-or-equal; result is 0 or 1.
+    ICmpLe,
+    /// Ternary select: `cond != 0 ? a : b` (three operands).
+    Select,
+    /// Integer to float conversion.
+    ItoF,
+    /// Float to integer conversion (truncating).
+    FtoI,
+
+    // --- integer multiply / divide ---
+    /// Integer multiplication.
+    IMul,
+    /// Integer division (trapping on divide-by-zero is modelled as a
+    /// simulator error).
+    IDiv,
+    /// Integer remainder.
+    IRem,
+
+    // --- floating point ---
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point negation.
+    FNeg,
+    /// Floating-point absolute value.
+    FAbs,
+    /// Floating-point minimum.
+    FMin,
+    /// Floating-point maximum.
+    FMax,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+    /// Floating-point square root.
+    FSqrt,
+    /// Floating-point equality comparison; result is integer 0 or 1.
+    FCmpEq,
+    /// Floating-point less-than; result is integer 0 or 1.
+    FCmpLt,
+    /// Floating-point less-or-equal; result is integer 0 or 1.
+    FCmpLe,
+
+    // --- memory (load/store units) ---
+    /// Load a word from memory: `result = mem[base + offset]`
+    /// (base, offset), the offset usually an immediate — address
+    /// arithmetic folds into the access as on real VLIW load/store units.
+    Load,
+    /// Store a word to memory: `mem[base + offset] = value`
+    /// (base, offset, value); no result.
+    Store,
+
+    // --- special units ---
+    /// Permutation-unit operation: `result = permute(value, control)`.
+    ///
+    /// The model treats it as a rotate of `value` by `control` bits, which
+    /// is enough to exercise a dedicated unit with its own connectivity.
+    Permute,
+    /// Scratchpad read: `result = scratch[base + offset]`.
+    SpRead,
+    /// Scratchpad write: `scratch[base + offset] = value`; no result.
+    SpWrite,
+
+    // --- interconnect ---
+    /// Register-file-to-register-file copy, inserted by communication
+    /// scheduling to connect a write stub to a read stub (paper §4.3 step 5).
+    Copy,
+}
+
+impl Opcode {
+    /// All opcodes, for exhaustive iteration in tests and capability tables.
+    pub const ALL: &'static [Opcode] = &[
+        Opcode::IAdd,
+        Opcode::ISub,
+        Opcode::INeg,
+        Opcode::IAbs,
+        Opcode::IMin,
+        Opcode::IMax,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Not,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sra,
+        Opcode::ICmpEq,
+        Opcode::ICmpLt,
+        Opcode::ICmpLe,
+        Opcode::Select,
+        Opcode::ItoF,
+        Opcode::FtoI,
+        Opcode::IMul,
+        Opcode::IDiv,
+        Opcode::IRem,
+        Opcode::FAdd,
+        Opcode::FSub,
+        Opcode::FNeg,
+        Opcode::FAbs,
+        Opcode::FMin,
+        Opcode::FMax,
+        Opcode::FMul,
+        Opcode::FDiv,
+        Opcode::FSqrt,
+        Opcode::FCmpEq,
+        Opcode::FCmpLt,
+        Opcode::FCmpLe,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Permute,
+        Opcode::SpRead,
+        Opcode::SpWrite,
+        Opcode::Copy,
+    ];
+
+    /// Number of operands the opcode consumes.
+    pub fn num_operands(self) -> usize {
+        use Opcode::*;
+        match self {
+            INeg | IAbs | Not | ItoF | FtoI | FNeg | FAbs | FSqrt | Copy => 1,
+            Select | Store | SpWrite => 3,
+            IAdd | ISub | IMin | IMax | And | Or | Xor | Shl | Shr | Sra | ICmpEq | ICmpLt
+            | ICmpLe | IMul | IDiv | IRem | FAdd | FSub | FMin | FMax | FMul | FDiv | FCmpEq
+            | FCmpLt | FCmpLe | Load | SpRead | Permute => 2,
+        }
+    }
+
+    /// Whether the opcode produces a result value.
+    pub fn has_result(self) -> bool {
+        !matches!(self, Opcode::Store | Opcode::SpWrite)
+    }
+
+    /// Whether the opcode accesses main memory (used for memory-dependence
+    /// edges in the dependence graph).
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// Whether the opcode accesses the scratchpad (scratchpad accesses are
+    /// ordered among themselves, like memory accesses).
+    pub fn is_scratchpad(self) -> bool {
+        matches!(self, Opcode::SpRead | Opcode::SpWrite)
+    }
+
+    /// Whether the opcode's result is a pure function of its operands
+    /// (no memory or scratchpad side channel).
+    pub fn is_pure(self) -> bool {
+        !self.is_memory() && !self.is_scratchpad()
+    }
+
+    /// Whether swapping the first two operands preserves semantics.
+    pub fn is_commutative(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            IAdd | IMin | IMax | And | Or | Xor | ICmpEq | IMul | FAdd | FMin | FMax | FMul
+                | FCmpEq
+        )
+    }
+
+    /// A short lower-case mnemonic, stable across releases; used by the IR
+    /// printer and the kernel language.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            IAdd => "iadd",
+            ISub => "isub",
+            INeg => "ineg",
+            IAbs => "iabs",
+            IMin => "imin",
+            IMax => "imax",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Not => "not",
+            Shl => "shl",
+            Shr => "shr",
+            Sra => "sra",
+            ICmpEq => "icmpeq",
+            ICmpLt => "icmplt",
+            ICmpLe => "icmple",
+            Select => "select",
+            ItoF => "itof",
+            FtoI => "ftoi",
+            IMul => "imul",
+            IDiv => "idiv",
+            IRem => "irem",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FNeg => "fneg",
+            FAbs => "fabs",
+            FMin => "fmin",
+            FMax => "fmax",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FSqrt => "fsqrt",
+            FCmpEq => "fcmpeq",
+            FCmpLt => "fcmplt",
+            FCmpLe => "fcmple",
+            Load => "load",
+            Store => "store",
+            Permute => "permute",
+            SpRead => "spread",
+            SpWrite => "spwrite",
+            Copy => "copy",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`Opcode::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Opcode::ALL.iter().copied().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One operation a functional unit can perform, with its timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Capability {
+    /// The operation this capability executes.
+    pub opcode: Opcode,
+    /// Cycles from issue to result availability. An operation issued on
+    /// cycle `c` completes on cycle `c + latency - 1`; its result can first
+    /// be read by an operation issuing on cycle `c + latency`.
+    pub latency: u32,
+    /// Minimum cycles between successive issues of this opcode on the unit
+    /// (1 = fully pipelined). Unpipelined dividers use a value > 1.
+    pub issue_interval: u32,
+}
+
+impl Capability {
+    /// A fully-pipelined capability with the given latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero; results are available at the earliest
+    /// one cycle after issue.
+    pub fn new(opcode: Opcode, latency: u32) -> Self {
+        assert!(latency >= 1, "latency must be at least 1");
+        Capability {
+            opcode,
+            latency,
+            issue_interval: 1,
+        }
+    }
+
+    /// Sets the issue interval (for partially pipelined units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_issue_interval(mut self, interval: u32) -> Self {
+        assert!(interval >= 1, "issue interval must be at least 1");
+        self.issue_interval = interval;
+        self
+    }
+}
+
+/// The default latency table used by all four Imagine variants.
+///
+/// The paper keeps "the mix of functional units and operation latency
+/// (including register file access time) the same for all architectures" so
+/// speedups normalised to the central architecture factor the absolute
+/// values out. These latencies are representative of a late-1990s media
+/// processor.
+pub fn default_latency(op: Opcode) -> u32 {
+    use Opcode::*;
+    match op {
+        IAdd | ISub | INeg | IAbs | IMin | IMax | And | Or | Xor | Not | Shl | Shr | Sra
+        | ICmpEq | ICmpLt | ICmpLe | Select | ItoF | FtoI => 1,
+        IMul => 2,
+        IDiv | IRem | FDiv | FSqrt => 8,
+        FAdd | FSub | FNeg | FAbs | FMin | FMax | FCmpEq | FCmpLt | FCmpLe => 2,
+        FMul => 4,
+        Load => 4,
+        Store => 1,
+        Permute => 1,
+        SpRead => 2,
+        SpWrite => 1,
+        Copy => 1,
+    }
+}
+
+/// Issue interval for the default machine configurations: the divider is
+/// partially pipelined (one divide every 4 cycles), everything else is fully
+/// pipelined.
+pub fn default_issue_interval(op: Opcode) -> u32 {
+    use Opcode::*;
+    match op {
+        IDiv | IRem | FDiv | FSqrt => 4,
+        _ => 1,
+    }
+}
+
+/// Builds a [`Capability`] with the default timing for `op`.
+pub fn default_capability(op: Opcode) -> Capability {
+    Capability::new(op, default_latency(op)).with_issue_interval(default_issue_interval(op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_semantics() {
+        assert_eq!(Opcode::Select.num_operands(), 3);
+        assert_eq!(Opcode::Copy.num_operands(), 1);
+        assert_eq!(Opcode::Store.num_operands(), 3);
+        assert_eq!(Opcode::FMul.num_operands(), 2);
+        assert_eq!(Opcode::Load.num_operands(), 2);
+    }
+
+    #[test]
+    fn stores_have_no_result() {
+        assert!(!Opcode::Store.has_result());
+        assert!(!Opcode::SpWrite.has_result());
+        assert!(Opcode::Load.has_result());
+        assert!(Opcode::Copy.has_result());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(!Opcode::SpRead.is_memory());
+        assert!(Opcode::SpRead.is_scratchpad());
+        assert!(Opcode::IAdd.is_pure());
+        assert!(!Opcode::Load.is_pure());
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate: {}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn default_latencies_are_positive() {
+        for &op in Opcode::ALL {
+            assert!(default_latency(op) >= 1);
+            assert!(default_issue_interval(op) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn zero_latency_rejected() {
+        let _ = Capability::new(Opcode::IAdd, 0);
+    }
+
+    #[test]
+    fn commutativity_spot_checks() {
+        assert!(Opcode::IAdd.is_commutative());
+        assert!(!Opcode::ISub.is_commutative());
+        assert!(!Opcode::Shl.is_commutative());
+        assert!(Opcode::FMul.is_commutative());
+    }
+}

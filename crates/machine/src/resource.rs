@@ -1,0 +1,173 @@
+//! Cycle-allocatable hardware resources and their dense indexing.
+//!
+//! The scheduler's resource tables are dense arrays indexed by
+//! `(cycle, resource index)`. [`ResourceMap`] assigns each resource of an
+//! architecture a stable dense index.
+
+use crate::arch::Architecture;
+use crate::ids::{BusId, FuId, InputRef, ReadPortId, WritePortId};
+
+/// One hardware resource that can be occupied on a given cycle.
+///
+/// - `FuIssue` — the unit's issue slot (one operation may issue per cycle;
+///   partially pipelined capabilities occupy it for `issue_interval` cycles).
+/// - `FuOutput` — the unit's result output (one result per cycle, possibly
+///   driving several buses).
+/// - `Bus` — one value per cycle, broadcast to any number of its write
+///   ports or inputs.
+/// - `WritePort` / `ReadPort` — one access per cycle.
+/// - `FuInput` — one operand per cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Issue slot of a functional unit.
+    FuIssue(FuId),
+    /// Result output of a functional unit.
+    FuOutput(FuId),
+    /// A shared or dedicated bus.
+    Bus(BusId),
+    /// A register-file write port.
+    WritePort(WritePortId),
+    /// A register-file read port.
+    ReadPort(ReadPortId),
+    /// An operand input of a functional unit.
+    FuInput(InputRef),
+}
+
+/// Maps [`Resource`]s of one architecture to dense indices `0..len()`.
+#[derive(Clone, Debug)]
+pub struct ResourceMap {
+    num_fus: usize,
+    num_buses: usize,
+    num_wports: usize,
+    num_rports: usize,
+    input_offsets: Vec<usize>,
+    total: usize,
+}
+
+impl ResourceMap {
+    /// Builds the map for `arch`.
+    pub fn new(arch: &Architecture) -> Self {
+        ResourceMap {
+            num_fus: arch.num_fus(),
+            num_buses: arch.num_buses(),
+            num_wports: arch.num_write_ports(),
+            num_rports: arch.num_read_ports(),
+            input_offsets: arch.input_offsets.clone(),
+            total: 2 * arch.num_fus()
+                + arch.num_buses()
+                + arch.num_write_ports()
+                + arch.num_read_ports()
+                + arch.num_inputs(),
+        }
+    }
+
+    /// Total number of resources.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the architecture has no resources (never true for a valid
+    /// architecture).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Dense index of `r`.
+    pub fn index(&self, r: Resource) -> usize {
+        match r {
+            Resource::FuIssue(fu) => fu.index(),
+            Resource::FuOutput(fu) => self.num_fus + fu.index(),
+            Resource::Bus(b) => 2 * self.num_fus + b.index(),
+            Resource::WritePort(p) => 2 * self.num_fus + self.num_buses + p.index(),
+            Resource::ReadPort(p) => {
+                2 * self.num_fus + self.num_buses + self.num_wports + p.index()
+            }
+            Resource::FuInput(input) => {
+                2 * self.num_fus
+                    + self.num_buses
+                    + self.num_wports
+                    + self.num_rports
+                    + self.input_offsets[input.fu.index()]
+                    + input.slot()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchBuilder, FuClass};
+    use crate::op::{default_capability, Opcode};
+
+    fn sample() -> Architecture {
+        let mut b = ArchBuilder::new("sample");
+        let rf = b.register_file("RF", 8);
+        let a0 = b.functional_unit(
+            "A0",
+            FuClass::Alu,
+            2,
+            true,
+            [default_capability(Opcode::IAdd)],
+        );
+        let a1 = b.functional_unit(
+            "A1",
+            FuClass::Alu,
+            3,
+            true,
+            [default_capability(Opcode::Select)],
+        );
+        for fu in [a0, a1] {
+            b.dedicated_write(fu, rf);
+        }
+        for slot in 0..2 {
+            b.dedicated_read(rf, a0, slot);
+        }
+        for slot in 0..3 {
+            b.dedicated_read(rf, a1, slot);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let arch = sample();
+        let map = ResourceMap::new(&arch);
+        let mut seen = vec![false; map.len()];
+        let mut mark = |r: Resource| {
+            let i = map.index(r);
+            assert!(i < map.len(), "{r:?} out of range");
+            assert!(!seen[i], "{r:?} collides");
+            seen[i] = true;
+        };
+        for fu in arch.fu_ids() {
+            mark(Resource::FuIssue(fu));
+            mark(Resource::FuOutput(fu));
+            for slot in 0..arch.fu(fu).num_inputs() {
+                mark(Resource::FuInput(InputRef::new(fu, slot)));
+            }
+        }
+        for bus in arch.bus_ids() {
+            mark(Resource::Bus(bus));
+        }
+        for p in 0..arch.num_write_ports() {
+            mark(Resource::WritePort(WritePortId::from_raw(p)));
+        }
+        for p in 0..arch.num_read_ports() {
+            mark(Resource::ReadPort(ReadPortId::from_raw(p)));
+        }
+        assert!(seen.iter().all(|&s| s), "all indices covered");
+    }
+
+    #[test]
+    fn len_counts_everything() {
+        let arch = sample();
+        let map = ResourceMap::new(&arch);
+        // 2 fus * 2 (issue+output) + buses + wports + rports + 5 inputs
+        assert_eq!(
+            map.len(),
+            4 + arch.num_buses() + arch.num_write_ports() + arch.num_read_ports() + 5
+        );
+        assert!(!map.is_empty());
+    }
+}

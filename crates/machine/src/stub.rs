@@ -1,0 +1,117 @@
+//! Write and read stubs — the two halves of a communication route
+//! (paper §3, Fig 12).
+//!
+//! A *write stub* is the interconnect used to move a result from a
+//! functional unit's output into a register file: the output itself, one
+//! bus, and one register-file write port. A *read stub* is the interconnect
+//! used to move an operand from a register file into a functional-unit
+//! input: one read port, one bus, and the input. If both stubs access the
+//! same register file they form a *route*; otherwise communication
+//! scheduling inserts copy operations to connect them.
+
+use crate::ids::{BusId, FuId, InputRef, ReadPortId, RfId, WritePortId};
+use crate::resource::Resource;
+
+/// A write stub: `(functional-unit output, bus, register-file write port)`.
+///
+/// The stub is allocated on the cycle the writing operation *completes*
+/// (paper §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WriteStub {
+    /// Unit whose output drives the bus.
+    pub fu: FuId,
+    /// Bus carrying the value.
+    pub bus: BusId,
+    /// Register file being written (the file `port` belongs to).
+    pub rf: RfId,
+    /// Write port receiving the value.
+    pub port: WritePortId,
+}
+
+impl WriteStub {
+    /// The resources the stub occupies on its cycle, in a fixed order:
+    /// output, bus, write port.
+    pub fn resources(&self) -> [Resource; 3] {
+        [
+            Resource::FuOutput(self.fu),
+            Resource::Bus(self.bus),
+            Resource::WritePort(self.port),
+        ]
+    }
+}
+
+/// A read stub: `(register-file read port, bus, functional-unit input)`.
+///
+/// The stub is allocated on the cycle the reading operation *issues*
+/// (paper §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReadStub {
+    /// Register file being read (the file `port` belongs to).
+    pub rf: RfId,
+    /// Read port producing the value.
+    pub port: ReadPortId,
+    /// Bus carrying the value.
+    pub bus: BusId,
+    /// Unit whose input receives the value.
+    pub fu: FuId,
+    /// Input slot (operand position) receiving the value.
+    pub slot: u8,
+}
+
+impl ReadStub {
+    /// The input this stub feeds.
+    pub fn input(&self) -> InputRef {
+        InputRef {
+            fu: self.fu,
+            slot: self.slot,
+        }
+    }
+
+    /// The resources the stub occupies on its cycle, in a fixed order:
+    /// read port, bus, input.
+    pub fn resources(&self) -> [Resource; 3] {
+        [
+            Resource::ReadPort(self.port),
+            Resource::Bus(self.bus),
+            Resource::FuInput(self.input()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_stub_resources() {
+        let s = WriteStub {
+            fu: FuId::from_raw(1),
+            bus: BusId::from_raw(2),
+            rf: RfId::from_raw(3),
+            port: WritePortId::from_raw(4),
+        };
+        let r = s.resources();
+        assert_eq!(r[0], Resource::FuOutput(FuId::from_raw(1)));
+        assert_eq!(r[1], Resource::Bus(BusId::from_raw(2)));
+        assert_eq!(r[2], Resource::WritePort(WritePortId::from_raw(4)));
+    }
+
+    #[test]
+    fn read_stub_resources() {
+        let s = ReadStub {
+            rf: RfId::from_raw(0),
+            port: ReadPortId::from_raw(5),
+            bus: BusId::from_raw(6),
+            fu: FuId::from_raw(7),
+            slot: 2,
+        };
+        let r = s.resources();
+        assert_eq!(r[0], Resource::ReadPort(ReadPortId::from_raw(5)));
+        assert_eq!(r[1], Resource::Bus(BusId::from_raw(6)));
+        assert_eq!(
+            r[2],
+            Resource::FuInput(InputRef::new(FuId::from_raw(7), 2))
+        );
+        assert_eq!(s.input().slot(), 2);
+    }
+}

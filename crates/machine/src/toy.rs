@@ -1,0 +1,177 @@
+//! The motivating-example machine of the paper (Figure 5).
+//!
+//! Three functional units — `ADD0`, `LS` (load/store), `ADD1` — and three
+//! register files connected by two shared buses:
+//!
+//! - `BUS0` is driven by either `ADD0`'s or `LS`'s output ("either output
+//!   can drive shared bus") and reaches `RF0`'s write port and the shared
+//!   write port of the center register file `RFC`.
+//! - `BUS1` is driven by `ADD1`'s or `LS`'s output (`LS`'s "output can
+//!   drive either or both buses") and reaches `RF1`'s write port and
+//!   `RFC`'s shared write port ("either bus can drive the shared port").
+//! - `RF0` feeds `ADD0`'s inputs, `RF1` feeds `ADD1`'s inputs, and `RFC`
+//!   feeds `LS`'s inputs, all through dedicated read ports.
+//!
+//! Scheduling the five-operation fragment of Figure 4 onto this machine
+//! reproduces the paper's Figures 6–7 and 13–24: a conventional scheduler
+//! produces an incorrect schedule because operations 1 and 2 contend for
+//! `BUS0`, while communication scheduling stages `a` through `RFC` and
+//! inserts one copy operation (executed on `LS`) to complete the route to
+//! `ADD0`.
+
+use crate::arch::{ArchBuilder, Architecture, FuClass};
+use crate::op::{Capability, Opcode};
+
+/// Builds the Figure 5 machine.
+///
+/// All operations on this machine have unit latency, matching the paper's
+/// footnote ("for illustrative purposes, all operations have unit
+/// latency").
+///
+/// # Examples
+///
+/// ```
+/// let arch = csched_machine::toy::motivating_example();
+/// assert_eq!(arch.num_fus(), 3);
+/// assert_eq!(arch.num_rfs(), 3);
+/// assert!(arch.copy_connectivity().is_copy_connected());
+/// ```
+pub fn motivating_example() -> Architecture {
+    let unit = |op: Opcode| Capability::new(op, 1);
+    let mut b = ArchBuilder::new("toy-fig5");
+
+    let rf0 = b.register_file("RF0", 8);
+    let rfc = b.register_file("RFC", 8);
+    let rf1 = b.register_file("RF1", 8);
+
+    let add0 = b.functional_unit(
+        "ADD0",
+        FuClass::Alu,
+        2,
+        true,
+        [
+            unit(Opcode::IAdd),
+            unit(Opcode::ISub),
+            unit(Opcode::Copy),
+        ],
+    );
+    let ls = b.functional_unit(
+        "LS",
+        FuClass::Ls,
+        3,
+        true,
+        [
+            unit(Opcode::Load),
+            unit(Opcode::Store),
+            unit(Opcode::Copy),
+        ],
+    );
+    let add1 = b.functional_unit(
+        "ADD1",
+        FuClass::Alu,
+        2,
+        true,
+        [
+            unit(Opcode::IAdd),
+            unit(Opcode::ISub),
+            unit(Opcode::Copy),
+        ],
+    );
+
+    let bus0 = b.bus("BUS0");
+    let bus1 = b.bus("BUS1");
+
+    // Write side: ADD0 -> BUS0; ADD1 -> BUS1; LS -> either or both buses.
+    b.connect_output(add0, bus0);
+    b.connect_output(add1, bus1);
+    b.connect_output(ls, bus0);
+    b.connect_output(ls, bus1);
+    b.set_output_fanout(ls, 2);
+
+    // BUS0 -> RF0 and RFC; BUS1 -> RF1 and RFC (RFC has one shared port).
+    let wp0 = b.write_port(rf0);
+    let wpc = b.write_port(rfc);
+    let wp1 = b.write_port(rf1);
+    b.connect_bus_to_write_port(bus0, wp0);
+    b.connect_bus_to_write_port(bus0, wpc);
+    b.connect_bus_to_write_port(bus1, wp1);
+    b.connect_bus_to_write_port(bus1, wpc);
+
+    // Read side: dedicated ports.
+    b.dedicated_read(rf0, add0, 0);
+    b.dedicated_read(rf0, add0, 1);
+    b.dedicated_read(rfc, ls, 0);
+    b.dedicated_read(rfc, ls, 1);
+    b.dedicated_read(rfc, ls, 2);
+    b.dedicated_read(rf1, add1, 0);
+    b.dedicated_read(rf1, add1, 1);
+
+    b.build().expect("toy machine is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RfId;
+
+    #[test]
+    fn shape_matches_figure5() {
+        let a = motivating_example();
+        assert_eq!(a.num_fus(), 3);
+        assert_eq!(a.num_rfs(), 3);
+        // 2 shared buses + 7 dedicated read wires.
+        assert_eq!(a.num_buses(), 9);
+        assert_eq!(a.num_write_ports(), 3);
+        assert_eq!(a.num_read_ports(), 7);
+    }
+
+    #[test]
+    fn write_stub_sets_match_figure15() {
+        let a = motivating_example();
+        let add0 = a.fu_by_name("ADD0").unwrap();
+        let ls = a.fu_by_name("LS").unwrap();
+        let add1 = a.fu_by_name("ADD1").unwrap();
+        // ADD0 can write RF0 or RFC (via BUS0): 2 stubs.
+        assert_eq!(a.write_stubs(add0).len(), 2);
+        // LS drives both buses: 4 stubs (RF0, RFC via BUS0; RF1, RFC via BUS1).
+        assert_eq!(a.write_stubs(ls).len(), 4);
+        assert_eq!(a.write_stubs(add1).len(), 2);
+        let rfc = a.rf_by_name("RFC").unwrap();
+        assert!(a.writable_rfs(ls).contains(&rfc));
+    }
+
+    #[test]
+    fn read_sides_are_dedicated() {
+        let a = motivating_example();
+        let add0 = a.fu_by_name("ADD0").unwrap();
+        assert_eq!(a.read_stubs(add0, 0).len(), 1);
+        assert_eq!(a.read_stubs(add0, 0)[0].rf, RfId::from_raw(0));
+    }
+
+    #[test]
+    fn copy_connected_with_expected_distances() {
+        let a = motivating_example();
+        let c = a.copy_connectivity();
+        assert!(c.is_copy_connected(), "violations: {:?}", c.violations());
+        let rf0 = a.rf_by_name("RF0").unwrap();
+        let rfc = a.rf_by_name("RFC").unwrap();
+        let rf1 = a.rf_by_name("RF1").unwrap();
+        // LS reads RFC and writes anywhere: RFC -> RF0/RF1 in one copy.
+        assert_eq!(c.copy_distance(rfc, rf0), Some(1));
+        assert_eq!(c.copy_distance(rfc, rf1), Some(1));
+        // ADD0 reads RF0, writes RF0/RFC: RF0 -> RFC in one copy.
+        assert_eq!(c.copy_distance(rf0, rfc), Some(1));
+        // RF0 -> RF1 needs two copies (through RFC).
+        assert_eq!(c.copy_distance(rf0, rf1), Some(2));
+    }
+
+    #[test]
+    fn ls_fanout_is_two() {
+        let a = motivating_example();
+        let ls = a.fu_by_name("LS").unwrap();
+        assert_eq!(a.fu(ls).output_fanout(), 2);
+        assert_eq!(a.output_buses(ls).len(), 2);
+        let add0 = a.fu_by_name("ADD0").unwrap();
+        assert_eq!(a.fu(add0).output_fanout(), 1);
+    }
+}

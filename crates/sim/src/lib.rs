@@ -1,0 +1,45 @@
+//! # csched-sim — cycle-level simulator for communication schedules
+//!
+//! Executes a [`csched_core::Schedule`] on its machine the way the
+//! hardware would: operations issue on their scheduled cycles and units,
+//! values travel over the allocated buses into the register files their
+//! routes stage them in, and the software-pipelined loop overlaps
+//! iterations at the schedule's initiation interval. The IR interpreter
+//! (`csched_ir::interp`) acts as the semantic oracle: for any valid
+//! schedule, the simulated memory image must match the interpreted one
+//! exactly.
+//!
+//! ```
+//! use csched_core::{schedule_kernel, SchedulerConfig};
+//! use csched_ir::{interp, KernelBuilder, Memory, Word};
+//! use csched_machine::{imagine, Opcode};
+//!
+//! // out[i] = in[i] + 1
+//! let mut kb = KernelBuilder::new("inc");
+//! let input = kb.region("in", true);
+//! let output = kb.region("out", true);
+//! let lp = kb.loop_block("body");
+//! let i = kb.loop_var(lp, 0i64.into());
+//! let x = kb.load(lp, input, i.into(), 0i64.into());
+//! let y = kb.push(lp, Opcode::IAdd, [x.into(), 1i64.into()]);
+//! kb.store(lp, output, i.into(), 0i64.into(), y.into());
+//! let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+//! kb.set_update(i, i1.into());
+//! let kernel = kb.build()?;
+//!
+//! let arch = imagine::distributed();
+//! let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default())?;
+//!
+//! let mut mem = Memory::new();
+//! mem.write_block(0, (0..4).map(Word::I));
+//! let stats = csched_sim::execute(&kernel, &schedule, &mut mem, 4)?;
+//! assert!(stats.cycles > 0);
+//! assert_eq!(mem.main[&3], Word::I(4));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod exec;
+
+pub use exec::{execute, SimError, SimStats};

@@ -1,0 +1,79 @@
+//! The simulator must *detect* broken schedules, not silently produce
+//! wrong results: shifting an operation off its scheduled cycle makes its
+//! reads miss the register file and surfaces as `ValueNotRouted` (or a
+//! divergence from the reference, never silence).
+
+use csched_core::{schedule_kernel, SOpId, SchedulerConfig};
+use csched_ir::{interp, KernelBuilder, Memory, Word};
+use csched_machine::{imagine, Opcode};
+
+fn kernel() -> csched_ir::Kernel {
+    let mut kb = KernelBuilder::new("victim");
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let x = kb.load(lp, input, i.into(), 0i64.into());
+    let y = kb.push(lp, Opcode::IMul, [x.into(), 3i64.into()]);
+    let z = kb.push(lp, Opcode::IAdd, [y.into(), 1i64.into()]);
+    kb.store(lp, output, i.into(), 100i64.into(), z.into());
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().unwrap()
+}
+
+fn inputs(trip: u64) -> Memory {
+    let mut mem = Memory::new();
+    mem.write_block(0, (0..trip as i64).map(Word::I));
+    mem
+}
+
+#[test]
+fn intact_schedule_matches_reference() {
+    let kernel = kernel();
+    let arch = imagine::distributed();
+    let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+    let trip = 8;
+    let mut mem = inputs(trip);
+    csched_sim::execute(&kernel, &s, &mut mem, trip).unwrap();
+    let mut expected = inputs(trip);
+    interp::run(&kernel, &mut expected, trip).unwrap();
+    assert_eq!(mem.main, expected.main);
+}
+
+#[test]
+fn corrupted_schedule_is_detected_not_silent() {
+    let kernel = kernel();
+    let arch = imagine::distributed();
+    let trip = 8;
+    let mut expected = inputs(trip);
+    interp::run(&kernel, &mut expected, trip).unwrap();
+
+    // The safety property: a perturbed schedule is either rejected by the
+    // validator, or — when the shift lands in genuine slack and the
+    // schedule stays well-formed — it must still execute to exactly the
+    // reference output. "Accepted but wrong" must never happen.
+    let mut rejected = 0usize;
+    for victim in 0..kernel.num_ops() {
+        for delta in [-3i64, 2] {
+            let mut s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+            s.corrupt_placement_for_tests(SOpId::from_raw(victim), delta);
+            let accepted = csched_core::validate::validate(&arch, &kernel, &s).is_ok();
+            if !accepted {
+                rejected += 1;
+                continue;
+            }
+            let mut mem = inputs(trip);
+            csched_sim::execute(&kernel, &s, &mut mem, trip).unwrap_or_else(|e| {
+                panic!("op{victim} delta {delta}: validator accepted but simulation failed: {e}")
+            });
+            assert_eq!(
+                mem.main, expected.main,
+                "op{victim} delta {delta}: validator accepted a schedule that computes wrong results"
+            );
+        }
+    }
+    // Shifting the load or the dependent arithmetic breaks timing or
+    // resources in most cases: the validator must be doing real work.
+    assert!(rejected >= kernel.num_ops(), "only {rejected} perturbations rejected");
+}

@@ -1,0 +1,87 @@
+//! End-to-end coverage for the scratchpad and permutation units: kernels
+//! that route values through `SP0` and `PU0` schedule, validate and
+//! simulate identically to the interpreter on every Imagine organisation.
+
+use csched_core::{schedule_kernel, validate, SchedulerConfig};
+use csched_ir::{interp, Kernel, KernelBuilder, Memory, Word};
+use csched_machine::{imagine, Opcode};
+
+/// Histogram-style kernel: sorts values into scratchpad buckets and reads
+/// a rotating window back — every iteration does an SpWrite and an SpRead
+/// through the single scratchpad unit.
+fn scratch_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("scratch");
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+    let scratch = kb.region("tile", false); // scratch re-reads alias
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let x = kb.load(lp, input, i.into(), 0i64.into());
+    // tile[i & 3] = x; y = tile[i & 3] * 2 (same address: read-after-write)
+    let slot = kb.push(lp, Opcode::And, [i.into(), 3i64.into()]);
+    kb.push_mem(lp, Opcode::SpWrite, [slot.into(), 0i64.into(), x.into()], scratch);
+    let (_, r) = kb.push_mem(lp, Opcode::SpRead, [slot.into(), 0i64.into()], scratch);
+    let y = kb.push(lp, Opcode::IMul, [r.unwrap().into(), 2i64.into()]);
+    kb.store(lp, output, i.into(), 200i64.into(), y.into());
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().unwrap()
+}
+
+/// Rotate-and-mask kernel exercising the permutation unit.
+fn permute_kernel() -> Kernel {
+    let mut kb = KernelBuilder::new("perm");
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let x = kb.load(lp, input, i.into(), 0i64.into());
+    let amount = kb.push(lp, Opcode::And, [i.into(), 7i64.into()]);
+    let rot = kb.push(lp, Opcode::Permute, [x.into(), amount.into()]);
+    let mixed = kb.push(lp, Opcode::Xor, [rot.into(), x.into()]);
+    kb.store(lp, output, i.into(), 300i64.into(), mixed.into());
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().unwrap()
+}
+
+fn check(kernel: &Kernel, trip: u64) {
+    let mut expected = Memory::new();
+    expected.write_block(0, (0..trip as i64).map(|v| Word::I(v * 9 + 4)));
+    interp::run(kernel, &mut expected, trip).unwrap();
+
+    for arch in imagine::all_variants() {
+        let s = schedule_kernel(&arch, kernel, SchedulerConfig::default())
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), arch.name()));
+        validate::validate(&arch, kernel, &s)
+            .unwrap_or_else(|e| panic!("{} on {}: {e:?}", kernel.name(), arch.name()));
+        let mut mem = Memory::new();
+        mem.write_block(0, (0..trip as i64).map(|v| Word::I(v * 9 + 4)));
+        let stats = csched_sim::execute(kernel, &s, &mut mem, trip)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), arch.name()));
+        assert_eq!(mem.main, expected.main, "{} on {}", kernel.name(), arch.name());
+        assert_eq!(mem.scratch, expected.scratch, "{} on {}", kernel.name(), arch.name());
+        assert!(stats.cycles > 0);
+    }
+}
+
+#[test]
+fn scratchpad_unit_end_to_end() {
+    // The aliasing scratch region forces loop-carried ordering through the
+    // single scratchpad unit; the recurrence binds the II.
+    check(&scratch_kernel(), 10);
+}
+
+#[test]
+fn permute_unit_end_to_end() {
+    check(&permute_kernel(), 10);
+}
+
+#[test]
+fn scratchpad_recurrence_binds_ii() {
+    use csched_ir::DepGraph;
+    let k = scratch_kernel();
+    let g = DepGraph::build(&k, csched_machine::default_latency);
+    // spwrite -> spread (same aliasing region) carried ordering exists.
+    assert!(g.rec_mii(&k) >= 2);
+}

@@ -1,0 +1,102 @@
+//! Embedding communication scheduling in a *different* scheduling
+//! algorithm — the paper's §8 claim that it "can be implemented as part of
+//! a variety of scheduling algorithms ... simply by allowing communication
+//! scheduling to accept or reject each operation placement".
+//!
+//! This example builds a deliberately naive scheduler directly on
+//! [`csched::core::Engine`]: operations in plain program order (no
+//! critical-path priority), units tried in index order (no eq 1
+//! heuristic), earliest cycle first. Communication scheduling still
+//! guarantees a *correct* schedule — every placement it accepts has all
+//! its routes — it is just slower than the paper's scheduler, which is the
+//! point.
+//!
+//! ```sh
+//! cargo run --release --example custom_scheduler
+//! ```
+
+use csched::core::{schedule_kernel, validate, Engine, SOpId, SchedulerConfig};
+use csched::ir::{DepGraph, DepKind};
+use csched::machine::{default_latency, imagine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Table 1 Sort kernel: 38 compare-exchange min/max operations
+    // with dense value reuse on a clustered machine.
+    let kernel = csched::kernels::by_name("Sort").expect("known kernel").kernel;
+
+    let arch = imagine::clustered(4);
+
+    // --- the naive scheduler, built directly on the Engine ---------------
+    let graph = DepGraph::build(&kernel, default_latency);
+    let order_edges: Vec<csched::core::OrderEdge> = graph
+        .edges()
+        .iter()
+        .filter(|e| e.kind == DepKind::Mem)
+        .map(|e| csched::core::OrderEdge {
+            from: SOpId::from_raw(e.from.index()),
+            to: SOpId::from_raw(e.to.index()),
+            distance: e.distance,
+        })
+        .collect();
+    let asap = graph.asap(&kernel);
+
+    let mut naive = None;
+    'ii: for ii in graph.rec_mii(&kernel).max(1)..96 {
+        let mut engine = Engine::new(
+            &arch,
+            &kernel,
+            SchedulerConfig::default(),
+            order_edges.clone(),
+            asap.clone(),
+            ii,
+        );
+        // Program order, first unit that fits, earliest cycle: Figure 11's
+        // outer loop with every clever choice stripped out.
+        let mut ok = true;
+        'ops: for op in kernel.op_ids() {
+            let sop = SOpId::from_raw(op.index());
+            for cycle in 0..(4 * ii as i64 + 32) {
+                for fu in arch.fus_for(kernel.op(op).opcode()) {
+                    if engine.place(sop, fu, cycle, 0) {
+                        continue 'ops;
+                    }
+                }
+            }
+            ok = false;
+            break;
+        }
+        if ok && engine.all_closed() {
+            naive = Some(engine.into_schedule(true));
+            break 'ii;
+        }
+    }
+    let naive = naive.expect("the naive scheduler eventually finds an II");
+
+    // Communication scheduling kept it correct:
+    validate::validate(&arch, &kernel, &naive)
+        .map_err(|e| format!("naive schedule invalid: {e:?}"))?;
+
+    // --- compare against the paper's scheduler ---------------------------
+    let paper = schedule_kernel(&arch, &kernel, SchedulerConfig::default())?;
+    println!(
+        "{:<22} II = {:>2}, copies = {}",
+        "naive program-order:",
+        naive.ii().unwrap(),
+        naive.num_copies()
+    );
+    println!(
+        "{:<22} II = {:>2}, copies = {}",
+        "paper's scheduler:",
+        paper.ii().unwrap(),
+        paper.num_copies()
+    );
+    println!(
+        "\nBoth schedules validate: communication scheduling made even the\n\
+         naive scheduler *correct* on a shared-interconnect machine. The\n\
+         heuristics change schedule quality, not correctness — and on some\n\
+         kernels (like this one) a simple order can even get lucky, which\n\
+         is exactly why the engine and the driving algorithm are separate\n\
+         layers."
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Architecture design-space exploration — the paper's §8 pitch:
+//! "Communication scheduling is not architecture specific. It can be used
+//! to explore novel register file architectures without implementing a
+//! custom compiler for each architecture."
+//!
+//! This example defines a family of *hybrid* machines — distributed
+//! register files with a varying number of global buses — checks each for
+//! copy-connectedness (Appendix A), schedules two kernels on every
+//! variant, and reports how performance and estimated area trade off as
+//! the shared interconnect shrinks.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use csched::core::{schedule_kernel, SchedulerConfig};
+use csched::machine::{
+    cost, default_capability, ArchBuilder, Architecture, FuClass, Opcode,
+};
+
+/// A small distributed machine with a configurable global bus count:
+/// 3 ALUs, 1 multiplier, 2 load/store units, one register file per input.
+fn hybrid(buses: usize) -> Architecture {
+    let mut b = ArchBuilder::new(format!("hybrid-{buses}bus"));
+    use Opcode::*;
+    let caps = |ops: &[Opcode]| ops.iter().map(|&o| default_capability(o)).collect::<Vec<_>>();
+    let alu_ops = [IAdd, ISub, IMin, IMax, And, Or, Xor, Shl, Sra, ICmpEq, ICmpLt, ICmpLe, Select, Copy,];
+    let units: Vec<_> = vec![
+        (b.functional_unit("ALU0", FuClass::Alu, 3, true, caps(&alu_ops)), 3usize),
+        (b.functional_unit("ALU1", FuClass::Alu, 3, true, caps(&alu_ops)), 3),
+        (b.functional_unit("ALU2", FuClass::Alu, 3, true, caps(&alu_ops)), 3),
+        (b.functional_unit("MUL0", FuClass::Mul, 2, true, caps(&[IMul, Copy])), 2),
+        (b.functional_unit("LS0", FuClass::Ls, 3, true, caps(&[Load, Store])), 3),
+        (b.functional_unit("LS1", FuClass::Ls, 3, true, caps(&[Load, Store])), 3),
+    ];
+    let bus_ids: Vec<_> = (0..buses).map(|i| b.bus(format!("GB{i}"))).collect();
+    for &(fu, _) in &units {
+        for &bus in &bus_ids {
+            b.connect_output(fu, bus);
+        }
+    }
+    for &(fu, inputs) in &units {
+        for slot in 0..inputs {
+            let rf = b.register_file(format!("RF_{}_{slot}", fu.index()), 16);
+            let wp = b.write_port(rf);
+            for &bus in &bus_ids {
+                b.connect_bus_to_write_port(bus, wp);
+            }
+            b.dedicated_read(rf, fu, slot);
+        }
+    }
+    b.build().expect("hybrid machines are well-formed")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two kernels with different communication appetites.
+    let workloads: Vec<_> = ["Merge", "Sort"]
+        .iter()
+        .map(|n| csched::kernels::by_name(n).expect("known kernel"))
+        .collect();
+
+    println!(
+        "{:<14} {:>6} {:>10} {:>12} {:>12} {:>10}",
+        "machine", "buses", "connected", "Merge II", "Sort II", "rel.area"
+    );
+    let params = cost::CostParams::default();
+    let base_area = cost::estimate(&hybrid(6), &params).area();
+    for buses in [6usize, 4, 3, 2, 1] {
+        let arch = hybrid(buses);
+        let connected = arch.copy_connectivity().is_copy_connected();
+        let mut iis = Vec::new();
+        for w in &workloads {
+            let ii = if connected {
+                schedule_kernel(&arch, &w.kernel, SchedulerConfig::default())
+                    .map(|s| s.ii().unwrap_or(0))
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|_| "fail".into())
+            } else {
+                "n/a".into()
+            };
+            iis.push(ii);
+        }
+        let area = cost::estimate(&arch, &params).area() / base_area;
+        println!(
+            "{:<14} {:>6} {:>10} {:>12} {:>12} {:>9.2}x",
+            arch.name(),
+            buses,
+            connected,
+            iis[0],
+            iis[1],
+            area
+        );
+    }
+    println!();
+    println!("Fewer buses shrink the interconnect but throttle result bandwidth;");
+    println!("communication scheduling keeps every copy-connected point of the");
+    println!("space schedulable, so the sweep needs no per-machine compiler work.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # csched — communication scheduling for shared-interconnect VLIW machines
+//!
+//! A from-scratch reproduction of Mattson, Dally, Rixner, Kapasi and Owens,
+//! *Communication Scheduling* (ASPLOS 2000): a VLIW scheduler component
+//! that makes every producer→consumer communication explicit and composes
+//! it from a write stub, zero or more copy operations, and a read stub —
+//! enabling scheduling to architectures whose functional units share buses
+//! and register-file ports, such as the Imagine stream processor's
+//! distributed register files.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`machine`]: architecture descriptions, the four Imagine register-file
+//!   organisations, copy-connectivity (Appendix A), and the VLSI cost
+//!   model (Figures 25–27);
+//! - [`ir`]: the kernel IR, dependence graph, reference interpreter and
+//!   loop unroller;
+//! - [`core`]: the communication-scheduling engine, list/modulo
+//!   schedulers, schedule validator and register-pressure analysis;
+//! - [`sim`]: the cycle-level simulator;
+//! - [`kernels`]: the ten Table 1 evaluation workloads;
+//! - [`eval`]: the harness regenerating every table and figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use csched::core::{schedule_kernel, SchedulerConfig};
+//! use csched::ir::KernelBuilder;
+//! use csched::machine::{imagine, Opcode};
+//!
+//! // A kernel: out[i] = in[i] * in[i]
+//! let mut kb = KernelBuilder::new("square");
+//! let input = kb.region("in", true);
+//! let output = kb.region("out", true);
+//! let lp = kb.loop_block("body");
+//! let i = kb.loop_var(lp, 0i64.into());
+//! let x = kb.load(lp, input, i.into(), 0i64.into());
+//! let y = kb.push(lp, Opcode::IMul, [x.into(), x.into()]);
+//! kb.store(lp, output, i.into(), 0i64.into(), y.into());
+//! let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+//! kb.set_update(i, i1.into());
+//! let kernel = kb.build()?;
+//!
+//! // Schedule it onto the distributed register file machine.
+//! let arch = imagine::distributed();
+//! let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default())?;
+//! println!("II = {}", schedule.ii().unwrap());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use csched_core as core;
+pub use csched_eval as eval;
+pub use csched_ir as ir;
+pub use csched_kernels as kernels;
+pub use csched_machine as machine;
+pub use csched_sim as sim;

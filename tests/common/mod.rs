@@ -1,0 +1,152 @@
+//! Shared helpers for the integration tests: a random kernel generator
+//! (for property tests) and a differential runner that schedules,
+//! validates, simulates and cross-checks a kernel on an architecture.
+//!
+//! Each test target compiles this module separately, so items unused by a
+//! particular target are expected.
+#![allow(dead_code)]
+
+use csched::core::{schedule_kernel, validate, SchedulerConfig};
+use csched::ir::{interp, Kernel, KernelBuilder, Memory, Operand, ValueId, Word};
+use csched::machine::{Architecture, Opcode};
+
+/// Deterministic xorshift generator for reproducible random programs.
+pub struct Rng(pub u64);
+
+impl Rng {
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0 = self.0.wrapping_mul(0x2545F4914F6CDD1D);
+        self.0
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Integer opcodes safe for random programs (no division, no floats — the
+/// interpreter and simulator must agree bit-for-bit and never trap).
+pub const RANDOM_OPS: &[Opcode] = &[
+    Opcode::IAdd,
+    Opcode::ISub,
+    Opcode::IMin,
+    Opcode::IMax,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::IMul,
+];
+
+/// The subset of [`RANDOM_OPS`] the Figure 5 toy machine can execute.
+pub const TOY_OPS: &[Opcode] = &[Opcode::IAdd, Opcode::ISub];
+
+/// Builds a random streaming kernel over the full integer opcode palette.
+pub fn random_kernel(seed: u64, loop_ops: usize) -> Kernel {
+    random_kernel_with_ops(seed, loop_ops, RANDOM_OPS)
+}
+
+/// Builds a random streaming kernel: a preamble computing a few constants,
+/// then a loop that loads from an input stream, applies a random integer
+/// DAG drawn from `palette`, and stores one or more results.
+pub fn random_kernel_with_ops(seed: u64, loop_ops: usize, palette: &[Opcode]) -> Kernel {
+    let mut rng = Rng(seed | 1);
+    let mut kb = KernelBuilder::new(format!("random-{seed:x}"));
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+
+    // Preamble: two derived constants.
+    let pre = kb.straight_block("pre");
+    let c0 = kb.push(
+        pre,
+        Opcode::IAdd,
+        [(rng.below(100) as i64).into(), 1i64.into()],
+    );
+    let c1 = kb.push(
+        pre,
+        palette[0],
+        [c0.into(), (rng.below(64) as i64).into()],
+    );
+
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let acc = kb.loop_var(lp, c1.into());
+
+    let mut pool: Vec<ValueId> = vec![i, acc, c0, c1];
+    let x = kb.load(lp, input, i.into(), 0i64.into());
+    pool.push(x);
+    let mut last = x;
+    for k in 0..loop_ops {
+        let op = palette[rng.below(palette.len())];
+        let a = pool[rng.below(pool.len())];
+        let bv: Operand = if rng.below(4) == 0 {
+            (rng.below(32) as i64).into()
+        } else {
+            pool[rng.below(pool.len())].into()
+        };
+        let v = kb.push(lp, op, [a.into(), bv]);
+        pool.push(v);
+        last = v;
+        // Occasionally store an intermediate value.
+        if rng.below(5) == 0 {
+            kb.store(lp, output, i.into(), (1000 + k as i64 * 16).into(), v.into());
+        }
+    }
+    kb.store(lp, output, i.into(), 5000i64.into(), last.into());
+    // Keep the accumulator recurrence tame: fold the last value in.
+    let acc1 = kb.push(lp, palette[0], [acc.into(), last.into()]);
+    kb.store(lp, output, i.into(), 6000i64.into(), acc1.into());
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.set_update(acc, acc1.into());
+    kb.build().expect("random kernels are structurally valid")
+}
+
+/// Schedules `kernel` on `arch`, validates it independently, executes it on
+/// the cycle simulator, and checks the memory image against the reference
+/// interpreter. Panics with context on any divergence.
+pub fn differential_check(arch: &Architecture, kernel: &Kernel, trip: u64, seed: u64) {
+    let schedule = schedule_kernel(arch, kernel, SchedulerConfig::default())
+        .unwrap_or_else(|e| panic!("[seed {seed:#x}] {} on {}: {e}", kernel.name(), arch.name()));
+    validate::validate(arch, kernel, &schedule).unwrap_or_else(|errors| {
+        panic!(
+            "[seed {seed:#x}] {} on {}: invalid schedule: {errors:?}",
+            kernel.name(),
+            arch.name()
+        )
+    });
+
+    let mut sim_mem = seeded_memory(trip);
+    csched::sim::execute(kernel, &schedule, &mut sim_mem, trip)
+        .unwrap_or_else(|e| panic!("[seed {seed:#x}] simulation failed: {e}"));
+
+    let mut ref_mem = seeded_memory(trip);
+    interp::run(kernel, &mut ref_mem, trip)
+        .unwrap_or_else(|e| panic!("[seed {seed:#x}] interpreter failed: {e}"));
+
+    assert_eq!(
+        sim_mem.main, ref_mem.main,
+        "[seed {seed:#x}] {} on {}: simulator and interpreter disagree",
+        kernel.name(),
+        arch.name()
+    );
+}
+
+/// Input memory used by the random kernels.
+pub fn seeded_memory(trip: u64) -> Memory {
+    let mut mem = Memory::new();
+    mem.write_block(0, (0..trip as i64).map(|v| Word::I(v * 31 - 7)));
+    mem
+}
+
+/// Re-exports of the library's architecture generators (kept here so the
+/// integration tests read naturally).
+pub fn random_distributed_arch(seed: u64) -> Architecture {
+    csched::machine::gen::random_distributed(seed)
+}
+
+pub fn random_clustered_arch(seed: u64) -> Architecture {
+    csched::machine::gen::random_clustered(seed)
+}

@@ -1,0 +1,86 @@
+//! End-to-end integration: every Table 1 kernel schedules on the central
+//! register file machine, passes independent validation, and the cycle
+//! simulator reproduces the scalar reference output exactly.
+//!
+//! (The full 10 × 4 grid incl. the clustered and distributed machines runs
+//! in release mode via `cargo run --release -p csched-eval --bin
+//! paper-report`; debug-mode integration keeps to the fast baseline plus
+//! spot checks so `cargo test` stays snappy.)
+
+mod common;
+
+use csched::core::{regalloc, schedule_kernel, validate, SchedulerConfig};
+use csched::machine::imagine;
+
+#[test]
+fn all_kernels_end_to_end_on_central() {
+    let arch = imagine::central();
+    for w in csched::kernels::all() {
+        let schedule = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.kernel.name()));
+        validate::validate(&arch, &w.kernel, &schedule)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", w.kernel.name()));
+        // No copies ever needed on a central register file.
+        assert_eq!(schedule.num_copies(), 0, "{}", w.kernel.name());
+
+        let mut mem = w.memory();
+        csched::sim::execute(&w.kernel, &schedule, &mut mem, w.trip)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.kernel.name()));
+        w.verify(&mem).unwrap_or_else(|e| panic!("{e}"));
+
+        // Register demand is well-formed and fits the central file.
+        let pressure = regalloc::analyze(&arch, &w.kernel, &schedule);
+        assert!(pressure.total_required() > 0, "{}", w.kernel.name());
+        assert!(
+            pressure.fits(),
+            "{}: demand {} exceeds central capacity",
+            w.kernel.name(),
+            pressure.max_required()
+        );
+    }
+}
+
+#[test]
+fn spot_check_distributed_machine() {
+    let arch = imagine::distributed();
+    for name in ["FFT", "Merge", "Block Warp"] {
+        let w = csched::kernels::by_name(name).expect("known kernel");
+        let schedule = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        validate::validate(&arch, &w.kernel, &schedule)
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let mut mem = w.memory();
+        csched::sim::execute(&w.kernel, &schedule, &mut mem, w.trip)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        w.verify(&mem).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn spot_check_clustered_machine() {
+    let arch = imagine::clustered(4);
+    for name in ["DCT", "Sort", "Merge"] {
+        let w = csched::kernels::by_name(name).expect("known kernel");
+        let schedule = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        validate::validate(&arch, &w.kernel, &schedule)
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let mut mem = w.memory();
+        csched::sim::execute(&w.kernel, &schedule, &mut mem, w.trip)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        w.verify(&mem).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn unrolled_kernels_schedule_everywhere() {
+    // The unroller's output must remain schedulable (it stresses operand
+    // counts and memory ordering).
+    let arch = imagine::central();
+    for name in ["FFT-U4", "Block Warp-U2"] {
+        let w = csched::kernels::by_name(name).expect("known kernel");
+        let schedule = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(schedule.ii().is_some());
+    }
+}
