@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, and format-check the whole workspace.
+#
+# Usage: ./ci.sh
+#
+# The lint and format steps degrade gracefully when the toolchain lacks
+# the `clippy` or `rustfmt` components (e.g. a minimal container); the
+# build and test steps are mandatory. `csched-core` additionally carries
+# `deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)` outside
+# test code, so the clippy step doubles as the panic-free gate for the
+# scheduling pipeline.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q --workspace"
+cargo test -q --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    step "cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    step "cargo clippy unavailable; skipping lint gate"
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    step "cargo fmt --check"
+    cargo fmt --check
+else
+    step "rustfmt unavailable; skipping format check"
+fi
+
+step "CI passed"

@@ -33,7 +33,10 @@ fn quality_table(archs: &[Architecture]) {
     print!("{:<18}", "config");
     for arch in archs {
         for name in csched_bench::FAST_KERNELS {
-            print!("{:>18}", format!("{}/{}", name, arch.name().replace("imagine-", "")));
+            print!(
+                "{:>18}",
+                format!("{}/{}", name, arch.name().replace("imagine-", ""))
+            );
         }
     }
     println!();

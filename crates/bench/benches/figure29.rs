@@ -20,7 +20,11 @@ fn print_and_check_figure29() {
     // (paper: 1.00 / 0.82 / 0.82 / 0.98).
     assert!((overall[0] - 1.0).abs() < 1e-9, "central is the baseline");
     assert!(overall[3] > overall[2], "distributed beats clustered(4)");
-    assert!(overall[3] >= 0.8, "distributed near parity: {:.2}", overall[3]);
+    assert!(
+        overall[3] >= 0.8,
+        "distributed near parity: {:.2}",
+        overall[3]
+    );
     for (i, v) in overall.iter().enumerate().skip(1) {
         assert!(*v <= 1.0 + 1e-9, "architecture {i} beat central: {v:.2}");
     }

@@ -24,8 +24,7 @@ fn figure4() -> Kernel {
 fn bench_motivating(c: &mut Criterion) {
     let arch = toy::motivating_example();
     let kernel = figure4();
-    let schedule =
-        schedule_kernel(&arch, &kernel, SchedulerConfig::default()).expect("schedules");
+    let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).expect("schedules");
     println!("{}", schedule.render(&arch, &kernel));
     println!(
         "copies inserted: {} (the paper's Figure 13 route for `a`)",

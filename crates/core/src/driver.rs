@@ -7,8 +7,6 @@
 //! for the ablation configuration. Every tentative placement is accepted
 //! or rejected by communication scheduling ([`Engine::place`]).
 
-use std::fmt;
-
 use csched_ir::{BlockId, DepGraph, DepKind, Kernel, OpId};
 use csched_machine::{Architecture, FuId, Opcode};
 
@@ -17,55 +15,41 @@ use crate::engine::{Engine, OrderEdge};
 use crate::schedule::Schedule;
 use crate::universe::SOpId;
 
-/// Errors from [`schedule_kernel`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum SchedError {
-    /// The architecture violates the Appendix A copy-connectivity
-    /// constraint, so communication scheduling cannot guarantee
-    /// completion.
-    NotCopyConnected,
-    /// No functional unit can execute `opcode`.
-    NoCapableUnit {
-        /// The unsupported opcode.
-        opcode: Opcode,
-    },
-    /// A straight-line block operation could not be placed within the
-    /// configured delay budget.
-    BlockFailed {
-        /// The block that failed.
-        block: BlockId,
-        /// The kernel operation that could not be placed.
-        op: OpId,
-    },
-    /// No initiation interval up to the configured maximum produced a
-    /// valid loop schedule.
-    IiExhausted {
-        /// The maximum II tried.
-        max_ii: u32,
-    },
+pub use crate::error::SchedError;
+
+/// Builds the [`SchedError::NotCopyConnected`] diagnostic from the
+/// connectivity analysis, resolving unit names.
+pub(crate) fn not_copy_connected(arch: &Architecture) -> SchedError {
+    let conn = arch.copy_connectivity();
+    let mut violations: Vec<String> = conn
+        .violations()
+        .iter()
+        .take(4)
+        .map(|&(p, q, slot)| {
+            format!(
+                "{} cannot reach {} input {slot} by copies",
+                arch.fu(p).name(),
+                arch.fu(q).name()
+            )
+        })
+        .collect();
+    let extra = conn.violations().len().saturating_sub(violations.len());
+    if extra > 0 {
+        violations.push(format!("... and {extra} more"));
+    }
+    SchedError::NotCopyConnected { violations }
 }
 
-impl fmt::Display for SchedError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SchedError::NotCopyConnected => {
-                write!(f, "architecture is not copy-connected (Appendix A)")
-            }
-            SchedError::NoCapableUnit { opcode } => {
-                write!(f, "no functional unit can execute {opcode}")
-            }
-            SchedError::BlockFailed { block, op } => {
-                write!(f, "could not place {op} in block {block}")
-            }
-            SchedError::IiExhausted { max_ii } => {
-                write!(f, "no valid loop schedule up to II={max_ii}")
-            }
-        }
+/// Builds the [`SchedError::BlockFailed`] diagnostic, resolving the block
+/// name and opcode.
+fn block_failed(kernel: &Kernel, block: BlockId, op: OpId) -> SchedError {
+    SchedError::BlockFailed {
+        block,
+        block_name: kernel.block(block).name().to_string(),
+        op,
+        opcode: kernel.op(op).opcode(),
     }
 }
-
-impl std::error::Error for SchedError {}
 
 /// The resource-constrained minimum initiation interval: each operation
 /// spreads its issue-occupancy over the units able to execute it.
@@ -134,7 +118,7 @@ pub fn schedule_kernel(
     config: SchedulerConfig,
 ) -> Result<Schedule, SchedError> {
     if !arch.copy_connectivity().is_copy_connected() {
-        return Err(SchedError::NotCopyConnected);
+        return Err(not_copy_connected(arch));
     }
     for op in kernel.op_ids() {
         if arch.fus_for(kernel.op(op).opcode()).is_empty() {
@@ -185,15 +169,21 @@ pub fn schedule_kernel(
             match run_blocks(&mut engine, kernel, &graph, &config) {
                 Ok(()) => {
                     debug_assert!(engine.all_closed());
-                    return Ok(engine.into_schedule(has_loop));
+                    return engine.into_schedule(has_loop);
                 }
                 Err(RunError::Block(block, op)) if !kernel.block(block).is_loop() => {
+                    if let Some(e) = engine.take_internal_error() {
+                        return Err(e);
+                    }
                     if engine.stats.cross_block_copy_failures > 0 && slack_round == 0 {
                         break; // grow slack and retry (§4.5 equivalent)
                     }
-                    return Err(SchedError::BlockFailed { block, op });
+                    return Err(block_failed(kernel, block, op));
                 }
                 Err(RunError::Block(b, op)) => {
+                    if let Some(e) = engine.take_internal_error() {
+                        return Err(e);
+                    }
                     if std::env::var_os("CSCHED_DEBUG").is_some() {
                         eprintln!(
                             "[csched] II={ii} failed at {op} ({:?}) in block {b}, attempts={}",
@@ -219,12 +209,14 @@ pub fn schedule_kernel(
         }
         if ii > config.max_ii {
             return Err(SchedError::IiExhausted {
+                mii,
                 max_ii: config.max_ii,
             });
         }
         slack *= 8;
     }
     Err(SchedError::IiExhausted {
+        mii,
         max_ii: config.max_ii,
     })
 }
@@ -404,23 +396,18 @@ fn schedule_block_cycle_order(
         for op in remaining {
             let sop = SOpId::from_raw(op.index());
             // Ready: every same-block producer is placed.
-            let ready = engine
-                .universe
-                .comms_to(sop)
-                .iter()
-                .all(|&cid| {
-                    let c = engine.universe.comm(cid);
-                    engine_block(engine, c.producer) != block
-                        || c.distance > 0
-                        || engine.placement(c.producer).is_some()
-                });
+            let ready = engine.universe.comms_to(sop).iter().all(|&cid| {
+                let c = engine.universe.comm(cid);
+                engine_block(engine, c.producer) != block
+                    || c.distance > 0
+                    || engine.placement(c.producer).is_some()
+            });
             let mut placed = false;
             if ready {
                 let (earliest, latest) = window(engine, kernel, op);
                 if earliest <= cycle && latest.is_none_or(|l| cycle <= l) {
                     'fu: for allow_copies in [false, true] {
-                        for fu in
-                            ordered_fus(engine, kernel, op, cycle, config.comm_cost_heuristic)
+                        for fu in ordered_fus(engine, kernel, op, cycle, config.comm_cost_heuristic)
                         {
                             if engine.place_ext(sop, fu, cycle, 0, allow_copies) {
                                 placed = true;

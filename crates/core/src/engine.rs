@@ -29,6 +29,7 @@ use csched_machine::{
 };
 
 use crate::config::SchedulerConfig;
+use crate::error::SchedError;
 use crate::schedule::{CommDisposition, Route, SchedStats, Schedule, ScheduledOp};
 use crate::table::{ResourceTable, TableMode};
 use crate::universe::{Comm, CommId, SOpId, Universe};
@@ -50,10 +51,7 @@ enum Undo {
     Comm(CommId, CommInfo),
     Operand(usize, Option<ReadStub>, bool),
     Place(SOpId),
-    CopyAdded {
-        ops: usize,
-        comms: usize,
-    },
+    CopyAdded { ops: usize, comms: usize },
     CommAdded,
 }
 
@@ -114,6 +112,12 @@ pub struct Engine<'a> {
     /// Current loop initiation interval (1 when scheduling straight code).
     ii: u32,
     journal: Vec<Undo>,
+    /// First internal invariant violation detected during this engine's
+    /// run, if any. Invariant breaks surface as placement failure (so the
+    /// current attempt unwinds via the normal rollback path) and the
+    /// driver converts the recorded error into [`SchedError::Internal`]
+    /// instead of retrying.
+    internal_error: Option<SchedError>,
     /// Remaining copy-scheduling attempts within the current top-level
     /// placement (bounds the multiplicative cost of recursive copy
     /// insertion).
@@ -189,6 +193,7 @@ impl<'a> Engine<'a> {
             asap,
             ii,
             journal: Vec::new(),
+            internal_error: None,
             copy_work: 0,
             stats: SchedStats::default(),
             fu_to_rf: HashMap::new(),
@@ -231,6 +236,25 @@ impl<'a> Engine<'a> {
         self.placements[op.index()]
     }
 
+    /// Records an internal invariant violation and reports failure.
+    ///
+    /// Returns `false` so call sites can unwind through the normal
+    /// placement-rejection path (which rolls the tables back); only the
+    /// first violation is kept.
+    fn fail_internal(&mut self, stage: &'static str, detail: impl Into<String>) -> bool {
+        if self.internal_error.is_none() {
+            self.internal_error = Some(SchedError::internal(stage, detail));
+        }
+        false
+    }
+
+    /// Takes the first internal invariant violation recorded during this
+    /// engine's run, if any. The driver checks this after a failed run and
+    /// reports it instead of retrying at another II.
+    pub fn take_internal_error(&mut self) -> Option<SchedError> {
+        self.internal_error.take()
+    }
+
     // ----- journalling -----
 
     fn savepoint(&self) -> EngineSavepoint {
@@ -242,7 +266,10 @@ impl<'a> Engine<'a> {
 
     fn rollback(&mut self, sp: &EngineSavepoint) {
         while self.journal.len() > sp.journal {
-            match self.journal.pop().expect("len checked") {
+            let Some(entry) = self.journal.pop() else {
+                break; // unreachable: the loop condition guarantees an entry
+            };
+            match entry {
                 Undo::Comm(id, info) => self.comm_info[id.index()] = info,
                 Undo::Operand(idx, stub, frozen) => {
                     self.operand_stub[idx] = stub;
@@ -259,8 +286,7 @@ impl<'a> Engine<'a> {
                     debug_assert_eq!(self.universe.num_comms(), comms);
                     self.placements.truncate(ops);
                     self.comm_info.truncate(comms);
-                    let operands: usize =
-                        self.universe.ops.iter().map(|o| o.num_operands).sum();
+                    let operands: usize = self.universe.ops.iter().map(|o| o.num_operands).sum();
                     self.operand_stub.truncate(operands);
                     self.operand_frozen.truncate(operands);
                 }
@@ -525,7 +551,9 @@ impl<'a> Engine<'a> {
         let dbg = self.universe.op(op).opcode == Opcode::Copy && debug_env(3);
         let block = self.block_of(op);
         if !self.tables[block.index()].place_issue(cycle, fu, cap.issue_interval, op) {
-            if dbg { eprintln!("[copyplace] {op} {fu}@{cycle}: issue slot busy"); }
+            if dbg {
+                eprintln!("[copyplace] {op} {fu}@{cycle}: issue slot busy");
+            }
             return false;
         }
         self.journal.push(Undo::Place(op));
@@ -563,29 +591,35 @@ impl<'a> Engine<'a> {
         let only = fast.then_some(op);
         // Step 2: permutation of read stubs on the issue row.
         if !self.permute_reads(block, cycle, only) {
-            if dbg { eprintln!("[copyplace] {op} {fu}@{cycle}: read permutation failed (fast={fast})"); }
+            if dbg {
+                eprintln!("[copyplace] {op} {fu}@{cycle}: read permutation failed (fast={fast})");
+            }
             return false;
         }
         // Step 3: permutation of write stubs on the completion row.
         let completion = cycle + cap.latency as i64 - 1;
         if self.universe.op(op).has_result && !self.permute_writes(block, completion, only) {
-            if dbg { eprintln!("[copyplace] {op} {fu}@{cycle}: write permutation failed (fast={fast})"); }
+            if dbg {
+                eprintln!("[copyplace] {op} {fu}@{cycle}: write permutation failed (fast={fast})");
+            }
             return false;
         }
         // Steps 4 + 5: assign routes / insert copies for closing comms.
         let r = self.close_comms(op, depth, allow_copies);
-        if dbg && !r { eprintln!("[copyplace] {op} {fu}@{cycle}: closing failed (fast={fast})"); }
+        if dbg && !r {
+            eprintln!("[copyplace] {op} {fu}@{cycle}: closing failed (fast={fast})");
+        }
         r
     }
-
 
     // ----- step 2: read-stub permutation -----
 
     fn permute_reads(&mut self, block: BlockId, cycle: i64, only: Option<SOpId>) -> bool {
         // Participants: non-frozen operands of ops placed in `block` whose
-        // issue shares this row, having at least one unclosed communication.
-        // With `only`, restrict to that operation's operands (fast path).
-        let mut participants: Vec<(SOpId, usize)> = Vec::new();
+        // issue shares this row, having at least one unclosed communication,
+        // each carrying its operation's issue cycle. With `only`, restrict
+        // to that operation's operands (fast path).
+        let mut participants: Vec<(SOpId, usize, i64)> = Vec::new();
         for o in self.universe.op_ids() {
             if let Some(only) = only {
                 if o != only {
@@ -613,7 +647,7 @@ impl<'a> Engine<'a> {
                 if comms.iter().all(|&c| self.comm_closed(c)) {
                     continue;
                 }
-                participants.push((o, slot));
+                participants.push((o, slot, p.cycle));
             }
         }
         if participants.is_empty() {
@@ -621,11 +655,10 @@ impl<'a> Engine<'a> {
         }
 
         // Release current tentative stubs.
-        for &(o, slot) in &participants {
+        for &(o, slot, pcycle) in &participants {
             let idx = self.universe.operand_index(o, slot);
             if let Some(stub) = self.operand_stub[idx] {
-                let p = self.placements[o.index()].expect("participant placed");
-                self.tables[block.index()].unplace_read_stub(p.cycle, stub, o, slot);
+                self.tables[block.index()].unplace_read_stub(pcycle, stub, o, slot);
                 self.set_operand(idx, None, false);
             }
         }
@@ -633,12 +666,12 @@ impl<'a> Engine<'a> {
         // Order: operands with closing communications first, smallest copy
         // range first (§4.4).
         if self.config.closing_first {
-            let mut keyed: Vec<(i64, usize, (SOpId, usize))> = participants
+            let mut keyed: Vec<(i64, usize, (SOpId, usize, i64))> = participants
                 .iter()
                 .enumerate()
-                .map(|(i, &(o, slot))| {
+                .map(|(i, &(o, slot, pcycle))| {
                     let key = self.operand_search_key(o, slot);
-                    (key, i, (o, slot))
+                    (key, i, (o, slot, pcycle))
                 })
                 .collect();
             keyed.sort();
@@ -648,7 +681,7 @@ impl<'a> Engine<'a> {
         // Candidate stubs per participant, scored.
         let candidates: Vec<Vec<ReadStub>> = participants
             .iter()
-            .map(|&(o, slot)| self.read_candidates(o, slot))
+            .map(|&(o, slot, _)| self.read_candidates(o, slot))
             .collect();
 
         // Backtracking assignment.
@@ -658,8 +691,7 @@ impl<'a> Engine<'a> {
         let mut chosen: Vec<Option<ReadStub>> = vec![None; n];
         let mut i = 0usize;
         while i < n {
-            let (o, slot) = participants[i];
-            let p = self.placements[o.index()].expect("placed");
+            let (o, slot, pcycle) = participants[i];
             let mut advanced = false;
             while pos[i] < candidates[i].len() {
                 if budget == 0 {
@@ -667,7 +699,7 @@ impl<'a> Engine<'a> {
                 }
                 budget -= 1;
                 let stub = candidates[i][pos[i]];
-                if self.tables[block.index()].place_read_stub(p.cycle, stub, o, slot) {
+                if self.tables[block.index()].place_read_stub(pcycle, stub, o, slot) {
                     chosen[i] = Some(stub);
                     advanced = true;
                     break;
@@ -684,14 +716,18 @@ impl<'a> Engine<'a> {
                     return false;
                 }
                 i -= 1;
-                let (po, pslot) = participants[i];
-                let pp = self.placements[po.index()].expect("placed");
-                let stub = chosen[i].take().expect("was chosen");
-                self.tables[block.index()].unplace_read_stub(pp.cycle, stub, po, pslot);
+                let (po, pslot, ppcycle) = participants[i];
+                let Some(stub) = chosen[i].take() else {
+                    return self.fail_internal(
+                        "permute_reads",
+                        format!("backtracked to {po} slot {pslot} with no chosen stub"),
+                    );
+                };
+                self.tables[block.index()].unplace_read_stub(ppcycle, stub, po, pslot);
                 pos[i] += 1;
             }
         }
-        for (k, &(o, slot)) in participants.iter().enumerate() {
+        for (k, &(o, slot, _)) in participants.iter().enumerate() {
             let idx = self.universe.operand_index(o, slot);
             self.set_operand(idx, chosen[k], false);
         }
@@ -729,8 +765,7 @@ impl<'a> Engine<'a> {
                     }
                     let c = self.universe.comm(cid).clone();
                     let info = self.comm_info[cid.index()];
-                    let d = if info.wstub_frozen {
-                        let w = info.wstub.expect("frozen implies set");
+                    let d = if let (true, Some(w)) = (info.wstub_frozen, info.wstub) {
                         self.conn.copy_distance(w.rf, stub.rf)
                     } else if let Some(p) = self.placements[c.producer.index()] {
                         self.min_copies_fu_to_rf(p.fu, stub.rf.index())
@@ -756,7 +791,9 @@ impl<'a> Engine<'a> {
     // ----- step 3: write-stub permutation -----
 
     fn permute_writes(&mut self, block: BlockId, completion: i64, only: Option<SOpId>) -> bool {
-        let mut participants: Vec<CommId> = Vec::new();
+        // Each participant carries its producer's completion cycle and unit
+        // (captured while the placement is known to exist).
+        let mut participants: Vec<(CommId, i64, FuId)> = Vec::new();
         for cid in self.universe.comm_ids() {
             if self.comm_closed(cid) || self.comm_info[cid.index()].wstub_frozen {
                 continue;
@@ -776,37 +813,47 @@ impl<'a> Engine<'a> {
             if !self.same_row(block, p.completion(), completion) {
                 continue;
             }
-            participants.push(cid);
+            participants.push((cid, p.completion(), p.fu));
         }
         if participants.is_empty() {
             return true;
         }
 
-        for &cid in &participants {
+        for &(cid, pcompl, _) in &participants {
             let info = self.comm_info[cid.index()];
             if let Some(stub) = info.wstub {
                 let c = self.universe.comm(cid);
-                let p = self.placements[c.producer.index()].expect("participant placed");
-                self.tables[block.index()].unplace_write_stub(
-                    p.completion(),
-                    stub,
-                    c.producer,
+                let producer = c.producer;
+                self.tables[block.index()].unplace_write_stub(pcompl, stub, producer);
+                self.set_comm_info(
+                    cid,
+                    CommInfo {
+                        wstub: None,
+                        ..info
+                    },
                 );
-                self.set_comm_info(cid, CommInfo { wstub: None, ..info });
             }
         }
 
         if self.config.closing_first {
-            let mut keyed: Vec<(i64, i64, u32, CommId)> = participants
+            // Sort key: closing comms first, narrowest copy range first,
+            // comm index as the tiebreak.
+            type Keyed = (i64, i64, u32, (CommId, i64, FuId));
+            let mut keyed: Vec<Keyed> = participants
                 .iter()
-                .map(|&cid| {
+                .map(|&(cid, pcompl, pfu)| {
                     let closing = self.comm_closing(cid);
                     let range = if closing {
                         self.copy_range(cid).map(|(lo, hi)| hi - lo).unwrap_or(0)
                     } else {
                         i64::MAX / 2
                     };
-                    (if closing { 0 } else { 1 }, range, cid.index() as u32, cid)
+                    (
+                        if closing { 0 } else { 1 },
+                        range,
+                        cid.index() as u32,
+                        (cid, pcompl, pfu),
+                    )
                 })
                 .collect();
             keyed.sort();
@@ -815,7 +862,7 @@ impl<'a> Engine<'a> {
 
         let candidates: Vec<Vec<WriteStub>> = participants
             .iter()
-            .map(|&cid| self.write_candidates(cid))
+            .map(|&(cid, _, _)| self.write_candidates(cid))
             .collect();
         let mut budget = self.config.search_budget;
         let n = participants.len();
@@ -823,10 +870,9 @@ impl<'a> Engine<'a> {
         let mut chosen: Vec<Option<WriteStub>> = vec![None; n];
         let mut i = 0usize;
         while i < n {
-            let cid = participants[i];
+            let (cid, pcompl, pfu) = participants[i];
             let c = self.universe.comm(cid).clone();
-            let p = self.placements[c.producer.index()].expect("placed");
-            let fanout = self.arch.fu(p.fu).output_fanout();
+            let fanout = self.arch.fu(pfu).output_fanout();
             let mut advanced = false;
             while pos[i] < candidates[i].len() {
                 if budget == 0 {
@@ -834,12 +880,7 @@ impl<'a> Engine<'a> {
                 }
                 budget -= 1;
                 let stub = candidates[i][pos[i]];
-                if self.tables[block.index()].place_write_stub(
-                    p.completion(),
-                    stub,
-                    c.producer,
-                    fanout,
-                ) {
+                if self.tables[block.index()].place_write_stub(pcompl, stub, c.producer, fanout) {
                     chosen[i] = Some(stub);
                     advanced = true;
                     break;
@@ -856,15 +897,19 @@ impl<'a> Engine<'a> {
                     return false;
                 }
                 i -= 1;
-                let pc = participants[i];
+                let (pc, ppcompl, _) = participants[i];
                 let c = self.universe.comm(pc).clone();
-                let p = self.placements[c.producer.index()].expect("placed");
-                let stub = chosen[i].take().expect("was chosen");
-                self.tables[block.index()].unplace_write_stub(p.completion(), stub, c.producer);
+                let Some(stub) = chosen[i].take() else {
+                    return self.fail_internal(
+                        "permute_writes",
+                        format!("backtracked to {pc:?} with no chosen stub"),
+                    );
+                };
+                self.tables[block.index()].unplace_write_stub(ppcompl, stub, c.producer);
                 pos[i] += 1;
             }
         }
-        for (k, &cid) in participants.iter().enumerate() {
+        for (k, &(cid, _, _)) in participants.iter().enumerate() {
             let info = self.comm_info[cid.index()];
             self.set_comm_info(
                 cid,
@@ -897,22 +942,29 @@ impl<'a> Engine<'a> {
         let target_rf = self.operand_stub[operand_idx].map(|s| s.rf);
         let mut scored: Vec<(i64, WriteStub)> = stubs
             .into_iter()
-            .map(|stub| {
+            .filter_map(|stub| {
+                // A stub whose register file has no copy path to the
+                // consumer's (possible) read files can never close this
+                // communication: the read side is fixed by the consumer's
+                // unit and no copy can move the value out of a dead-end
+                // file. Offering such stubs lets a placement be accepted
+                // whose communication is permanently unroutable, which
+                // violates the §4.3 accept/reject contract — so they are
+                // excluded rather than merely sorted last.
                 let score = match target_rf {
-                    Some(rf) => match self.conn.copy_distance(stub.rf, rf) {
-                        Some(copies) => copies as i64 * 16,
-                        None => 100_000,
-                    },
+                    Some(rf) => self
+                        .conn
+                        .copy_distance(stub.rf, rf)
+                        .map(|copies| copies as i64 * 16)?,
                     None => {
                         // Consumer unscheduled: minimum copies to any file
                         // readable by any unit able to run the consumer.
                         let opcode = self.universe.op(c.consumer).opcode;
                         self.min_copies_rf_to_consumer(stub.rf.index(), opcode, c.slot)
-                            .map(|copies| copies as i64)
-                            .unwrap_or(100_000)
+                            .map(|copies| copies as i64)?
                     }
                 };
-                (score, stub)
+                Some((score, stub))
             })
             .collect();
         scored.sort_by_key(|&(s, stub)| {
@@ -956,9 +1008,25 @@ impl<'a> Engine<'a> {
     fn close_one(&mut self, cid: CommId, depth: usize, allow_copies: bool) -> bool {
         let c = self.universe.comm(cid).clone();
         let operand_idx = self.universe.operand_index(c.consumer, c.slot);
-        let rstub = self.operand_stub[operand_idx].expect("consumer placed => stub chosen");
+        let Some(rstub) = self.operand_stub[operand_idx] else {
+            return self.fail_internal(
+                "close_one",
+                format!(
+                    "{cid:?} closing but consumer {} has no read stub",
+                    c.consumer
+                ),
+            );
+        };
         let info = self.comm_info[cid.index()];
-        let wstub = info.wstub.expect("producer placed => stub chosen");
+        let Some(wstub) = info.wstub else {
+            return self.fail_internal(
+                "close_one",
+                format!(
+                    "{cid:?} closing but producer {} has no write stub",
+                    c.producer
+                ),
+            );
+        };
 
         if wstub.rf == rstub.rf {
             return self.close_direct(cid, Route { wstub, rstub });
@@ -969,18 +1037,42 @@ impl<'a> Engine<'a> {
         // failing that the file with the fewest copies to it.
         if !info.wstub_frozen {
             self.revise_wstub_toward(cid, rstub.rf);
-            let w = self.comm_info[cid.index()].wstub.expect("still set");
+            let Some(w) = self.comm_info[cid.index()].wstub else {
+                return self.fail_internal(
+                    "close_one",
+                    format!("{cid:?} lost its write stub during revision"),
+                );
+            };
             if w.rf == rstub.rf {
                 return self.close_direct(cid, Route { wstub: w, rstub });
             }
         }
-        let wstub = self.comm_info[cid.index()].wstub.expect("still set");
+        let Some(wstub) = self.comm_info[cid.index()].wstub else {
+            return self.fail_internal(
+                "close_one",
+                format!("{cid:?} lost its write stub during revision"),
+            );
+        };
         // Try revising the read stub to meet the write stub.
         if !self.operand_frozen[operand_idx] && self.try_revise_rstub(cid, wstub.rf) {
-            let r = self.operand_stub[operand_idx].expect("just set");
+            let Some(r) = self.operand_stub[operand_idx] else {
+                return self.fail_internal(
+                    "close_one",
+                    format!("{cid:?} read-stub revision succeeded but left no stub"),
+                );
+            };
             return self.close_direct(cid, Route { wstub, rstub: r });
         }
         // Step 5: connect the stubs with a copy operation.
+        if debug_env(2) {
+            let info2 = self.comm_info[cid.index()];
+            eprintln!(
+                "[closeone] {cid:?} prod={:?} cons={:?} slot={} wstub_frozen={} op_frozen={} wrf={:?} rrf={:?}",
+                c.producer, c.consumer, c.slot, info2.wstub_frozen,
+                self.operand_frozen[operand_idx],
+                info2.wstub.map(|w| w.rf), rstub.rf
+            );
+        }
         self.insert_copy(cid, depth, allow_copies)
     }
 
@@ -989,10 +1081,17 @@ impl<'a> Engine<'a> {
     /// strictly better placement is possible.
     fn revise_wstub_toward(&mut self, cid: CommId, target: csched_machine::RfId) {
         let c = self.universe.comm(cid).clone();
-        let p = self.placements[c.producer.index()].expect("placed");
+        // Revision is an optional improvement: on a broken precondition
+        // (unplaced producer or missing stub) keep the current stub rather
+        // than failing the placement.
+        let Some(p) = self.placements[c.producer.index()] else {
+            return;
+        };
         let block = self.block_of(c.producer);
         let info = self.comm_info[cid.index()];
-        let old = info.wstub.expect("set");
+        let Some(old) = info.wstub else {
+            return;
+        };
         let dist = |rf| self.conn.copy_distance(rf, target).map_or(u32::MAX, |d| d);
         let current = dist(old.rf);
         if current == 0 {
@@ -1047,10 +1146,16 @@ impl<'a> Engine<'a> {
 
     fn try_revise_rstub(&mut self, cid: CommId, target: csched_machine::RfId) -> bool {
         let c = self.universe.comm(cid).clone();
-        let q = self.placements[c.consumer.index()].expect("placed");
+        // Like write-stub revision, this is best-effort: broken
+        // preconditions mean no revision, not a failed placement.
+        let Some(q) = self.placements[c.consumer.index()] else {
+            return false;
+        };
         let block = self.block_of(c.consumer);
         let operand_idx = self.universe.operand_index(c.consumer, c.slot);
-        let old = self.operand_stub[operand_idx].expect("set");
+        let Some(old) = self.operand_stub[operand_idx] else {
+            return false;
+        };
         let sp = self.savepoint();
         self.tables[block.index()].unplace_read_stub(q.cycle, old, c.consumer, c.slot);
         let candidates: Vec<ReadStub> = self
@@ -1097,14 +1202,10 @@ impl<'a> Engine<'a> {
             };
             // Must carry this very value (a distance-0 communication from
             // the same producer into the copy's operand).
-            let feeds = self
-                .universe
-                .comms_to_operand(cand, 0)
-                .iter()
-                .any(|&c1| {
-                    let k = self.universe.comm(c1);
-                    k.producer == c.producer && k.distance == 0
-                });
+            let feeds = self.universe.comms_to_operand(cand, 0).iter().any(|&c1| {
+                let k = self.universe.comm(c1);
+                k.producer == c.producer && k.distance == 0
+            });
             if !feeds {
                 continue;
             }
@@ -1128,7 +1229,9 @@ impl<'a> Engine<'a> {
         let Some((cop, wstub)) = found else {
             return false;
         };
-        let cp = self.placements[cop.index()].expect("checked placed");
+        let Some(cp) = self.placements[cop.index()] else {
+            return false; // unreachable: `found` requires a placement
+        };
         // Bump the shared write-stub claim for the new communication (an
         // identical claim, so it can only dedupe).
         let fanout = self.arch.fu(cp.fu).output_fanout();
@@ -1175,9 +1278,18 @@ impl<'a> Engine<'a> {
         let c = self.universe.comm(cid).clone();
         let operand_idx = self.universe.operand_index(c.consumer, c.slot);
         let info = self.comm_info[cid.index()];
-        let wstub = info.wstub.expect("set");
-        let rstub = self.operand_stub[operand_idx].expect("set");
-        let _ = rstub;
+        let Some(wstub) = info.wstub else {
+            return self.fail_internal(
+                "insert_copy",
+                format!("{cid:?} needs a copy but has no write stub"),
+            );
+        };
+        let Some(rstub) = self.operand_stub[operand_idx] else {
+            return self.fail_internal(
+                "insert_copy",
+                format!("{cid:?} needs a copy but its consumer has no read stub"),
+            );
+        };
         let Some((range_lo, range_hi)) = self.copy_range(cid) else {
             return false;
         };
@@ -1258,11 +1370,7 @@ impl<'a> Engine<'a> {
             .fus_for(Opcode::Copy)
             .into_iter()
             .map(|f| {
-                let direct = self
-                    .arch
-                    .read_stubs(f, 0)
-                    .iter()
-                    .any(|s| s.rf == wstub.rf);
+                let direct = self.arch.read_stubs(f, 0).iter().any(|s| s.rf == wstub.rf);
                 let reach = self
                     .arch
                     .read_stubs(f, 0)
@@ -1342,21 +1450,40 @@ impl<'a> Engine<'a> {
 
     /// Consumes the engine into a [`Schedule`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any operation is unplaced or any communication unclosed;
-    /// the driver only calls this after a complete run.
-    pub fn into_schedule(self, has_loop: bool) -> Schedule {
-        let placements: Vec<ScheduledOp> = self
-            .placements
-            .iter()
-            .map(|p| p.expect("all operations scheduled"))
-            .collect();
-        let dispositions: Vec<CommDisposition> = self
-            .comm_info
-            .iter()
-            .map(|i| i.disposition.expect("all communications closed"))
-            .collect();
+    /// Returns [`SchedError::Internal`] if any operation is unplaced, any
+    /// communication is unclosed, or an internal invariant violation was
+    /// recorded during the run — all states the driver never reaches on a
+    /// successful run, reported as typed errors rather than panics.
+    pub fn into_schedule(mut self, has_loop: bool) -> Result<Schedule, SchedError> {
+        if let Some(e) = self.take_internal_error() {
+            return Err(e);
+        }
+        let mut placements: Vec<ScheduledOp> = Vec::with_capacity(self.placements.len());
+        for (i, p) in self.placements.iter().enumerate() {
+            match p {
+                Some(p) => placements.push(*p),
+                None => {
+                    return Err(SchedError::internal(
+                        "into_schedule",
+                        format!("{} is unplaced in a finished run", SOpId::from_raw(i)),
+                    ));
+                }
+            }
+        }
+        let mut dispositions: Vec<CommDisposition> = Vec::with_capacity(self.comm_info.len());
+        for (i, info) in self.comm_info.iter().enumerate() {
+            match info.disposition {
+                Some(d) => dispositions.push(d),
+                None => {
+                    return Err(SchedError::internal(
+                        "into_schedule",
+                        format!("{} is unclosed in a finished run", CommId::from_raw(i)),
+                    ));
+                }
+            }
+        }
         let mut block_len = vec![0i64; self.kernel.blocks().len()];
         for (i, p) in placements.iter().enumerate() {
             let b = self.universe.ops[i].block.index();
@@ -1364,7 +1491,7 @@ impl<'a> Engine<'a> {
         }
         let mut stats = self.stats;
         stats.copies_inserted = (self.universe.num_ops() - self.universe.num_kernel_ops()) as u64;
-        Schedule {
+        Ok(Schedule {
             arch_name: self.arch.name().to_string(),
             kernel_name: self.kernel.name().to_string(),
             universe: self.universe,
@@ -1373,7 +1500,7 @@ impl<'a> Engine<'a> {
             block_len,
             ii: has_loop.then_some(self.ii),
             stats,
-        }
+        })
     }
 
     /// The communication-cost heuristic of §4.6 (eq 1): estimated copies

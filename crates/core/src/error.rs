@@ -1,0 +1,179 @@
+//! The scheduler's error taxonomy.
+//!
+//! Every failure of [`schedule_kernel`](crate::schedule_kernel) is a typed
+//! [`SchedError`] — the pipeline never panics on well-formed inputs. Errors
+//! carry resolved names (operation opcodes, block names, unit names), not
+//! just opaque ids, so a diagnostic can be printed without the kernel and
+//! architecture at hand.
+//!
+//! The variants split into three groups:
+//!
+//! - **Machine problems** ([`SchedError::NotCopyConnected`],
+//!   [`SchedError::NoCapableUnit`]): the architecture cannot run this
+//!   kernel at all. Degraded machines built with
+//!   [`Architecture::with_faults`](csched_machine::Architecture::with_faults)
+//!   commonly fail this way once a fault breaks the Appendix A guarantee.
+//! - **Budget exhaustion** ([`SchedError::BlockFailed`],
+//!   [`SchedError::IiExhausted`]): the search ran out of delay slack or
+//!   initiation intervals. These are *retryable* — the
+//!   [`RetryPolicy`](crate::RetryPolicy) ladder relaxes the budgets and
+//!   tries again.
+//! - **Internal invariant breaks** ([`SchedError::Internal`]): a bug in
+//!   the scheduler itself, reported as an error instead of a panic so a
+//!   long campaign (fault injection, design-space sweeps) survives it.
+
+use std::fmt;
+
+use csched_ir::{BlockId, OpId};
+use csched_machine::Opcode;
+
+/// Errors from [`schedule_kernel`](crate::schedule_kernel).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The architecture violates the Appendix A copy-connectivity
+    /// constraint, so communication scheduling cannot guarantee
+    /// completion.
+    NotCopyConnected {
+        /// Human-readable descriptions of the unreachable unit pairs,
+        /// worst first (at most a handful are kept).
+        violations: Vec<String>,
+    },
+    /// No functional unit can execute `opcode`.
+    NoCapableUnit {
+        /// The unsupported opcode.
+        opcode: Opcode,
+    },
+    /// A straight-line block operation could not be placed within the
+    /// configured delay budget.
+    BlockFailed {
+        /// The block that failed.
+        block: BlockId,
+        /// The block's name in the kernel.
+        block_name: String,
+        /// The kernel operation that could not be placed.
+        op: OpId,
+        /// That operation's opcode.
+        opcode: Opcode,
+    },
+    /// No initiation interval up to the configured maximum produced a
+    /// valid loop schedule.
+    IiExhausted {
+        /// The minimum II the search started from (max of RecMII and
+        /// ResMII).
+        mii: u32,
+        /// The maximum II tried.
+        max_ii: u32,
+    },
+    /// A scheduler invariant was violated. This is a bug in the scheduler,
+    /// not in the kernel or machine description; it is reported as an
+    /// error rather than a panic so long campaigns survive it.
+    Internal {
+        /// The pipeline stage that detected the broken invariant.
+        stage: &'static str,
+        /// What was violated.
+        detail: String,
+    },
+}
+
+impl SchedError {
+    /// Builds an [`SchedError::Internal`] (used throughout the engine's
+    /// invariant checks).
+    pub(crate) fn internal(stage: &'static str, detail: impl Into<String>) -> Self {
+        SchedError::Internal {
+            stage,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether retrying with relaxed budgets could plausibly succeed.
+    ///
+    /// Budget exhaustion ([`SchedError::BlockFailed`],
+    /// [`SchedError::IiExhausted`]) is retryable; a machine that cannot
+    /// run the kernel at all, or a scheduler bug, is not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SchedError::BlockFailed { .. } | SchedError::IiExhausted { .. }
+        )
+    }
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NotCopyConnected { violations } => {
+                write!(f, "architecture is not copy-connected (Appendix A)")?;
+                if !violations.is_empty() {
+                    write!(f, ": {}", violations.join("; "))?;
+                }
+                Ok(())
+            }
+            SchedError::NoCapableUnit { opcode } => {
+                write!(f, "no functional unit can execute {opcode}")
+            }
+            SchedError::BlockFailed {
+                block,
+                block_name,
+                op,
+                opcode,
+            } => {
+                write!(
+                    f,
+                    "could not place {op} ({opcode}) in block \"{block_name}\" ({block})"
+                )
+            }
+            SchedError::IiExhausted { mii, max_ii } => {
+                write!(f, "no valid loop schedule in II range {mii}..={max_ii}")
+            }
+            SchedError::Internal { stage, detail } => {
+                write!(
+                    f,
+                    "internal scheduler invariant violated in {stage}: {detail} \
+                     (this is a scheduler bug)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_resolves_names() {
+        let e = SchedError::BlockFailed {
+            block: BlockId::from_raw(1),
+            block_name: "body".into(),
+            op: OpId::from_raw(3),
+            opcode: Opcode::IMul,
+        };
+        let s = e.to_string();
+        assert!(s.contains("body"), "{s}");
+        assert!(s.contains("imul"), "{s}");
+        assert!(e.is_retryable());
+    }
+
+    #[test]
+    fn display_shows_ii_range_and_violations() {
+        let e = SchedError::IiExhausted { mii: 3, max_ii: 64 };
+        assert_eq!(e.to_string(), "no valid loop schedule in II range 3..=64");
+        assert!(e.is_retryable());
+
+        let e = SchedError::NotCopyConnected {
+            violations: vec!["ALU0 cannot reach MUL0 input 1".into()],
+        };
+        assert!(e.to_string().contains("ALU0 cannot reach MUL0"), "{e}");
+        assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn internal_is_not_retryable() {
+        let e = SchedError::internal("close_one", "write stub missing");
+        assert!(!e.is_retryable());
+        assert!(e.to_string().contains("scheduler bug"), "{e}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Fault-injection campaigns: scheduling on degraded machines.
+//!
+//! The paper's Appendix A guarantee — communication scheduling completes
+//! on any copy-connected machine — is a statement about machine
+//! *descriptions*. This module stress-tests the implementation's side of
+//! that contract: for an architecture degraded by
+//! [`Architecture::with_faults`] (a failed bus, register-file port, copy
+//! unit, or whole functional unit), [`schedule_kernel`] must either
+//! produce a schedule that passes independent validation on the degraded
+//! machine or return a typed [`SchedError`] — never panic and never
+//! return a schedule that validation rejects.
+//!
+//! [`single_fault_campaign`] runs that check for every single-resource
+//! fault of a machine across a set of kernels; [`breaking_faults`]
+//! pre-computes which faults break the machine outright (copy
+//! connectivity lost, or an opcode left without a capable unit) so a
+//! campaign can distinguish "rejected because the machine is broken" from
+//! "rejected because the search ran out of budget".
+
+use csched_ir::Kernel;
+use csched_machine::{Architecture, FaultSpec};
+
+use crate::config::SchedulerConfig;
+use crate::driver::{not_copy_connected, schedule_kernel};
+use crate::error::SchedError;
+use crate::validate;
+
+/// Outcome of scheduling one kernel on one degraded machine.
+#[derive(Clone, Debug)]
+pub enum FaultVerdict {
+    /// The scheduler produced a schedule and it passed validation on the
+    /// degraded machine.
+    Scheduled {
+        /// The achieved initiation interval (for loop kernels).
+        ii: Option<u32>,
+        /// Copy operations the schedule needed.
+        copies: usize,
+    },
+    /// The scheduler returned a typed error.
+    Rejected(SchedError),
+    /// The scheduler accepted the kernel but its schedule failed
+    /// independent validation on the degraded machine — a scheduler bug
+    /// the campaign surfaces instead of hiding.
+    Invalid(String),
+}
+
+impl FaultVerdict {
+    /// Whether the scheduler held its contract (scheduled-and-valid or
+    /// typed rejection).
+    pub fn contract_held(&self) -> bool {
+        !matches!(self, FaultVerdict::Invalid(_))
+    }
+}
+
+/// One row of a campaign: a fault set, a kernel, and what happened.
+#[derive(Clone, Debug)]
+pub struct CampaignEntry {
+    /// The injected fault.
+    pub fault: FaultSpec,
+    /// The fault resolved against the healthy machine's names.
+    pub fault_desc: String,
+    /// The kernel's name.
+    pub kernel: String,
+    /// What the scheduler did.
+    pub verdict: FaultVerdict,
+}
+
+/// Schedules `kernel` on `arch` degraded by `faults`, validating any
+/// produced schedule against the degraded machine.
+pub fn schedule_degraded(
+    arch: &Architecture,
+    faults: &[FaultSpec],
+    kernel: &Kernel,
+    config: SchedulerConfig,
+) -> FaultVerdict {
+    let degraded = arch.with_faults(faults);
+    match schedule_kernel(&degraded, kernel, config) {
+        Ok(schedule) => match validate::validate(&degraded, kernel, &schedule) {
+            Ok(()) => FaultVerdict::Scheduled {
+                ii: schedule.ii(),
+                copies: schedule.num_copies(),
+            },
+            Err(violations) => FaultVerdict::Invalid(
+                violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            ),
+        },
+        Err(e) => FaultVerdict::Rejected(e),
+    }
+}
+
+/// Runs every single-resource fault of `arch` against every kernel in
+/// `kernels`, returning one [`CampaignEntry`] per (fault, kernel) pair.
+pub fn single_fault_campaign(
+    arch: &Architecture,
+    kernels: &[(&str, &Kernel)],
+    config: &SchedulerConfig,
+) -> Vec<CampaignEntry> {
+    let mut entries = Vec::new();
+    for fault in arch.single_resource_faults() {
+        let fault_desc = fault.describe(arch);
+        for &(name, kernel) in kernels {
+            let verdict = schedule_degraded(arch, &[fault], kernel, config.clone());
+            entries.push(CampaignEntry {
+                fault,
+                fault_desc: fault_desc.clone(),
+                kernel: name.to_string(),
+                verdict,
+            });
+        }
+    }
+    entries
+}
+
+/// Single-resource faults that make `arch` unschedulable for `kernel`
+/// before any search runs: the degraded machine loses Appendix A copy
+/// connectivity, or some opcode of the kernel loses every capable unit.
+/// Returned with the typed error [`schedule_kernel`] would report.
+pub fn breaking_faults(arch: &Architecture, kernel: &Kernel) -> Vec<(FaultSpec, SchedError)> {
+    let mut broken = Vec::new();
+    for fault in arch.single_resource_faults() {
+        let degraded = arch.with_faults(&[fault]);
+        if !degraded.copy_connectivity().is_copy_connected() {
+            broken.push((fault, not_copy_connected(&degraded)));
+            continue;
+        }
+        for op in kernel.op_ids() {
+            let opcode = kernel.op(op).opcode();
+            if degraded.fus_for(opcode).is_empty() {
+                broken.push((fault, SchedError::NoCapableUnit { opcode }));
+                break;
+            }
+        }
+    }
+    broken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csched_ir::KernelBuilder;
+    use csched_machine::{toy, Opcode};
+
+    fn tiny_loop() -> Kernel {
+        let mut kb = KernelBuilder::new("tiny");
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        let a = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, a.into());
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn campaign_holds_contract_on_toy_machine() {
+        let arch = toy::motivating_example();
+        let kernel = tiny_loop();
+        let entries =
+            single_fault_campaign(&arch, &[("tiny", &kernel)], &SchedulerConfig::default());
+        assert!(!entries.is_empty());
+        for e in &entries {
+            assert!(
+                e.verdict.contract_held(),
+                "{} on fault {}: {:?}",
+                e.kernel,
+                e.fault_desc,
+                e.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn breaking_faults_report_typed_errors() {
+        let arch = toy::motivating_example();
+        let kernel = tiny_loop();
+        for (fault, err) in breaking_faults(&arch, &kernel) {
+            assert!(
+                matches!(
+                    err,
+                    SchedError::NotCopyConnected { .. } | SchedError::NoCapableUnit { .. }
+                ),
+                "fault {} produced {err:?}",
+                fault.describe(&arch)
+            );
+        }
+    }
+}

@@ -47,19 +47,31 @@
 //! ```
 
 #![warn(missing_docs)]
+// The scheduler must be panic-free on well-formed inputs: outside of test
+// code, potential panics must be converted to `SchedError` (or a skipped
+// degraded state) rather than unwrapped.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 mod config;
 mod driver;
 mod engine;
+mod error;
+pub mod faultinject;
 pub mod regalloc;
+mod retry;
 mod schedule;
 mod table;
 mod universe;
 pub mod validate;
 
 pub use config::{ScheduleOrder, SchedulerConfig};
-pub use driver::{res_mii, schedule_kernel, SchedError};
+pub use driver::{res_mii, schedule_kernel};
 pub use engine::{Engine, OrderEdge};
+pub use error::SchedError;
+pub use retry::{schedule_kernel_with_retry, Attempt, RetryPolicy, ScheduleReport};
 pub use schedule::{CommDisposition, PipelineSlot, Route, SchedStats, Schedule, ScheduledOp};
 pub use table::{ResourceTable, TableMode};
 pub use universe::{Comm, CommId, SOp, SOpId, Universe};

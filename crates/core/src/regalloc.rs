@@ -185,7 +185,10 @@ pub fn analyze(arch: &Architecture, kernel: &Kernel, schedule: &Schedule) -> Pre
         } else {
             1
         };
-        per_value_rf.entry(*rf).or_default().push((*value, instances));
+        per_value_rf
+            .entry(*rf)
+            .or_default()
+            .push((*value, instances));
     }
 
     let mut per_rf = Vec::with_capacity(arch.num_rfs());
@@ -455,7 +458,11 @@ pub enum AssignError {
 impl std::fmt::Display for AssignError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AssignError::Overflow { rf, required, capacity } => write!(
+            AssignError::Overflow {
+                rf,
+                required,
+                capacity,
+            } => write!(
                 f,
                 "register file {rf} needs {required} registers but has {capacity}"
             ),
@@ -477,14 +484,12 @@ pub struct RegisterAssignment {
 }
 
 impl RegisterAssignment {
-    /// The register iteration `k`'s instance of `value` occupies in `rf`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `(value, rf)` was not assigned.
-    pub fn register_of(&self, value: SOpId, rf: RfId, iteration: u64) -> usize {
-        let (base, count) = self.slots[&(value, rf)];
-        base + (iteration as usize % count.max(1))
+    /// The register iteration `iteration`'s instance of `value` occupies
+    /// in `rf`, or `None` if `(value, rf)` was not assigned (the value is
+    /// not staged through that file).
+    pub fn register_of(&self, value: SOpId, rf: RfId, iteration: u64) -> Option<usize> {
+        let &(base, count) = self.slots.get(&(value, rf))?;
+        Some(base + (iteration as usize % count.max(1)))
     }
 }
 
@@ -552,11 +557,7 @@ mod assign_tests {
     /// Brute-force check of modulo variable expansion: simulate the flat
     /// lifetimes of every instance over many iterations and assert that no
     /// register ever holds two live instances.
-    fn verify_no_overlap(
-        schedule: &Schedule,
-        assignment: &RegisterAssignment,
-        trips: u64,
-    ) {
+    fn verify_no_overlap(schedule: &Schedule, assignment: &RegisterAssignment, trips: u64) {
         let u = schedule.universe();
         let ii = schedule.ii().unwrap_or(1) as i64;
         // (rf, register) -> occupied flat-cycle intervals.
@@ -573,11 +574,15 @@ mod assign_tests {
                 for k in 0..trips {
                     let write = p.completion() + k as i64 * ii;
                     let read = q.cycle + (k + leg.distance as u64) as i64 * ii;
-                    let reg = assignment.register_of(leg.producer, route.wstub.rf, k);
-                    occupancy
-                        .entry((route.wstub.rf, reg))
-                        .or_default()
-                        .push((write, read, leg.producer, k));
+                    let reg = assignment
+                        .register_of(leg.producer, route.wstub.rf, k)
+                        .expect("staged value assigned");
+                    occupancy.entry((route.wstub.rf, reg)).or_default().push((
+                        write,
+                        read,
+                        leg.producer,
+                        k,
+                    ));
                 }
             }
         }
@@ -608,8 +613,8 @@ mod assign_tests {
         let kernel = long_lived_kernel();
         for arch in imagine::all_variants() {
             let s = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
-            let assignment = assign(&arch, &kernel, &s)
-                .unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
+            let assignment =
+                assign(&arch, &kernel, &s).unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
             verify_no_overlap(&s, &assignment, 16);
             // Bookkeeping consistency.
             for (&(_, rf), &(base, count)) in &assignment.slots {
@@ -637,8 +642,8 @@ mod assign_tests {
             .find(|(_, &(_, count))| count > 1)
             .unwrap();
         assert_ne!(
-            assignment.register_of(value, rf, 0),
-            assignment.register_of(value, rf, 1)
+            assignment.register_of(value, rf, 0).unwrap(),
+            assignment.register_of(value, rf, 1).unwrap()
         );
     }
 }

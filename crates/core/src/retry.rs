@@ -1,0 +1,345 @@
+//! Retry/backoff scheduling: a relaxation ladder over the driver.
+//!
+//! [`schedule_kernel`] fails with [`SchedError::BlockFailed`] or
+//! [`SchedError::IiExhausted`] when its delay, copy, or II budgets run out
+//! — budgets that exist to bound scheduling *time*, not because the kernel
+//! is unschedulable. [`schedule_kernel_with_retry`] climbs a ladder of
+//! relaxed configurations when that happens:
+//!
+//! 1. the caller's configuration unchanged;
+//! 2. relaxed delay and copy budgets (wider placement windows, deeper
+//!    copy recursion, larger cross-block slack — the §4.5 levers);
+//! 3. a widened initiation-interval cap;
+//! 4. the cycle-order ablation (a differently-shaped search that escapes
+//!    operation-order pathologies);
+//! 5. further doubling of the II cap and delay budget.
+//!
+//! Every attempt is recorded in a [`ScheduleReport`] so a caller (or a
+//! fault-injection campaign) can see which relaxation recovered a failing
+//! kernel and at what cost. Errors that no relaxation can fix — a machine
+//! that is not copy-connected, an opcode with no capable unit, an internal
+//! invariant break — abort the ladder immediately.
+
+use csched_ir::Kernel;
+use csched_machine::Architecture;
+
+use crate::config::{ScheduleOrder, SchedulerConfig};
+use crate::driver::schedule_kernel;
+use crate::error::SchedError;
+use crate::schedule::Schedule;
+
+/// Bounds for the retry ladder of [`schedule_kernel_with_retry`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum scheduling attempts, counting the initial un-relaxed one.
+    pub max_attempts: usize,
+    /// Total placement-attempt budget shared by all attempts: each
+    /// attempt's `max_attempts_per_ii` is capped by what remains, and the
+    /// ladder stops when the budget is spent.
+    pub budget: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            budget: 1 << 20,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, the caller's config).
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Record of one rung of the retry ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attempt {
+    /// Zero-based attempt number.
+    pub attempt: usize,
+    /// Human-readable description of the relaxation applied.
+    pub relaxation: &'static str,
+    /// The II cap this attempt searched under.
+    pub max_ii: u32,
+    /// The per-II placement-attempt cap granted from the budget.
+    pub attempts_granted: u64,
+    /// The error, if the attempt failed (`None` on success).
+    pub error: Option<SchedError>,
+}
+
+/// Diagnostic attached to every [`schedule_kernel_with_retry`] result:
+/// one [`Attempt`] per rung tried, in order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleReport {
+    /// Every attempt made, in order; the last one's `error` is `None`
+    /// exactly when scheduling succeeded.
+    pub attempts: Vec<Attempt>,
+    /// Whether the ladder stopped because [`RetryPolicy::budget`] ran out.
+    pub budget_exhausted: bool,
+}
+
+impl ScheduleReport {
+    /// Whether a retry rung succeeded after at least one failed attempt.
+    pub fn recovered(&self) -> bool {
+        self.attempts.len() > 1 && self.attempts.last().is_some_and(|a| a.error.is_none())
+    }
+
+    /// Renders the report as one line per attempt.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for a in &self.attempts {
+            let _ = writeln!(
+                s,
+                "attempt {}: {} (II cap {}, {} placement attempts/II): {}",
+                a.attempt,
+                a.relaxation,
+                a.max_ii,
+                a.attempts_granted,
+                match &a.error {
+                    None => "ok".to_string(),
+                    Some(e) => e.to_string(),
+                }
+            );
+        }
+        if self.budget_exhausted {
+            s.push_str("retry budget exhausted\n");
+        }
+        s
+    }
+}
+
+/// The configuration for ladder rung `attempt` (cumulative relaxations).
+fn rung(base: &SchedulerConfig, attempt: usize) -> (SchedulerConfig, &'static str) {
+    let mut cfg = base.clone();
+    if attempt == 0 {
+        return (cfg, "caller configuration");
+    }
+    // Rung 1+: relax the delay/copy budgets (§4.5 levers).
+    cfg.max_delay = base.max_delay.saturating_mul(2);
+    cfg.no_copy_scan = base.no_copy_scan.saturating_mul(2).saturating_add(4);
+    cfg.cross_block_copy_slack = base.cross_block_copy_slack.saturating_mul(4);
+    cfg.search_budget = base.search_budget.saturating_mul(2);
+    cfg.max_copy_attempts = base.max_copy_attempts.saturating_mul(2);
+    cfg.max_copy_depth = base.max_copy_depth + 1;
+    if attempt == 1 {
+        return (cfg, "relaxed delay and copy budgets");
+    }
+    // Rung 2+: widen the II cap.
+    cfg.max_ii = base.max_ii.saturating_mul(4);
+    if attempt == 2 {
+        return (cfg, "widened II cap");
+    }
+    if attempt == 3 {
+        // Rung 3: a differently-shaped search.
+        cfg.order = ScheduleOrder::Cycle;
+        return (cfg, "cycle-order ablation");
+    }
+    // Rung 4+: keep doubling the II cap and delay budget.
+    let extra = (attempt - 3) as u32;
+    cfg.max_ii = cfg.max_ii.saturating_mul(1 << extra.min(16));
+    cfg.max_delay = cfg.max_delay.saturating_mul(1i64 << extra.min(16));
+    (cfg, "doubled II cap and delay budget")
+}
+
+/// [`schedule_kernel`] behind a retry/backoff ladder.
+///
+/// On a retryable error ([`SchedError::is_retryable`]) the scheduler is
+/// re-run with progressively relaxed budgets, up to
+/// [`RetryPolicy::max_attempts`] times and within the shared
+/// [`RetryPolicy::budget`]. The returned [`ScheduleReport`] records every
+/// attempt whether scheduling succeeded or not.
+///
+/// # Errors
+///
+/// The error of the *last* attempt, under the same taxonomy as
+/// [`schedule_kernel`].
+pub fn schedule_kernel_with_retry(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    policy: &RetryPolicy,
+) -> (Result<Schedule, SchedError>, ScheduleReport) {
+    let mut report = ScheduleReport::default();
+    let mut spent = 0u64;
+    let mut last_err: Option<SchedError> = None;
+    for attempt in 0..policy.max_attempts.max(1) {
+        let mut remaining = policy.budget.saturating_sub(spent);
+        if remaining == 0 {
+            if attempt > 0 {
+                report.budget_exhausted = true;
+                break;
+            }
+            // Even a zero budget grants the first attempt one placement
+            // try, so the caller gets the scheduler's real error rather
+            // than an internal "nothing ran" fallback.
+            remaining = 1;
+        }
+        let (mut cfg, relaxation) = rung(&config, attempt);
+        cfg.max_attempts_per_ii = cfg.max_attempts_per_ii.min(remaining);
+        spent = spent.saturating_add(cfg.max_attempts_per_ii);
+        let record = Attempt {
+            attempt,
+            relaxation,
+            max_ii: cfg.max_ii,
+            attempts_granted: cfg.max_attempts_per_ii,
+            error: None,
+        };
+        match schedule_kernel(arch, kernel, cfg) {
+            Ok(schedule) => {
+                report.attempts.push(record);
+                return (Ok(schedule), report);
+            }
+            Err(e) => {
+                let stop = !e.is_retryable();
+                report.attempts.push(Attempt {
+                    error: Some(e.clone()),
+                    ..record
+                });
+                last_err = Some(e);
+                if stop {
+                    break;
+                }
+            }
+        }
+    }
+    let err = last_err.unwrap_or_else(|| {
+        SchedError::internal("retry", "no scheduling attempt was made".to_string())
+    });
+    (Err(err), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use csched_ir::KernelBuilder;
+    use csched_machine::{toy, Opcode};
+
+    /// A loop with enough add pressure that its achievable II exceeds 1.
+    fn pressured_loop() -> Kernel {
+        let mut kb = KernelBuilder::new("pressure");
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        let a = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        let b = kb.push(lp, Opcode::IAdd, [a.into(), 2i64.into()]);
+        let _c = kb.push(lp, Opcode::IAdd, [b.into(), 3i64.into()]);
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, i1.into());
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn ladder_recovers_from_too_small_ii_cap() {
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        // Four add-class ops on two adders: MII = 2, so max_ii = 1 cannot
+        // succeed until the ladder widens the cap.
+        let cfg = SchedulerConfig {
+            max_ii: 1,
+            ..SchedulerConfig::default()
+        };
+        let (result, report) =
+            schedule_kernel_with_retry(&arch, &kernel, cfg, &RetryPolicy::default());
+        let schedule = result.expect("the widened II cap must recover this kernel");
+        assert!(validate::validate(&arch, &kernel, &schedule).is_ok());
+        assert!(report.recovered(), "{}", report.render());
+        assert!(report.attempts.len() >= 2);
+        assert!(matches!(
+            report.attempts[0].error,
+            Some(SchedError::IiExhausted { mii: 2, max_ii: 1 })
+        ));
+        assert!(report.attempts.last().unwrap().error.is_none());
+        // The recovering rung really did widen the cap.
+        assert!(report.attempts.last().unwrap().max_ii > 1);
+    }
+
+    #[test]
+    fn non_retryable_errors_stop_the_ladder() {
+        let arch = toy::motivating_example();
+        let mut kb = KernelBuilder::new("fp");
+        let b = kb.straight_block("b");
+        kb.push(b, Opcode::FMul, [1.0f64.into(), 2.0f64.into()]);
+        let kernel = kb.build().unwrap();
+        let (result, report) = schedule_kernel_with_retry(
+            &arch,
+            &kernel,
+            SchedulerConfig::default(),
+            &RetryPolicy::default(),
+        );
+        assert!(matches!(
+            result,
+            Err(SchedError::NoCapableUnit {
+                opcode: Opcode::FMul
+            })
+        ));
+        assert_eq!(report.attempts.len(), 1, "{}", report.render());
+        assert!(!report.recovered());
+    }
+
+    #[test]
+    fn success_on_first_attempt_records_one_attempt() {
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        let (result, report) = schedule_kernel_with_retry(
+            &arch,
+            &kernel,
+            SchedulerConfig::default(),
+            &RetryPolicy::default(),
+        );
+        assert!(result.is_ok());
+        assert_eq!(report.attempts.len(), 1);
+        assert!(!report.recovered());
+        assert_eq!(report.attempts[0].relaxation, "caller configuration");
+    }
+
+    #[test]
+    fn budget_bounds_the_ladder() {
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        let cfg = SchedulerConfig {
+            max_ii: 1,
+            ..SchedulerConfig::default()
+        };
+        // A budget that admits exactly one (tiny) attempt.
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            budget: 10,
+        };
+        let (result, report) = schedule_kernel_with_retry(&arch, &kernel, cfg, &policy);
+        assert!(result.is_err());
+        assert_eq!(report.attempts.len(), 1, "{}", report.render());
+        assert_eq!(report.attempts[0].attempts_granted, 10);
+        assert!(report.budget_exhausted);
+    }
+
+    #[test]
+    fn zero_budget_still_surfaces_the_scheduler_error() {
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        let cfg = SchedulerConfig {
+            max_ii: 1,
+            ..SchedulerConfig::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            budget: 0,
+        };
+        let (result, report) = schedule_kernel_with_retry(&arch, &kernel, cfg, &policy);
+        // One minimal attempt runs and its real, typed error comes back —
+        // not an internal "no attempt was made" fallback.
+        assert!(matches!(
+            result,
+            Err(SchedError::IiExhausted { mii: 2, max_ii: 1 })
+        ));
+        assert_eq!(report.attempts.len(), 1, "{}", report.render());
+        assert_eq!(report.attempts[0].attempts_granted, 1);
+        assert!(report.budget_exhausted);
+    }
+}

@@ -9,7 +9,6 @@ use csched_machine::{Architecture, FuId, ReadStub, WriteStub};
 
 use crate::universe::{CommId, SOpId, Universe};
 
-
 /// A completed route: the write stub and read stub that carry one
 /// communication (paper Fig 12). Copies appear as separate scheduled
 /// operations whose own communications have their own routes.
@@ -141,6 +140,73 @@ impl Schedule {
         self.placements[op.index()].cycle += delta;
     }
 
+    /// Redirects a directly-routed communication's read stub into register
+    /// file `rf` without touching anything else — **test support only**:
+    /// when `rf` differs from the route's meeting file, validation must
+    /// report the route as malformed.
+    ///
+    /// Returns `false` (schedule untouched) if `comm` is not `Direct`.
+    #[doc(hidden)]
+    pub fn corrupt_route_for_tests(&mut self, comm: CommId, rf: csched_machine::RfId) -> bool {
+        match &mut self.dispositions[comm.index()] {
+            CommDisposition::Direct(route) => {
+                route.rstub.rf = rf;
+                true
+            }
+            CommDisposition::Via(_) => false,
+        }
+    }
+
+    /// Forces two directly-routed communications with distinct producers
+    /// onto the *same* write stub (same bus, port, and file) on the same
+    /// resource-table cycle — **test support only**: validation must
+    /// report the double-booked interconnect as a resource conflict.
+    ///
+    /// Returns the clobbered communication, or `None` if the schedule has
+    /// no pair of direct routes whose producers complete on the same
+    /// table cycle (same block; modulo II in the loop block).
+    #[doc(hidden)]
+    pub fn double_book_bus_for_tests(&mut self, kernel: &Kernel) -> Option<CommId> {
+        let ii = self.ii.unwrap_or(1).max(1) as i64;
+        let direct: Vec<(usize, Route)> = self
+            .dispositions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| match d {
+                CommDisposition::Direct(r) => Some((i, *r)),
+                CommDisposition::Via(_) => None,
+            })
+            .collect();
+        for (n, &(ia, ra)) in direct.iter().enumerate() {
+            let pa = self.universe.comm(CommId::from_raw(ia)).producer;
+            for &(ib, rb) in &direct[n + 1..] {
+                let pb = self.universe.comm(CommId::from_raw(ib)).producer;
+                if pa == pb || ra.wstub == rb.wstub {
+                    continue;
+                }
+                let (ba, bb) = (self.universe.op(pa).block, self.universe.op(pb).block);
+                if ba != bb {
+                    continue;
+                }
+                let ca = self.placements[pa.index()].completion();
+                let cb = self.placements[pb.index()].completion();
+                let same_cycle = if kernel.block(ba).is_loop() {
+                    (ca - cb) % ii == 0
+                } else {
+                    ca == cb
+                };
+                if !same_cycle {
+                    continue;
+                }
+                if let CommDisposition::Direct(route) = &mut self.dispositions[ib] {
+                    route.wstub = ra.wstub;
+                }
+                return Some(CommId::from_raw(ib));
+            }
+        }
+        None
+    }
+
     /// Run statistics.
     pub fn stats(&self) -> SchedStats {
         self.stats
@@ -166,25 +232,26 @@ impl Schedule {
             CommDisposition::Via(copy) => {
                 // comm was split into (producer -> copy) and (copy -> consumer).
                 let original = self.universe.comm(comm);
+                // The engine splits a Via communication into exactly these
+                // two legs; their absence means the schedule was built by
+                // hand or corrupted. Resolve to no legs (which validation
+                // reports) rather than panic.
                 let first = self
                     .universe
                     .comms_to_operand(copy, 0)
                     .iter()
                     .copied()
-                    .find(|&c| self.universe.comm(c).producer == original.producer)
-                    .expect("split comms exist");
-                let second = self
-                    .universe
-                    .comms_from(copy)
-                    .iter()
-                    .copied()
-                    .find(|&c| {
-                        let k = self.universe.comm(c);
-                        k.consumer == original.consumer
-                            && k.slot == original.slot
-                            && k.distance == original.distance
-                    })
-                    .expect("split comms exist");
+                    .find(|&c| self.universe.comm(c).producer == original.producer);
+                let second = self.universe.comms_from(copy).iter().copied().find(|&c| {
+                    let k = self.universe.comm(c);
+                    k.consumer == original.consumer
+                        && k.slot == original.slot
+                        && k.distance == original.distance
+                });
+                let (Some(first), Some(second)) = (first, second) else {
+                    debug_assert!(false, "split comms missing for {comm}");
+                    return;
+                };
                 self.collect_transport(first, legs);
                 self.collect_transport(second, legs);
             }

@@ -102,7 +102,9 @@ impl ResourceTable {
 
     /// Number of distinct claims on `resource` at `cycle` (0 = free).
     pub fn occupancy(&self, cycle: i64, resource: Resource) -> usize {
-        self.slots.get(&self.key(cycle, resource)).map_or(0, Vec::len)
+        self.slots
+            .get(&self.key(cycle, resource))
+            .map_or(0, Vec::len)
     }
 
     /// An order-independent digest of the table's current claims (used by
@@ -130,16 +132,22 @@ impl ResourceTable {
     /// Reverts every claim change (addition or release) made since `sp`.
     pub fn rollback(&mut self, sp: Savepoint) {
         while self.journal.len() > sp {
-            let entry = self.journal.pop().expect("len checked");
+            let Some(entry) = self.journal.pop() else {
+                break; // unreachable: the loop condition guarantees an entry
+            };
             if entry.added {
-                let list = self
-                    .slots
-                    .get_mut(&entry.key)
-                    .expect("journalled claims exist");
-                let pos = list
-                    .iter()
-                    .position(|(p, _)| *p == entry.payload)
-                    .expect("journalled claims exist");
+                // A journalled addition always has a matching live claim;
+                // tolerate its absence (skip) rather than panic, so a
+                // corrupted table degrades into a failed schedule that
+                // validation rejects instead of aborting the process.
+                let Some(list) = self.slots.get_mut(&entry.key) else {
+                    debug_assert!(false, "journalled claim missing on rollback");
+                    continue;
+                };
+                let Some(pos) = list.iter().position(|(p, _)| *p == entry.payload) else {
+                    debug_assert!(false, "journalled claim missing on rollback");
+                    continue;
+                };
                 if list[pos].1 > 1 {
                     list[pos].1 -= 1;
                 } else {
@@ -160,14 +168,18 @@ impl ResourceTable {
     }
 
     fn release(&mut self, key: (i64, u32), payload: Payload) {
-        let list = self
-            .slots
-            .get_mut(&key)
-            .expect("released claims must exist");
-        let pos = list
-            .iter()
-            .position(|(p, _)| *p == payload)
-            .expect("released claims must exist");
+        // Releasing a claim that is not held indicates an engine bug; skip
+        // (and trip debug builds) rather than panic — the resulting table
+        // can only over-constrain later placements, never corrupt a
+        // schedule that validation accepts.
+        let Some(list) = self.slots.get_mut(&key) else {
+            debug_assert!(false, "released claim missing");
+            return;
+        };
+        let Some(pos) = list.iter().position(|(p, _)| *p == payload) else {
+            debug_assert!(false, "released claim missing");
+            return;
+        };
         if list[pos].1 > 1 {
             list[pos].1 -= 1;
         } else {
@@ -187,27 +199,34 @@ impl ResourceTable {
     /// [`ResourceTable::place_write_stub`] (used when the permutation
     /// search revises a tentative open-communication stub, paper §4.3
     /// step 2/3). The release itself is journalled, so a later rollback
-    /// restores the claim.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stub was not placed.
+    /// restores the claim. Releasing a stub that was never placed is an
+    /// engine bug; it is skipped (debug builds trip an assertion).
     pub fn unplace_write_stub(&mut self, cycle: i64, stub: WriteStub, value: SOpId) {
         let bus_raw = stub.bus.index() as u32;
         let okey = self.key(cycle, Resource::FuOutput(stub.fu));
-        self.release(okey, Payload::Write { value, bus: bus_raw });
+        self.release(
+            okey,
+            Payload::Write {
+                value,
+                bus: bus_raw,
+            },
+        );
         let bkey = self.key(cycle, Resource::Bus(stub.bus));
         self.release(bkey, Payload::WriteBus { value });
         let pkey = self.key(cycle, Resource::WritePort(stub.port));
-        self.release(pkey, Payload::Write { value, bus: bus_raw });
+        self.release(
+            pkey,
+            Payload::Write {
+                value,
+                bus: bus_raw,
+            },
+        );
     }
 
     /// Releases one placement of a read stub made with
-    /// [`ResourceTable::place_read_stub`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stub was not placed.
+    /// [`ResourceTable::place_read_stub`]. Releasing a stub that was never
+    /// placed is an engine bug; it is skipped (debug builds trip an
+    /// assertion).
     pub fn unplace_read_stub(&mut self, cycle: i64, stub: ReadStub, op: SOpId, slot: usize) {
         let payload = Payload::Read {
             op,
@@ -237,12 +256,20 @@ impl ResourceTable {
             }
             Admission::Identical(pos) => {
                 list[pos].1 += 1;
-                self.journal.push(JournalEntry { key, payload, added: true });
+                self.journal.push(JournalEntry {
+                    key,
+                    payload,
+                    added: true,
+                });
                 true
             }
             Admission::Additional => {
                 list.push((payload, 1));
-                self.journal.push(JournalEntry { key, payload, added: true });
+                self.journal.push(JournalEntry {
+                    key,
+                    payload,
+                    added: true,
+                });
                 true
             }
         }
@@ -288,32 +315,39 @@ impl ResourceTable {
 
         // Output: one value; up to `fanout` distinct buses.
         let okey = self.key(cycle, Resource::FuOutput(stub.fu));
-        let ok = self.try_claim(okey, Payload::Write { value, bus: bus_raw }, |list, p| {
-            let Payload::Write { value: nv, bus: nb } = p else {
-                unreachable!()
-            };
-            let mut distinct = std::collections::HashSet::new();
-            for (e, _) in list {
-                match e {
-                    Payload::Write { value: ev, bus: eb } => {
-                        if *ev != nv {
-                            return Admission::Conflict;
+        let ok = self.try_claim(
+            okey,
+            Payload::Write {
+                value,
+                bus: bus_raw,
+            },
+            |list, p| {
+                let Payload::Write { value: nv, bus: nb } = p else {
+                    unreachable!()
+                };
+                let mut distinct = std::collections::HashSet::new();
+                for (e, _) in list {
+                    match e {
+                        Payload::Write { value: ev, bus: eb } => {
+                            if *ev != nv {
+                                return Admission::Conflict;
+                            }
+                            distinct.insert(*eb);
                         }
-                        distinct.insert(*eb);
+                        _ => return Admission::Conflict,
                     }
-                    _ => return Admission::Conflict,
                 }
-            }
-            if let Some(pos) = list.iter().position(|(e, _)| *e == p) {
-                return Admission::Identical(pos);
-            }
-            distinct.insert(nb);
-            if distinct.len() <= fanout {
-                Admission::Additional
-            } else {
-                Admission::Conflict
-            }
-        });
+                if let Some(pos) = list.iter().position(|(e, _)| *e == p) {
+                    return Admission::Identical(pos);
+                }
+                distinct.insert(nb);
+                if distinct.len() <= fanout {
+                    Admission::Additional
+                } else {
+                    Admission::Conflict
+                }
+            },
+        );
         if !ok {
             self.rollback(sp);
             return false;
@@ -337,13 +371,18 @@ impl ResourceTable {
 
         // Write port: one (value, bus) pair.
         let pkey = self.key(cycle, Resource::WritePort(stub.port));
-        let ok = self.try_claim(pkey, Payload::Write { value, bus: bus_raw }, |list, p| {
-            match list.first() {
+        let ok = self.try_claim(
+            pkey,
+            Payload::Write {
+                value,
+                bus: bus_raw,
+            },
+            |list, p| match list.first() {
                 Some((e, _)) if *e == p => Admission::Identical(0),
                 Some(_) => Admission::Conflict,
                 None => Admission::Additional,
-            }
-        });
+            },
+        );
         if !ok {
             self.rollback(sp);
             return false;
@@ -372,13 +411,15 @@ impl ResourceTable {
         }
         // Bus: shareable between identical source ports (broadcast).
         let bkey = self.key(cycle, Resource::Bus(stub.bus));
-        if !self.try_claim(bkey, Payload::ReadBus { port: stub.port }, |list, p| {
-            match list.first() {
+        if !self.try_claim(
+            bkey,
+            Payload::ReadBus { port: stub.port },
+            |list, p| match list.first() {
                 Some((e, _)) if *e == p => Admission::Identical(0),
                 Some(_) => Admission::Conflict,
                 None => Admission::Additional,
-            }
-        }) {
+            },
+        ) {
             self.rollback(sp);
             return false;
         }
@@ -405,7 +446,13 @@ impl ResourceTable {
     }
 
     /// Whether a read stub could be placed (non-mutating probe).
-    pub fn can_place_read_stub(&mut self, cycle: i64, stub: ReadStub, op: SOpId, slot: usize) -> bool {
+    pub fn can_place_read_stub(
+        &mut self,
+        cycle: i64,
+        stub: ReadStub,
+        op: SOpId,
+        slot: usize,
+    ) -> bool {
         let sp = self.savepoint();
         let ok = self.place_read_stub(cycle, stub, op, slot);
         self.rollback(sp);

@@ -149,7 +149,9 @@ impl Universe {
         for op_id in kernel.op_ids() {
             let op = kernel.op(op_id);
             for (slot, operand) in op.operands().iter().enumerate() {
-                let Operand::Value(v) = *operand else { continue };
+                let Operand::Value(v) = *operand else {
+                    continue;
+                };
                 for (producer, distance) in resolve_producers(kernel, v) {
                     u.add_comm(Comm {
                         producer: SOpId::from_raw(producer.index()),
@@ -203,14 +205,12 @@ impl Universe {
     }
 
     /// Removes the most recently added communication (used to roll back a
-    /// reused-copy attachment).
-    ///
-    /// # Panics
-    ///
-    /// Panics if there are no communications.
+    /// reused-copy attachment). Does nothing if there are none.
     pub fn remove_last_comm(&mut self) {
+        let Some(last) = self.comms.last() else {
+            return;
+        };
         let cid = CommId::from_raw(self.comms.len() - 1);
-        let last = self.comms.last().expect("nonempty");
         let oi = self.operand_index(last.consumer, last.slot);
         self.operand_comms[oi].retain(|&c| c != cid);
         self.producer_comms[last.producer.index()].retain(|&c| c != cid);
@@ -220,14 +220,15 @@ impl Universe {
     /// Removes the most recently added copy operation and any
     /// communications attached to it (used to roll back a failed copy
     /// insertion). The copy must be the last operation and its comms the
-    /// last comms.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the last operation is not an inserted copy.
+    /// last comms. Does nothing if the last operation is not an inserted
+    /// copy (kernel operations are never removed).
     pub fn remove_last_copy(&mut self) {
-        let op = self.ops.last().expect("universe is never empty");
-        assert!(op.kernel_op.is_none(), "can only remove inserted copies");
+        let Some(op) = self.ops.last() else {
+            return;
+        };
+        if op.kernel_op.is_some() {
+            return;
+        }
         let id = SOpId::from_raw(self.ops.len() - 1);
         // Drop comms touching the copy; they are by construction the most
         // recently added ones, but scan defensively.

@@ -73,7 +73,10 @@ impl fmt::Display for ValidationError {
             ValidationError::IncapableUnit { op } => write!(f, "{op}: unit cannot execute it"),
             ValidationError::WrongLatency { op } => write!(f, "{op}: latency mismatch"),
             ValidationError::TimingViolated { from, to, distance } => {
-                write!(f, "dependence {from} -> {to} (distance {distance}) violated")
+                write!(
+                    f,
+                    "dependence {from} -> {to} (distance {distance}) violated"
+                )
             }
             ValidationError::MalformedRoute { comm, reason } => {
                 write!(f, "{comm}: malformed route: {reason}")
@@ -291,7 +294,10 @@ pub fn validate(
             let q = schedule.placement(leg.consumer);
             let pb = u.op(leg.producer).block;
             let qb = u.op(leg.consumer).block;
-            if placed_writes.insert((leg.producer, route.wstub), ()).is_none() {
+            if placed_writes
+                .insert((leg.producer, route.wstub), ())
+                .is_none()
+            {
                 let fanout = arch.fu(p.fu).output_fanout();
                 if !tables[pb.index()].place_write_stub(
                     p.completion(),

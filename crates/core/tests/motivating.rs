@@ -35,7 +35,10 @@ fn motivating_example_schedules() {
         let legs = schedule.transport(c);
         assert!(!legs.is_empty());
         for (_, route) in &legs {
-            assert_eq!(route.wstub.rf, route.rstub.rf, "stubs must meet in one file");
+            assert_eq!(
+                route.wstub.rf, route.rstub.rf,
+                "stubs must meet in one file"
+            );
         }
     }
 }
@@ -75,7 +78,10 @@ fn reproduces_figure7_schedule_shape() {
     let ls = arch.fu_by_name("LS").unwrap();
     assert_eq!(legs[0].1.wstub.rf, rfc, "a staged through the center file");
     assert_eq!(legs[1].1.rstub.rf, rf0, "read into ADD0's file");
-    assert_eq!(legs[0].1.rstub.fu, ls, "the copy runs on the load/store unit");
+    assert_eq!(
+        legs[0].1.rstub.fu, ls,
+        "the copy runs on the load/store unit"
+    );
 
     // The communication of `a` to op4 (= a + c) needs no copy.
     let a_to_5 = u
@@ -107,7 +113,7 @@ fn copy_ranges_obey_figure23() {
             let copy = s.placement(first.consumer);
             let producer = s.placement(first.producer);
             assert!(
-                copy.cycle >= producer.completion() + 1,
+                copy.cycle > producer.completion(),
                 "copy issues after the write completes"
             );
             assert!(

@@ -13,21 +13,46 @@ fn arch() -> Architecture {
 
 #[derive(Clone, Debug)]
 enum Action {
-    Issue { fu: usize, cycle: i64, op: usize },
-    WriteStub { fu: usize, stub: usize, cycle: i64, value: usize },
-    ReadStub { fu: usize, slot: usize, cycle: i64, op: usize },
+    Issue {
+        fu: usize,
+        cycle: i64,
+        op: usize,
+    },
+    WriteStub {
+        fu: usize,
+        stub: usize,
+        cycle: i64,
+        value: usize,
+    },
+    ReadStub {
+        fu: usize,
+        slot: usize,
+        cycle: i64,
+        op: usize,
+    },
     Checkpoint,
     Rollback,
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
-        (0..3usize, 0..6i64, 0..8usize)
-            .prop_map(|(fu, cycle, op)| Action::Issue { fu, cycle, op }),
-        (0..3usize, 0..4usize, 0..6i64, 0..8usize)
-            .prop_map(|(fu, stub, cycle, value)| Action::WriteStub { fu, stub, cycle, value }),
-        (0..3usize, 0..2usize, 0..6i64, 0..8usize)
-            .prop_map(|(fu, slot, cycle, op)| Action::ReadStub { fu, slot, cycle, op }),
+        (0..3usize, 0..6i64, 0..8usize).prop_map(|(fu, cycle, op)| Action::Issue { fu, cycle, op }),
+        (0..3usize, 0..4usize, 0..6i64, 0..8usize).prop_map(|(fu, stub, cycle, value)| {
+            Action::WriteStub {
+                fu,
+                stub,
+                cycle,
+                value,
+            }
+        }),
+        (0..3usize, 0..2usize, 0..6i64, 0..8usize).prop_map(|(fu, slot, cycle, op)| {
+            Action::ReadStub {
+                fu,
+                slot,
+                cycle,
+                op,
+            }
+        }),
         Just(Action::Checkpoint),
         Just(Action::Rollback),
     ]
@@ -39,7 +64,12 @@ fn apply(table: &mut ResourceTable, arch: &Architecture, action: &Action) {
             let fu = csched_machine::FuId::from_raw(fu);
             let _ = table.place_issue(cycle, fu, 1, SOpId::from_raw(op));
         }
-        Action::WriteStub { fu, stub, cycle, value } => {
+        Action::WriteStub {
+            fu,
+            stub,
+            cycle,
+            value,
+        } => {
             let fu = csched_machine::FuId::from_raw(fu);
             let stubs = arch.write_stubs(fu);
             if stubs.is_empty() {
@@ -49,7 +79,12 @@ fn apply(table: &mut ResourceTable, arch: &Architecture, action: &Action) {
             let fanout = arch.fu(fu).output_fanout();
             let _ = table.place_write_stub(cycle, stub, SOpId::from_raw(value), fanout);
         }
-        Action::ReadStub { fu, slot, cycle, op } => {
+        Action::ReadStub {
+            fu,
+            slot,
+            cycle,
+            op,
+        } => {
             let fu = csched_machine::FuId::from_raw(fu);
             let slot = slot % arch.fu(fu).num_inputs();
             let stubs = arch.read_stubs(fu, slot);

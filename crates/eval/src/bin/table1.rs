@@ -10,5 +10,8 @@ fn main() {
         w.self_check()
             .unwrap_or_else(|e| panic!("self-check failed: {e}"));
     }
-    println!("all {} kernels match their scalar references", workloads.len());
+    println!(
+        "all {} kernels match their scalar references",
+        workloads.len()
+    );
 }

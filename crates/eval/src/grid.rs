@@ -83,7 +83,10 @@ impl Grid {
 
     /// Number of kernels at parity (speedup ≥ threshold) per architecture.
     pub fn kernels_at_parity(&self, i: usize, threshold: f64) -> usize {
-        self.rows.iter().filter(|r| r.speedup(i) >= threshold).count()
+        self.rows
+            .iter()
+            .filter(|r| r.speedup(i) >= threshold)
+            .count()
     }
 }
 
@@ -122,13 +125,25 @@ pub enum GridError {
 impl std::fmt::Display for GridError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GridError::Sched { kernel, arch, error } => {
+            GridError::Sched {
+                kernel,
+                arch,
+                error,
+            } => {
                 write!(f, "{kernel} on {arch}: scheduling failed: {error}")
             }
-            GridError::Invalid { kernel, arch, detail } => {
+            GridError::Invalid {
+                kernel,
+                arch,
+                detail,
+            } => {
                 write!(f, "{kernel} on {arch}: invalid schedule: {detail}")
             }
-            GridError::Diverged { kernel, arch, detail } => {
+            GridError::Diverged {
+                kernel,
+                arch,
+                detail,
+            } => {
                 write!(f, "{kernel} on {arch}: simulation diverged: {detail}")
             }
         }
@@ -154,22 +169,23 @@ pub fn run_grid(
     for w in workloads {
         let mut cells = Vec::with_capacity(archs.len());
         for arch in archs {
-            let schedule =
-                schedule_kernel(arch, &w.kernel, config.clone()).map_err(|error| {
-                    GridError::Sched {
-                        kernel: w.kernel.name().to_string(),
-                        arch: arch.name().to_string(),
-                        error,
-                    }
-                })?;
-            validate::validate(arch, &w.kernel, &schedule).map_err(|errors| GridError::Invalid {
-                kernel: w.kernel.name().to_string(),
-                arch: arch.name().to_string(),
-                detail: errors
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("; "),
+            let schedule = schedule_kernel(arch, &w.kernel, config.clone()).map_err(|error| {
+                GridError::Sched {
+                    kernel: w.kernel.name().to_string(),
+                    arch: arch.name().to_string(),
+                    error,
+                }
+            })?;
+            validate::validate(arch, &w.kernel, &schedule).map_err(|errors| {
+                GridError::Invalid {
+                    kernel: w.kernel.name().to_string(),
+                    arch: arch.name().to_string(),
+                    detail: errors
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                }
             })?;
             let simulated = if simulate {
                 let mut mem = w.memory();
@@ -246,7 +262,7 @@ mod tests {
         let e = GridError::Sched {
             kernel: "K".into(),
             arch: "A".into(),
-            error: csched_core::SchedError::IiExhausted { max_ii: 4 },
+            error: csched_core::SchedError::IiExhausted { mii: 1, max_ii: 4 },
         };
         assert!(e.to_string().contains("K on A"));
     }

@@ -39,7 +39,10 @@ pub fn figure28(grid: &Grid) -> String {
 /// Renders the Figure 29 overall (geometric mean) speedups.
 pub fn figure29(grid: &Grid) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 29: Overall Speedup vs Register File Architecture");
+    let _ = writeln!(
+        s,
+        "Figure 29: Overall Speedup vs Register File Architecture"
+    );
     let overall = grid.overall_speedups();
     let mins = grid.min_speedups();
     for (i, a) in grid.archs.iter().enumerate() {
@@ -242,7 +245,14 @@ pub fn grid_csv(grid: &Grid) -> String {
 pub fn cost_csv(rows: &[CostRow]) -> String {
     let mut s = String::from("arch,area,power,delay\n");
     for r in rows {
-        let _ = writeln!(s, "{},{:.6},{:.6},{:.6}", short(&r.arch), r.area, r.power, r.delay);
+        let _ = writeln!(
+            s,
+            "{},{:.6},{:.6},{:.6}",
+            short(&r.arch),
+            r.area,
+            r.power,
+            r.delay
+        );
     }
     s
 }

@@ -60,7 +60,9 @@ impl DepGraph {
         for op_id in kernel.op_ids() {
             let op = kernel.op(op_id);
             for (slot, operand) in op.operands().iter().enumerate() {
-                let Some(v) = operand.as_value() else { continue };
+                let Some(v) = operand.as_value() else {
+                    continue;
+                };
                 for (producer, distance) in resolve_producers(kernel, v) {
                     edges.push(DepEdge {
                         from: producer,
@@ -209,8 +211,7 @@ impl DepGraph {
                 let mut earliest = 0i64;
                 for e in self.preds(op) {
                     if e.distance == 0 && kernel.op(e.from).block() == block {
-                        earliest =
-                            earliest.max(asap[e.from.index()] + self.latency(e.from) as i64);
+                        earliest = earliest.max(asap[e.from.index()] + self.latency(e.from) as i64);
                     }
                 }
                 asap[op.index()] = earliest;
@@ -423,7 +424,10 @@ mod tests {
         assert_eq!(g.height(OpId::from_raw(1)), 3);
         assert_eq!(g.height(OpId::from_raw(0)), 4);
         let order = g.operation_order(&k, crate::kernel::BlockId::from_raw(0));
-        assert_eq!(order, vec![OpId::from_raw(0), OpId::from_raw(1), OpId::from_raw(2)]);
+        assert_eq!(
+            order,
+            vec![OpId::from_raw(0), OpId::from_raw(1), OpId::from_raw(2)]
+        );
     }
 
     fn accumulator_kernel() -> Kernel {
@@ -566,7 +570,6 @@ mod tests {
             Err(crate::kernel::KernelError::BadLoopUpdate { .. })
         ));
     }
-
 }
 
 impl DepGraph {

@@ -126,14 +126,8 @@ pub struct InterpStats {
 /// by zero. Memory opcodes are not handled here (they need memory state).
 pub fn eval_pure(op: OpId, opcode: Opcode, args: &[Word]) -> Result<Word, InterpError> {
     use Opcode::*;
-    let int = |w: Word| {
-        w.as_int()
-            .ok_or(InterpError::TypeMismatch { op, opcode })
-    };
-    let float = |w: Word| {
-        w.as_float()
-            .ok_or(InterpError::TypeMismatch { op, opcode })
-    };
+    let int = |w: Word| w.as_int().ok_or(InterpError::TypeMismatch { op, opcode });
+    let float = |w: Word| w.as_float().ok_or(InterpError::TypeMismatch { op, opcode });
     let b2i = |b: bool| Word::I(b as i64);
     Ok(match opcode {
         IAdd => Word::I(int(args[0])?.wrapping_add(int(args[1])?)),
@@ -218,17 +212,18 @@ pub fn run(kernel: &Kernel, memory: &mut Memory, trip: u64) -> Result<InterpStat
     let read_operand = |values: &[Option<Word>], operand: Operand| -> Word {
         match operand {
             Operand::Imm(i) => i.to_word(),
-            Operand::Value(v) => values[v.index()]
-                .expect("validated kernels define values before use"),
+            Operand::Value(v) => {
+                values[v.index()].expect("validated kernels define values before use")
+            }
         }
     };
 
     let exec_block = |values: &mut Vec<Option<Word>>,
-                          memory: &mut Memory,
-                          stats: &mut InterpStats,
-                          region_touch: &mut HashMap<(usize, i64), u64>,
-                          block: crate::kernel::BlockId,
-                          iteration: u64|
+                      memory: &mut Memory,
+                      stats: &mut InterpStats,
+                      region_touch: &mut HashMap<(usize, i64), u64>,
+                      block: crate::kernel::BlockId,
+                      iteration: u64|
      -> Result<(), InterpError> {
         for &op_id in kernel.block(block).ops() {
             let op = kernel.op(op_id);
@@ -247,10 +242,9 @@ pub fn run(kernel: &Kernel, memory: &mut Memory, trip: u64) -> Result<InterpStat
                     } else {
                         &memory.scratch
                     };
-                    let w = *space.get(&addr).ok_or(InterpError::UninitializedLoad {
-                        op: op_id,
-                        addr,
-                    })?;
+                    let w = *space
+                        .get(&addr)
+                        .ok_or(InterpError::UninitializedLoad { op: op_id, addr })?;
                     touch_region(kernel, region_touch, op, addr, iteration)?;
                     Some(w)
                 }
@@ -316,11 +310,7 @@ pub fn run(kernel: &Kernel, memory: &mut Memory, trip: u64) -> Result<InterpStat
 }
 
 /// Effective address of a memory operation: `base + offset`.
-fn mem_addr(
-    args: &[Word],
-    op: crate::kernel::OpId,
-    opcode: Opcode,
-) -> Result<i64, InterpError> {
+fn mem_addr(args: &[Word], op: crate::kernel::OpId, opcode: Opcode) -> Result<i64, InterpError> {
     let base = args[0]
         .as_int()
         .ok_or(InterpError::TypeMismatch { op, opcode })?;
@@ -417,8 +407,7 @@ mod tests {
             ),
         ];
         for (opcode, args, want) in cases {
-            let got = eval_pure(op, opcode, &args)
-                .unwrap_or_else(|e| panic!("{opcode}: {e}"));
+            let got = eval_pure(op, opcode, &args).unwrap_or_else(|e| panic!("{opcode}: {e}"));
             assert!(got.bit_eq(want), "{opcode}: got {got}, want {want}");
         }
         assert!(matches!(
@@ -547,7 +536,12 @@ mod tests {
         let mut kb = KernelBuilder::new("sp");
         let sp = kb.region("sp", false);
         let b = kb.straight_block("b");
-        kb.push_mem(b, Opcode::SpWrite, [Operand::from(3i64), 0i64.into(), 9i64.into()], sp);
+        kb.push_mem(
+            b,
+            Opcode::SpWrite,
+            [Operand::from(3i64), 0i64.into(), 9i64.into()],
+            sp,
+        );
         let (_, v) = kb.push_mem(b, Opcode::SpRead, [Operand::from(3i64), 0i64.into()], sp);
         let out = kb.region("out", true);
         kb.store(b, out, 0i64.into(), 0i64.into(), v.unwrap().into());

@@ -316,7 +316,10 @@ impl fmt::Display for KernelError {
                 write!(f, "loop variable {value} has an invalid init")
             }
             KernelError::BadLoopStructure => {
-                write!(f, "kernel must be straight-line blocks then at most one loop block")
+                write!(
+                    f,
+                    "kernel must be straight-line blocks then at most one loop block"
+                )
             }
             KernelError::Empty => write!(f, "kernel has no operations"),
         }
@@ -584,7 +587,9 @@ impl KernelBuilder {
         region: Option<RegionId>,
     ) -> (OpId, Option<ValueId>) {
         let id = OpId::from_raw(self.ops.len());
-        let result = opcode.has_result().then(|| self.fresh_value(ValueDef::Op(id)));
+        let result = opcode
+            .has_result()
+            .then(|| self.fresh_value(ValueDef::Op(id)));
         self.ops.push(Operation {
             opcode,
             operands,
@@ -725,7 +730,10 @@ impl Kernel {
             return Err(KernelError::Empty);
         }
         // Loop structure: at most one loop block and it must be last.
-        let loops: Vec<_> = self.block_ids().filter(|&b| self.block(b).is_loop()).collect();
+        let loops: Vec<_> = self
+            .block_ids()
+            .filter(|&b| self.block(b).is_loop())
+            .collect();
         if loops.len() > 1 {
             return Err(KernelError::BadLoopStructure);
         }
@@ -895,7 +903,10 @@ mod tests {
         let mut k = kb.build().unwrap();
         // Swap the two ops in program order: now op0 uses op1's result.
         k.blocks[0].ops.swap(0, 1);
-        assert!(matches!(k.validate(), Err(KernelError::UseBeforeDef { .. })));
+        assert!(matches!(
+            k.validate(),
+            Err(KernelError::UseBeforeDef { .. })
+        ));
         let _ = v2;
     }
 
@@ -920,10 +931,7 @@ mod tests {
         let i = kb.loop_var(lp, x.into());
         let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
         kb.set_update(i, i1.into());
-        assert!(matches!(
-            kb.build(),
-            Err(KernelError::BadLoopInit { .. })
-        ));
+        assert!(matches!(kb.build(), Err(KernelError::BadLoopInit { .. })));
     }
 
     #[test]
@@ -935,10 +943,7 @@ mod tests {
         let i = kb.loop_var(lp, 0i64.into());
         kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
         kb.set_update(i, outside.into());
-        assert!(matches!(
-            kb.build(),
-            Err(KernelError::BadLoopUpdate { .. })
-        ));
+        assert!(matches!(kb.build(), Err(KernelError::BadLoopUpdate { .. })));
     }
 
     #[test]

@@ -36,14 +36,14 @@
 
 mod depgraph;
 pub mod interp;
+mod kernel;
 pub mod opt;
 pub mod text;
-mod kernel;
 mod unroll;
 mod value;
 
 pub use depgraph::{resolve_producers, DepEdge, DepGraph, DepKind};
-pub use interp::{Memory, InterpError, InterpStats};
+pub use interp::{InterpError, InterpStats, Memory};
 pub use kernel::{
     BasicBlock, BlockId, Kernel, KernelBuilder, KernelError, LoopVar, MemRegion, OpId, Operand,
     Operation, RegionId, ValueDef, ValueId,

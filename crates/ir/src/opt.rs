@@ -137,11 +137,7 @@ fn round(kernel: &Kernel) -> Result<(Kernel, OptStats), KernelError> {
         let mut available: HashMap<(Opcode, Vec<String>), ValueId> = HashMap::new();
         for &op_id in block.ops() {
             let op = kernel.op(op_id);
-            let operands: Vec<Operand> = op
-                .operands()
-                .iter()
-                .map(|&o| resolve(o, &map))
-                .collect();
+            let operands: Vec<Operand> = op.operands().iter().map(|&o| resolve(o, &map)).collect();
 
             if let Some(result) = op.result() {
                 if op.opcode().is_pure() && !live.contains(&result) {
@@ -179,7 +175,10 @@ fn round(kernel: &Kernel) -> Result<(Kernel, OptStats), KernelError> {
             if op.opcode().is_pure() {
                 let key = (
                     op.opcode(),
-                    operands.iter().map(|o| format!("{o:?}")).collect::<Vec<_>>(),
+                    operands
+                        .iter()
+                        .map(|o| format!("{o:?}"))
+                        .collect::<Vec<_>>(),
                 );
                 if let Some(&prev) = available.get(&key) {
                     map.insert(op.result().expect("pure"), Operand::Value(prev));

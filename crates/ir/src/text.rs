@@ -65,6 +65,17 @@ pub fn print(kernel: &Kernel) -> String {
             }
         }
     };
+    // A validated kernel always has results on pure/load ops and regions
+    // on memory ops; print defensively anyway so a hand-assembled kernel
+    // still renders (as `v?` / `?`) instead of panicking.
+    let result_of = |op: &crate::kernel::Operation| match op.result() {
+        Some(v) => vname(v),
+        None => "v?".to_string(),
+    };
+    let region_of = |op: &crate::kernel::Operation| match op.region() {
+        Some(r) => kernel.region(r).name(),
+        None => "?",
+    };
     for block_id in kernel.block_ids() {
         let block = kernel.block(block_id);
         let _ = writeln!(
@@ -90,9 +101,9 @@ pub fn print(kernel: &Kernel) -> String {
                     let _ = writeln!(
                         out,
                         "    {} = {} {} [{} + {}]",
-                        vname(op.result().expect("loads have results")),
+                        result_of(op),
                         op.opcode().mnemonic(),
-                        kernel.region(op.region().expect("memory ops have regions")).name(),
+                        region_of(op),
                         oname(operands[0]),
                         oname(operands[1]),
                     );
@@ -102,7 +113,7 @@ pub fn print(kernel: &Kernel) -> String {
                         out,
                         "    {} {} [{} + {}], {}",
                         op.opcode().mnemonic(),
-                        kernel.region(op.region().expect("memory ops have regions")).name(),
+                        region_of(op),
                         oname(operands[0]),
                         oname(operands[1]),
                         oname(operands[2]),
@@ -113,7 +124,7 @@ pub fn print(kernel: &Kernel) -> String {
                     let _ = writeln!(
                         out,
                         "    {} = {} {}",
-                        vname(op.result().expect("pure ops have results")),
+                        result_of(op),
                         opcode.mnemonic(),
                         args.join(", ")
                     );
@@ -126,18 +137,41 @@ pub fn print(kernel: &Kernel) -> String {
     out
 }
 
-/// A parse failure, with 1-based line information.
+/// A parse failure with a source span: 1-based line and column plus the
+/// offending source line, rendered caret-style by [`Display`].
+///
+/// `line == 0` marks errors with no source location (empty input, or a
+/// kernel-validation failure after parsing succeeded).
+///
+/// [`Display`]: std::fmt::Display
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParseError {
-    /// 1-based line the error was detected on.
+    /// 1-based line the error was detected on (0 when unlocated).
     pub line: usize,
+    /// 1-based column of the offending token (0 when unlocated).
+    pub column: usize,
+    /// The source line the error occurred on, comment included.
+    pub snippet: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            return write!(f, "{}", self.message);
+        }
+        write!(f, "line {}:{}: {}", self.line, self.column, self.message)?;
+        if !self.snippet.is_empty() {
+            write!(
+                f,
+                "\n  | {}\n  | {caret:>width$}",
+                self.snippet,
+                caret = '^',
+                width = self.column.max(1)
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -147,6 +181,8 @@ impl From<KernelError> for ParseError {
     fn from(e: KernelError) -> Self {
         ParseError {
             line: 0,
+            column: 0,
+            snippet: String::new(),
             message: format!("kernel validation failed: {e}"),
         }
     }
@@ -163,6 +199,9 @@ pub fn parse(text: &str) -> Result<Kernel, ParseError> {
 }
 
 struct Parser<'a> {
+    /// Every source line, untrimmed, for error snippets (index = line - 1).
+    raw: Vec<&'a str>,
+    /// Non-empty lines after comment stripping, with 1-based numbers.
     lines: Vec<(usize, &'a str)>,
     pos: usize,
 }
@@ -175,8 +214,9 @@ struct PendingVar {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        let lines = text
-            .lines()
+        let raw: Vec<&'a str> = text.lines().collect();
+        let lines = raw
+            .iter()
             .enumerate()
             .map(|(i, l)| {
                 let l = match l.find(';') {
@@ -187,14 +227,37 @@ impl<'a> Parser<'a> {
             })
             .filter(|(_, l)| !l.is_empty())
             .collect();
-        Parser { lines, pos: 0 }
+        Parser { raw, lines, pos: 0 }
     }
 
-    fn err<T>(&self, line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
+    /// Builds a spanned error: the snippet is the raw source line, and the
+    /// column points at `frag` within it (or at the first non-blank
+    /// character when `frag` is empty or not found).
+    fn error(&self, line: usize, frag: &str, message: impl Into<String>) -> ParseError {
+        let snippet = self
+            .raw
+            .get(line.wrapping_sub(1))
+            .map_or("", |l| l.trim_end());
+        let column = if line == 0 {
+            0
+        } else {
+            let found = if frag.is_empty() {
+                None
+            } else {
+                snippet.find(frag)
+            };
+            found.unwrap_or_else(|| snippet.len() - snippet.trim_start().len()) + 1
+        };
+        ParseError {
             line,
+            column,
+            snippet: snippet.to_string(),
             message: message.into(),
-        })
+        }
+    }
+
+    fn err<T>(&self, line: usize, frag: &str, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(self.error(line, frag, message))
     }
 
     fn next_line(&mut self) -> Option<(usize, &'a str)> {
@@ -206,7 +269,7 @@ impl<'a> Parser<'a> {
     fn parse(mut self) -> Result<Kernel, ParseError> {
         let (line, header) = match self.next_line() {
             Some(l) => l,
-            None => return self.err(0, "empty input"),
+            None => return self.err(0, "", "empty input"),
         };
         let name = header
             .strip_prefix("kernel")
@@ -214,10 +277,7 @@ impl<'a> Parser<'a> {
             .and_then(|rest| rest.strip_suffix('{'))
             .map(str::trim)
             .and_then(|q| q.strip_prefix('"')?.strip_suffix('"'))
-            .ok_or(ParseError {
-                line,
-                message: "expected `kernel \"name\" {`".into(),
-            })?;
+            .ok_or_else(|| self.expected(line, header, "`kernel \"name\" {`"))?;
 
         let mut kb = KernelBuilder::new(name);
         let mut regions: HashMap<String, RegionId> = HashMap::new();
@@ -230,7 +290,7 @@ impl<'a> Parser<'a> {
                     .trim()
                     .strip_prefix('"')
                     .and_then(|r| r.strip_suffix('"'))
-                    .ok_or_else(|| self.expected(line, "quoted description"))?;
+                    .ok_or_else(|| self.expected(line, rest, "quoted description"))?;
                 kb.description(text);
                 continue;
             }
@@ -242,6 +302,7 @@ impl<'a> Parser<'a> {
                         None => {
                             return self.err(
                                 pv.line,
+                                &pv.update,
                                 format!("loop var update `{}` is not defined", pv.update),
                             )
                         }
@@ -253,12 +314,14 @@ impl<'a> Parser<'a> {
             if let Some(rest) = l.strip_prefix("region ") {
                 let mut parts = rest.split_whitespace();
                 let (Some(rname), Some(kind)) = (parts.next(), parts.next()) else {
-                    return self.err(line, "expected `region <name> disjoint|aliasing`");
+                    return self.err(line, rest, "expected `region <name> disjoint|aliasing`");
                 };
                 let disjoint = match kind {
                     "disjoint" => true,
                     "aliasing" => false,
-                    other => return self.err(line, format!("unknown region kind `{other}`")),
+                    other => {
+                        return self.err(line, other, format!("unknown region kind `{other}`"))
+                    }
                 };
                 let id = kb.region(rname, disjoint);
                 regions.insert(rname.to_string(), id);
@@ -269,23 +332,27 @@ impl<'a> Parser<'a> {
             } else if let Some(rest) = l.strip_prefix("block ") {
                 (false, rest)
             } else {
-                return self.err(line, format!("expected region/block/loop, got `{l}`"));
+                return self.err(line, l, format!("expected region/block/loop, got `{l}`"));
             };
             let bname = bname
                 .strip_suffix('{')
                 .map(str::trim)
-                .ok_or(ParseError {
-                    line,
-                    message: "expected `{` after block name".into(),
-                })?;
+                .ok_or_else(|| self.expected(line, bname, "`{` after block name"))?;
             let block = if is_loop {
                 kb.loop_block(bname)
             } else {
                 kb.straight_block(bname)
             };
-            self.parse_block(&mut kb, block, is_loop, &regions, &mut values, &mut pending_vars)?;
+            self.parse_block(
+                &mut kb,
+                block,
+                is_loop,
+                &regions,
+                &mut values,
+                &mut pending_vars,
+            )?;
         }
-        self.err(0, "unexpected end of input (missing `}`)")
+        self.err(0, "", "unexpected end of input (missing `}`)")
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -304,18 +371,19 @@ impl<'a> Parser<'a> {
             }
             if let Some(rest) = l.strip_prefix("var ") {
                 if !is_loop {
-                    return self.err(line, "`var` is only allowed in loop blocks");
+                    return self.err(line, "var", "`var` is only allowed in loop blocks");
                 }
                 // var <name> = init <operand> update <name>
-                let (vname, rest) = split_once_trim(rest, '=')
-                    .ok_or_else(|| self.expected(line, "var <name> = init <op> update <name>"))?;
+                let (vname, rest) = split_once_trim(rest, '=').ok_or_else(|| {
+                    self.expected(line, rest, "var <name> = init <op> update <name>")
+                })?;
                 let rest = rest
                     .strip_prefix("init")
-                    .ok_or_else(|| self.expected(line, "init <operand>"))?
+                    .ok_or_else(|| self.expected(line, rest, "init <operand>"))?
                     .trim();
                 let (init_text, update_name) = match rest.find("update") {
                     Some(p) => (rest[..p].trim(), rest[p + 6..].trim()),
-                    None => return self.err(line, "missing `update <name>`"),
+                    None => return self.err(line, rest, "missing `update <name>`"),
                 };
                 let init = self.operand(line, init_text, values)?;
                 let value = kb.loop_var(block, init);
@@ -328,7 +396,10 @@ impl<'a> Parser<'a> {
                 });
                 continue;
             }
-            if let Some(rest) = l.strip_prefix("store ").or_else(|| l.strip_prefix("spwrite ")) {
+            if let Some(rest) = l
+                .strip_prefix("store ")
+                .or_else(|| l.strip_prefix("spwrite "))
+            {
                 let opcode = if l.starts_with("store") {
                     Opcode::Store
                 } else {
@@ -338,7 +409,7 @@ impl<'a> Parser<'a> {
                 let (region, base, offset, tail) = self.mem_operand(line, rest, regions, values)?;
                 let tail = tail
                     .strip_prefix(',')
-                    .ok_or_else(|| self.expected(line, "`, <value>` after store address"))?
+                    .ok_or_else(|| self.expected(line, tail, "`, <value>` after store address"))?
                     .trim();
                 let value = self.operand(line, tail, values)?;
                 kb.push_mem(block, opcode, [base, offset, value], region);
@@ -346,7 +417,7 @@ impl<'a> Parser<'a> {
             }
             // <name> = <mnemonic> <args>
             let (vname, rest) = split_once_trim(l, '=')
-                .ok_or_else(|| self.expected(line, "<name> = <op> <operands>"))?;
+                .ok_or_else(|| self.expected(line, l, "<name> = <op> <operands>"))?;
             let (mnemonic, args) = match rest.find([' ', '\t']) {
                 Some(p) => (&rest[..p], rest[p..].trim()),
                 None => (rest, ""),
@@ -359,14 +430,15 @@ impl<'a> Parser<'a> {
                 };
                 let (region, base, offset, tail) = self.mem_operand(line, args, regions, values)?;
                 if !tail.is_empty() {
-                    return self.err(line, format!("unexpected trailing `{tail}`"));
+                    return self.err(line, tail, format!("unexpected trailing `{tail}`"));
                 }
                 kb.push_mem(block, opcode, [base, offset], region)
                     .1
-                    .expect("loads produce results")
+                    .ok_or_else(|| self.error(line, mnemonic, "memory read produced no result"))?
             } else {
-                let opcode = Opcode::from_mnemonic(mnemonic)
-                    .ok_or_else(|| self.expected(line, format!("unknown opcode `{mnemonic}`")))?;
+                let opcode = Opcode::from_mnemonic(mnemonic).ok_or_else(|| {
+                    self.error(line, mnemonic, format!("unknown opcode `{mnemonic}`"))
+                })?;
                 let operands: Vec<Operand> = if args.is_empty() {
                     Vec::new()
                 } else {
@@ -377,6 +449,7 @@ impl<'a> Parser<'a> {
                 if operands.len() != opcode.num_operands() {
                     return self.err(
                         line,
+                        mnemonic,
                         format!(
                             "{mnemonic} takes {} operands, got {}",
                             opcode.num_operands(),
@@ -389,14 +462,11 @@ impl<'a> Parser<'a> {
             kb.name_value(result, vname);
             values.insert(vname.to_string(), result);
         }
-        self.err(0, "unexpected end of input in block (missing `}`)")
+        self.err(0, "", "unexpected end of input in block (missing `}`)")
     }
 
-    fn expected(&self, line: usize, what: impl Into<String>) -> ParseError {
-        ParseError {
-            line,
-            message: format!("expected {}", what.into()),
-        }
+    fn expected(&self, line: usize, frag: &str, what: impl Into<String>) -> ParseError {
+        self.error(line, frag, format!("expected {}", what.into()))
     }
 
     /// Parses `<region> [<base> + <offset>]` and returns the rest of the
@@ -410,20 +480,20 @@ impl<'a> Parser<'a> {
     ) -> Result<(RegionId, Operand, Operand, &'b str), ParseError> {
         let open = text
             .find('[')
-            .ok_or_else(|| self.expected(line, "`[base + offset]`"))?;
+            .ok_or_else(|| self.expected(line, text, "`[base + offset]`"))?;
         let rname = text[..open].trim();
         let region = *regions
             .get(rname)
-            .ok_or_else(|| self.expected(line, format!("known region, got `{rname}`")))?;
+            .ok_or_else(|| self.expected(line, rname, format!("known region, got `{rname}`")))?;
         let close = text
             .find(']')
-            .ok_or_else(|| self.expected(line, "closing `]`"))?;
+            .ok_or_else(|| self.expected(line, text, "closing `]`"))?;
         let inner = &text[open + 1..close];
         // The offset is the last `+`-separated term; a leading minus on an
         // immediate base still parses (`rfind` skips it).
         let plus = inner
             .rfind('+')
-            .ok_or_else(|| self.expected(line, "`base + offset`"))?;
+            .ok_or_else(|| self.expected(line, inner, "`base + offset`"))?;
         let base = self.operand(line, inner[..plus].trim(), values)?;
         let offset = self.operand(line, inner[plus + 1..].trim(), values)?;
         Ok((region, base, offset, text[close + 1..].trim()))
@@ -436,7 +506,7 @@ impl<'a> Parser<'a> {
         values: &HashMap<String, ValueId>,
     ) -> Result<Operand, ParseError> {
         if text.is_empty() {
-            return self.err(line, "empty operand");
+            return self.err(line, "", "empty operand");
         }
         if let Ok(i) = text.parse::<i64>() {
             return Ok(Operand::Imm(Imm::Int(i)));
@@ -446,7 +516,7 @@ impl<'a> Parser<'a> {
         }
         match values.get(text) {
             Some(&v) => Ok(Operand::Value(v)),
-            None => self.err(line, format!("unknown value `{text}`")),
+            None => self.err(line, text, format!("unknown value `{text}`")),
         }
     }
 }
@@ -566,5 +636,77 @@ kernel "triple" {
         let bad = "kernel \"x\" {\n  block b {\n    y = iadd 1\n  }\n}\n";
         let e = parse(bad).unwrap_err();
         assert!(e.message.contains("takes 2 operands"));
+        // The span points at the mnemonic on the offending line.
+        assert_eq!(e.line, 3);
+        assert_eq!(e.column, 9);
+        assert_eq!(e.snippet, "    y = iadd 1");
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_token() {
+        let bad = "kernel \"x\" {\n  loop l {\n    y = iadd zz, 2\n  }\n}\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!((e.line, e.column), (3, 14));
+        assert_eq!(e.snippet, "    y = iadd zz, 2");
+        // Display renders a caret under the token.
+        let rendered = e.to_string();
+        assert!(rendered.contains("line 3:14"), "{rendered}");
+        let caret_line = rendered.lines().last().unwrap();
+        // "  | " prefix plus a caret right-aligned to the column.
+        assert_eq!(caret_line.find('^'), Some(4 + 14 - 1));
+    }
+
+    #[test]
+    fn malformed_headers_and_structure_are_spanned() {
+        let e = parse("krenel \"x\" {\n}\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("kernel"));
+        assert_eq!(e.snippet, "krenel \"x\" {");
+
+        let e = parse("kernel \"x\" {\n  region r sideways\n}\n").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 12));
+        assert!(e.message.contains("sideways"));
+
+        let e = parse("kernel \"x\" {\n  block b\n}\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains('{'));
+
+        let e = parse("kernel \"x\" {\n  block b {\n    var i = init 0 update i\n  }\n}\n")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("only allowed in loop blocks"));
+    }
+
+    #[test]
+    fn malformed_memory_operands_are_spanned() {
+        let base = "kernel \"x\" {\n  region r disjoint\n  block b {\n";
+        let e = parse(&format!("{base}    y = load q [0 + 0]\n  }}\n}}\n")).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("known region"), "{e}");
+
+        let e = parse(&format!("{base}    y = load r [0 0]\n  }}\n}}\n")).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("base + offset"), "{e}");
+
+        let e = parse(&format!("{base}    store r [0 + 0]\n  }}\n}}\n")).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("<value>"), "{e}");
+
+        let e = parse(&format!("{base}    y = load r [0 + 0] junk\n  }}\n}}\n")).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("junk"), "{e}");
+        assert_eq!(e.column, "    y = load r [0 + 0] ".len() + 1);
+    }
+
+    #[test]
+    fn unterminated_input_is_reported_without_a_span() {
+        for bad in ["", "kernel \"x\" {\n", "kernel \"x\" {\n  block b {\n"] {
+            let e = parse(bad).unwrap_err();
+            assert_eq!(e.line, 0);
+            assert_eq!(e.column, 0);
+            assert!(e.snippet.is_empty());
+            // Unlocated errors render the message alone.
+            assert!(!e.to_string().contains("line 0"), "{e}");
+        }
     }
 }

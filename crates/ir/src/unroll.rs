@@ -182,7 +182,8 @@ fn push_any(
     regions: &[crate::kernel::RegionId],
 ) -> Option<ValueId> {
     if let Some(region) = op.region() {
-        kb.push_mem(block, op.opcode(), operands, regions[region.index()]).1
+        kb.push_mem(block, op.opcode(), operands, regions[region.index()])
+            .1
     } else {
         Some(kb.push(block, op.opcode(), operands))
     }

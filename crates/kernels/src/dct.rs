@@ -72,9 +72,8 @@ fn build() -> Kernel {
     let mulc = |kb: &mut KernelBuilder, a: ValueId, k: usize| {
         kb.push(lp, Opcode::IMul, [a.into(), COS_Q13[k].into()])
     };
-    let scale = |kb: &mut KernelBuilder, a: ValueId| {
-        kb.push(lp, Opcode::Sra, [a.into(), SHIFT.into()])
-    };
+    let scale =
+        |kb: &mut KernelBuilder, a: ValueId| kb.push(lp, Opcode::Sra, [a.into(), SHIFT.into()]);
 
     let s07 = add(&mut kb, x[0], x[7]);
     let d07 = sub(&mut kb, x[0], x[7]);

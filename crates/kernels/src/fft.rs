@@ -52,8 +52,20 @@ fn build() -> Kernel {
 
     kb.store(lp, out, two_i.into(), OUT_BASE.into(), ar1.into());
     kb.store(lp, out, two_i.into(), (OUT_BASE + 1).into(), ai1.into());
-    kb.store(lp, out, two_i.into(), (OUT_BASE + 2 * HALF).into(), br1.into());
-    kb.store(lp, out, two_i.into(), (OUT_BASE + 2 * HALF + 1).into(), bi1.into());
+    kb.store(
+        lp,
+        out,
+        two_i.into(),
+        (OUT_BASE + 2 * HALF).into(),
+        br1.into(),
+    );
+    kb.store(
+        lp,
+        out,
+        two_i.into(),
+        (OUT_BASE + 2 * HALF + 1).into(),
+        bi1.into(),
+    );
 
     let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
     kb.set_update(i, i1.into());
@@ -118,7 +130,11 @@ pub fn fft_u4() -> Workload {
     let base = build();
     let mut kernel = unroll(&base, 4).expect("FFT unrolls cleanly");
     // Keep the paper's kernel name.
-    kernel = rename(kernel, "FFT-U4", "FFT with the inner loop unrolled four times.");
+    kernel = rename(
+        kernel,
+        "FFT-U4",
+        "FFT with the inner loop unrolled four times.",
+    );
     Workload {
         kernel,
         trip: 2, // 2 unrolled iterations = 8 butterflies
@@ -149,7 +165,10 @@ mod tests {
 
     #[test]
     fn unrolled_body_is_four_times_larger() {
-        assert_eq!(fft_u4().kernel.loop_ops().len(), fft().kernel.loop_ops().len() * 4);
+        assert_eq!(
+            fft_u4().kernel.loop_ops().len(),
+            fft().kernel.loop_ops().len() * 4
+        );
         assert_eq!(fft_u4().kernel.name(), "FFT-U4");
     }
 }

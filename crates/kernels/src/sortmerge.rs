@@ -58,7 +58,13 @@ fn build_sort() -> Kernel {
         v[b] = hi;
     }
     for (k, &val) in v.iter().enumerate() {
-        kb.store(lp, output, base.into(), (OUT_BASE + k as i64).into(), val.into());
+        kb.store(
+            lp,
+            output,
+            base.into(),
+            (OUT_BASE + k as i64).into(),
+            val.into(),
+        );
     }
     let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
     kb.set_update(i, i1.into());

@@ -60,7 +60,11 @@ fn emit_point(
                 Some(a) => kb.push(lp, Opcode::FAdd, [a.into(), prod.into()]),
             });
         }
-        kb.push(lp, Opcode::FAdd, [acc.expect("3 coords").into(), m[r][3].into()])
+        kb.push(
+            lp,
+            Opcode::FAdd,
+            [acc.expect("3 coords").into(), m[r][3].into()],
+        )
     };
     let tx = row(kb, 0);
     let ty = row(kb, 1);
@@ -230,7 +234,11 @@ mod tests {
     fn w_stays_away_from_zero() {
         let mut r = prand(12345);
         for _ in 0..1000 {
-            let p = [small_float(&mut r), small_float(&mut r), small_float(&mut r)];
+            let p = [
+                small_float(&mut r),
+                small_float(&mut r),
+                small_float(&mut r),
+            ];
             let m = matrix();
             let w = m[3][0] * p[0] + m[3][1] * p[1] + m[3][2] * p[2] + m[3][3];
             assert!(w.abs() > 1.0, "w = {w}");

@@ -9,9 +9,14 @@ use csched_ir::text;
 fn all_kernels_round_trip_through_text() {
     for w in csched_kernels::all() {
         let printed = text::print(&w.kernel);
-        let reparsed = text::parse(&printed)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", w.kernel.name()));
-        assert_eq!(reparsed.num_ops(), w.kernel.num_ops(), "{}", w.kernel.name());
+        let reparsed =
+            text::parse(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", w.kernel.name()));
+        assert_eq!(
+            reparsed.num_ops(),
+            w.kernel.num_ops(),
+            "{}",
+            w.kernel.name()
+        );
         assert_eq!(reparsed.name(), w.kernel.name());
 
         // Execute the reparsed kernel against the original's reference.

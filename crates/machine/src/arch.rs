@@ -632,7 +632,11 @@ impl ArchBuilder {
     /// Convenience: gives `fu` a dedicated path (private bus and write port)
     /// into `rf`, as in central and clustered register files.
     pub fn dedicated_write(&mut self, fu: FuId, rf: RfId) -> (BusId, WritePortId) {
-        let bus = self.bus(format!("{}->{}_w", self.fus[fu.index()].name, self.rfs[rf.index()].name));
+        let bus = self.bus(format!(
+            "{}->{}_w",
+            self.fus[fu.index()].name,
+            self.rfs[rf.index()].name
+        ));
         let port = self.write_port(rf);
         self.connect_output(fu, bus);
         self.connect_bus_to_write_port(bus, port);
@@ -887,10 +891,7 @@ mod tests {
         );
         b.dedicated_write(alu, rf);
         b.dedicated_read(rf, alu, 0);
-        assert!(matches!(
-            b.build(),
-            Err(ArchError::NotEnoughInputs { .. })
-        ));
+        assert!(matches!(b.build(), Err(ArchError::NotEnoughInputs { .. })));
     }
 
     #[test]
@@ -906,7 +907,10 @@ mod tests {
         );
         b.dedicated_read(rf, alu, 0);
         b.dedicated_read(rf, alu, 1);
-        assert!(matches!(b.build(), Err(ArchError::UnreachableOutput { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ArchError::UnreachableOutput { .. })
+        ));
     }
 
     #[test]
@@ -927,7 +931,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(ArchBuilder::new("empty").build().unwrap_err(), ArchError::Empty);
+        assert_eq!(
+            ArchBuilder::new("empty").build().unwrap_err(),
+            ArchError::Empty
+        );
     }
 
     #[test]

@@ -134,7 +134,9 @@ impl CostReport {
 /// the centroid of the units that read from it (or, if none read from it,
 /// the units that write to it).
 fn placements(arch: &Architecture, params: &CostParams) -> (Vec<f64>, Vec<f64>) {
-    let fu_pos: Vec<f64> = (0..arch.num_fus()).map(|i| i as f64 * params.fu_span).collect();
+    let fu_pos: Vec<f64> = (0..arch.num_fus())
+        .map(|i| i as f64 * params.fu_span)
+        .collect();
 
     let mut rf_pos = vec![0.0f64; arch.num_rfs()];
     for rf in arch.rf_ids() {
@@ -268,7 +270,10 @@ pub fn estimate(arch: &Architecture, params: &CostParams) -> CostReport {
         .iter()
         .map(|&l| l * params.bits * params.wire_pitch)
         .sum();
-    let wire_power: f64 = lengths.iter().map(|&l| l * params.bits * params.e_wire).sum();
+    let wire_power: f64 = lengths
+        .iter()
+        .map(|&l| l * params.bits * params.e_wire)
+        .sum();
 
     CostReport {
         arch: arch.name().to_string(),
@@ -326,12 +331,21 @@ mod tests {
 
         let (a, pw, d) = normalized(&dist, &central);
         assert!((0.04..=0.16).contains(&a), "area ratio vs central: {a:.3}");
-        assert!((0.02..=0.12).contains(&pw), "power ratio vs central: {pw:.3}");
+        assert!(
+            (0.02..=0.12).contains(&pw),
+            "power ratio vs central: {pw:.3}"
+        );
         assert!((0.2..=0.55).contains(&d), "delay ratio vs central: {d:.3}");
 
         let (a2, pw2, _) = normalized(&dist, &c4);
-        assert!((0.3..=0.8).contains(&a2), "area ratio vs clustered: {a2:.3}");
-        assert!((0.25..=0.75).contains(&pw2), "power ratio vs clustered: {pw2:.3}");
+        assert!(
+            (0.3..=0.8).contains(&a2),
+            "area ratio vs clustered: {a2:.3}"
+        );
+        assert!(
+            (0.25..=0.75).contains(&pw2),
+            "power ratio vs clustered: {pw2:.3}"
+        );
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Resource faults and degraded-machine construction.
+//!
+//! A production scheduler must keep working when a machine loses part of
+//! its datapath — a burnt-out functional unit, a stuck bus, a failed
+//! register-file port. [`Architecture::with_faults`] builds a *degraded*
+//! copy of a machine with the failed resources masked out of every stub
+//! table and connectivity list, so the unmodified scheduling algorithm
+//! simply never sees them. Whether the degraded machine is still usable is
+//! then answered by the ordinary checks: the Appendix A copy-connectivity
+//! analysis and the per-opcode capable-unit check.
+//!
+//! Masking *cascades*: a unit whose output can no longer reach any
+//! register file, or one of whose used inputs can no longer be fed, is
+//! disabled entirely (its capabilities are cleared) — it could never
+//! execute an operation to completion, and removing it keeps the
+//! connectivity analysis honest.
+//!
+//! Identifiers are stable across masking: the degraded machine has the
+//! same component vectors as the original, so `FuId`/`BusId`/port ids (and
+//! schedules produced on the degraded machine) can be reported and
+//! validated against either description.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::arch::Architecture;
+use crate::ids::{BusId, FuId, ReadPortId, WritePortId};
+
+/// One failed hardware resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSpec {
+    /// A functional unit is offline: it executes nothing, drives no bus,
+    /// and its inputs accept nothing.
+    Fu(FuId),
+    /// A bus is dead: no write or read stub may use it.
+    Bus(BusId),
+    /// A register-file read port is stuck: no read stub may use it.
+    ReadPort(ReadPortId),
+    /// A register-file write port is stuck: no write stub may use it.
+    WritePort(WritePortId),
+}
+
+impl FaultSpec {
+    /// Human-readable description, resolving names via `arch` (which must
+    /// be the architecture — original or degraded — the ids refer to).
+    pub fn describe(&self, arch: &Architecture) -> String {
+        match *self {
+            FaultSpec::Fu(fu) => format!("unit {} offline", arch.fu(fu).name()),
+            FaultSpec::Bus(bus) => format!("bus {} dead", arch.bus(bus).name()),
+            FaultSpec::ReadPort(port) => format!(
+                "read port {port} of {} stuck",
+                arch.rf(arch.read_port_rf(port)).name()
+            ),
+            FaultSpec::WritePort(port) => format!(
+                "write port {port} of {} stuck",
+                arch.rf(arch.write_port_rf(port)).name()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultSpec::Fu(fu) => write!(f, "fault({fu})"),
+            FaultSpec::Bus(bus) => write!(f, "fault({bus})"),
+            FaultSpec::ReadPort(port) => write!(f, "fault({port})"),
+            FaultSpec::WritePort(port) => write!(f, "fault({port})"),
+        }
+    }
+}
+
+impl Architecture {
+    /// Every single-resource fault this machine can suffer: each unit,
+    /// bus, read port, and write port in turn. The fault-injection harness
+    /// iterates this list.
+    pub fn single_resource_faults(&self) -> Vec<FaultSpec> {
+        let mut faults = Vec::new();
+        faults.extend(self.fu_ids().map(FaultSpec::Fu));
+        faults.extend(self.bus_ids().map(FaultSpec::Bus));
+        faults.extend(
+            (0..self.num_read_ports()).map(|i| FaultSpec::ReadPort(ReadPortId::from_raw(i))),
+        );
+        faults.extend(
+            (0..self.num_write_ports()).map(|i| FaultSpec::WritePort(WritePortId::from_raw(i))),
+        );
+        faults
+    }
+
+    /// Builds a degraded copy of this machine with `faults` masked out.
+    ///
+    /// Faulty resources are removed from the precomputed write/read stub
+    /// tables and the connectivity lists; units left unable to write their
+    /// result anywhere, or to feed one of their used inputs, are disabled
+    /// entirely (capabilities cleared). The returned machine always
+    /// constructs — whether it can still run a kernel is reported by
+    /// [`Architecture::copy_connectivity`] and the scheduler's own
+    /// capable-unit check, as typed errors rather than panics.
+    ///
+    /// Component ids are unchanged, so faults, schedules and validation
+    /// reports are directly comparable between the original and degraded
+    /// descriptions.
+    pub fn with_faults(&self, faults: &[FaultSpec]) -> Architecture {
+        let mut dead_fus: HashSet<FuId> = HashSet::new();
+        let mut dead_buses: HashSet<BusId> = HashSet::new();
+        let mut dead_rports: HashSet<ReadPortId> = HashSet::new();
+        let mut dead_wports: HashSet<WritePortId> = HashSet::new();
+        for &f in faults {
+            match f {
+                FaultSpec::Fu(fu) => {
+                    dead_fus.insert(fu);
+                }
+                FaultSpec::Bus(bus) => {
+                    dead_buses.insert(bus);
+                }
+                FaultSpec::ReadPort(port) => {
+                    dead_rports.insert(port);
+                }
+                FaultSpec::WritePort(port) => {
+                    dead_wports.insert(port);
+                }
+            }
+        }
+
+        let mut arch = self.clone();
+        if !faults.is_empty() {
+            arch.name = format!("{}+{}flt", arch.name, faults.len());
+        }
+
+        // Mask the precomputed stub tables.
+        for (fu_idx, stubs) in arch.write_stubs.iter_mut().enumerate() {
+            let fu = FuId::from_raw(fu_idx);
+            stubs.retain(|s| {
+                !dead_fus.contains(&fu)
+                    && !dead_buses.contains(&s.bus)
+                    && !dead_wports.contains(&s.port)
+            });
+        }
+        for stubs in arch.read_stubs.iter_mut() {
+            stubs.retain(|s| {
+                !dead_fus.contains(&s.fu)
+                    && !dead_buses.contains(&s.bus)
+                    && !dead_rports.contains(&s.port)
+            });
+        }
+
+        // Mask the connectivity lists the stub tables were derived from, so
+        // per-component queries agree with the stub view.
+        for (fu_idx, buses) in arch.output_buses.iter_mut().enumerate() {
+            if dead_fus.contains(&FuId::from_raw(fu_idx)) {
+                buses.clear();
+            } else {
+                buses.retain(|b| !dead_buses.contains(b));
+            }
+        }
+        for (bus_idx, wports) in arch.bus_wports.iter_mut().enumerate() {
+            if dead_buses.contains(&BusId::from_raw(bus_idx)) {
+                wports.clear();
+            } else {
+                wports.retain(|p| !dead_wports.contains(p));
+            }
+        }
+        for (rport_idx, buses) in arch.rport_buses.iter_mut().enumerate() {
+            if dead_rports.contains(&ReadPortId::from_raw(rport_idx)) {
+                buses.clear();
+            } else {
+                buses.retain(|b| !dead_buses.contains(b));
+            }
+        }
+        for (bus_idx, inputs) in arch.bus_inputs.iter_mut().enumerate() {
+            if dead_buses.contains(&BusId::from_raw(bus_idx)) {
+                inputs.clear();
+            } else {
+                inputs.retain(|i| !dead_fus.contains(&i.fu));
+            }
+        }
+
+        // Disable faulted units, then cascade: a unit that can no longer
+        // write its result, or feed a used input slot, executes nothing.
+        for &fu in &dead_fus {
+            arch.fus[fu.index()].caps.clear();
+        }
+        for fu_idx in 0..arch.fus.len() {
+            let fu = FuId::from_raw(fu_idx);
+            if arch.fus[fu_idx].caps.is_empty() {
+                continue;
+            }
+            let produces = arch.fus[fu_idx].caps.iter().any(|c| c.opcode.has_result());
+            let output_cut = produces && arch.write_stubs[fu_idx].is_empty();
+            let input_cut = (0..arch.fus[fu_idx].num_inputs).any(|slot| {
+                let used = arch.fus[fu_idx]
+                    .caps
+                    .iter()
+                    .any(|c| c.opcode.num_operands() > slot);
+                used && arch.read_stubs(fu, slot).is_empty()
+            });
+            if output_cut || input_cut {
+                arch.fus[fu_idx].caps.clear();
+            }
+        }
+        arch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imagine;
+    use crate::op::Opcode;
+
+    #[test]
+    fn no_faults_is_identity_but_for_nothing() {
+        let arch = imagine::distributed();
+        let degraded = arch.with_faults(&[]);
+        assert_eq!(degraded.name(), arch.name());
+        assert_eq!(degraded.num_fus(), arch.num_fus());
+        for fu in arch.fu_ids() {
+            assert_eq!(degraded.write_stubs(fu).len(), arch.write_stubs(fu).len());
+        }
+    }
+
+    #[test]
+    fn fu_fault_disables_the_unit() {
+        let arch = imagine::distributed();
+        let fu = arch.fu_ids().next().unwrap();
+        let degraded = arch.with_faults(&[FaultSpec::Fu(fu)]);
+        assert!(degraded.fu(fu).capabilities().is_empty());
+        assert!(degraded.write_stubs(fu).is_empty());
+        assert!(degraded.output_buses(fu).is_empty());
+        // Ids and component counts are stable.
+        assert_eq!(degraded.num_fus(), arch.num_fus());
+        assert_eq!(degraded.num_buses(), arch.num_buses());
+    }
+
+    #[test]
+    fn bus_fault_removes_stubs_on_that_bus() {
+        let arch = imagine::distributed();
+        let bus = arch.bus_ids().next().unwrap();
+        let degraded = arch.with_faults(&[FaultSpec::Bus(bus)]);
+        for fu in degraded.fu_ids() {
+            assert!(degraded.write_stubs(fu).iter().all(|s| s.bus != bus));
+            for slot in 0..degraded.fu(fu).num_inputs() {
+                assert!(degraded.read_stubs(fu, slot).iter().all(|s| s.bus != bus));
+            }
+        }
+    }
+
+    #[test]
+    fn output_cut_cascades_to_disable() {
+        // Kill every bus a unit's output drives: the unit must be disabled
+        // even though only buses were named in the fault list.
+        let arch = imagine::distributed();
+        let fu = arch
+            .fu_ids()
+            .find(|&f| arch.fu(f).has_output() && !arch.output_buses(f).is_empty())
+            .unwrap();
+        let faults: Vec<FaultSpec> = arch
+            .output_buses(fu)
+            .iter()
+            .map(|&b| FaultSpec::Bus(b))
+            .collect();
+        let degraded = arch.with_faults(&faults);
+        assert!(degraded.fu(fu).capabilities().is_empty());
+    }
+
+    #[test]
+    fn copy_unit_fault_can_break_connectivity() {
+        // Two private-RF ALUs bridged by two copy units; killing the
+        // bridge must surface as a connectivity violation on the degraded
+        // machine, not as a panic anywhere downstream.
+        use crate::arch::{ArchBuilder, FuClass};
+        use crate::op::default_capability;
+        let mut b = ArchBuilder::new("bridge2");
+        let rf0 = b.register_file("RF0", 8);
+        let rf1 = b.register_file("RF1", 8);
+        let a0 = b.functional_unit(
+            "A0",
+            FuClass::Alu,
+            2,
+            true,
+            [default_capability(Opcode::IAdd)],
+        );
+        let a1 = b.functional_unit(
+            "A1",
+            FuClass::Alu,
+            2,
+            true,
+            [default_capability(Opcode::IAdd)],
+        );
+        let cp0 = b.functional_unit(
+            "CP0",
+            FuClass::CopyUnit,
+            1,
+            true,
+            [default_capability(Opcode::Copy)],
+        );
+        let cp1 = b.functional_unit(
+            "CP1",
+            FuClass::CopyUnit,
+            1,
+            true,
+            [default_capability(Opcode::Copy)],
+        );
+        b.dedicated_write(a0, rf0);
+        b.dedicated_write(a1, rf1);
+        for s in 0..2 {
+            b.dedicated_read(rf0, a0, s);
+            b.dedicated_read(rf1, a1, s);
+        }
+        b.dedicated_read(rf0, cp0, 0);
+        b.dedicated_write(cp0, rf1);
+        b.dedicated_read(rf1, cp1, 0);
+        b.dedicated_write(cp1, rf0);
+        let arch = b.build().unwrap();
+        assert!(arch.copy_connectivity().is_copy_connected());
+
+        let degraded = arch.with_faults(&[FaultSpec::Fu(cp0), FaultSpec::Fu(cp1)]);
+        let conn = degraded.copy_connectivity();
+        assert!(!conn.is_copy_connected());
+        assert!(!conn.violations().is_empty());
+    }
+
+    #[test]
+    fn single_resource_faults_enumerates_everything() {
+        let arch = imagine::clustered(4);
+        let faults = arch.single_resource_faults();
+        assert_eq!(
+            faults.len(),
+            arch.num_fus() + arch.num_buses() + arch.num_read_ports() + arch.num_write_ports()
+        );
+        // Descriptions resolve names without panicking.
+        for f in &faults {
+            assert!(!f.describe(&arch).is_empty());
+        }
+    }
+}

@@ -86,11 +86,23 @@ pub fn random_distributed(seed: u64) -> Architecture {
         ));
     }
     units.push((
-        b.functional_unit("MUL", FuClass::Mul, 2, true, caps(&[Opcode::IMul, Opcode::Copy])),
+        b.functional_unit(
+            "MUL",
+            FuClass::Mul,
+            2,
+            true,
+            caps(&[Opcode::IMul, Opcode::Copy]),
+        ),
         2,
     ));
     units.push((
-        b.functional_unit("LS", FuClass::Ls, 3, true, caps(&[Opcode::Load, Opcode::Store])),
+        b.functional_unit(
+            "LS",
+            FuClass::Ls,
+            3,
+            true,
+            caps(&[Opcode::Load, Opcode::Store]),
+        ),
         3,
     ));
     let bus_ids: Vec<_> = (0..buses).map(|i| b.bus(format!("GB{i}"))).collect();
@@ -138,7 +150,13 @@ pub fn random_clustered(seed: u64) -> Architecture {
     }
     let mul = b.functional_unit("MUL", FuClass::Mul, 2, true, caps(&[Opcode::IMul]));
     assign(&mut b, mul, rng.below(2), 2);
-    let ls = b.functional_unit("LS", FuClass::Ls, 3, true, caps(&[Opcode::Load, Opcode::Store]));
+    let ls = b.functional_unit(
+        "LS",
+        FuClass::Ls,
+        3,
+        true,
+        caps(&[Opcode::Load, Opcode::Store]),
+    );
     assign(&mut b, ls, rng.below(2), 3);
 
     for (from, to) in [(0usize, 1usize), (1, 0)] {

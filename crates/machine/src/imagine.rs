@@ -59,8 +59,8 @@ fn caps_for(class: FuClass, with_copy: bool) -> Vec<Capability> {
 
 fn inputs_for(class: FuClass) -> usize {
     match class {
-        FuClass::Alu => 3,                  // third input used by select
-        FuClass::Ls | FuClass::Sp => 3,     // base, offset, store value
+        FuClass::Alu => 3,              // third input used by select
+        FuClass::Ls | FuClass::Sp => 3, // base, offset, store value
         FuClass::CopyUnit => 1,
         _ => 2,
     }

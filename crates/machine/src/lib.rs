@@ -40,6 +40,7 @@
 mod arch;
 pub mod connect;
 pub mod cost;
+pub mod fault;
 pub mod gen;
 mod ids;
 pub mod imagine;
@@ -54,6 +55,7 @@ pub use arch::{
     RegisterFile,
 };
 pub use connect::CopyConnectivity;
+pub use fault::FaultSpec;
 pub use ids::{BusId, FuId, InputRef, ReadPortId, RfId, WritePortId};
 pub use op::{default_capability, default_issue_interval, default_latency, Capability, Opcode};
 pub use resource::{Resource, ResourceMap};

@@ -205,7 +205,17 @@ impl Opcode {
         use Opcode::*;
         matches!(
             self,
-            IAdd | IMin | IMax | And | Or | Xor | ICmpEq | IMul | FAdd | FMin | FMax | FMul
+            IAdd | IMin
+                | IMax
+                | And
+                | Or
+                | Xor
+                | ICmpEq
+                | IMul
+                | FAdd
+                | FMin
+                | FMax
+                | FMul
                 | FCmpEq
         )
     }

@@ -108,10 +108,7 @@ mod tests {
         let r = s.resources();
         assert_eq!(r[0], Resource::ReadPort(ReadPortId::from_raw(5)));
         assert_eq!(r[1], Resource::Bus(BusId::from_raw(6)));
-        assert_eq!(
-            r[2],
-            Resource::FuInput(InputRef::new(FuId::from_raw(7), 2))
-        );
+        assert_eq!(r[2], Resource::FuInput(InputRef::new(FuId::from_raw(7), 2)));
         assert_eq!(s.input().slot(), 2);
     }
 }

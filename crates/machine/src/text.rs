@@ -67,7 +67,12 @@ pub fn print(arch: &Architecture) -> String {
         }
         let _ = writeln!(out, " {{");
         for cap in unit.capabilities() {
-            let _ = write!(out, "    op {} latency {}", cap.opcode.mnemonic(), cap.latency);
+            let _ = write!(
+                out,
+                "    op {} latency {}",
+                cap.opcode.mnemonic(),
+                cap.latency
+            );
             if cap.issue_interval != 1 {
                 let _ = write!(out, " interval {}", cap.issue_interval);
             }
@@ -78,7 +83,12 @@ pub fn print(arch: &Architecture) -> String {
     // Write side.
     for fu in arch.fu_ids() {
         for &bus in arch.output_buses(fu) {
-            let _ = writeln!(out, "  drive {} -> {}", arch.fu(fu).name(), arch.bus(bus).name());
+            let _ = writeln!(
+                out,
+                "  drive {} -> {}",
+                arch.fu(fu).name(),
+                arch.bus(bus).name()
+            );
         }
     }
     for bus in arch.bus_ids() {
@@ -189,7 +199,9 @@ pub fn parse(text: &str) -> Result<Architecture, ParseError> {
 
     while let Some((line, l)) = lines.next() {
         if l == "}" {
-            return b.build().map_err(|e| err(line, format!("invalid machine: {e}")));
+            return b
+                .build()
+                .map_err(|e| err(line, format!("invalid machine: {e}")));
         }
         let words: Vec<&str> = l.split_whitespace().collect();
         match words.first().copied() {
@@ -205,7 +217,9 @@ pub fn parse(text: &str) -> Result<Architecture, ParseError> {
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| err(line, format!("bad `{key}` value")))
                 };
-                let rname = words.get(1).ok_or_else(|| err(line, "missing rf name".into()))?;
+                let rname = words
+                    .get(1)
+                    .ok_or_else(|| err(line, "missing rf name".into()))?;
                 let rf = b.register_file(*rname, get("capacity")?);
                 let wports = (0..get("wports")?).map(|_| b.write_port(rf)).collect();
                 let rports = (0..get("rports")?).map(|_| b.read_port(rf)).collect();
@@ -214,13 +228,21 @@ pub fn parse(text: &str) -> Result<Architecture, ParseError> {
                 rf_rports.insert(rname.to_string(), rports);
             }
             Some("bus") => {
-                let bname = words.get(1).ok_or_else(|| err(line, "missing bus name".into()))?;
+                let bname = words
+                    .get(1)
+                    .ok_or_else(|| err(line, "missing bus name".into()))?;
                 buses.insert(bname.to_string(), b.bus(*bname));
             }
             Some("fu") => {
                 // fu NAME class C inputs N [fanout K | no-output] {
-                let fname = words.get(1).ok_or_else(|| err(line, "missing fu name".into()))?;
-                let class = match words.iter().position(|&w| w == "class").and_then(|p| words.get(p + 1)) {
+                let fname = words
+                    .get(1)
+                    .ok_or_else(|| err(line, "missing fu name".into()))?;
+                let class = match words
+                    .iter()
+                    .position(|&w| w == "class")
+                    .and_then(|p| words.get(p + 1))
+                {
                     Some(&"alu") => FuClass::Alu,
                     Some(&"mul") => FuClass::Mul,
                     Some(&"div") => FuClass::Div,
@@ -281,14 +303,20 @@ pub fn parse(text: &str) -> Result<Architecture, ParseError> {
             Some("drive") => {
                 // drive FU -> BUS
                 let (fu, bus) = arrow(&words, line)?;
-                let fu = *fus.get(fu).ok_or_else(|| err(line, format!("unknown fu `{fu}`")))?;
-                let bus = *buses.get(bus).ok_or_else(|| err(line, format!("unknown bus `{bus}`")))?;
+                let fu = *fus
+                    .get(fu)
+                    .ok_or_else(|| err(line, format!("unknown fu `{fu}`")))?;
+                let bus = *buses
+                    .get(bus)
+                    .ok_or_else(|| err(line, format!("unknown bus `{bus}`")))?;
                 b.connect_output(fu, bus);
             }
             Some("tap") => {
                 // tap BUS -> RF[i]
                 let (bus, port) = arrow(&words, line)?;
-                let bus = *buses.get(bus).ok_or_else(|| err(line, format!("unknown bus `{bus}`")))?;
+                let bus = *buses
+                    .get(bus)
+                    .ok_or_else(|| err(line, format!("unknown bus `{bus}`")))?;
                 let (rf, index) = indexed(port, line)?;
                 let wp = rf_wports
                     .get(rf)
@@ -306,15 +334,21 @@ pub fn parse(text: &str) -> Result<Architecture, ParseError> {
                     .and_then(|v| v.get(index))
                     .copied()
                     .ok_or_else(|| err(line, format!("unknown read port `{port}`")))?;
-                let bus = *buses.get(bus).ok_or_else(|| err(line, format!("unknown bus `{bus}`")))?;
+                let bus = *buses
+                    .get(bus)
+                    .ok_or_else(|| err(line, format!("unknown bus `{bus}`")))?;
                 b.connect_read_port_to_bus(rp, bus);
             }
             Some("sink") => {
                 // sink BUS -> FU.slot
                 let (bus, input) = arrow(&words, line)?;
-                let bus = *buses.get(bus).ok_or_else(|| err(line, format!("unknown bus `{bus}`")))?;
+                let bus = *buses
+                    .get(bus)
+                    .ok_or_else(|| err(line, format!("unknown bus `{bus}`")))?;
                 let (fu, slot) = dotted(input, line)?;
-                let fu = *fus.get(fu).ok_or_else(|| err(line, format!("unknown fu `{fu}`")))?;
+                let fu = *fus
+                    .get(fu)
+                    .ok_or_else(|| err(line, format!("unknown fu `{fu}`")))?;
                 b.connect_bus_to_input(bus, fu, slot);
             }
             Some("feed") => {
@@ -412,7 +446,10 @@ mod tests {
         let arch = toy::motivating_example();
         let text = print(&arch);
         let parsed = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        assert!(structurally_equal(&arch, &parsed), "round trip changed the machine");
+        assert!(
+            structurally_equal(&arch, &parsed),
+            "round trip changed the machine"
+        );
         // And the round-tripped machine behaves identically for analysis.
         assert!(parsed.copy_connectivity().is_copy_connected());
         assert_eq!(print(&parsed), text, "printing is a fixpoint");
@@ -420,7 +457,11 @@ mod tests {
 
     #[test]
     fn imagine_variants_round_trip() {
-        for arch in [imagine::central(), imagine::clustered(4), imagine::distributed()] {
+        for arch in [
+            imagine::central(),
+            imagine::clustered(4),
+            imagine::distributed(),
+        ] {
             let text = print(&arch);
             let parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
             assert!(structurally_equal(&arch, &parsed), "{}", arch.name());
@@ -467,7 +508,10 @@ machine "pocket" {
     fn partially_pipelined_capability_round_trips() {
         let arch = imagine::central();
         let text = print(&arch);
-        assert!(text.contains("interval 4"), "divider interval survives printing");
+        assert!(
+            text.contains("interval 4"),
+            "divider interval survives printing"
+        );
         let parsed = parse(&text).unwrap();
         let div = parsed.fu_by_name("DIV0").unwrap();
         let cap = parsed.fu(div).capability(Opcode::FDiv).unwrap();

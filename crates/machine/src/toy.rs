@@ -49,33 +49,21 @@ pub fn motivating_example() -> Architecture {
         FuClass::Alu,
         2,
         true,
-        [
-            unit(Opcode::IAdd),
-            unit(Opcode::ISub),
-            unit(Opcode::Copy),
-        ],
+        [unit(Opcode::IAdd), unit(Opcode::ISub), unit(Opcode::Copy)],
     );
     let ls = b.functional_unit(
         "LS",
         FuClass::Ls,
         3,
         true,
-        [
-            unit(Opcode::Load),
-            unit(Opcode::Store),
-            unit(Opcode::Copy),
-        ],
+        [unit(Opcode::Load), unit(Opcode::Store), unit(Opcode::Copy)],
     );
     let add1 = b.functional_unit(
         "ADD1",
         FuClass::Alu,
         2,
         true,
-        [
-            unit(Opcode::IAdd),
-            unit(Opcode::ISub),
-            unit(Opcode::Copy),
-        ],
+        [unit(Opcode::IAdd), unit(Opcode::ISub), unit(Opcode::Copy)],
     );
 
     let bus0 = b.bus("BUS0");

@@ -164,7 +164,15 @@ pub fn execute(
 ) -> Result<SimStats, SimError> {
     let plans = build_plans(kernel, schedule);
     let mut stats = SimStats {
-        fu_issues: vec![0; schedule.universe().op_ids().map(|o| schedule.placement(o).fu.index() + 1).max().unwrap_or(0)],
+        fu_issues: vec![
+            0;
+            schedule
+                .universe()
+                .op_ids()
+                .map(|o| schedule.placement(o).fu.index() + 1)
+                .max()
+                .unwrap_or(0)
+        ],
         ..SimStats::default()
     };
 
@@ -197,10 +205,7 @@ pub fn execute(
         if kernel.block(block).is_loop() {
             continue;
         }
-        let mut ops: Vec<SOpId> = u
-            .op_ids()
-            .filter(|&o| u.op(o).block == block)
-            .collect();
+        let mut ops: Vec<SOpId> = u.op_ids().filter(|&o| u.op(o).block == block).collect();
         ops.sort_by_key(|&o| (plans[&o].cycle, o));
         for op in ops {
             exec_op(schedule, &plans, &mut rfs, memory, &mut stats, op, 0)?;
@@ -211,10 +216,7 @@ pub fn execute(
     // --- the software-pipelined loop ---
     if let Some(block) = kernel.loop_block() {
         let ii = schedule.ii().unwrap_or(1) as i64;
-        let loop_ops: Vec<SOpId> = u
-            .op_ids()
-            .filter(|&o| u.op(o).block == block)
-            .collect();
+        let loop_ops: Vec<SOpId> = u.op_ids().filter(|&o| u.op(o).block == block).collect();
         // Event-driven: (flat cycle, op, iteration) sorted by cycle.
         let mut events: Vec<(i64, SOpId, u64)> = Vec::new();
         for &op in &loop_ops {
@@ -265,13 +267,10 @@ fn exec_op(
                 carried,
                 seed: _,
             } => {
-                let init_frame = |producer: SOpId, cross: bool| {
-                    (producer, if cross { 0u64 } else { iteration })
-                };
+                let init_frame =
+                    |producer: SOpId, cross: bool| (producer, if cross { 0u64 } else { iteration });
                 let (producer, frame) = match (init, carried) {
-                    (Some((init, cross)), Some(_)) if iteration == 0 => {
-                        init_frame(*init, *cross)
-                    }
+                    (Some((init, cross)), Some(_)) if iteration == 0 => init_frame(*init, *cross),
                     (Some((init, cross)), None) => init_frame(*init, *cross),
                     (_, Some((carried, d))) => {
                         let frame = if iteration >= *d as u64 {
@@ -333,10 +332,11 @@ fn exec_op(
             } else {
                 &memory.main
             };
-            Some(*space.get(&addr).ok_or(interp::InterpError::UninitializedLoad {
-                op: ir_op,
-                addr,
-            })?)
+            Some(
+                *space
+                    .get(&addr)
+                    .ok_or(interp::InterpError::UninitializedLoad { op: ir_op, addr })?,
+            )
         }
         Opcode::Store | Opcode::SpWrite => {
             let addr = args[0]
@@ -427,8 +427,8 @@ fn build_plans(kernel: &Kernel, schedule: &Schedule) -> HashMap<SOpId, OpPlan> {
                     // Seed for carried reads before the first produced
                     // frame: the loop variable's immediate init.
                     let seed = if init.is_none() {
-                        sop.kernel_op.and_then(|k| {
-                            match kernel.op(k).operands()[slot] {
+                        sop.kernel_op
+                            .and_then(|k| match kernel.op(k).operands()[slot] {
                                 Operand::Value(v) => match kernel.value_def(v) {
                                     ValueDef::LoopVar(b, idx) => {
                                         match kernel.block(b).loop_vars()[idx].init() {
@@ -440,8 +440,7 @@ fn build_plans(kernel: &Kernel, schedule: &Schedule) -> HashMap<SOpId, OpPlan> {
                                     ValueDef::Op(_) => None,
                                 },
                                 Operand::Imm(_) => None,
-                            }
-                        })
+                            })
                     } else {
                         None
                     };
@@ -542,9 +541,7 @@ mod tests {
         let stats = execute(&kernel, &schedule, &mut mem, trip).unwrap();
         assert_eq!(
             stats.cycles,
-            schedule.block_len(csched_ir::BlockId::from_raw(0)) as u64
-                + (trip - 1) * ii
-                + flat
+            schedule.block_len(csched_ir::BlockId::from_raw(0)) as u64 + (trip - 1) * ii + flat
         );
         assert!(flat >= ii);
     }

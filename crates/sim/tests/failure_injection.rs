@@ -75,5 +75,8 @@ fn corrupted_schedule_is_detected_not_silent() {
     }
     // Shifting the load or the dependent arithmetic breaks timing or
     // resources in most cases: the validator must be doing real work.
-    assert!(rejected >= kernel.num_ops(), "only {rejected} perturbations rejected");
+    assert!(
+        rejected >= kernel.num_ops(),
+        "only {rejected} perturbations rejected"
+    );
 }

@@ -19,7 +19,12 @@ fn scratch_kernel() -> Kernel {
     let x = kb.load(lp, input, i.into(), 0i64.into());
     // tile[i & 3] = x; y = tile[i & 3] * 2 (same address: read-after-write)
     let slot = kb.push(lp, Opcode::And, [i.into(), 3i64.into()]);
-    kb.push_mem(lp, Opcode::SpWrite, [slot.into(), 0i64.into(), x.into()], scratch);
+    kb.push_mem(
+        lp,
+        Opcode::SpWrite,
+        [slot.into(), 0i64.into(), x.into()],
+        scratch,
+    );
     let (_, r) = kb.push_mem(lp, Opcode::SpRead, [slot.into(), 0i64.into()], scratch);
     let y = kb.push(lp, Opcode::IMul, [r.unwrap().into(), 2i64.into()]);
     kb.store(lp, output, i.into(), 200i64.into(), y.into());
@@ -59,8 +64,20 @@ fn check(kernel: &Kernel, trip: u64) {
         mem.write_block(0, (0..trip as i64).map(|v| Word::I(v * 9 + 4)));
         let stats = csched_sim::execute(kernel, &s, &mut mem, trip)
             .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), arch.name()));
-        assert_eq!(mem.main, expected.main, "{} on {}", kernel.name(), arch.name());
-        assert_eq!(mem.scratch, expected.scratch, "{} on {}", kernel.name(), arch.name());
+        assert_eq!(
+            mem.main,
+            expected.main,
+            "{} on {}",
+            kernel.name(),
+            arch.name()
+        );
+        assert_eq!(
+            mem.scratch,
+            expected.scratch,
+            "{} on {}",
+            kernel.name(),
+            arch.name()
+        );
         assert!(stats.cycles > 0);
     }
 }

@@ -109,6 +109,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     reference.write_block(0, (0..trip as i64).map(|v| Word::I(v + 3)));
     interp::run(&kernel, &mut reference, trip)?;
     assert_eq!(mem.main, reference.main);
-    println!("simulation matches the reference; out[3] = {}", mem.main[&67]);
+    println!(
+        "simulation matches the reference; out[3] = {}",
+        mem.main[&67]
+    );
     Ok(())
 }

@@ -22,7 +22,9 @@ use csched::machine::{default_latency, imagine};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Table 1 Sort kernel: 38 compare-exchange min/max operations
     // with dense value reuse on a clustered machine.
-    let kernel = csched::kernels::by_name("Sort").expect("known kernel").kernel;
+    let kernel = csched::kernels::by_name("Sort")
+        .expect("known kernel")
+        .kernel;
 
     let arch = imagine::clustered(4);
 
@@ -66,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
         if ok && engine.all_closed() {
-            naive = Some(engine.into_schedule(true));
+            naive = Some(engine.into_schedule(true)?);
             break 'ii;
         }
     }

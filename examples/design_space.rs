@@ -14,24 +14,46 @@
 //! ```
 
 use csched::core::{schedule_kernel, SchedulerConfig};
-use csched::machine::{
-    cost, default_capability, ArchBuilder, Architecture, FuClass, Opcode,
-};
+use csched::machine::{cost, default_capability, ArchBuilder, Architecture, FuClass, Opcode};
 
 /// A small distributed machine with a configurable global bus count:
 /// 3 ALUs, 1 multiplier, 2 load/store units, one register file per input.
 fn hybrid(buses: usize) -> Architecture {
     let mut b = ArchBuilder::new(format!("hybrid-{buses}bus"));
     use Opcode::*;
-    let caps = |ops: &[Opcode]| ops.iter().map(|&o| default_capability(o)).collect::<Vec<_>>();
-    let alu_ops = [IAdd, ISub, IMin, IMax, And, Or, Xor, Shl, Sra, ICmpEq, ICmpLt, ICmpLe, Select, Copy,];
+    let caps = |ops: &[Opcode]| {
+        ops.iter()
+            .map(|&o| default_capability(o))
+            .collect::<Vec<_>>()
+    };
+    let alu_ops = [
+        IAdd, ISub, IMin, IMax, And, Or, Xor, Shl, Sra, ICmpEq, ICmpLt, ICmpLe, Select, Copy,
+    ];
     let units: Vec<_> = vec![
-        (b.functional_unit("ALU0", FuClass::Alu, 3, true, caps(&alu_ops)), 3usize),
-        (b.functional_unit("ALU1", FuClass::Alu, 3, true, caps(&alu_ops)), 3),
-        (b.functional_unit("ALU2", FuClass::Alu, 3, true, caps(&alu_ops)), 3),
-        (b.functional_unit("MUL0", FuClass::Mul, 2, true, caps(&[IMul, Copy])), 2),
-        (b.functional_unit("LS0", FuClass::Ls, 3, true, caps(&[Load, Store])), 3),
-        (b.functional_unit("LS1", FuClass::Ls, 3, true, caps(&[Load, Store])), 3),
+        (
+            b.functional_unit("ALU0", FuClass::Alu, 3, true, caps(&alu_ops)),
+            3usize,
+        ),
+        (
+            b.functional_unit("ALU1", FuClass::Alu, 3, true, caps(&alu_ops)),
+            3,
+        ),
+        (
+            b.functional_unit("ALU2", FuClass::Alu, 3, true, caps(&alu_ops)),
+            3,
+        ),
+        (
+            b.functional_unit("MUL0", FuClass::Mul, 2, true, caps(&[IMul, Copy])),
+            2,
+        ),
+        (
+            b.functional_unit("LS0", FuClass::Ls, 3, true, caps(&[Load, Store])),
+            3,
+        ),
+        (
+            b.functional_unit("LS1", FuClass::Ls, 3, true, caps(&[Load, Store])),
+            3,
+        ),
     ];
     let bus_ids: Vec<_> = (0..buses).map(|i| b.bus(format!("GB{i}"))).collect();
     for &(fu, _) in &units {

@@ -34,7 +34,11 @@ kernel "saxpy" {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- parse, print back (round-trip) -----------------------------------
     let kernel = text::parse(SAXPY)?;
-    println!("parsed `{}`: {} operations", kernel.name(), kernel.num_ops());
+    println!(
+        "parsed `{}`: {} operations",
+        kernel.name(),
+        kernel.num_ops()
+    );
     println!("round-tripped IR:\n{}", text::print(&kernel));
 
     // --- interpret as the semantic reference ------------------------------

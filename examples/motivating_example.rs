@@ -7,7 +7,7 @@
 //! cargo run --release --example motivating_example
 //! ```
 
-use csched::core::{schedule_kernel, SchedulerConfig, SOpId};
+use csched::core::{schedule_kernel, SOpId, SchedulerConfig};
 use csched::ir::KernelBuilder;
 use csched::machine::{toy, Opcode};
 
@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|(_, r)| arch.rf(r.wstub.rf).name().to_string())
                 .collect();
-            println!("{} copies, staged through {}", legs.len() - 1, names.join(" then "));
+            println!(
+                "{} copies, staged through {}",
+                legs.len() - 1,
+                names.join(" then ")
+            );
         }
     }
 

@@ -64,11 +64,7 @@ pub fn random_kernel_with_ops(seed: u64, loop_ops: usize, palette: &[Opcode]) ->
         Opcode::IAdd,
         [(rng.below(100) as i64).into(), 1i64.into()],
     );
-    let c1 = kb.push(
-        pre,
-        palette[0],
-        [c0.into(), (rng.below(64) as i64).into()],
-    );
+    let c1 = kb.push(pre, palette[0], [c0.into(), (rng.below(64) as i64).into()]);
 
     let lp = kb.loop_block("body");
     let i = kb.loop_var(lp, 0i64.into());
@@ -91,7 +87,13 @@ pub fn random_kernel_with_ops(seed: u64, loop_ops: usize, palette: &[Opcode]) ->
         last = v;
         // Occasionally store an intermediate value.
         if rng.below(5) == 0 {
-            kb.store(lp, output, i.into(), (1000 + k as i64 * 16).into(), v.into());
+            kb.store(
+                lp,
+                output,
+                i.into(),
+                (1000 + k as i64 * 16).into(),
+                v.into(),
+            );
         }
     }
     kb.store(lp, output, i.into(), 5000i64.into(), last.into());
@@ -127,7 +129,8 @@ pub fn differential_check(arch: &Architecture, kernel: &Kernel, trip: u64, seed:
         .unwrap_or_else(|e| panic!("[seed {seed:#x}] interpreter failed: {e}"));
 
     assert_eq!(
-        sim_mem.main, ref_mem.main,
+        sim_mem.main,
+        ref_mem.main,
         "[seed {seed:#x}] {} on {}: simulator and interpreter disagree",
         kernel.name(),
         arch.name()

@@ -47,8 +47,7 @@ fn spot_check_distributed_machine() {
         let w = csched::kernels::by_name(name).expect("known kernel");
         let schedule = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        validate::validate(&arch, &w.kernel, &schedule)
-            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        validate::validate(&arch, &w.kernel, &schedule).unwrap_or_else(|e| panic!("{name}: {e:?}"));
         let mut mem = w.memory();
         csched::sim::execute(&w.kernel, &schedule, &mut mem, w.trip)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -63,8 +62,7 @@ fn spot_check_clustered_machine() {
         let w = csched::kernels::by_name(name).expect("known kernel");
         let schedule = schedule_kernel(&arch, &w.kernel, SchedulerConfig::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        validate::validate(&arch, &w.kernel, &schedule)
-            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        validate::validate(&arch, &w.kernel, &schedule).unwrap_or_else(|e| panic!("{name}: {e:?}"));
         let mut mem = w.memory();
         csched::sim::execute(&w.kernel, &schedule, &mut mem, w.trip)
             .unwrap_or_else(|e| panic!("{name}: {e}"));

@@ -1,0 +1,181 @@
+//! Fault-injection acceptance suite: the scheduler's panic-free contract
+//! on degraded Imagine machines.
+//!
+//! For **every** single-resource fault of `imagine::distributed()` and
+//! `imagine::clustered(4)` — each functional unit, bus, and register-file
+//! port individually failed — and a set of representative kernels,
+//! `schedule_kernel` must either produce a schedule that passes
+//! independent validation *on the degraded machine* or return a typed
+//! `SchedError`. It must never panic, and never return a schedule that
+//! validation rejects.
+//!
+//! The kernels cover a straight-line block, a software-pipelined loop, a
+//! load/store + multiply mix, and randomly perturbed variants from the
+//! shared generator, so the campaign exercises list scheduling, modulo
+//! scheduling, and the copy-insertion machinery under degradation.
+
+mod common;
+
+use csched::core::faultinject::{breaking_faults, single_fault_campaign, FaultVerdict};
+use csched::core::{SchedError, SchedulerConfig};
+use csched::ir::{Kernel, KernelBuilder};
+use csched::machine::{imagine, Architecture, Opcode};
+
+/// A straight-line block: integer DAG with reuse, no loop.
+fn straight_line() -> Kernel {
+    let mut kb = KernelBuilder::new("straight");
+    let b = kb.straight_block("b");
+    let a = kb.push(b, Opcode::IAdd, [3i64.into(), 4i64.into()]);
+    let s = kb.push(b, Opcode::ISub, [a.into(), 1i64.into()]);
+    let m = kb.push(b, Opcode::IMax, [a.into(), s.into()]);
+    kb.push(b, Opcode::Xor, [m.into(), s.into()]);
+    kb.build().expect("valid kernel")
+}
+
+/// A small software-pipelined loop: out[i] = in[i] * 3.
+fn scale_loop() -> Kernel {
+    let mut kb = KernelBuilder::new("scale");
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let x = kb.load(lp, input, i.into(), 0i64.into());
+    let y = kb.push(lp, Opcode::IMul, [x.into(), 3i64.into()]);
+    kb.store(lp, output, i.into(), 0i64.into(), y.into());
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().expect("valid kernel")
+}
+
+/// A loop mixing loads, stores, multiply and min/max — wider FU demand.
+fn mixed_loop() -> Kernel {
+    let mut kb = KernelBuilder::new("mixed");
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let x = kb.load(lp, input, i.into(), 0i64.into());
+    let sq = kb.push(lp, Opcode::IMul, [x.into(), x.into()]);
+    let lo = kb.push(lp, Opcode::IMin, [sq.into(), 255i64.into()]);
+    let hi = kb.push(lp, Opcode::IMax, [lo.into(), 0i64.into()]);
+    kb.store(lp, output, i.into(), 0i64.into(), hi.into());
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    kb.build().expect("valid kernel")
+}
+
+/// A reduced-budget configuration: the campaign cares about the
+/// panic-free contract, not schedule quality, so bound the search tightly
+/// to keep ~1300 (fault × kernel) scheduling runs fast.
+fn campaign_config() -> SchedulerConfig {
+    SchedulerConfig {
+        max_ii: 24,
+        max_attempts_per_ii: 2_000,
+        search_budget: 96,
+        ..SchedulerConfig::default()
+    }
+}
+
+/// Runs the full single-fault campaign on `arch` and asserts the contract
+/// held for every (fault, kernel) pair.
+fn assert_campaign_holds(arch: &Architecture, kernels: &[(&str, &Kernel)]) {
+    let entries = single_fault_campaign(arch, kernels, &campaign_config());
+    assert_eq!(
+        entries.len(),
+        arch.single_resource_faults().len() * kernels.len(),
+        "campaign must cover every fault × kernel pair"
+    );
+    let mut scheduled = 0usize;
+    let mut rejected = 0usize;
+    for e in &entries {
+        assert!(
+            e.verdict.contract_held(),
+            "contract broken on {}: kernel {} fault {}: {:?}",
+            arch.name(),
+            e.kernel,
+            e.fault_desc,
+            e.verdict
+        );
+        match e.verdict {
+            FaultVerdict::Scheduled { .. } => scheduled += 1,
+            FaultVerdict::Rejected(_) => rejected += 1,
+            FaultVerdict::Invalid(_) => unreachable!(),
+        }
+    }
+    // The campaign must be informative: most single faults are tolerable
+    // (the machines have redundant units and buses), and at least some
+    // faults on a shared-interconnect machine must actually bite.
+    assert!(
+        scheduled > rejected,
+        "{}: expected most single faults tolerable, got {scheduled} scheduled vs {rejected} rejected",
+        arch.name()
+    );
+}
+
+#[test]
+fn every_single_fault_on_distributed_holds_the_contract() {
+    let arch = imagine::distributed();
+    let (straight, scale, mixed) = (straight_line(), scale_loop(), mixed_loop());
+    assert_campaign_holds(
+        &arch,
+        &[
+            ("straight", &straight),
+            ("scale", &scale),
+            ("mixed", &mixed),
+        ],
+    );
+}
+
+#[test]
+fn every_single_fault_on_clustered_holds_the_contract() {
+    let arch = imagine::clustered(4);
+    let (straight, scale, mixed) = (straight_line(), scale_loop(), mixed_loop());
+    assert_campaign_holds(
+        &arch,
+        &[
+            ("straight", &straight),
+            ("scale", &scale),
+            ("mixed", &mixed),
+        ],
+    );
+}
+
+/// Perturbed kernels from the shared random generator: different seeds
+/// give differently-shaped dependence DAGs, so the degraded machines are
+/// exercised beyond the hand-written kernels.
+#[test]
+fn perturbed_kernels_hold_the_contract_on_degraded_machines() {
+    let arch = imagine::distributed();
+    let k1 = common::random_kernel(0x5eed_0001, 5);
+    let k2 = common::random_kernel(0xfa17_ed01, 7);
+    assert_campaign_holds(&arch, &[("perturbed-a", &k1), ("perturbed-b", &k2)]);
+}
+
+/// Faults that provably break the machine (copy connectivity lost, or an
+/// opcode with no remaining capable unit) must be reported as the
+/// corresponding machine-level typed errors — and the campaign verdicts
+/// for those faults must be rejections, not schedules.
+#[test]
+fn breaking_faults_are_typed_machine_errors() {
+    let arch = imagine::distributed();
+    let kernel = mixed_loop();
+    let broken = breaking_faults(&arch, &kernel);
+    // Killing e.g. the only unit class for multiplies must break something.
+    assert!(
+        !broken.is_empty(),
+        "some single fault must break the distributed machine for this kernel"
+    );
+    for (fault, err) in &broken {
+        assert!(
+            matches!(
+                err,
+                SchedError::NotCopyConnected { .. } | SchedError::NoCapableUnit { .. }
+            ),
+            "fault {} produced unexpected error {err:?}",
+            fault.describe(&arch)
+        );
+        // The error's rendering names machine resources, not opaque IDs.
+        let msg = err.to_string();
+        assert!(!msg.is_empty());
+    }
+}

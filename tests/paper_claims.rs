@@ -23,7 +23,11 @@ fn central_is_never_beaten() {
     // (same unit mix and latencies everywhere).
     for name in ["FFT", "Merge", "Block Warp"] {
         let central = ii(&imagine::central(), name);
-        for arch in [imagine::clustered(2), imagine::clustered(4), imagine::distributed()] {
+        for arch in [
+            imagine::clustered(2),
+            imagine::clustered(4),
+            imagine::distributed(),
+        ] {
             assert!(
                 ii(&arch, name) >= central,
                 "{name}: {} beat central",
@@ -103,7 +107,10 @@ fn scaling_projection_favours_distributed() {
             d.area() / c.area()
         })
         .collect();
-    assert!(ratios[1] < 0.5 * ratios[0], "advantage should widen: {ratios:?}");
+    assert!(
+        ratios[1] < 0.5 * ratios[0],
+        "advantage should widen: {ratios:?}"
+    );
 }
 
 #[test]

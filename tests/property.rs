@@ -78,7 +78,11 @@ proptest! {
 fn random_kernels_on_imagine_variants() {
     for seed in [3u64, 17, 91] {
         let kernel = random_kernel(seed, 8);
-        for arch in [imagine::central(), imagine::clustered(4), imagine::distributed()] {
+        for arch in [
+            imagine::central(),
+            imagine::clustered(4),
+            imagine::distributed(),
+        ] {
             differential_check(&arch, &kernel, 4, seed);
         }
     }

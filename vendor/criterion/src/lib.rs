@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be vendored from crates.io. This crate implements the subset of
+//! the criterion API the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher`, `criterion_group!`,
+//! `criterion_main!` — as a plain wall-clock timing harness: each bench
+//! body is run a fixed number of iterations and the mean time per
+//! iteration is printed. No statistics, no HTML reports, no history.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box`, matching criterion's API.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `body` `iterations` times and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One warm-up run, then the timed loop.
+        std_black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std_black_box(body());
+        }
+        let total = start.elapsed();
+        let per_iter = total / self.iterations.max(1) as u32;
+        println!("    time: {per_iter:?} / iter ({} iters)", self.iterations);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count used for each bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}/{id}", self.name);
+        let mut b = Bencher {
+            iterations: self.sample_size as u64,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{id}", self.name);
+        let mut b = Bencher {
+            iterations: self.sample_size as u64,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (no-op; prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Entry point handed to each `criterion_group!` target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{id}");
+        let mut b = Bencher {
+            iterations: self.sample_size as u64,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
