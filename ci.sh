@@ -21,6 +21,12 @@ cargo build --release
 step "cargo test -q --workspace"
 cargo test -q --workspace
 
+step "cargo test --doc --workspace"
+cargo test -q --doc --workspace
+
+step "cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 if cargo clippy --version >/dev/null 2>&1; then
     step "cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,66 @@
+//! Measures the cost of the observability layer: scheduling with tracing
+//! disabled must match the pre-trace baseline (the sink test in the
+//! engine is a branch on an `Option` that is `None`), and scheduling into
+//! a ring-buffer sink bounds the cost of full event capture.
+//!
+//! Run with `cargo bench -p csched-bench --bench trace_overhead`; compare
+//! `untraced` against `ring_buffer` — the former is the zero-cost claim.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use csched_core::{schedule_kernel, schedule_kernel_traced, RingBufferSink, SchedulerConfig};
+use csched_ir::{Kernel, KernelBuilder};
+use csched_machine::{imagine, toy, Opcode};
+
+fn figure4() -> Kernel {
+    let mut kb = KernelBuilder::new("figure4");
+    let mem = kb.region("mem", true);
+    let b = kb.straight_block("fragment");
+    let a = kb.load(b, mem, 0i64.into(), 0i64.into());
+    let bv = kb.push(b, Opcode::IAdd, [1i64.into(), 2i64.into()]);
+    let cv = kb.push(b, Opcode::IAdd, [3i64.into(), 4i64.into()]);
+    let s4 = kb.push(b, Opcode::IAdd, [a.into(), bv.into()]);
+    let s5 = kb.push(b, Opcode::IAdd, [a.into(), cv.into()]);
+    kb.store(b, mem, 10i64.into(), 0i64.into(), s4.into());
+    kb.store(b, mem, 11i64.into(), 0i64.into(), s5.into());
+    kb.build().expect("figure 4 fragment is well-formed")
+}
+
+fn bench_pair(c: &mut Criterion, tag: &str, arch: &csched_machine::Architecture, kernel: &Kernel) {
+    c.bench_function(&format!("{tag}/untraced"), |b| {
+        b.iter(|| {
+            schedule_kernel(
+                black_box(arch),
+                black_box(kernel),
+                SchedulerConfig::default(),
+            )
+            .expect("schedules")
+            .num_copies()
+        })
+    });
+    c.bench_function(&format!("{tag}/ring_buffer"), |b| {
+        b.iter(|| {
+            let mut sink = RingBufferSink::new(4096);
+            let copies = schedule_kernel_traced(
+                black_box(arch),
+                black_box(kernel),
+                SchedulerConfig::default(),
+                &mut sink,
+            )
+            .expect("schedules")
+            .num_copies();
+            (copies, sink.total())
+        })
+    });
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let toy_arch = toy::motivating_example();
+    bench_pair(c, "trace_overhead/motivating", &toy_arch, &figure4());
+
+    let dist = imagine::distributed();
+    let merge = csched_kernels::by_name("Merge").expect("known kernel");
+    bench_pair(c, "trace_overhead/merge_distributed", &dist, &merge.kernel);
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

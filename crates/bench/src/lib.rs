@@ -13,6 +13,11 @@
 //!
 //! Run with `cargo bench -p csched-bench`; each target prints its table
 //! before measuring.
+//!
+//! - `trace_overhead` — the observability layer's zero-cost-when-disabled
+//!   claim: untraced scheduling vs scheduling into a ring-buffer sink.
+
+#![warn(missing_docs)]
 
 /// Kernels small enough to schedule repeatedly inside a Criterion loop.
 pub const FAST_KERNELS: &[&str] = &["FFT", "Merge", "Block Warp", "Sort", "DCT"];

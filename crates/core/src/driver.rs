@@ -13,6 +13,7 @@ use csched_machine::{Architecture, FuId, Opcode};
 use crate::config::{ScheduleOrder, SchedulerConfig};
 use crate::engine::{Engine, OrderEdge};
 use crate::schedule::Schedule;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::universe::SOpId;
 
 pub use crate::error::SchedError;
@@ -78,7 +79,7 @@ pub fn res_mii(arch: &Architecture, kernel: &Kernel) -> u32 {
 }
 
 /// Minimum latency of `opcode` over all capable units.
-fn min_latency(arch: &Architecture, opcode: Opcode) -> u32 {
+pub(crate) fn min_latency(arch: &Architecture, opcode: Opcode) -> u32 {
     arch.fus_for(opcode)
         .into_iter()
         .filter_map(|f| arch.fu(f).capability(opcode))
@@ -116,6 +117,36 @@ pub fn schedule_kernel(
     arch: &Architecture,
     kernel: &Kernel,
     config: SchedulerConfig,
+) -> Result<Schedule, SchedError> {
+    schedule_kernel_impl(arch, kernel, config, None)
+}
+
+/// [`schedule_kernel`] with every pipeline decision traced into `sink`.
+///
+/// Emits [`TraceEvent`]s for the driver's II search
+/// ([`TraceEvent::IiStart`], [`TraceEvent::SlackWidened`]) and for every
+/// engine decision (placement attempts/accepts/rejects, stub allocation
+/// and revision, route closing, copy insertion). The untraced entry point
+/// pays only a never-taken branch per emission site — see the
+/// `trace_overhead` bench in `csched-bench`.
+///
+/// # Errors
+///
+/// Identical to [`schedule_kernel`].
+pub fn schedule_kernel_traced(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<Schedule, SchedError> {
+    schedule_kernel_impl(arch, kernel, config, Some(sink))
+}
+
+pub(crate) fn schedule_kernel_impl(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    mut sink: Option<&mut dyn TraceSink>,
 ) -> Result<Schedule, SchedError> {
     if !arch.copy_connectivity().is_copy_connected() {
         return Err(not_copy_connected(arch));
@@ -166,6 +197,10 @@ pub fn schedule_kernel(
             if slack_round > 0 {
                 engine.stats.backtracked = true;
             }
+            if let Some(s) = sink.as_mut() {
+                s.event(TraceEvent::IiStart { ii });
+                engine.set_trace_sink(&mut **s);
+            }
             match run_blocks(&mut engine, kernel, &graph, &config) {
                 Ok(()) => {
                     debug_assert!(engine.all_closed());
@@ -214,6 +249,9 @@ pub fn schedule_kernel(
             });
         }
         slack *= 8;
+        if let Some(s) = sink.as_mut() {
+            s.event(TraceEvent::SlackWidened { slack });
+        }
     }
     Err(SchedError::IiExhausted {
         mii,

@@ -32,6 +32,7 @@ use crate::config::SchedulerConfig;
 use crate::error::SchedError;
 use crate::schedule::{CommDisposition, Route, SchedStats, Schedule, ScheduledOp};
 use crate::table::{ResourceTable, TableMode};
+use crate::trace::{RejectReason, TraceEvent, TraceSink};
 use crate::universe::{Comm, CommId, SOpId, Universe};
 
 /// Mutable per-communication scheduling state.
@@ -135,6 +136,12 @@ pub struct Engine<'a> {
     rf_to_consumer: HashMap<(usize, Opcode, usize), Option<u32>>,
     /// Cache: min copies from any unit capable of an opcode to one file.
     producer_to_rf: HashMap<(Opcode, usize), Option<u32>>,
+    /// Optional event sink; `None` (the default) makes every emission a
+    /// single never-taken branch.
+    trace: Option<&'a mut dyn TraceSink>,
+    /// Step that failed the most recent [`Engine::place_inner`] run,
+    /// reported by the rejection event.
+    last_reject: RejectReason,
 }
 
 impl<'a> std::fmt::Debug for Engine<'a> {
@@ -201,6 +208,23 @@ impl<'a> Engine<'a> {
             fu_to_consumer: HashMap::new(),
             rf_to_consumer: HashMap::new(),
             producer_to_rf: HashMap::new(),
+            trace: None,
+            last_reject: RejectReason::Timing,
+        }
+    }
+
+    /// Attaches a trace sink: subsequent placement decisions emit
+    /// [`TraceEvent`]s into it. Events are emitted as decisions are
+    /// explored — an accepted placement inside a subtree that is later
+    /// rolled back still appears in the stream.
+    pub fn set_trace_sink(&mut self, sink: &'a mut dyn TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.event(event);
         }
     }
 
@@ -484,13 +508,52 @@ impl<'a> Engine<'a> {
             return false;
         };
         self.stats.attempts += 1;
+        self.emit(TraceEvent::PlaceAttempt {
+            op: op.index() as u32,
+            fu: fu.index() as u32,
+            cycle,
+        });
         if depth == 0 {
             self.copy_work = self.config.max_copy_attempts as u32 * 4;
         }
+
+        if !self.timing_feasible(op, cycle, cap.latency) {
+            self.emit(TraceEvent::PlaceReject {
+                op: op.index() as u32,
+                fu: fu.index() as u32,
+                cycle,
+                reason: RejectReason::Timing,
+            });
+            return false;
+        }
+
+        let sp = self.savepoint();
+        let ok = self.place_inner(op, fu, cycle, cap, depth, allow_copies);
+        if !ok {
+            self.stats.rejections += 1;
+            self.rollback(&sp);
+            let reason = self.last_reject;
+            self.emit(TraceEvent::PlaceReject {
+                op: op.index() as u32,
+                fu: fu.index() as u32,
+                cycle,
+                reason,
+            });
+        } else {
+            self.emit(TraceEvent::PlaceAccept {
+                op: op.index() as u32,
+                fu: fu.index() as u32,
+                cycle,
+            });
+        }
+        ok
+    }
+
+    /// Timing feasibility of issuing `op` at `cycle` against its
+    /// already-scheduled communication partners and memory-order edges.
+    fn timing_feasible(&self, op: SOpId, cycle: i64, latency: u32) -> bool {
         let block = self.block_of(op);
         let bii = self.block_ii(block);
-
-        // Timing feasibility against already-scheduled partners.
         for &cid in &self.universe.comms_to(op) {
             let c = self.universe.comm(cid);
             if self.block_of(c.producer) != block {
@@ -503,12 +566,12 @@ impl<'a> Engine<'a> {
             }
         }
         for &cid in self.universe.comms_from(op) {
-            let c = self.universe.comm(cid).clone();
+            let c = self.universe.comm(cid);
             if self.block_of(c.consumer) != block {
                 continue;
             }
             if let Some(p) = self.placements[c.consumer.index()] {
-                if p.cycle + c.distance as i64 * bii < cycle + cap.latency as i64 {
+                if p.cycle + c.distance as i64 * bii < cycle + latency as i64 {
                     return false;
                 }
             }
@@ -523,20 +586,13 @@ impl<'a> Engine<'a> {
             }
             if e.from == op {
                 if let Some(p) = self.placements[e.to.index()] {
-                    if p.cycle + e.distance as i64 * bii < cycle + cap.latency as i64 {
+                    if p.cycle + e.distance as i64 * bii < cycle + latency as i64 {
                         return false;
                     }
                 }
             }
         }
-
-        let sp = self.savepoint();
-        let ok = self.place_inner(op, fu, cycle, cap, depth, allow_copies);
-        if !ok {
-            self.stats.rejections += 1;
-            self.rollback(&sp);
-        }
-        ok
+        true
     }
 
     fn place_inner(
@@ -554,6 +610,7 @@ impl<'a> Engine<'a> {
             if dbg {
                 eprintln!("[copyplace] {op} {fu}@{cycle}: issue slot busy");
             }
+            self.last_reject = RejectReason::IssueSlot;
             return false;
         }
         self.journal.push(Undo::Place(op));
@@ -594,6 +651,7 @@ impl<'a> Engine<'a> {
             if dbg {
                 eprintln!("[copyplace] {op} {fu}@{cycle}: read permutation failed (fast={fast})");
             }
+            self.last_reject = RejectReason::ReadPermutation;
             return false;
         }
         // Step 3: permutation of write stubs on the completion row.
@@ -602,12 +660,16 @@ impl<'a> Engine<'a> {
             if dbg {
                 eprintln!("[copyplace] {op} {fu}@{cycle}: write permutation failed (fast={fast})");
             }
+            self.last_reject = RejectReason::WritePermutation;
             return false;
         }
         // Steps 4 + 5: assign routes / insert copies for closing comms.
         let r = self.close_comms(op, depth, allow_copies);
-        if dbg && !r {
-            eprintln!("[copyplace] {op} {fu}@{cycle}: closing failed (fast={fast})");
+        if !r {
+            if dbg {
+                eprintln!("[copyplace] {op} {fu}@{cycle}: closing failed (fast={fast})");
+            }
+            self.last_reject = RejectReason::Closing;
         }
         r
     }
@@ -730,6 +792,14 @@ impl<'a> Engine<'a> {
         for (k, &(o, slot, _)) in participants.iter().enumerate() {
             let idx = self.universe.operand_index(o, slot);
             self.set_operand(idx, chosen[k], false);
+            if let Some(stub) = chosen[k] {
+                self.emit(TraceEvent::ReadStubAllocated {
+                    op: o.index() as u32,
+                    slot: slot as u32,
+                    rf: stub.rf.index() as u32,
+                    bus: stub.bus.index() as u32,
+                });
+            }
         }
         true
     }
@@ -918,6 +988,13 @@ impl<'a> Engine<'a> {
                     ..info
                 },
             );
+            if let Some(stub) = chosen[k] {
+                self.emit(TraceEvent::WriteStubAllocated {
+                    comm: cid.index() as u32,
+                    rf: stub.rf.index() as u32,
+                    bus: stub.bus.index() as u32,
+                });
+            }
         }
         true
     }
@@ -1122,6 +1199,10 @@ impl<'a> Engine<'a> {
                         ..info
                     },
                 );
+                self.emit(TraceEvent::WriteStubRevised {
+                    comm: cid.index() as u32,
+                    rf: stub.rf.index() as u32,
+                });
                 return;
             }
         }
@@ -1141,6 +1222,11 @@ impl<'a> Engine<'a> {
         );
         let stub = self.operand_stub[operand_idx];
         self.set_operand(operand_idx, stub, true);
+        self.emit(TraceEvent::RouteClosed {
+            comm: cid.index() as u32,
+            rf: route.wstub.rf.index() as u32,
+            direct: true,
+        });
         true
     }
 
@@ -1268,6 +1354,15 @@ impl<'a> Engine<'a> {
                 ..info
             },
         );
+        self.emit(TraceEvent::CopyReused {
+            comm: cid.index() as u32,
+            copy: cop.index() as u32,
+        });
+        self.emit(TraceEvent::RouteClosed {
+            comm: cid.index() as u32,
+            rf: rstub.rf.index() as u32,
+            direct: false,
+        });
         true
     }
 
@@ -1321,6 +1416,9 @@ impl<'a> Engine<'a> {
         );
         let rs = self.operand_stub[operand_idx];
         self.set_operand(operand_idx, rs, true);
+        self.emit(TraceEvent::StubsFrozen {
+            comm: cid.index() as u32,
+        });
 
         let ops_before = self.universe.num_ops();
         let comms_before = self.universe.num_comms();
@@ -1418,6 +1516,15 @@ impl<'a> Engine<'a> {
                 }
                 self.copy_work -= 1;
                 if self.place(copy, f, cycle, depth + 1) {
+                    self.emit(TraceEvent::CopyInserted {
+                        comm: cid.index() as u32,
+                        copy: copy.index() as u32,
+                    });
+                    self.emit(TraceEvent::RouteClosed {
+                        comm: cid.index() as u32,
+                        rf: rstub.rf.index() as u32,
+                        direct: false,
+                    });
                     return true;
                 }
             }

@@ -60,18 +60,25 @@ mod driver;
 mod engine;
 mod error;
 pub mod faultinject;
+pub mod metrics;
 pub mod regalloc;
 mod retry;
 mod schedule;
 mod table;
+pub mod trace;
 mod universe;
 pub mod validate;
 
 pub use config::{ScheduleOrder, SchedulerConfig};
-pub use driver::{res_mii, schedule_kernel};
+pub use driver::{res_mii, schedule_kernel, schedule_kernel_traced};
 pub use engine::{Engine, OrderEdge};
 pub use error::SchedError;
-pub use retry::{schedule_kernel_with_retry, Attempt, RetryPolicy, ScheduleReport};
+pub use metrics::ScheduleMetrics;
+pub use retry::{
+    schedule_kernel_with_retry, schedule_kernel_with_retry_traced, Attempt, RetryPolicy,
+    ScheduleReport,
+};
 pub use schedule::{CommDisposition, PipelineSlot, Route, SchedStats, Schedule, ScheduledOp};
 pub use table::{ResourceTable, TableMode};
+pub use trace::{JsonlSink, RingBufferSink, TraceEvent, TraceSink};
 pub use universe::{Comm, CommId, SOp, SOpId, Universe};

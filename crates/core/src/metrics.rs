@@ -1,0 +1,563 @@
+//! Schedule metrics: a per-kernel×architecture summary of schedule
+//! quality and resource pressure.
+//!
+//! Where [`trace`](crate::trace) records the scheduler's *search*
+//! (every attempt, including rolled-back subtrees),
+//! [`ScheduleMetrics`] summarises the *surviving schedule*: the achieved
+//! II against its ResMII/RecMII lower bounds, how many copies each
+//! communication cost, and a per-resource occupancy profile obtained by
+//! replaying the schedule's resource claims exactly as the validator
+//! does ([`validate`](crate::validate)) — issue slots for every
+//! operation, one write-stub claim per distinct `(producer, stub)`, one
+//! read-stub claim per consumer operand.
+//!
+//! The summary serialises to JSON ([`ScheduleMetrics::to_json`], used by
+//! `csched-eval`'s `table1 --metrics-json`) and renders as a
+//! reservation-table/occupancy heatmap
+//! ([`ScheduleMetrics::render_heatmap`], surfaced by the `one-cell
+//! --heatmap` binary).
+
+use std::fmt::Write as _;
+
+use csched_ir::{DepGraph, Kernel};
+use csched_machine::{Architecture, ReadPortId, Resource, ResourceMap, RfId, WritePortId};
+
+use crate::driver::{min_latency, res_mii};
+use crate::retry::ScheduleReport;
+use crate::schedule::Schedule;
+use crate::table::{ResourceTable, TableMode};
+use crate::trace::json_escape;
+use crate::universe::SOpId;
+
+/// Occupancy profile of one resource over a block's rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResourceLoad {
+    /// Display name of the resource (bus name, or `RF.w0` / `RF.r1` for
+    /// ports, or the unit name for issue slots).
+    pub name: String,
+    /// Claims per row: `profile[c]` is the number of distinct claims on
+    /// row `c` (0 = free).
+    pub profile: Vec<usize>,
+}
+
+impl ResourceLoad {
+    /// Number of rows with at least one claim.
+    pub fn busy_rows(&self) -> usize {
+        self.profile.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Total claims over all rows.
+    pub fn total(&self) -> usize {
+        self.profile.iter().sum()
+    }
+}
+
+/// Per-block occupancy: one [`ResourceLoad`] per issue slot, bus, and
+/// register-file port.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockOccupancy {
+    /// Block name from the kernel.
+    pub name: String,
+    /// Whether this is the software-pipelined loop block (modulo rows).
+    pub is_loop: bool,
+    /// Number of rows profiled: the II for the loop block, the block
+    /// length for straight-line blocks.
+    pub rows: i64,
+    /// Issue-slot occupancy per functional unit.
+    pub fu_issue: Vec<ResourceLoad>,
+    /// Bus occupancy.
+    pub buses: Vec<ResourceLoad>,
+    /// Register-file write-port occupancy.
+    pub write_ports: Vec<ResourceLoad>,
+    /// Register-file read-port occupancy.
+    pub read_ports: Vec<ResourceLoad>,
+}
+
+/// Cost of one retry-ladder rung, carried into the metrics summary from a
+/// [`ScheduleReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RungCost {
+    /// Zero-based attempt number.
+    pub attempt: usize,
+    /// The relaxation the rung applied.
+    pub relaxation: String,
+    /// II cap the rung searched under.
+    pub max_ii: u32,
+    /// Placement attempts granted from the retry budget.
+    pub attempts_granted: u64,
+    /// Whether the rung produced a schedule.
+    pub ok: bool,
+}
+
+/// Summary of one finished schedule on one architecture.
+///
+/// Built by [`ScheduleMetrics::compute`]; retry-ladder costs can be
+/// attached with [`ScheduleMetrics::with_report`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScheduleMetrics {
+    /// Kernel name.
+    pub kernel: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Achieved loop initiation interval (`None` for loop-free kernels).
+    pub ii: Option<u32>,
+    /// Recurrence-constrained lower bound on the II.
+    pub rec_mii: u32,
+    /// Resource-constrained lower bound on the II.
+    pub res_mii: u32,
+    /// Number of producer→consumer communications in the kernel (between
+    /// kernel operations; copy legs are not counted separately).
+    pub comms: usize,
+    /// Copy operations inserted by the scheduler.
+    pub copies: usize,
+    /// Histogram of copies per communication: `copies_per_comm[k]`
+    /// communications needed exactly `k` copies.
+    pub copies_per_comm: Vec<usize>,
+    /// Total placement attempts made while scheduling.
+    pub attempts: u64,
+    /// Placement attempts rejected by the five-step check.
+    pub rejections: u64,
+    /// Attempts divided by the number of scheduled operations (kernel
+    /// operations plus copies).
+    pub attempts_per_op: f64,
+    /// Number of candidate IIs tried (1 = scheduled at the first II).
+    pub ii_tried: u32,
+    /// Whether the §4.5 slack-widening backtracking round was needed.
+    pub backtracked: bool,
+    /// Per-block resource occupancy.
+    pub blocks: Vec<BlockOccupancy>,
+    /// Retry-ladder costs, when attached via
+    /// [`ScheduleMetrics::with_report`].
+    pub retry_rungs: Vec<RungCost>,
+}
+
+impl ScheduleMetrics {
+    /// Computes the metrics for `schedule` by replaying its resource
+    /// claims into fresh per-block tables, exactly as the validator does.
+    ///
+    /// The replay is best-effort: `schedule` is assumed to have passed
+    /// [`validate`](crate::validate::validate), so claim failures (which
+    /// cannot happen on a valid schedule) are ignored rather than
+    /// reported here.
+    pub fn compute(arch: &Architecture, kernel: &Kernel, schedule: &Schedule) -> Self {
+        let u = schedule.universe();
+        let stats = schedule.stats();
+        let ii = schedule.ii();
+        let rows_of = |block: csched_ir::BlockId| -> i64 {
+            if kernel.block(block).is_loop() {
+                ii.unwrap_or(1) as i64
+            } else {
+                schedule.block_len(block)
+            }
+        };
+
+        // --- resource replay (mirrors validate.rs) ---
+        let map = ResourceMap::new(arch);
+        let mut tables: Vec<ResourceTable> = kernel
+            .blocks()
+            .iter()
+            .map(|b| {
+                let mode = if b.is_loop() {
+                    TableMode::Modulo(ii.unwrap_or(1).max(1))
+                } else {
+                    TableMode::Linear
+                };
+                ResourceTable::new(map.clone(), mode)
+            })
+            .collect();
+        for op in u.op_ids() {
+            let p = schedule.placement(op);
+            let block = u.op(op).block;
+            let interval = arch
+                .fu(p.fu)
+                .capability(u.op(op).opcode)
+                .map(|c| c.issue_interval)
+                .unwrap_or(1);
+            let _ = tables[block.index()].place_issue(p.cycle, p.fu, interval, op);
+        }
+        let mut placed_writes: std::collections::HashSet<(SOpId, csched_machine::WriteStub)> =
+            std::collections::HashSet::new();
+        let mut placed_reads: std::collections::HashSet<(SOpId, usize)> =
+            std::collections::HashSet::new();
+        for cid in u.comm_ids() {
+            for (leg_id, route) in schedule.transport(cid) {
+                let leg = u.comm(leg_id);
+                let p = schedule.placement(leg.producer);
+                let q = schedule.placement(leg.consumer);
+                let pb = u.op(leg.producer).block;
+                let qb = u.op(leg.consumer).block;
+                if placed_writes.insert((leg.producer, route.wstub)) {
+                    let fanout = arch.fu(p.fu).output_fanout();
+                    let _ = tables[pb.index()].place_write_stub(
+                        p.completion(),
+                        route.wstub,
+                        leg.producer,
+                        fanout,
+                    );
+                }
+                if placed_reads.insert((leg.consumer, leg.slot)) {
+                    let _ = tables[qb.index()].place_read_stub(
+                        q.cycle,
+                        route.rstub,
+                        leg.consumer,
+                        leg.slot,
+                    );
+                }
+            }
+        }
+
+        // --- per-block occupancy profiles ---
+        let blocks: Vec<BlockOccupancy> = kernel
+            .block_ids()
+            .map(|block| {
+                let rows = rows_of(block);
+                let table = &tables[block.index()];
+                let fu_issue = arch
+                    .fu_ids()
+                    .map(|f| ResourceLoad {
+                        name: arch.fu(f).name().to_string(),
+                        profile: table.occupancy_profile(Resource::FuIssue(f), rows),
+                    })
+                    .collect();
+                let buses = arch
+                    .bus_ids()
+                    .map(|b| ResourceLoad {
+                        name: arch.bus(b).name().to_string(),
+                        profile: table.occupancy_profile(Resource::Bus(b), rows),
+                    })
+                    .collect();
+                let write_ports = (0..arch.num_write_ports())
+                    .map(|i| {
+                        let port = WritePortId::from_raw(i);
+                        ResourceLoad {
+                            name: port_name(arch, arch.write_port_rf(port), i, true),
+                            profile: table.occupancy_profile(Resource::WritePort(port), rows),
+                        }
+                    })
+                    .collect();
+                let read_ports = (0..arch.num_read_ports())
+                    .map(|i| {
+                        let port = ReadPortId::from_raw(i);
+                        ResourceLoad {
+                            name: port_name(arch, arch.read_port_rf(port), i, false),
+                            profile: table.occupancy_profile(Resource::ReadPort(port), rows),
+                        }
+                    })
+                    .collect();
+                BlockOccupancy {
+                    name: kernel.block(block).name().to_string(),
+                    is_loop: kernel.block(block).is_loop(),
+                    rows,
+                    fu_issue,
+                    buses,
+                    write_ports,
+                    read_ports,
+                }
+            })
+            .collect();
+
+        // --- copies per communication ---
+        let num_kernel_ops = u.num_kernel_ops();
+        let mut copies_per_comm: Vec<usize> = Vec::new();
+        let mut comms = 0usize;
+        for cid in u.comm_ids() {
+            let c = u.comm(cid);
+            if c.producer.index() >= num_kernel_ops || c.consumer.index() >= num_kernel_ops {
+                continue; // a leg added for a copy, not a kernel communication
+            }
+            comms += 1;
+            let legs = schedule.transport(cid).len();
+            let k = legs.saturating_sub(1);
+            if copies_per_comm.len() <= k {
+                copies_per_comm.resize(k + 1, 0);
+            }
+            copies_per_comm[k] += 1;
+        }
+
+        let rec_mii = if kernel.loop_block().is_some() {
+            DepGraph::build(kernel, |opcode| min_latency(arch, opcode)).rec_mii(kernel)
+        } else {
+            1
+        };
+        let num_ops = u.num_ops();
+        let attempts_per_op = if num_ops > 0 {
+            stats.attempts as f64 / num_ops as f64
+        } else {
+            0.0
+        };
+
+        ScheduleMetrics {
+            kernel: schedule.kernel_name().to_string(),
+            arch: schedule.arch_name().to_string(),
+            ii,
+            rec_mii,
+            res_mii: res_mii(arch, kernel),
+            comms,
+            copies: schedule.num_copies(),
+            copies_per_comm,
+            attempts: stats.attempts,
+            rejections: stats.rejections,
+            attempts_per_op,
+            ii_tried: stats.ii_tried,
+            backtracked: stats.backtracked,
+            blocks,
+            retry_rungs: Vec::new(),
+        }
+    }
+
+    /// Attaches the retry-ladder costs of `report` (one [`RungCost`] per
+    /// attempt, in order).
+    pub fn with_report(mut self, report: &ScheduleReport) -> Self {
+        self.retry_rungs = report
+            .attempts
+            .iter()
+            .map(|a| RungCost {
+                attempt: a.attempt,
+                relaxation: a.relaxation.to_string(),
+                max_ii: a.max_ii,
+                attempts_granted: a.attempts_granted,
+                ok: a.error.is_none(),
+            })
+            .collect();
+        self
+    }
+
+    /// Renders the metrics as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"kernel\":\"{}\",\"arch\":\"{}\",\"ii\":{},\"rec_mii\":{},\"res_mii\":{}",
+            json_escape(&self.kernel),
+            json_escape(&self.arch),
+            match self.ii {
+                Some(ii) => ii.to_string(),
+                None => "null".to_string(),
+            },
+            self.rec_mii,
+            self.res_mii,
+        );
+        let _ = write!(
+            s,
+            ",\"comms\":{},\"copies\":{},\"copies_per_comm\":{:?}",
+            self.comms, self.copies, self.copies_per_comm
+        );
+        let _ = write!(
+            s,
+            ",\"attempts\":{},\"rejections\":{},\"attempts_per_op\":{:.3},\"ii_tried\":{},\
+             \"backtracked\":{}",
+            self.attempts, self.rejections, self.attempts_per_op, self.ii_tried, self.backtracked
+        );
+        s.push_str(",\"retry_rungs\":[");
+        for (i, r) in self.retry_rungs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"attempt\":{},\"relaxation\":\"{}\",\"max_ii\":{},\"attempts_granted\":{},\
+                 \"ok\":{}}}",
+                r.attempt,
+                json_escape(&r.relaxation),
+                r.max_ii,
+                r.attempts_granted,
+                r.ok
+            );
+        }
+        s.push_str("],\"blocks\":[");
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"is_loop\":{},\"rows\":{}",
+                json_escape(&b.name),
+                b.is_loop,
+                b.rows
+            );
+            for (key, loads) in [
+                ("fu_issue", &b.fu_issue),
+                ("buses", &b.buses),
+                ("write_ports", &b.write_ports),
+                ("read_ports", &b.read_ports),
+            ] {
+                let _ = write!(s, ",\"{key}\":[");
+                for (j, load) in loads.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"name\":\"{}\",\"profile\":{:?}}}",
+                        json_escape(&load.name),
+                        load.profile
+                    );
+                }
+                s.push(']');
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders the per-block occupancy as a text heatmap: resources as
+    /// rows, table rows (cycles) as columns; `.` marks a free row, digits
+    /// the claim count, `#` ten or more claims.
+    pub fn render_heatmap(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} on {}: II {} (RecMII {}, ResMII {}), {} copies over {} comms",
+            self.kernel,
+            self.arch,
+            match self.ii {
+                Some(ii) => ii.to_string(),
+                None => "-".to_string(),
+            },
+            self.rec_mii,
+            self.res_mii,
+            self.copies,
+            self.comms
+        );
+        for b in &self.blocks {
+            let _ = writeln!(
+                out,
+                "block {} ({}, {} rows):",
+                b.name,
+                if b.is_loop { "modulo" } else { "linear" },
+                b.rows
+            );
+            let width = b
+                .fu_issue
+                .iter()
+                .chain(&b.buses)
+                .chain(&b.write_ports)
+                .chain(&b.read_ports)
+                .map(|l| l.name.len())
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            let mut cycles = String::new();
+            for c in 0..b.rows {
+                let _ = write!(cycles, "{}", c % 10);
+            }
+            let _ = writeln!(out, "  {:width$}  {}", "", cycles);
+            for (label, loads) in [
+                ("issue", &b.fu_issue),
+                ("bus", &b.buses),
+                ("wport", &b.write_ports),
+                ("rport", &b.read_ports),
+            ] {
+                for load in loads.iter() {
+                    let cells: String = load
+                        .profile
+                        .iter()
+                        .map(|&n| match n {
+                            0 => '.',
+                            1..=9 => char::from(b'0' + n as u8),
+                            _ => '#',
+                        })
+                        .collect();
+                    let _ = writeln!(out, "  {:width$}  {}  [{}]", load.name, cells, label);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `RF.w0` / `RF.r1`-style port label: the owning file's name plus the
+/// port's ordinal *within that file*.
+fn port_name(arch: &Architecture, rf: RfId, global_index: usize, write: bool) -> String {
+    let ordinal = if write {
+        (0..global_index)
+            .filter(|&i| arch.write_port_rf(WritePortId::from_raw(i)) == rf)
+            .count()
+    } else {
+        (0..global_index)
+            .filter(|&i| arch.read_port_rf(ReadPortId::from_raw(i)) == rf)
+            .count()
+    };
+    format!(
+        "{}.{}{}",
+        arch.rf(rf).name(),
+        if write { 'w' } else { 'r' },
+        ordinal
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::schedule_kernel;
+    use crate::SchedulerConfig;
+    use csched_ir::KernelBuilder;
+    use csched_machine::{toy, Opcode};
+
+    fn figure4() -> Kernel {
+        let mut kb = KernelBuilder::new("fig4");
+        let mem = kb.region("mem", true);
+        let b = kb.straight_block("b");
+        let a = kb.load(b, mem, 0i64.into(), 0i64.into());
+        let s2 = kb.push(b, Opcode::IAdd, [1i64.into(), 2i64.into()]);
+        let s3 = kb.push(b, Opcode::IAdd, [3i64.into(), 4i64.into()]);
+        let s4 = kb.push(b, Opcode::IAdd, [a.into(), s2.into()]);
+        let s5 = kb.push(b, Opcode::IAdd, [a.into(), s3.into()]);
+        kb.store(b, mem, 10i64.into(), 0i64.into(), s4.into());
+        kb.store(b, mem, 11i64.into(), 0i64.into(), s5.into());
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn metrics_of_the_motivating_example() {
+        let arch = toy::motivating_example();
+        let kernel = figure4();
+        let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+        let m = ScheduleMetrics::compute(&arch, &kernel, &schedule);
+        assert_eq!(m.kernel, "fig4");
+        assert_eq!(m.ii, None);
+        assert_eq!(m.copies, schedule.num_copies());
+        assert!(m.copies >= 1, "the motivating example needs a copy");
+        // Every kernel communication lands in exactly one histogram bin.
+        assert_eq!(m.copies_per_comm.iter().sum::<usize>(), m.comms);
+        // At least one communication (a → s4, paper Figure 13) needed a
+        // copy, so the histogram has a non-zero-copies bin.
+        assert!(m.copies_per_comm.len() >= 2);
+        assert!(m.copies_per_comm[1..].iter().sum::<usize>() >= 1);
+        assert!(m.attempts > 0 && m.attempts_per_op > 0.0);
+        // One block, linear, with as many rows as the block is long.
+        assert_eq!(m.blocks.len(), 1);
+        assert!(!m.blocks[0].is_loop);
+        assert!(m.blocks[0].rows > 0);
+        // Issue-slot occupancy counts every op exactly once per issue row.
+        let issued: usize = m.blocks[0].fu_issue.iter().map(|l| l.total()).sum();
+        assert_eq!(issued, schedule.universe().num_ops());
+        let json = m.to_json();
+        assert!(json.starts_with("{\"kernel\":\"fig4\""));
+        assert!(json.contains(&format!("\"copies\":{}", m.copies)));
+        let heat = m.render_heatmap();
+        assert!(heat.contains("block b (linear"));
+        assert!(heat.contains("[bus]"));
+    }
+
+    #[test]
+    fn heatmap_marks_loop_blocks_modulo() {
+        let arch = toy::motivating_example();
+        let mut kb = KernelBuilder::new("looped");
+        let lp = kb.loop_block("body");
+        let i = kb.loop_var(lp, 0i64.into());
+        let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+        kb.set_update(i, i1.into());
+        let kernel = kb.build().unwrap();
+        let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+        let m = ScheduleMetrics::compute(&arch, &kernel, &schedule);
+        assert_eq!(m.ii, Some(schedule.ii().unwrap()));
+        assert!(m.rec_mii >= 1 && m.res_mii >= 1);
+        let body = &m.blocks[0];
+        assert!(body.is_loop);
+        assert_eq!(body.rows, m.ii.unwrap() as i64);
+        assert!(m.render_heatmap().contains("(modulo"));
+    }
+}

@@ -144,6 +144,37 @@ struct Life {
     in_loop: bool,
 }
 
+/// [`analyze`] with the per-file demand and spill plan traced into
+/// `sink` as [`TraceEvent::RfPressure`] / [`TraceEvent::SpillPlanned`]
+/// events.
+///
+/// [`TraceEvent::RfPressure`]: crate::trace::TraceEvent::RfPressure
+/// [`TraceEvent::SpillPlanned`]: crate::trace::TraceEvent::SpillPlanned
+pub fn analyze_traced(
+    arch: &Architecture,
+    kernel: &Kernel,
+    schedule: &Schedule,
+    sink: &mut dyn crate::trace::TraceSink,
+) -> PressureReport {
+    let report = analyze(arch, kernel, schedule);
+    for p in &report.per_rf {
+        sink.event(crate::trace::TraceEvent::RfPressure {
+            rf: p.rf.index() as u32,
+            required: p.required as u32,
+            capacity: p.capacity as u32,
+        });
+    }
+    for s in &report.spills {
+        sink.event(crate::trace::TraceEvent::SpillPlanned {
+            value: s.value.index() as u32,
+            from: s.from.index() as u32,
+            to: s.to.map_or(-1, |rf| rf.index() as i64),
+            copies: s.copies_needed,
+        });
+    }
+    report
+}
+
 /// Analyses the register pressure of `schedule`.
 pub fn analyze(arch: &Architecture, kernel: &Kernel, schedule: &Schedule) -> PressureReport {
     let u = schedule.universe();

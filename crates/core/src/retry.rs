@@ -19,14 +19,17 @@
 //! kernel and at what cost. Errors that no relaxation can fix — a machine
 //! that is not copy-connected, an opcode with no capable unit, an internal
 //! invariant break — abort the ladder immediately.
+//!
+//! [`schedule_kernel`]: crate::schedule_kernel
 
 use csched_ir::Kernel;
 use csched_machine::Architecture;
 
 use crate::config::{ScheduleOrder, SchedulerConfig};
-use crate::driver::schedule_kernel;
+use crate::driver::schedule_kernel_impl;
 use crate::error::SchedError;
 use crate::schedule::Schedule;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Bounds for the retry ladder of [`schedule_kernel_with_retry`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -160,11 +163,35 @@ fn rung(base: &SchedulerConfig, attempt: usize) -> (SchedulerConfig, &'static st
 ///
 /// The error of the *last* attempt, under the same taxonomy as
 /// [`schedule_kernel`].
+///
+/// [`schedule_kernel`]: crate::schedule_kernel
 pub fn schedule_kernel_with_retry(
     arch: &Architecture,
     kernel: &Kernel,
     config: SchedulerConfig,
     policy: &RetryPolicy,
+) -> (Result<Schedule, SchedError>, ScheduleReport) {
+    schedule_with_retry_impl(arch, kernel, config, policy, None)
+}
+
+/// [`schedule_kernel_with_retry`] with every pipeline decision traced
+/// into `sink`, including a [`TraceEvent::RungAdvanced`] per ladder rung.
+pub fn schedule_kernel_with_retry_traced(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    policy: &RetryPolicy,
+    sink: &mut dyn TraceSink,
+) -> (Result<Schedule, SchedError>, ScheduleReport) {
+    schedule_with_retry_impl(arch, kernel, config, policy, Some(sink))
+}
+
+fn schedule_with_retry_impl(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    policy: &RetryPolicy,
+    mut sink: Option<&mut dyn TraceSink>,
 ) -> (Result<Schedule, SchedError>, ScheduleReport) {
     let mut report = ScheduleReport::default();
     let mut spent = 0u64;
@@ -191,7 +218,20 @@ pub fn schedule_kernel_with_retry(
             attempts_granted: cfg.max_attempts_per_ii,
             error: None,
         };
-        match schedule_kernel(arch, kernel, cfg) {
+        if let Some(s) = sink.as_mut() {
+            s.event(TraceEvent::RungAdvanced {
+                attempt: attempt as u32,
+                relaxation: relaxation.to_string(),
+                max_ii: cfg.max_ii,
+            });
+        }
+        let result = schedule_kernel_impl(
+            arch,
+            kernel,
+            cfg,
+            sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink),
+        );
+        match result {
             Ok(schedule) => {
                 report.attempts.push(record);
                 return (Ok(schedule), report);

@@ -107,6 +107,16 @@ impl ResourceTable {
             .map_or(0, Vec::len)
     }
 
+    /// Per-row occupancy of `resource` over the first `rows` rows
+    /// (`0..rows`): the table's occupancy histogram for one resource,
+    /// used by the metrics layer. For a modulo table, `rows` is normally
+    /// the II; rows past the fold repeat.
+    pub fn occupancy_profile(&self, resource: Resource, rows: i64) -> Vec<usize> {
+        (0..rows.max(0))
+            .map(|c| self.occupancy(c, resource))
+            .collect()
+    }
+
     /// An order-independent digest of the table's current claims (used by
     /// tests to prove that rollback restores state exactly, and handy when
     /// debugging the scheduler).

@@ -4,13 +4,15 @@
 //!
 //! Usage:
 //! `cargo run --release -p csched-eval --bin one-cell -- <kernel>
-//! [central|clustered2|clustered4|distributed] [--sim] [--copies]`
+//! [central|clustered2|clustered4|distributed] [--sim] [--copies]
+//! [--heatmap] [--metrics-json]`
 //!
 //! `--sim` executes the schedule against the scalar reference and prints
 //! per-unit utilisation; `--copies` lists every communication that needed
-//! a copy operation.
+//! a copy operation; `--heatmap` renders the per-resource occupancy
+//! heatmap; `--metrics-json` prints the cell's schedule metrics as JSON.
 
-use csched_core::{schedule_kernel, validate, SchedulerConfig};
+use csched_core::{schedule_kernel, validate, ScheduleMetrics, SchedulerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +40,14 @@ fn main() {
         t.elapsed()
     );
     validate::validate(&arch, &w.kernel, &s).expect("valid");
+    if args.iter().any(|a| a == "--heatmap") {
+        let m = ScheduleMetrics::compute(&arch, &w.kernel, &s);
+        println!("{}", m.render_heatmap());
+    }
+    if args.iter().any(|a| a == "--metrics-json") {
+        let m = ScheduleMetrics::compute(&arch, &w.kernel, &s);
+        println!("{}", m.to_json());
+    }
     if args.iter().any(|a| a == "--copies") {
         let u = s.universe();
         for cid in u.comm_ids() {
@@ -71,6 +81,12 @@ fn main() {
         util.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (name, u) in util.iter().take(6) {
             println!("    {name:<6} {:>5.1}%", u * 100.0);
+        }
+        println!("  register-file traffic (writes/reads):");
+        for (name, writes, reads) in stats.rf_traffic(&arch) {
+            if writes + reads > 0 {
+                println!("    {name:<6} {writes:>6} / {reads}");
+            }
         }
     }
 }

@@ -1,11 +1,73 @@
 //! Regenerates Table 1 (the kernel inventory) and self-checks every kernel
 //! against its scalar reference implementation.
 //!
-//! Usage: `cargo run --release -p csched-eval --bin table1`
+//! Usage: `cargo run --release -p csched-eval --bin table1 --
+//! [--metrics-json] [extra-kernel.k ...]`
+//!
+//! With `--metrics-json`, schedules every Table 1 kernel on all four
+//! Imagine register-file organisations and prints the full
+//! [`csched_core::ScheduleMetrics`] grid as one JSON document instead of
+//! the plain-text table. Extra positional arguments name kernel text
+//! files (the `csched_ir::text` language); they are parsed and, under
+//! `--metrics-json`, scheduled and appended to the same document. Parse
+//! failures are reported as structured JSON on stderr (line, column and
+//! snippet as separate fields) and exit with status 2.
+
+use csched_core::{schedule_kernel, ScheduleMetrics, SchedulerConfig};
+use csched_eval::report;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = args.iter().any(|a| a == "--metrics-json");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut extra_kernels = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("{file}: {e}");
+            std::process::exit(2);
+        });
+        match csched_ir::text::parse(&text) {
+            Ok(kernel) => extra_kernels.push(kernel),
+            Err(err) => {
+                eprintln!("{}", report::parse_error_json(file, &err));
+                std::process::exit(2);
+            }
+        }
+    }
+
     let workloads = csched_kernels::all();
-    println!("{}", csched_eval::report::table1(&workloads));
+    if metrics_json {
+        let archs = csched_machine::imagine::all_variants();
+        let grid = csched_eval::run_grid(&workloads, &archs, &SchedulerConfig::default(), false)
+            .unwrap_or_else(|e| {
+                eprintln!("grid failed: {e}");
+                std::process::exit(1);
+            });
+        let mut extra = Vec::new();
+        for kernel in &extra_kernels {
+            for arch in &archs {
+                let schedule = schedule_kernel(arch, kernel, SchedulerConfig::default())
+                    .unwrap_or_else(|e| {
+                        eprintln!("{} on {}: {e}", kernel.name(), arch.name());
+                        std::process::exit(1);
+                    });
+                extra.push(ScheduleMetrics::compute(arch, kernel, &schedule));
+            }
+        }
+        println!("{}", report::metrics_json(&grid, &extra));
+        return;
+    }
+
+    println!("{}", report::table1(&workloads));
+    for kernel in &extra_kernels {
+        println!(
+            "parsed {}: {} loop ops ({} blocks)",
+            kernel.name(),
+            kernel.loop_ops().len(),
+            kernel.blocks().len()
+        );
+    }
     for w in &workloads {
         w.self_check()
             .unwrap_or_else(|e| panic!("self-check failed: {e}"));

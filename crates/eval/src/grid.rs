@@ -7,7 +7,9 @@
 //! "the inverse of the schedule length of that loop normalized to the
 //! schedule length for the central register file architecture".
 
-use csched_core::{regalloc, schedule_kernel, validate, SchedError, SchedStats, SchedulerConfig};
+use csched_core::{
+    regalloc, schedule_kernel, validate, SchedError, SchedStats, ScheduleMetrics, SchedulerConfig,
+};
 use csched_kernels::Workload;
 use csched_machine::Architecture;
 
@@ -29,6 +31,9 @@ pub struct Cell {
     pub simulated: Option<bool>,
     /// Maximum register demand in any single file.
     pub max_registers: usize,
+    /// Full schedule metrics (occupancy, copies per communication,
+    /// placement effort) for this kernel × architecture cell.
+    pub metrics: ScheduleMetrics,
 }
 
 /// Results of one kernel across all architectures.
@@ -209,6 +214,7 @@ pub fn run_grid(
                 None
             };
             let pressure = regalloc::analyze(arch, &w.kernel, &schedule);
+            let metrics = ScheduleMetrics::compute(arch, &w.kernel, &schedule);
             cells.push(Cell {
                 arch: arch.name().to_string(),
                 ii: schedule.ii().unwrap_or(1),
@@ -217,6 +223,7 @@ pub fn run_grid(
                 validated: true,
                 simulated,
                 max_registers: pressure.max_required(),
+                metrics,
             });
         }
         rows.push(Row {
@@ -251,6 +258,8 @@ mod tests {
             assert_eq!(cell.simulated, Some(true));
             assert!(cell.ii >= 1);
             assert!(cell.max_registers > 0);
+            assert_eq!(cell.metrics.ii, Some(cell.ii));
+            assert_eq!(cell.metrics.copies, cell.copies);
         }
         // Merge is recurrence-bound: parity across these organisations.
         assert!((grid.rows[0].speedup(1) - 1.0).abs() < 1e-9);

@@ -182,6 +182,7 @@ mod tests {
             validated: true,
             simulated: None,
             max_registers: 4,
+            metrics: Default::default(),
         };
         Grid {
             archs: vec!["imagine-central".into(), "imagine-distributed".into()],
@@ -241,6 +242,48 @@ pub fn grid_csv(grid: &Grid) -> String {
     s
 }
 
+/// Renders the grid's full schedule metrics as one JSON document:
+/// `{"archs":[...],"cells":[<ScheduleMetrics>...]}` with one cell object
+/// per kernel × architecture. `extra` metrics (e.g. from kernels parsed
+/// off the command line) are appended to the same `cells` array.
+pub fn metrics_json(grid: &Grid, extra: &[csched_core::ScheduleMetrics]) -> String {
+    use csched_core::trace::json_escape;
+    let mut s = String::from("{\"archs\":[");
+    for (i, a) in grid.archs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", json_escape(a));
+    }
+    s.push_str("],\"cells\":[");
+    let mut first = true;
+    let cells = grid
+        .rows
+        .iter()
+        .flat_map(|r| r.cells.iter().map(|c| &c.metrics));
+    for m in cells.chain(extra.iter()) {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&m.to_json());
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Renders a [`csched_ir::text::ParseError`] as a structured JSON object,
+/// preserving the line, column and offending snippet as separate fields
+/// instead of flattening them into a display string.
+pub fn parse_error_json(file: &str, err: &csched_ir::text::ParseError) -> String {
+    use csched_core::trace::{json_escape, TraceEvent};
+    format!(
+        "{{\"file\":\"{}\",\"error\":{}}}",
+        json_escape(file),
+        TraceEvent::parse_failed(err).to_json()
+    )
+}
+
 /// Renders the cost rows as CSV: `arch,area,power,delay` (normalised).
 pub fn cost_csv(rows: &[CostRow]) -> String {
     let mut s = String::from("arch,area,power,delay\n");
@@ -273,6 +316,7 @@ mod csv_tests {
             validated: true,
             simulated: Some(true),
             max_registers: 7,
+            metrics: Default::default(),
         };
         let grid = Grid {
             archs: vec!["imagine-central".into()],
@@ -292,5 +336,48 @@ mod csv_tests {
             delay: 0.125,
         }]);
         assert!(cost.contains("distributed,0.500000,0.250000,0.125000"));
+    }
+
+    #[test]
+    fn metrics_json_document_shape() {
+        let grid = Grid {
+            archs: vec!["imagine-central".into()],
+            rows: vec![Row {
+                kernel: "K".into(),
+                cells: vec![Cell {
+                    arch: "imagine-central".into(),
+                    ii: 5,
+                    copies: 1,
+                    stats: SchedStats::default(),
+                    validated: true,
+                    simulated: None,
+                    max_registers: 7,
+                    metrics: Default::default(),
+                }],
+            }],
+        };
+        let json = metrics_json(&grid, &[Default::default()]);
+        assert!(json.starts_with("{\"archs\":[\"imagine-central\"],\"cells\":["));
+        assert!(json.ends_with("]}"));
+        // One grid cell plus one extra metrics object.
+        assert_eq!(json.matches("\"kernel\":").count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_stay_structured() {
+        let err = csched_ir::text::ParseError {
+            line: 3,
+            column: 9,
+            snippet: "t2 = add t0, \"oops".into(),
+            message: "unterminated string".into(),
+        };
+        let json = parse_error_json("kernels/bad.k", &err);
+        assert!(json.contains("\"file\":\"kernels/bad.k\""));
+        assert!(json.contains("\"line\":3"));
+        assert!(json.contains("\"column\":9"));
+        // The snippet arrives as its own escaped field, not flattened
+        // into a prose message.
+        assert!(json.contains("\"snippet\":\"t2 = add t0, \\\"oops\""));
+        assert!(json.contains("\"message\":\"unterminated string\""));
     }
 }

@@ -89,6 +89,12 @@ pub struct SimStats {
     pub bus_transfers: u64,
     /// Dynamic issues per functional unit (indexed by `FuId`).
     pub fu_issues: Vec<u64>,
+    /// Dynamic register-file writes per file (indexed by `RfId`): one per
+    /// write-stub activation that lands a value in that file.
+    pub rf_writes: Vec<u64>,
+    /// Dynamic register-file reads per file (indexed by `RfId`): one per
+    /// operand resolved through a read stub on that file.
+    pub rf_reads: Vec<u64>,
 }
 
 impl SimStats {
@@ -102,6 +108,27 @@ impl SimStats {
             })
             .collect()
     }
+
+    /// Dynamic traffic per register file: `(name, writes, reads)`.
+    pub fn rf_traffic(&self, arch: &csched_machine::Architecture) -> Vec<(String, u64, u64)> {
+        arch.rf_ids()
+            .map(|rf| {
+                (
+                    arch.rf(rf).name().to_string(),
+                    self.rf_writes.get(rf.index()).copied().unwrap_or(0),
+                    self.rf_reads.get(rf.index()).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Increments a dynamically-sized per-resource counter.
+fn bump(counters: &mut Vec<u64>, index: usize) {
+    if counters.len() <= index {
+        counters.resize(index + 1, 0);
+    }
+    counters[index] += 1;
 }
 
 /// How one operand of one operation obtains its value each iteration.
@@ -283,7 +310,10 @@ fn exec_op(
                     (None, None) => return Err(SimError::MissingOperand { op, slot }),
                 };
                 match rfs.get(&(stub.rf, producer, frame)) {
-                    Some(w) => *w,
+                    Some(w) => {
+                        bump(&mut stats.rf_reads, stub.rf.index());
+                        *w
+                    }
                     None => {
                         return Err(SimError::ValueNotRouted {
                             op,
@@ -363,6 +393,7 @@ fn exec_op(
         for write in &plan.writes {
             rfs.insert((write.stub.rf, op, iteration), word);
             stats.bus_transfers += 1;
+            bump(&mut stats.rf_writes, write.stub.rf.index());
         }
     }
     Ok(())
@@ -524,6 +555,30 @@ mod tests {
             assert!(stats.cycles > 0);
             assert!(stats.ops_executed >= 6 * trip, "all loop iterations ran");
         }
+    }
+
+    #[test]
+    fn rf_traffic_counters_balance() {
+        let kernel = streaming_kernel();
+        let arch = imagine::distributed();
+        let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+        let trip = 16u64;
+        let mut mem = inputs();
+        let stats = execute(&kernel, &schedule, &mut mem, trip).unwrap();
+        // Every bus transfer lands a value in exactly one register file.
+        assert_eq!(stats.rf_writes.iter().sum::<u64>(), stats.bus_transfers);
+        // Every executed value is read at least once overall, and every
+        // file that is read was written (or pre-seeded, which the
+        // streaming kernel does not use).
+        let reads: u64 = stats.rf_reads.iter().sum();
+        assert!(reads >= stats.bus_transfers / 2, "reads {reads}");
+        for (name, writes, rd) in stats.rf_traffic(&arch) {
+            if rd > 0 {
+                assert!(writes > 0, "{name} read but never written");
+            }
+        }
+        // The traffic report covers every register file in the machine.
+        assert_eq!(stats.rf_traffic(&arch).len(), arch.num_rfs());
     }
 
     #[test]

@@ -47,6 +47,71 @@
 //! println!("II = {}", schedule.ii().unwrap());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## The kernel text language
+//!
+//! Kernels can also be written textually ([`ir::text`]): a kernel is a
+//! named set of memory regions plus blocks; a `loop` block carries
+//! `var` declarations (loop variables with init and update operands);
+//! each operation names its opcode and operands; loads and stores
+//! address a region as `[index + offset]`. The grammar below is the
+//! README's example, parsed and scheduled for real:
+//!
+//! ```
+//! let kernel = csched::ir::text::parse(
+//!     r#"
+//! kernel "triple" {
+//!   region in disjoint
+//!   region out disjoint
+//!   loop body {
+//!     var i = init 0 update i1
+//!     x = load in [i + 0]
+//!     y = imul x, 3
+//!     store out [i + 50], y
+//!     i1 = iadd i, 1
+//!   }
+//! }
+//! "#,
+//! )?;
+//! let arch = csched::machine::imagine::distributed();
+//! let config = csched::core::SchedulerConfig::default();
+//! let schedule = csched::core::schedule_kernel(&arch, &kernel, config)?;
+//! assert!(schedule.ii().unwrap() >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Observing a scheduling run
+//!
+//! The scheduler streams typed events (placement attempts and rejects
+//! with reasons, stub allocation and revision, route closing, copy
+//! insertion) into any [`core::TraceSink`], and a finished schedule
+//! summarises into [`core::ScheduleMetrics`] — achieved II vs its
+//! lower bounds, copies per communication, and per-resource occupancy:
+//!
+//! ```
+//! use csched::core::{schedule_kernel_traced, RingBufferSink, ScheduleMetrics};
+//! # let kernel = csched::ir::text::parse(r#"
+//! # kernel "triple" {
+//! #   region in disjoint
+//! #   region out disjoint
+//! #   loop body {
+//! #     var i = init 0 update i1
+//! #     x = load in [i + 0]
+//! #     y = imul x, 3
+//! #     store out [i + 50], y
+//! #     i1 = iadd i, 1
+//! #   }
+//! # }
+//! # "#)?;
+//! let arch = csched::machine::imagine::distributed();
+//! let mut sink = RingBufferSink::new(1024);
+//! let schedule = schedule_kernel_traced(&arch, &kernel, Default::default(), &mut sink)?;
+//! assert!(sink.total() > 0);
+//! let metrics = ScheduleMetrics::compute(&arch, &kernel, &schedule);
+//! assert_eq!(metrics.ii, schedule.ii());
+//! println!("{}", metrics.render_heatmap());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 
