@@ -5,21 +5,32 @@
 #
 # The lint and format steps degrade gracefully when the toolchain lacks
 # the `clippy` or `rustfmt` components (e.g. a minimal container); the
-# build and test steps are mandatory. `csched-core` additionally carries
+# build and test steps are mandatory. `csched-core`, `csched-ir`, and
+# `csched-eval` additionally carry
 # `deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)` outside
 # test code, so the clippy step doubles as the panic-free gate for the
-# scheduling pipeline.
+# scheduling pipeline and the evaluation harness.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
 
-step "cargo build --release"
-cargo build --release
+step "cargo build --release --workspace"
+cargo build --release --workspace
 
 step "cargo test -q --workspace"
 cargo test -q --workspace
+
+# Seeded multi-fault chaos smoke: a tiny deterministic campaign (a few
+# hundred milliseconds on the release build from step 1) that degrades
+# the distributed machine by random fault combinations and asserts the
+# watchdog contract — valid schedule, typed error, or in-deadline stop;
+# never a panic, never a budget overrun. Exit 1 means a violation.
+step "chaos smoke campaign (seeded, deterministic)"
+cargo run -q --release -p csched-eval --bin chaos -- \
+    --seed 3 --runs 6 --max-faults 2 --step-limit 20000 --kernels 2 \
+    --arch distributed > /dev/null
 
 step "cargo test --doc --workspace"
 cargo test -q --doc --workspace

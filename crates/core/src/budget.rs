@@ -1,0 +1,246 @@
+//! Deterministic work budgets and cooperative cancellation.
+//!
+//! The scheduler explores an open-ended placement/routing space, and a
+//! pathological kernel × architecture pair can keep a campaign binary
+//! busy long past any useful deadline. [`StepBudget`] bounds that work
+//! *deterministically*: it is denominated in placement attempts (the
+//! engine's innermost unit of work), not wall-clock time, so a budgeted
+//! run either succeeds identically on every machine or trips at exactly
+//! the same attempt. Tripping surfaces as
+//! [`SchedError::DeadlineExceeded`] — a typed, non-retryable error that
+//! carries how much work was spent, what the limit was, and which
+//! pipeline phase hit it.
+//!
+//! [`CancelToken`] is the wall-clock escape hatch: a cheap, thread-safe
+//! flag that a supervisor (signal handler, watchdog thread, UI) can set
+//! at any moment. The scheduler polls it cooperatively at every budget
+//! step, so cancellation lands within one placement attempt.
+//!
+//! A budget is shared by everything downstream of one scheduling call:
+//! the retry ladder hands the *same* budget to every rung, so the sum of
+//! work over all relaxation attempts stays bounded — see
+//! [`schedule_kernel_with_retry`].
+//!
+//! ```
+//! use csched_core::{schedule_kernel_budgeted, SchedError, SchedulerConfig, StepBudget};
+//! use csched_ir::KernelBuilder;
+//! use csched_machine::{toy, Opcode};
+//!
+//! let mut kb = KernelBuilder::new("tiny");
+//! let b = kb.straight_block("b");
+//! let x = kb.push(b, Opcode::IAdd, [1i64.into(), 2i64.into()]);
+//! kb.push(b, Opcode::IAdd, [x.into(), 3i64.into()]);
+//! let kernel = kb.build()?;
+//! let arch = toy::motivating_example();
+//!
+//! // A generous budget schedules normally ...
+//! let budget = StepBudget::new(10_000);
+//! assert!(schedule_kernel_budgeted(&arch, &kernel, SchedulerConfig::default(), &budget).is_ok());
+//!
+//! // ... a one-attempt budget trips with a typed error.
+//! let budget = StepBudget::new(1);
+//! match schedule_kernel_budgeted(&arch, &kernel, SchedulerConfig::default(), &budget) {
+//!     Err(SchedError::DeadlineExceeded { spent, limit, .. }) => {
+//!         assert_eq!((spent, limit), (1, 1));
+//!     }
+//!     other => panic!("expected DeadlineExceeded, got {other:?}"),
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`schedule_kernel_with_retry`]: crate::schedule_kernel_with_retry
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::error::SchedError;
+
+/// A cooperative cancellation flag, cheaply cloneable across threads.
+///
+/// Cancelling is sticky: once [`cancel`](CancelToken::cancel) has been
+/// called every clone observes it forever. The scheduler polls the token
+/// at each [`StepBudget::step`], so a cancelled schedule aborts within
+/// one placement attempt with [`SchedError::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a [`StepBudget::step`] refused more work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetStop {
+    /// The placement-attempt limit was reached.
+    Deadline,
+    /// The attached [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+/// A deterministic work budget denominated in placement attempts.
+///
+/// The budget uses interior mutability so one `&StepBudget` can be
+/// shared by the driver, the engine, the retry ladder, and the register
+/// post-pass of a single scheduling call; it is intentionally *not*
+/// `Sync` — cross-thread control goes through [`CancelToken`].
+#[derive(Debug)]
+pub struct StepBudget {
+    limit: u64,
+    spent: Cell<u64>,
+    cancel: Option<CancelToken>,
+}
+
+impl StepBudget {
+    /// A budget of `limit` placement attempts.
+    pub fn new(limit: u64) -> Self {
+        StepBudget {
+            limit,
+            spent: Cell::new(0),
+            cancel: None,
+        }
+    }
+
+    /// A budget that never trips on work (cancellation still applies if a
+    /// token is attached with [`with_cancel`](Self::with_cancel)).
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Attaches a cancellation token, polled at every [`step`](Self::step).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Placement attempts charged so far. Never exceeds the limit: the
+    /// charge that would cross it is refused instead.
+    pub fn spent(&self) -> u64 {
+        self.spent.get()
+    }
+
+    /// Attempts remaining before the budget trips.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.spent.get()
+    }
+
+    /// Whether the budget can grant no further work.
+    pub fn is_exhausted(&self) -> bool {
+        self.spent.get() >= self.limit
+    }
+
+    /// Charges one placement attempt.
+    ///
+    /// Checks *before* spending: when the limit is already reached the
+    /// charge is refused and `spent` stays at `limit`, so a budgeted
+    /// scheduling call never overruns its budget.
+    pub fn step(&self) -> Result<(), BudgetStop> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(BudgetStop::Cancelled);
+            }
+        }
+        let spent = self.spent.get();
+        if spent >= self.limit {
+            return Err(BudgetStop::Deadline);
+        }
+        self.spent.set(spent + 1);
+        Ok(())
+    }
+
+    /// The typed [`SchedError`] for a refusal from [`step`](Self::step),
+    /// attributed to `phase` (`"placement"`, `"regalloc"`, ...).
+    pub fn stop_error(&self, stop: BudgetStop, phase: &'static str) -> SchedError {
+        match stop {
+            BudgetStop::Deadline => SchedError::DeadlineExceeded {
+                spent: self.spent.get(),
+                limit: self.limit,
+                phase,
+            },
+            BudgetStop::Cancelled => SchedError::Cancelled { phase },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_never_overruns() {
+        let b = StepBudget::new(3);
+        assert_eq!(b.remaining(), 3);
+        assert!(b.step().is_ok());
+        assert!(b.step().is_ok());
+        assert!(b.step().is_ok());
+        assert_eq!(b.step(), Err(BudgetStop::Deadline));
+        // Refused charges do not advance `spent`.
+        assert_eq!(b.step(), Err(BudgetStop::Deadline));
+        assert_eq!(b.spent(), 3);
+        assert!(b.is_exhausted());
+        match b.stop_error(BudgetStop::Deadline, "placement") {
+            SchedError::DeadlineExceeded {
+                spent,
+                limit,
+                phase,
+            } => {
+                assert_eq!((spent, limit, phase), (3, 3, "placement"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_refuses_immediately() {
+        let b = StepBudget::new(0);
+        assert!(b.is_exhausted());
+        assert_eq!(b.step(), Err(BudgetStop::Deadline));
+        assert_eq!(b.spent(), 0);
+    }
+
+    #[test]
+    fn cancellation_preempts_remaining_work() {
+        let token = CancelToken::new();
+        let b = StepBudget::new(100).with_cancel(token.clone());
+        assert!(b.step().is_ok());
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert_eq!(b.step(), Err(BudgetStop::Cancelled));
+        // Sticky across clones.
+        assert!(token.clone().is_cancelled());
+        assert!(matches!(
+            b.stop_error(BudgetStop::Cancelled, "placement"),
+            SchedError::Cancelled { phase: "placement" }
+        ));
+    }
+
+    #[test]
+    fn unlimited_budget_only_trips_on_cancel() {
+        let b = StepBudget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.step().is_ok());
+        }
+        assert_eq!(b.spent(), 10_000);
+        assert!(!b.is_exhausted());
+    }
+}

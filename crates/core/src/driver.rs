@@ -10,6 +10,7 @@
 use csched_ir::{BlockId, DepGraph, DepKind, Kernel, OpId};
 use csched_machine::{Architecture, FuId, Opcode};
 
+use crate::budget::StepBudget;
 use crate::config::{ScheduleOrder, SchedulerConfig};
 use crate::engine::{Engine, OrderEdge};
 use crate::schedule::Schedule;
@@ -118,7 +119,30 @@ pub fn schedule_kernel(
     kernel: &Kernel,
     config: SchedulerConfig,
 ) -> Result<Schedule, SchedError> {
-    schedule_kernel_impl(arch, kernel, config, None)
+    schedule_kernel_impl(arch, kernel, config, None, None)
+}
+
+/// [`schedule_kernel`] under a deterministic [`StepBudget`]: every
+/// placement attempt charges one step of `budget`, and the schedule
+/// either completes within the budget or fails with
+/// [`SchedError::DeadlineExceeded`] (or [`SchedError::Cancelled`] when
+/// the budget's [`CancelToken`](crate::CancelToken) fires).
+///
+/// The budget is denominated in placement attempts, not wall-clock time,
+/// so budgeted runs are reproducible: the same inputs spend exactly the
+/// same number of steps on every machine.
+///
+/// # Errors
+///
+/// [`SchedError::DeadlineExceeded`] / [`SchedError::Cancelled`] when the
+/// budget stops the search; otherwise identical to [`schedule_kernel`].
+pub fn schedule_kernel_budgeted(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    budget: &StepBudget,
+) -> Result<Schedule, SchedError> {
+    schedule_kernel_impl(arch, kernel, config, None, Some(budget))
 }
 
 /// [`schedule_kernel`] with every pipeline decision traced into `sink`.
@@ -139,7 +163,7 @@ pub fn schedule_kernel_traced(
     config: SchedulerConfig,
     sink: &mut dyn TraceSink,
 ) -> Result<Schedule, SchedError> {
-    schedule_kernel_impl(arch, kernel, config, Some(sink))
+    schedule_kernel_impl(arch, kernel, config, Some(sink), None)
 }
 
 pub(crate) fn schedule_kernel_impl(
@@ -147,6 +171,7 @@ pub(crate) fn schedule_kernel_impl(
     kernel: &Kernel,
     config: SchedulerConfig,
     mut sink: Option<&mut dyn TraceSink>,
+    budget: Option<&StepBudget>,
 ) -> Result<Schedule, SchedError> {
     if !arch.copy_connectivity().is_copy_connected() {
         return Err(not_copy_connected(arch));
@@ -201,6 +226,9 @@ pub(crate) fn schedule_kernel_impl(
                 s.event(TraceEvent::IiStart { ii });
                 engine.set_trace_sink(&mut **s);
             }
+            if let Some(b) = budget {
+                engine.set_budget(b);
+            }
             match run_blocks(&mut engine, kernel, &graph, &config) {
                 Ok(()) => {
                     debug_assert!(engine.all_closed());
@@ -210,6 +238,9 @@ pub(crate) fn schedule_kernel_impl(
                     if let Some(e) = engine.take_internal_error() {
                         return Err(e);
                     }
+                    if let (Some(stop), Some(b)) = (engine.take_budget_stop(), budget) {
+                        return Err(b.stop_error(stop, "placement"));
+                    }
                     if engine.stats.cross_block_copy_failures > 0 && slack_round == 0 {
                         break; // grow slack and retry (§4.5 equivalent)
                     }
@@ -218,6 +249,9 @@ pub(crate) fn schedule_kernel_impl(
                 Err(RunError::Block(b, op)) => {
                     if let Some(e) = engine.take_internal_error() {
                         return Err(e);
+                    }
+                    if let (Some(stop), Some(bu)) = (engine.take_budget_stop(), budget) {
+                        return Err(bu.stop_error(stop, "placement"));
                     }
                     if std::env::var_os("CSCHED_DEBUG").is_some() {
                         eprintln!(
@@ -401,7 +435,7 @@ fn place_with_window(
         };
         let mut cycle = earliest;
         while cycle <= last {
-            if engine.stats.attempts > config.max_attempts_per_ii {
+            if engine.stats.attempts > config.max_attempts_per_ii || engine.budget_stopped() {
                 return false;
             }
             for fu in ordered_fus(engine, kernel, op, cycle, config.comm_cost_heuristic) {
@@ -427,7 +461,7 @@ fn schedule_block_cycle_order(
     let mut cycle = 0i64;
     let limit = config.max_delay * 4 + 64;
     while !remaining.is_empty() {
-        if cycle > limit {
+        if cycle > limit || engine.budget_stopped() {
             return Err(remaining[0]);
         }
         let mut next_round = Vec::new();

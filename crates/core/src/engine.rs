@@ -28,6 +28,7 @@ use csched_machine::{
     Architecture, Capability, CopyConnectivity, FuId, Opcode, ReadStub, ResourceMap, WriteStub,
 };
 
+use crate::budget::{BudgetStop, StepBudget};
 use crate::config::SchedulerConfig;
 use crate::error::SchedError;
 use crate::schedule::{CommDisposition, Route, SchedStats, Schedule, ScheduledOp};
@@ -139,6 +140,14 @@ pub struct Engine<'a> {
     /// Optional event sink; `None` (the default) makes every emission a
     /// single never-taken branch.
     trace: Option<&'a mut dyn TraceSink>,
+    /// Optional shared work budget, charged one step per placement
+    /// attempt. `None` (the default) keeps the hot loop unbudgeted.
+    budget: Option<&'a StepBudget>,
+    /// First budget refusal observed, if any. Once set, every further
+    /// placement attempt fails immediately without charging the budget,
+    /// so a tripped engine unwinds within the contract's one-attempt
+    /// overrun bound.
+    budget_stop: Option<BudgetStop>,
     /// Step that failed the most recent [`Engine::place_inner`] run,
     /// reported by the rejection event.
     last_reject: RejectReason,
@@ -209,6 +218,8 @@ impl<'a> Engine<'a> {
             rf_to_consumer: HashMap::new(),
             producer_to_rf: HashMap::new(),
             trace: None,
+            budget: None,
+            budget_stop: None,
             last_reject: RejectReason::Timing,
         }
     }
@@ -219,6 +230,29 @@ impl<'a> Engine<'a> {
     /// rolled back still appears in the stream.
     pub fn set_trace_sink(&mut self, sink: &'a mut dyn TraceSink) {
         self.trace = Some(sink);
+    }
+
+    /// Attaches a shared [`StepBudget`]: every subsequent placement
+    /// attempt charges one step, and the first refused charge makes this
+    /// engine fail all further placements (see
+    /// [`take_budget_stop`](Self::take_budget_stop)).
+    pub fn set_budget(&mut self, budget: &'a StepBudget) {
+        self.budget = Some(budget);
+    }
+
+    /// Whether the attached budget has refused a charge: every further
+    /// placement attempt on this engine fails immediately.
+    pub fn budget_stopped(&self) -> bool {
+        self.budget_stop.is_some()
+    }
+
+    /// Returns and clears the budget refusal that stopped this engine,
+    /// if any. The driver converts it into the typed
+    /// [`SchedError::DeadlineExceeded`] / [`SchedError::Cancelled`]
+    /// instead of misreporting the failure as budget exhaustion of the
+    /// II search.
+    pub fn take_budget_stop(&mut self) -> Option<BudgetStop> {
+        self.budget_stop.take()
     }
 
     #[inline]
@@ -504,9 +538,25 @@ impl<'a> Engine<'a> {
         depth: usize,
         allow_copies: bool,
     ) -> bool {
+        if self.budget_stop.is_some() {
+            return false;
+        }
         let Some(cap) = self.capability(op, fu) else {
             return false;
         };
+        if let Some(budget) = self.budget {
+            if let Err(stop) = budget.step() {
+                self.budget_stop = Some(stop);
+                let phase = "placement";
+                self.emit(TraceEvent::DeadlineExceeded {
+                    spent: budget.spent(),
+                    limit: budget.limit(),
+                    phase: phase.to_string(),
+                    cancelled: stop == BudgetStop::Cancelled,
+                });
+                return false;
+            }
+        }
         self.stats.attempts += 1;
         self.emit(TraceEvent::PlaceAttempt {
             op: op.index() as u32,

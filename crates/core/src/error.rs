@@ -21,6 +21,12 @@
 //! - **Internal invariant breaks** ([`SchedError::Internal`]): a bug in
 //!   the scheduler itself, reported as an error instead of a panic so a
 //!   long campaign (fault injection, design-space sweeps) survives it.
+//! - **Deadline and cancellation** ([`SchedError::DeadlineExceeded`],
+//!   [`SchedError::Cancelled`]): the caller's
+//!   [`StepBudget`](crate::StepBudget) ran dry or its
+//!   [`CancelToken`](crate::CancelToken) fired. *Not* retryable — the
+//!   budget is shared across the whole retry ladder, so the ladder stops
+//!   rather than relax its way past a hard bound.
 
 use std::fmt;
 
@@ -64,6 +70,29 @@ pub enum SchedError {
         mii: u32,
         /// The maximum II tried.
         max_ii: u32,
+    },
+    /// The scheduling call's [`StepBudget`](crate::StepBudget) ran out of
+    /// placement attempts before a schedule was found.
+    ///
+    /// Deterministic (the budget is denominated in placement attempts,
+    /// not wall-clock time) and *non-retryable*: unlike
+    /// [`SchedError::IiExhausted`] the budget is shared by every retry
+    /// rung, so relaxing a per-attempt knob cannot buy more work.
+    DeadlineExceeded {
+        /// Placement attempts charged before the budget tripped.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+        /// The pipeline phase that hit the limit (`"placement"`,
+        /// `"regalloc"`).
+        phase: &'static str,
+    },
+    /// The scheduling call's [`CancelToken`](crate::CancelToken) was
+    /// cancelled; work stopped cooperatively within one placement
+    /// attempt.
+    Cancelled {
+        /// The pipeline phase that observed the cancellation.
+        phase: &'static str,
     },
     /// A scheduler invariant was violated. This is a bug in the scheduler,
     /// not in the kernel or machine description; it is reported as an
@@ -126,6 +155,19 @@ impl fmt::Display for SchedError {
             SchedError::IiExhausted { mii, max_ii } => {
                 write!(f, "no valid loop schedule in II range {mii}..={max_ii}")
             }
+            SchedError::DeadlineExceeded {
+                spent,
+                limit,
+                phase,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded in {phase}: {spent} of {limit} placement attempts spent"
+                )
+            }
+            SchedError::Cancelled { phase } => {
+                write!(f, "cancelled in {phase}")
+            }
             SchedError::Internal { stage, detail } => {
                 write!(
                     f,
@@ -168,6 +210,24 @@ mod tests {
         };
         assert!(e.to_string().contains("ALU0 cannot reach MUL0"), "{e}");
         assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn deadline_and_cancellation_are_not_retryable() {
+        let e = SchedError::DeadlineExceeded {
+            spent: 512,
+            limit: 512,
+            phase: "placement",
+        };
+        assert!(!e.is_retryable());
+        assert_eq!(
+            e.to_string(),
+            "deadline exceeded in placement: 512 of 512 placement attempts spent"
+        );
+
+        let e = SchedError::Cancelled { phase: "regalloc" };
+        assert!(!e.is_retryable());
+        assert_eq!(e.to_string(), "cancelled in regalloc");
     }
 
     #[test]

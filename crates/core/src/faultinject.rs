@@ -16,12 +16,23 @@
 //! connectivity lost, or an opcode left without a capable unit) so a
 //! campaign can distinguish "rejected because the machine is broken" from
 //! "rejected because the search ran out of budget".
+//!
+//! [`chaos_campaign`] goes further: *seeded multi-fault chaos*. Each run
+//! degrades the machine by a pseudo-randomly drawn combination of `1..=k`
+//! simultaneous faults and schedules under a hard
+//! [`StepBudget`], asserting the watchdog contract —
+//! **valid schedule, typed error, or deadline; never a panic, never
+//! unbounded work**. The fault draw is driven by a deterministic
+//! splitmix64 generator, so a campaign seed reproduces the exact same
+//! fault combinations (and, because the scheduler and budget are both
+//! deterministic, the exact same verdicts) on every machine.
 
 use csched_ir::Kernel;
 use csched_machine::{Architecture, FaultSpec};
 
+use crate::budget::StepBudget;
 use crate::config::SchedulerConfig;
-use crate::driver::{not_copy_connected, schedule_kernel};
+use crate::driver::{not_copy_connected, schedule_kernel, schedule_kernel_budgeted};
 use crate::error::SchedError;
 use crate::validate;
 
@@ -38,6 +49,16 @@ pub enum FaultVerdict {
     },
     /// The scheduler returned a typed error.
     Rejected(SchedError),
+    /// The scheduling call's [`StepBudget`] ran dry before an answer —
+    /// the bounded-work half of the chaos contract, kept distinct from
+    /// [`FaultVerdict::Rejected`] so campaigns can report how often the
+    /// deadline (rather than the search) decided the outcome.
+    TimedOut {
+        /// Placement attempts charged when the budget tripped.
+        spent: u64,
+        /// The budget limit.
+        limit: u64,
+    },
     /// The scheduler accepted the kernel but its schedule failed
     /// independent validation on the degraded machine — a scheduler bug
     /// the campaign surfaces instead of hiding.
@@ -45,10 +66,26 @@ pub enum FaultVerdict {
 }
 
 impl FaultVerdict {
-    /// Whether the scheduler held its contract (scheduled-and-valid or
-    /// typed rejection).
+    /// Whether the scheduler held its contract (scheduled-and-valid,
+    /// typed rejection, or in-deadline stop).
     pub fn contract_held(&self) -> bool {
         !matches!(self, FaultVerdict::Invalid(_))
+    }
+
+    /// Stable one-line rendering (used by the reproducibility digest of
+    /// [`render_chaos_campaign`]).
+    pub fn render(&self) -> String {
+        match self {
+            FaultVerdict::Scheduled { ii, copies } => match ii {
+                Some(ii) => format!("scheduled II={ii} copies={copies}"),
+                None => format!("scheduled copies={copies}"),
+            },
+            FaultVerdict::Rejected(e) => format!("rejected: {e}"),
+            FaultVerdict::TimedOut { spent, limit } => {
+                format!("timed out: {spent}/{limit} placement attempts")
+            }
+            FaultVerdict::Invalid(detail) => format!("INVALID: {detail}"),
+        }
     }
 }
 
@@ -74,8 +111,42 @@ pub fn schedule_degraded(
     config: SchedulerConfig,
 ) -> FaultVerdict {
     let degraded = arch.with_faults(faults);
-    match schedule_kernel(&degraded, kernel, config) {
-        Ok(schedule) => match validate::validate(&degraded, kernel, &schedule) {
+    verdict_of(
+        &degraded,
+        kernel,
+        schedule_kernel(&degraded, kernel, config),
+    )
+}
+
+/// Like [`schedule_degraded`], but charges every placement attempt to
+/// `budget`; a tripped budget becomes [`FaultVerdict::TimedOut`].
+pub fn schedule_degraded_budgeted(
+    arch: &Architecture,
+    faults: &[FaultSpec],
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    budget: &StepBudget,
+) -> FaultVerdict {
+    let degraded = arch.with_faults(faults);
+    match schedule_kernel_budgeted(&degraded, kernel, config, budget) {
+        Err(SchedError::DeadlineExceeded { spent, limit, .. }) => {
+            FaultVerdict::TimedOut { spent, limit }
+        }
+        Err(SchedError::Cancelled { .. }) => FaultVerdict::TimedOut {
+            spent: budget.spent(),
+            limit: budget.limit(),
+        },
+        result => verdict_of(&degraded, kernel, result),
+    }
+}
+
+fn verdict_of(
+    degraded: &Architecture,
+    kernel: &Kernel,
+    result: Result<crate::Schedule, SchedError>,
+) -> FaultVerdict {
+    match result {
+        Ok(schedule) => match validate::validate(degraded, kernel, &schedule) {
             Ok(()) => FaultVerdict::Scheduled {
                 ii: schedule.ii(),
                 copies: schedule.num_copies(),
@@ -138,6 +209,178 @@ pub fn breaking_faults(arch: &Architecture, kernel: &Kernel) -> Vec<(FaultSpec, 
     broken
 }
 
+/// A deterministic splitmix64 generator — the chaos campaign's only
+/// source of randomness, hand-rolled so campaigns reproduce bit-for-bit
+/// with no dependency on an external RNG crate.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Creates a generator from a campaign seed.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (`bound` must be nonzero). Uses simple
+    /// modulo reduction: the bias for the tiny bounds a chaos campaign
+    /// uses (tens of faults) is negligible and determinism is what
+    /// matters here.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
+
+/// Parameters for a seeded multi-fault chaos campaign.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the fault-combination generator. The same seed on the
+    /// same machine and kernel set reproduces the campaign exactly.
+    pub seed: u64,
+    /// Number of fault combinations to draw.
+    pub runs: usize,
+    /// Faults per run are drawn uniformly from `1..=max_faults`
+    /// (clamped to the machine's fault population).
+    pub max_faults: usize,
+    /// Hard placement-attempt budget for each scheduling call.
+    pub step_limit: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xc5c4ed,
+            runs: 32,
+            max_faults: 3,
+            step_limit: 20_000,
+        }
+    }
+}
+
+/// One run of a chaos campaign: a drawn fault combination, a kernel, the
+/// verdict, and what the run cost.
+#[derive(Clone, Debug)]
+pub struct ChaosEntry {
+    /// Index of the run within the campaign (fault combinations are
+    /// reused across kernels, so several entries share a run index).
+    pub run: usize,
+    /// The injected fault combination.
+    pub faults: Vec<FaultSpec>,
+    /// The combination resolved against the healthy machine's names.
+    pub fault_descs: Vec<String>,
+    /// The kernel's name.
+    pub kernel: String,
+    /// What the scheduler did.
+    pub verdict: FaultVerdict,
+    /// Placement attempts the run charged to its budget.
+    pub attempts_spent: u64,
+    /// The budget limit the run was held to.
+    pub step_limit: u64,
+}
+
+/// Draws `k` distinct faults from `population` without replacement
+/// (partial Fisher–Yates over an index vector).
+fn draw_combination(rng: &mut ChaosRng, population: &[FaultSpec], k: usize) -> Vec<FaultSpec> {
+    let mut indices: Vec<usize> = (0..population.len()).collect();
+    let k = k.min(indices.len());
+    let mut picked = Vec::with_capacity(k);
+    for slot in 0..k {
+        let j = slot + rng.below(indices.len() - slot);
+        indices.swap(slot, j);
+        picked.push(population[indices[slot]]);
+    }
+    picked
+}
+
+/// Runs a seeded multi-fault chaos campaign: `config.runs` fault
+/// combinations, each scheduled for every kernel under a fresh
+/// [`StepBudget`] of `config.step_limit` attempts.
+///
+/// Every entry satisfies the watchdog contract checkable via
+/// [`FaultVerdict::contract_held`] *and* the bounded-work guarantee
+/// `attempts_spent <= step_limit` (the budget refuses the attempt that
+/// would overrun, so it can never be exceeded — not even by one).
+pub fn chaos_campaign(
+    arch: &Architecture,
+    kernels: &[(&str, &Kernel)],
+    config: &SchedulerConfig,
+    chaos: &ChaosConfig,
+) -> Vec<ChaosEntry> {
+    let population = arch.single_resource_faults();
+    let mut rng = ChaosRng::new(chaos.seed);
+    let mut entries = Vec::new();
+    if population.is_empty() {
+        return entries;
+    }
+    let max_k = chaos.max_faults.clamp(1, population.len());
+    for run in 0..chaos.runs {
+        let k = 1 + rng.below(max_k);
+        let faults = draw_combination(&mut rng, &population, k);
+        let fault_descs: Vec<String> = faults.iter().map(|f| f.describe(arch)).collect();
+        for &(name, kernel) in kernels {
+            let budget = StepBudget::new(chaos.step_limit);
+            let verdict =
+                schedule_degraded_budgeted(arch, &faults, kernel, config.clone(), &budget);
+            entries.push(ChaosEntry {
+                run,
+                faults: faults.clone(),
+                fault_descs: fault_descs.clone(),
+                kernel: name.to_string(),
+                verdict,
+                attempts_spent: budget.spent(),
+                step_limit: chaos.step_limit,
+            });
+        }
+    }
+    entries
+}
+
+/// Renders a chaos campaign as a stable multi-line digest: one line per
+/// entry plus a summary tail. Two campaigns with the same seed, machine,
+/// kernels, and configuration render byte-for-byte identically — the
+/// reproducibility test and the CI smoke run both compare this string.
+pub fn render_chaos_campaign(entries: &[ChaosEntry]) -> String {
+    let mut out = String::new();
+    let mut scheduled = 0usize;
+    let mut rejected = 0usize;
+    let mut timed_out = 0usize;
+    let mut invalid = 0usize;
+    for e in entries {
+        match e.verdict {
+            FaultVerdict::Scheduled { .. } => scheduled += 1,
+            FaultVerdict::Rejected(_) => rejected += 1,
+            FaultVerdict::TimedOut { .. } => timed_out += 1,
+            FaultVerdict::Invalid(_) => invalid += 1,
+        }
+        out.push_str(&format!(
+            "run {:03} kernel {} faults [{}] attempts {}/{}: {}\n",
+            e.run,
+            e.kernel,
+            e.fault_descs.join(", "),
+            e.attempts_spent,
+            e.step_limit,
+            e.verdict.render()
+        ));
+    }
+    out.push_str(&format!(
+        "chaos summary: {} entries, {scheduled} scheduled, {rejected} rejected, \
+         {timed_out} timed out, {invalid} INVALID\n",
+        entries.len()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +411,51 @@ mod tests {
                 e.fault_desc,
                 e.verdict
             );
+        }
+    }
+
+    #[test]
+    fn chaos_rng_is_deterministic_and_draws_are_distinct() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let arch = toy::motivating_example();
+        let population = arch.single_resource_faults();
+        let mut rng = ChaosRng::new(7);
+        for _ in 0..50 {
+            let k = 1 + rng.below(population.len());
+            let combo = draw_combination(&mut rng, &population, k);
+            assert_eq!(combo.len(), k);
+            for i in 0..combo.len() {
+                for j in (i + 1)..combo.len() {
+                    assert_ne!(combo[i], combo[j], "duplicate fault in combination");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_chaos_campaign_holds_contract() {
+        let arch = toy::motivating_example();
+        let kernel = tiny_loop();
+        let chaos = ChaosConfig {
+            seed: 1,
+            runs: 8,
+            max_faults: 2,
+            step_limit: 5_000,
+        };
+        let entries = chaos_campaign(
+            &arch,
+            &[("tiny", &kernel)],
+            &SchedulerConfig::default(),
+            &chaos,
+        );
+        assert_eq!(entries.len(), 8);
+        for e in &entries {
+            assert!(e.verdict.contract_held(), "{:?}", e);
+            assert!(e.attempts_spent <= e.step_limit, "{:?}", e);
         }
     }
 

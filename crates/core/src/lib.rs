@@ -55,6 +55,7 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub mod budget;
 mod config;
 mod driver;
 mod engine;
@@ -69,14 +70,15 @@ pub mod trace;
 mod universe;
 pub mod validate;
 
+pub use budget::{BudgetStop, CancelToken, StepBudget};
 pub use config::{ScheduleOrder, SchedulerConfig};
-pub use driver::{res_mii, schedule_kernel, schedule_kernel_traced};
+pub use driver::{res_mii, schedule_kernel, schedule_kernel_budgeted, schedule_kernel_traced};
 pub use engine::{Engine, OrderEdge};
 pub use error::SchedError;
 pub use metrics::ScheduleMetrics;
 pub use retry::{
-    schedule_kernel_with_retry, schedule_kernel_with_retry_traced, Attempt, RetryPolicy,
-    ScheduleReport,
+    schedule_kernel_with_retry, schedule_kernel_with_retry_budgeted,
+    schedule_kernel_with_retry_traced, Attempt, RetryPolicy, ScheduleReport,
 };
 pub use schedule::{CommDisposition, PipelineSlot, Route, SchedStats, Schedule, ScheduledOp};
 pub use table::{ResourceTable, TableMode};

@@ -25,6 +25,7 @@
 use csched_ir::Kernel;
 use csched_machine::Architecture;
 
+use crate::budget::StepBudget;
 use crate::config::{ScheduleOrder, SchedulerConfig};
 use crate::driver::schedule_kernel_impl;
 use crate::error::SchedError;
@@ -85,6 +86,11 @@ pub struct ScheduleReport {
     pub attempts: Vec<Attempt>,
     /// Whether the ladder stopped because [`RetryPolicy::budget`] ran out.
     pub budget_exhausted: bool,
+    /// Exact placement attempts charged across every rung, as counted by
+    /// the shared [`StepBudget`]. Never exceeds
+    /// `max(RetryPolicy::budget, 1)` — the one-attempt floor exists so a
+    /// zero budget still surfaces a real scheduler answer.
+    pub attempts_spent: u64,
 }
 
 impl ScheduleReport {
@@ -112,7 +118,11 @@ impl ScheduleReport {
             );
         }
         if self.budget_exhausted {
-            s.push_str("retry budget exhausted\n");
+            let _ = writeln!(
+                s,
+                "retry budget exhausted ({} placement attempts spent)",
+                self.attempts_spent
+            );
         }
         s
     }
@@ -171,7 +181,28 @@ pub fn schedule_kernel_with_retry(
     config: SchedulerConfig,
     policy: &RetryPolicy,
 ) -> (Result<Schedule, SchedError>, ScheduleReport) {
-    schedule_with_retry_impl(arch, kernel, config, policy, None)
+    // One-attempt floor: a zero budget still lets the first rung try one
+    // placement, so the caller gets a real scheduler answer.
+    let budget = StepBudget::new(policy.budget.max(1));
+    schedule_with_retry_impl(arch, kernel, config, policy, &budget, None)
+}
+
+/// [`schedule_kernel_with_retry`] with the ladder's shared work budget
+/// supplied by the caller instead of built from [`RetryPolicy::budget`].
+///
+/// The same [`StepBudget`] is handed to every rung, so the sum of
+/// placement attempts over all relaxations never exceeds the budget —
+/// and a budget with a [`CancelToken`](crate::CancelToken) attached makes
+/// the whole ladder cancellable mid-rung. [`RetryPolicy::budget`] is
+/// ignored in favour of the budget's own limit.
+pub fn schedule_kernel_with_retry_budgeted(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    policy: &RetryPolicy,
+    budget: &StepBudget,
+) -> (Result<Schedule, SchedError>, ScheduleReport) {
+    schedule_with_retry_impl(arch, kernel, config, policy, budget, None)
 }
 
 /// [`schedule_kernel_with_retry`] with every pipeline decision traced
@@ -183,7 +214,8 @@ pub fn schedule_kernel_with_retry_traced(
     policy: &RetryPolicy,
     sink: &mut dyn TraceSink,
 ) -> (Result<Schedule, SchedError>, ScheduleReport) {
-    schedule_with_retry_impl(arch, kernel, config, policy, Some(sink))
+    let budget = StepBudget::new(policy.budget.max(1));
+    schedule_with_retry_impl(arch, kernel, config, policy, &budget, Some(sink))
 }
 
 fn schedule_with_retry_impl(
@@ -191,26 +223,22 @@ fn schedule_with_retry_impl(
     kernel: &Kernel,
     config: SchedulerConfig,
     policy: &RetryPolicy,
+    budget: &StepBudget,
     mut sink: Option<&mut dyn TraceSink>,
 ) -> (Result<Schedule, SchedError>, ScheduleReport) {
     let mut report = ScheduleReport::default();
-    let mut spent = 0u64;
     let mut last_err: Option<SchedError> = None;
     for attempt in 0..policy.max_attempts.max(1) {
-        let mut remaining = policy.budget.saturating_sub(spent);
+        let remaining = budget.remaining();
         if remaining == 0 {
-            if attempt > 0 {
-                report.budget_exhausted = true;
-                break;
-            }
-            // Even a zero budget grants the first attempt one placement
-            // try, so the caller gets the scheduler's real error rather
-            // than an internal "nothing ran" fallback.
-            remaining = 1;
+            report.budget_exhausted = true;
+            break;
         }
         let (mut cfg, relaxation) = rung(&config, attempt);
+        // The per-II cap still shapes when a rung gives up and relaxes,
+        // but the shared budget is the hard bound: the engine charges it
+        // per placement attempt and stops mid-rung when it runs dry.
         cfg.max_attempts_per_ii = cfg.max_attempts_per_ii.min(remaining);
-        spent = spent.saturating_add(cfg.max_attempts_per_ii);
         let record = Attempt {
             attempt,
             relaxation,
@@ -230,14 +258,22 @@ fn schedule_with_retry_impl(
             kernel,
             cfg,
             sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink),
+            Some(budget),
         );
         match result {
             Ok(schedule) => {
                 report.attempts.push(record);
+                report.attempts_spent = budget.spent();
                 return (Ok(schedule), report);
             }
             Err(e) => {
                 let stop = !e.is_retryable();
+                if matches!(
+                    e,
+                    SchedError::DeadlineExceeded { .. } | SchedError::Cancelled { .. }
+                ) {
+                    report.budget_exhausted = true;
+                }
                 report.attempts.push(Attempt {
                     error: Some(e.clone()),
                     ..record
@@ -249,6 +285,7 @@ fn schedule_with_retry_impl(
             }
         }
     }
+    report.attempts_spent = budget.spent();
     let err = last_err.unwrap_or_else(|| {
         SchedError::internal("retry", "no scheduling attempt was made".to_string())
     });
@@ -347,20 +384,40 @@ mod tests {
             max_ii: 1,
             ..SchedulerConfig::default()
         };
-        // A budget that admits exactly one (tiny) attempt.
+        // Too small to place even the kernel's five operations: once a
+        // rung widens the II cap enough to actually search, the shared
+        // budget trips mid-rung.
         let policy = RetryPolicy {
             max_attempts: 8,
-            budget: 10,
+            budget: 3,
         };
         let (result, report) = schedule_kernel_with_retry(&arch, &kernel, cfg, &policy);
-        assert!(result.is_err());
-        assert_eq!(report.attempts.len(), 1, "{}", report.render());
-        assert_eq!(report.attempts[0].attempts_granted, 10);
+        assert!(
+            matches!(
+                result,
+                Err(SchedError::DeadlineExceeded {
+                    spent: 3,
+                    limit: 3,
+                    ..
+                })
+            ),
+            "{result:?}\n{}",
+            report.render()
+        );
         assert!(report.budget_exhausted);
+        // Exact accounting: the budget counts real placement attempts
+        // (the early IiExhausted rungs never reach the engine's hot
+        // loop), and never overruns.
+        assert_eq!(report.attempts_spent, 3, "{}", report.render());
+        // The deadline is non-retryable: the ladder stopped on it.
+        assert!(matches!(
+            report.attempts.last().and_then(|a| a.error.as_ref()),
+            Some(SchedError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]
-    fn zero_budget_still_surfaces_the_scheduler_error() {
+    fn zero_budget_still_surfaces_a_typed_error() {
         let arch = toy::motivating_example();
         let kernel = pressured_loop();
         let cfg = SchedulerConfig {
@@ -372,14 +429,51 @@ mod tests {
             budget: 0,
         };
         let (result, report) = schedule_kernel_with_retry(&arch, &kernel, cfg, &policy);
-        // One minimal attempt runs and its real, typed error comes back —
-        // not an internal "no attempt was made" fallback.
+        // The one-attempt floor lets the ladder run until one real
+        // placement attempt has been charged; the result is a typed
+        // deadline, never an internal "no attempt was made" fallback.
+        assert!(
+            matches!(
+                result,
+                Err(SchedError::DeadlineExceeded {
+                    spent: 1,
+                    limit: 1,
+                    ..
+                })
+            ),
+            "{result:?}\n{}",
+            report.render()
+        );
+        assert_eq!(report.attempts_spent, 1, "{}", report.render());
+        assert!(report.budget_exhausted);
+        // The rungs that never charged the budget still reported their
+        // real errors.
+        assert!(matches!(
+            report.attempts[0].error,
+            Some(SchedError::IiExhausted { mii: 2, max_ii: 1 })
+        ));
+    }
+
+    #[test]
+    fn caller_supplied_budget_is_shared_and_cancellable() {
+        use crate::budget::{CancelToken, StepBudget};
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = StepBudget::new(1 << 20).with_cancel(token);
+        let (result, report) = schedule_kernel_with_retry_budgeted(
+            &arch,
+            &kernel,
+            SchedulerConfig::default(),
+            &RetryPolicy::default(),
+            &budget,
+        );
         assert!(matches!(
             result,
-            Err(SchedError::IiExhausted { mii: 2, max_ii: 1 })
+            Err(SchedError::Cancelled { phase: "placement" })
         ));
-        assert_eq!(report.attempts.len(), 1, "{}", report.render());
-        assert_eq!(report.attempts[0].attempts_granted, 1);
         assert!(report.budget_exhausted);
+        assert_eq!(report.attempts_spent, 0);
     }
 }

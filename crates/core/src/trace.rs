@@ -218,6 +218,21 @@ pub enum TraceEvent {
         /// Copies needed per direction to reach the destination.
         copies: u32,
     },
+    /// A [`StepBudget`](crate::StepBudget) refused further work: the
+    /// placement-attempt limit was reached, or the attached
+    /// [`CancelToken`](crate::CancelToken) fired.
+    DeadlineExceeded {
+        /// Placement attempts charged when the budget tripped.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Pipeline phase that hit the limit (`"placement"`,
+        /// `"regalloc"`).
+        phase: String,
+        /// `true` when the stop came from cancellation rather than the
+        /// attempt limit.
+        cancelled: bool,
+    },
     /// The retry ladder advanced to its next relaxation rung.
     RungAdvanced {
         /// 1-based attempt number.
@@ -272,6 +287,7 @@ impl TraceEvent {
             TraceEvent::CopyReused { .. } => "copy_reused",
             TraceEvent::RfPressure { .. } => "rf_pressure",
             TraceEvent::SpillPlanned { .. } => "spill_planned",
+            TraceEvent::DeadlineExceeded { .. } => "deadline_exceeded",
             TraceEvent::RungAdvanced { .. } => "rung_advanced",
             TraceEvent::ParseFailed { .. } => "parse_failed",
         }
@@ -345,6 +361,18 @@ impl TraceEvent {
                 let _ = write!(
                     s,
                     ",\"value\":{value},\"from\":{from},\"to\":{to},\"copies\":{copies}"
+                );
+            }
+            TraceEvent::DeadlineExceeded {
+                spent,
+                limit,
+                phase,
+                cancelled,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"spent\":{spent},\"limit\":{limit},\"phase\":\"{}\",\"cancelled\":{cancelled}",
+                    json_escape(phase)
                 );
             }
             TraceEvent::RungAdvanced {
@@ -523,6 +551,116 @@ impl TraceSink for JsonlSink {
     }
 }
 
+/// A failed write or flush from a [`JsonlWriterSink`].
+///
+/// Carries which operation failed and how many lines had been durably
+/// handed to the writer before the failure, so a consumer (e.g. a
+/// campaign journal) knows exactly what survived.
+#[derive(Debug)]
+pub struct TraceWriteError {
+    /// `"write"` or `"flush"`.
+    pub operation: &'static str,
+    /// Lines successfully written before the failure.
+    pub lines_written: u64,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for TraceWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace {} failed after {} lines: {}",
+            self.operation, self.lines_written, self.source
+        )
+    }
+}
+
+impl std::error::Error for TraceWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// A sink streaming each event as one line of JSON into an
+/// [`std::io::Write`] (a file, a pipe, a socket).
+///
+/// [`TraceSink::event`] cannot return a result, so write failures are
+/// *latched* instead of swallowed: after the first failure the sink
+/// stops writing, and [`finish`](Self::finish) (or
+/// [`take_error`](Self::take_error)) surfaces the typed
+/// [`TraceWriteError`]. Dropping the sink without calling `finish`
+/// loses the error but never panics.
+#[derive(Debug)]
+pub struct JsonlWriterSink<W: std::io::Write> {
+    writer: W,
+    lines: u64,
+    error: Option<TraceWriteError>,
+}
+
+impl<W: std::io::Write> JsonlWriterSink<W> {
+    /// Wraps `writer`. Wrap in [`std::io::BufWriter`] for unbuffered
+    /// targets — the sink writes one line per event.
+    pub fn new(writer: W) -> Self {
+        JsonlWriterSink {
+            writer,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully handed to the writer so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Returns and clears the latched write failure, if any. Once a
+    /// failure is latched the sink drops all further events.
+    pub fn take_error(&mut self) -> Option<TraceWriteError> {
+        self.error.take()
+    }
+
+    /// Flushes the writer and consumes the sink, surfacing any latched
+    /// write failure (or the flush failure) as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TraceWriteError`] the sink observed.
+    pub fn finish(mut self) -> Result<u64, TraceWriteError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        match self.writer.flush() {
+            Ok(()) => Ok(self.lines),
+            Err(source) => Err(TraceWriteError {
+                operation: "flush",
+                lines_written: self.lines,
+                source,
+            }),
+        }
+    }
+}
+
+impl<W: std::io::Write> TraceSink for JsonlWriterSink<W> {
+    fn event(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(source) => {
+                self.error = Some(TraceWriteError {
+                    operation: "write",
+                    lines_written: self.lines,
+                    source,
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,6 +720,61 @@ mod tests {
         sink.event(TraceEvent::StubsFrozen { comm: 0 });
         assert_eq!(sink.as_str(), "{\"event\":\"ii_start\",\"ii\":4}\n");
         assert_eq!(sink.lines(), 1);
+    }
+
+    #[test]
+    fn writer_sink_streams_and_latches_failures() {
+        let mut ok_sink = JsonlWriterSink::new(Vec::new());
+        ok_sink.event(TraceEvent::IiStart { ii: 3 });
+        ok_sink.event(TraceEvent::StubsFrozen { comm: 1 });
+        assert_eq!(ok_sink.lines(), 2);
+        assert!(ok_sink.finish().is_ok());
+
+        /// A writer that fails after a fixed byte capacity.
+        struct Full {
+            room: usize,
+        }
+        impl std::io::Write for Full {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if buf.len() > self.room {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::StorageFull,
+                        "disk full",
+                    ));
+                }
+                self.room -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut sink = JsonlWriterSink::new(Full { room: 30 });
+        sink.event(TraceEvent::IiStart { ii: 1 }); // fits (24 bytes)
+        sink.event(TraceEvent::IiStart { ii: 2 }); // fails
+        sink.event(TraceEvent::IiStart { ii: 3 }); // dropped, error latched
+        let err = sink.finish().expect_err("write failure must surface");
+        assert_eq!(err.operation, "write");
+        assert_eq!(err.lines_written, 1);
+        assert_eq!(err.source.kind(), std::io::ErrorKind::StorageFull);
+        assert!(err.to_string().contains("after 1 lines"), "{err}");
+    }
+
+    #[test]
+    fn deadline_event_json_shape() {
+        let e = TraceEvent::DeadlineExceeded {
+            spent: 40,
+            limit: 40,
+            phase: "placement".into(),
+            cancelled: false,
+        };
+        assert_eq!(e.kind(), "deadline_exceeded");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"deadline_exceeded\",\"spent\":40,\"limit\":40,\
+             \"phase\":\"placement\",\"cancelled\":false}"
+        );
     }
 
     #[test]

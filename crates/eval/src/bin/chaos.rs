@@ -1,0 +1,85 @@
+//! Seeded multi-fault chaos campaign against the scheduler.
+//!
+//! Usage: `cargo run --release -p csched-eval --bin chaos --
+//! [--seed <n>] [--runs <n>] [--max-faults <n>] [--step-limit <n>]
+//! [--arch toy|central|clustered|distributed] [--kernels <n>]`
+//!
+//! Draws `--runs` pseudo-random combinations of up to `--max-faults`
+//! simultaneous resource faults (dead buses, ports, functional units),
+//! schedules the first `--kernels` Table 1 workloads on each degraded
+//! machine under a hard `--step-limit` placement-attempt budget, and
+//! prints the campaign digest. The digest is a pure function of the
+//! seed, machine, kernels, and configuration — rerunning with the same
+//! arguments reproduces it byte for byte.
+//!
+//! Exits 0 when every run held the robustness contract (valid schedule,
+//! typed rejection, or in-deadline stop — never a panic, never a budget
+//! overrun), 1 otherwise. CI runs a tiny seeded campaign as a smoke
+//! test.
+
+use csched_core::faultinject::{chaos_campaign, render_chaos_campaign, ChaosConfig};
+use csched_core::SchedulerConfig;
+use csched_ir::Kernel;
+
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn numeric_flag<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    match flag_value(flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: not a number: {v}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn main() {
+    let defaults = ChaosConfig::default();
+    let chaos = ChaosConfig {
+        seed: numeric_flag("--seed", defaults.seed),
+        runs: numeric_flag("--runs", defaults.runs),
+        max_faults: numeric_flag("--max-faults", defaults.max_faults),
+        step_limit: numeric_flag("--step-limit", defaults.step_limit),
+    };
+    let arch = match flag_value("--arch").as_deref() {
+        None | Some("distributed") => csched_machine::imagine::distributed(),
+        Some("central") => csched_machine::imagine::central(),
+        Some("clustered") => csched_machine::imagine::clustered(2),
+        Some("toy") => csched_machine::toy::motivating_example(),
+        Some(other) => {
+            eprintln!("--arch: unknown machine: {other}");
+            std::process::exit(2);
+        }
+    };
+    let kernel_count: usize = numeric_flag("--kernels", 3);
+
+    let workloads = csched_kernels::all();
+    let kernels: Vec<(&str, &Kernel)> = workloads
+        .iter()
+        .take(kernel_count.max(1))
+        .map(|w| (w.kernel.name(), &w.kernel))
+        .collect();
+
+    let entries = chaos_campaign(&arch, &kernels, &SchedulerConfig::default(), &chaos);
+    print!("{}", render_chaos_campaign(&entries));
+
+    let violations: Vec<_> = entries
+        .iter()
+        .filter(|e| !e.verdict.contract_held() || e.attempts_spent > e.step_limit)
+        .collect();
+    if !violations.is_empty() {
+        for v in violations {
+            eprintln!(
+                "CONTRACT VIOLATION: run {} kernel {} faults {:?}: {:?}",
+                v.run, v.kernel, v.fault_descs, v.verdict
+            );
+        }
+        std::process::exit(1);
+    }
+}

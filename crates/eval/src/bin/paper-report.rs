@@ -1,14 +1,49 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! Usage: `cargo run --release -p csched-eval --bin paper-report
-//! [--no-sim] [--csv]` (`--csv` appends machine-readable blocks for
-//! plotting).
+//! [--no-sim] [--csv] [--campaign] [--journal <path>] [--resume <path>]
+//! [--step-limit <attempts>]` (`--csv` appends machine-readable blocks
+//! for plotting).
+//!
+//! `--campaign` (implied by `--journal`/`--resume`) switches the grid to
+//! crash-consistent campaign mode: every cell runs under a hard
+//! placement-attempt budget with per-cell isolation, completed cells are
+//! checkpointed to `--journal`, and `--resume` replays a previous journal
+//! so an interrupted evaluation picks up where it stopped and produces
+//! the identical report. Campaign mode skips simulation (figures need
+//! only the journaled IIs) and exits 1 if any cell Failed or TimedOut.
 
 use csched_core::SchedulerConfig;
+use csched_eval::campaign::{self, CellStatus, Journal};
 use csched_eval::{costs, grid, report};
+use csched_ir::Kernel;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
     let simulate = !std::env::args().any(|a| a == "--no-sim");
+    let journal_path = flag_value("--journal").map(PathBuf::from);
+    let resume_path = flag_value("--resume").map(PathBuf::from);
+    let campaign_mode = std::env::args().any(|a| a == "--campaign")
+        || journal_path.is_some()
+        || resume_path.is_some();
+    let step_limit: u64 = flag_value("--step-limit")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--step-limit: not a number: {v}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1_000_000);
+
     let workloads = csched_kernels::all();
     println!("{}", report::table1(&workloads));
 
@@ -16,14 +51,78 @@ fn main() {
     println!("{}", report::figures_25_27(&rows));
 
     let archs = csched_machine::imagine::all_variants();
+    let config = SchedulerConfig::default();
     let start = std::time::Instant::now();
-    let grid = grid::run_grid(&workloads, &archs, &SchedulerConfig::default(), simulate)
-        .unwrap_or_else(|e| panic!("evaluation failed: {e}"));
-    eprintln!("(grid scheduled in {:.1?})", start.elapsed());
 
-    println!("{}", report::figure28(&grid));
-    println!("{}", report::figure29(&grid));
-    println!("{}", report::headline(&costs::headline(), Some(&grid)));
+    let (grid, bad_cells) = if campaign_mode {
+        let kernels: Vec<(&str, &Kernel)> = workloads
+            .iter()
+            .map(|w| (w.kernel.name(), &w.kernel))
+            .collect();
+        let resume = match &resume_path {
+            Some(p) => Journal::load(p).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }),
+            None => HashMap::new(),
+        };
+        let mut journal = journal_path.as_deref().map(|p| {
+            Journal::open(p).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        });
+        let result = campaign::run_campaign(
+            &kernels,
+            &archs,
+            &config,
+            step_limit,
+            journal.as_mut(),
+            &resume,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "(campaign: {} cells, {} resumed, scheduled in {:.1?})",
+            result.records.len(),
+            result.resumed,
+            start.elapsed()
+        );
+        let arch_names: Vec<String> = archs.iter().map(|a| a.name().to_string()).collect();
+        let grid = campaign::grid_from_records(&result.records, &arch_names);
+        let bad: Vec<String> = result
+            .records
+            .iter()
+            .filter(|r| matches!(r.status, CellStatus::Failed | CellStatus::TimedOut))
+            .map(|r| {
+                format!(
+                    "{} on {}: {}: {}",
+                    r.kernel,
+                    r.arch,
+                    r.status.name(),
+                    r.detail
+                )
+            })
+            .collect();
+        (grid, bad)
+    } else {
+        let grid = grid::run_grid(&workloads, &archs, &config, simulate).unwrap_or_else(|e| {
+            eprintln!("evaluation failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("(grid scheduled in {:.1?})", start.elapsed());
+        (grid, Vec::new())
+    };
+
+    if !grid.rows.is_empty() {
+        println!("{}", report::figure28(&grid));
+        println!("{}", report::figure29(&grid));
+        println!("{}", report::headline(&costs::headline(), Some(&grid)));
+    } else {
+        println!("{}", report::headline(&costs::headline(), None));
+    }
     println!("{}", report::scaling(&costs::scaling(&[1, 2, 4])));
 
     if std::env::args().any(|a| a == "--csv") {
@@ -31,5 +130,12 @@ fn main() {
         print!("{}", report::grid_csv(&grid));
         println!("--- cost.csv ---");
         print!("{}", report::cost_csv(&rows));
+    }
+
+    if !bad_cells.is_empty() {
+        for line in &bad_cells {
+            eprintln!("bad cell: {line}");
+        }
+        std::process::exit(1);
     }
 }

@@ -2,41 +2,152 @@
 //! against its scalar reference implementation.
 //!
 //! Usage: `cargo run --release -p csched-eval --bin table1 --
-//! [--metrics-json] [extra-kernel.k ...]`
+//! [--metrics-json | --campaign-json] [--journal <path>] [--resume <path>]
+//! [--step-limit <attempts>] [extra-kernel.k ...]`
 //!
 //! With `--metrics-json`, schedules every Table 1 kernel on all four
 //! Imagine register-file organisations and prints the full
 //! [`csched_core::ScheduleMetrics`] grid as one JSON document instead of
-//! the plain-text table. Extra positional arguments name kernel text
-//! files (the `csched_ir::text` language); they are parsed and, under
-//! `--metrics-json`, scheduled and appended to the same document. Parse
-//! failures are reported as structured JSON on stderr (line, column and
-//! snippet as separate fields) and exit with status 2.
+//! the plain-text table.
+//!
+//! With `--campaign-json`, runs the same kernel × architecture grid as a
+//! crash-consistent *campaign*: every cell is scheduled under a hard
+//! placement-attempt budget (`--step-limit`, default 1,000,000), one bad
+//! cell never aborts the rest, each completed cell is journaled to
+//! `--journal` as soon as it finishes, and `--resume` replays a previous
+//! journal so only missing cells are recomputed. The report is a pure
+//! function of the cell records, so a resumed campaign prints the same
+//! bytes as an uninterrupted one.
+//!
+//! Extra positional arguments name kernel text files (the
+//! `csched_ir::text` language). A file that fails to parse no longer
+//! aborts the run: its structured parse error goes to stderr, the
+//! remaining kernels are still processed, and the process exits with
+//! status 2 (parse failures present) or 1 (any cell Failed or TimedOut);
+//! 0 means every cell was Ok.
 
 use csched_core::{schedule_kernel, ScheduleMetrics, SchedulerConfig};
+use csched_eval::campaign::{self, CellRecord, CellStatus, Journal};
 use csched_eval::report;
+use csched_ir::Kernel;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_json = args.iter().any(|a| a == "--metrics-json");
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let campaign_json = args.iter().any(|a| a == "--campaign-json");
+    let journal_path = flag_value(&args, "--journal").map(PathBuf::from);
+    let resume_path = flag_value(&args, "--resume").map(PathBuf::from);
+    let step_limit: u64 = flag_value(&args, "--step-limit")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--step-limit: not a number: {v}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1_000_000);
 
-    let mut extra_kernels = Vec::new();
+    // Positional args are kernel files; skip flag values.
+    let mut files: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--journal" || a == "--resume" || a == "--step-limit" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            files.push(&args[i]);
+        }
+    }
+
+    // Parse extra kernels, collecting failures instead of aborting: the
+    // rest of the evaluation still runs, and failed files surface as
+    // Skipped cells (campaign mode) plus a nonzero exit.
+    let mut extra_kernels: Vec<Kernel> = Vec::new();
+    let mut parse_failures: Vec<CellRecord> = Vec::new();
     for file in files {
-        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
-            eprintln!("{file}: {e}");
-            std::process::exit(2);
-        });
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                parse_failures.push(CellRecord::skipped(file, e.to_string()));
+                continue;
+            }
+        };
         match csched_ir::text::parse(&text) {
             Ok(kernel) => extra_kernels.push(kernel),
             Err(err) => {
                 eprintln!("{}", report::parse_error_json(file, &err));
-                std::process::exit(2);
+                parse_failures.push(CellRecord::skipped(file, err.to_string()));
             }
         }
     }
 
     let workloads = csched_kernels::all();
+
+    if campaign_json {
+        let archs = csched_machine::imagine::all_variants();
+        let config = SchedulerConfig::default();
+        let mut kernels: Vec<(&str, &Kernel)> = workloads
+            .iter()
+            .map(|w| (w.kernel.name(), &w.kernel))
+            .collect();
+        for k in &extra_kernels {
+            kernels.push((k.name(), k));
+        }
+        let resume = match &resume_path {
+            Some(p) => Journal::load(p).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }),
+            None => HashMap::new(),
+        };
+        let mut journal = journal_path.as_deref().map(|p| {
+            Journal::open(p).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        });
+        let result = campaign::run_campaign(
+            &kernels,
+            &archs,
+            &config,
+            step_limit,
+            journal.as_mut(),
+            &resume,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let mut records = result.records;
+        records.extend(parse_failures.iter().cloned());
+        println!("{}", campaign::campaign_json(&records));
+        let bad = records
+            .iter()
+            .filter(|r| matches!(r.status, CellStatus::Failed | CellStatus::TimedOut))
+            .count();
+        if !parse_failures.is_empty() {
+            std::process::exit(2);
+        }
+        if bad > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if metrics_json {
         let archs = csched_machine::imagine::all_variants();
         let grid = csched_eval::run_grid(&workloads, &archs, &SchedulerConfig::default(), false)
@@ -56,6 +167,9 @@ fn main() {
             }
         }
         println!("{}", report::metrics_json(&grid, &extra));
+        if !parse_failures.is_empty() {
+            std::process::exit(2);
+        }
         return;
     }
 
@@ -68,12 +182,23 @@ fn main() {
             kernel.blocks().len()
         );
     }
+    let mut self_check_failed = false;
     for w in &workloads {
-        w.self_check()
-            .unwrap_or_else(|e| panic!("self-check failed: {e}"));
+        if let Err(e) = w.self_check() {
+            eprintln!("self-check failed: {e}");
+            self_check_failed = true;
+        }
     }
-    println!(
-        "all {} kernels match their scalar references",
-        workloads.len()
-    );
+    if !self_check_failed {
+        println!(
+            "all {} kernels match their scalar references",
+            workloads.len()
+        );
+    }
+    if !parse_failures.is_empty() {
+        std::process::exit(2);
+    }
+    if self_check_failed {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,722 @@
+//! Crash-consistent evaluation campaigns with per-cell isolation.
+//!
+//! A *campaign* is the kernel × architecture grid of [`crate::grid`],
+//! rerun with three robustness upgrades:
+//!
+//! 1. **Per-cell isolation** — every cell finishes with a typed
+//!    [`CellStatus`] (`Ok`, `Failed`, `TimedOut`, or `Skipped`); one bad
+//!    cell never aborts the rest of the grid, unlike the fail-fast
+//!    [`crate::grid::run_grid`].
+//! 2. **Deadlines** — every scheduling call runs under a hard
+//!    [`StepBudget`] of placement attempts, so no cell can stall the
+//!    campaign; the attempt-denominated budget keeps timeouts
+//!    deterministic across machines.
+//! 3. **Checkpointing** — each completed cell is appended to a JSONL
+//!    [`Journal`] keyed by a hash of (kernel, architecture, scheduler
+//!    configuration) and flushed immediately. A campaign killed mid-run
+//!    resumes from its journal, skips completed cells, and — because the
+//!    scheduler and budget are deterministic — produces a report
+//!    byte-for-byte identical to the uninterrupted run. A torn final
+//!    line (the crash arriving mid-write) is tolerated on load.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use csched_core::trace::json_escape;
+use csched_core::{
+    regalloc, schedule_kernel_budgeted, validate, SchedError, SchedulerConfig, StepBudget,
+};
+use csched_ir::Kernel;
+use csched_machine::Architecture;
+
+use crate::grid::{Cell, Grid, Row};
+
+/// How one campaign cell ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Scheduled and validated on its architecture.
+    Ok,
+    /// The scheduler returned a typed error, or validation rejected the
+    /// schedule.
+    Failed,
+    /// The cell's placement-attempt budget ran dry before an answer.
+    TimedOut,
+    /// The cell never ran (for example its kernel file failed to parse).
+    Skipped,
+}
+
+impl CellStatus {
+    /// Stable lower-snake name used in journals and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+            CellStatus::TimedOut => "timed_out",
+            CellStatus::Skipped => "skipped",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(CellStatus::Ok),
+            "failed" => Some(CellStatus::Failed),
+            "timed_out" => Some(CellStatus::TimedOut),
+            "skipped" => Some(CellStatus::Skipped),
+            _ => None,
+        }
+    }
+}
+
+/// One journaled campaign cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Kernel name.
+    pub kernel: String,
+    /// Architecture name (`-` for cells that never reached a machine).
+    pub arch: String,
+    /// How the cell ended.
+    pub status: CellStatus,
+    /// Loop initiation interval (0 unless `status == Ok`).
+    pub ii: u32,
+    /// Copy operations in the schedule (0 unless `status == Ok`).
+    pub copies: usize,
+    /// Maximum register demand in any file (0 unless `status == Ok`).
+    pub max_registers: usize,
+    /// Placement attempts the cell charged to its budget.
+    pub attempts: u64,
+    /// Error or skip reason; empty on `Ok`.
+    pub detail: String,
+}
+
+impl CellRecord {
+    /// A `Skipped` record for work that never ran (e.g. a parse failure).
+    pub fn skipped(kernel: &str, detail: String) -> Self {
+        CellRecord {
+            kernel: kernel.to_string(),
+            arch: "-".to_string(),
+            status: CellStatus::Skipped,
+            ii: 0,
+            copies: 0,
+            max_registers: 0,
+            attempts: 0,
+            detail,
+        }
+    }
+
+    /// Renders the record as one JSON object (one journal line, sans the
+    /// key field the journal itself adds).
+    fn json_fields(&self) -> String {
+        format!(
+            "\"kernel\":\"{}\",\"arch\":\"{}\",\"status\":\"{}\",\"ii\":{},\"copies\":{},\
+             \"max_registers\":{},\"attempts\":{},\"detail\":\"{}\"",
+            json_escape(&self.kernel),
+            json_escape(&self.arch),
+            self.status.name(),
+            self.ii,
+            self.copies,
+            self.max_registers,
+            self.attempts,
+            json_escape(&self.detail),
+        )
+    }
+}
+
+/// FNV-1a over the cell's identity: kernel name, architecture name, and
+/// the scheduler-configuration fingerprint. Journal entries from a
+/// different configuration therefore never match on resume.
+pub fn cell_key(kernel: &str, arch: &str, fingerprint: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [kernel, "\u{1f}", arch, "\u{1f}", fingerprint] {
+        for b in part.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// A stable fingerprint of everything that decides a cell's outcome:
+/// the scheduler configuration knobs plus the campaign step limit.
+pub fn config_fingerprint(config: &SchedulerConfig, step_limit: u64) -> String {
+    format!(
+        "order={:?};heur={};closing={};search={};stubs={};copyatt={};noscan={};copydepth={};\
+         delay={};xslack={};maxii={};attperii={};fucand={};step_limit={step_limit}",
+        config.order,
+        config.comm_cost_heuristic,
+        config.closing_first,
+        config.search_budget,
+        config.max_stub_candidates,
+        config.max_copy_attempts,
+        config.no_copy_scan,
+        config.max_copy_depth,
+        config.max_delay,
+        config.cross_block_copy_slack,
+        config.max_ii,
+        config.max_attempts_per_ii,
+        config.max_fu_candidates,
+    )
+}
+
+/// Typed errors from the campaign's journal I/O.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A journal file operation failed.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// What was being done ("open", "append", "flush", "read").
+        operation: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A journal line other than a torn final line failed to parse.
+    Corrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io {
+                path,
+                operation,
+                source,
+            } => write!(
+                f,
+                "journal {}: {operation} failed: {source}",
+                path.display()
+            ),
+            CampaignError::Corrupt { path, line, detail } => {
+                write!(f, "journal {} line {line}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io { source, .. } => Some(source),
+            CampaignError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// An append-only JSONL checkpoint journal: one line per completed cell,
+/// flushed as soon as it is written so a crash loses at most the line in
+/// flight — which [`Journal::load`] tolerates as a torn tail.
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Opens `path` for appending, creating it if needed.
+    ///
+    /// If the previous campaign crashed mid-append the file ends in a
+    /// torn, newline-less fragment; appending after it would weld the
+    /// fragment onto the next record. Open therefore *repairs* first:
+    /// anything after the last newline is truncated away (the cell it
+    /// belonged to was never completed, so nothing is lost).
+    pub fn open(path: &Path) -> Result<Journal, CampaignError> {
+        let io = |operation: &'static str| {
+            let path = path.to_path_buf();
+            move |source| CampaignError::Io {
+                path,
+                operation,
+                source,
+            }
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io("open"))?;
+        let contents = std::fs::read(path).map_err(io("read"))?;
+        let keep = match contents.iter().rposition(|&b| b == b'\n') {
+            Some(last_newline) => last_newline as u64 + 1,
+            None => 0,
+        };
+        if keep != contents.len() as u64 {
+            file.set_len(keep).map_err(io("truncate"))?;
+        }
+        use std::io::Seek as _;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0)).map_err(io("seek"))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Appends one cell under its key and flushes to the OS immediately.
+    pub fn append(&mut self, key: u64, record: &CellRecord) -> Result<(), CampaignError> {
+        let line = format!("{{\"key\":{key},{}}}\n", record.json_fields());
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|source| CampaignError::Io {
+                path: self.path.clone(),
+                operation: "append",
+                source,
+            })?;
+        self.file.flush().map_err(|source| CampaignError::Io {
+            path: self.path.clone(),
+            operation: "flush",
+            source,
+        })
+    }
+
+    /// Loads a journal into a key → record map for `--resume`.
+    ///
+    /// A final line that does not parse is treated as torn by the crash
+    /// that interrupted the campaign and ignored; a malformed line
+    /// anywhere else is [`CampaignError::Corrupt`].
+    pub fn load(path: &Path) -> Result<HashMap<u64, CellRecord>, CampaignError> {
+        let file = std::fs::File::open(path).map_err(|source| CampaignError::Io {
+            path: path.to_path_buf(),
+            operation: "read",
+            source,
+        })?;
+        let mut lines = Vec::new();
+        for (idx, line) in std::io::BufReader::new(file).lines().enumerate() {
+            let line = line.map_err(|source| CampaignError::Io {
+                path: path.to_path_buf(),
+                operation: "read",
+                source,
+            })?;
+            lines.push((idx + 1, line));
+        }
+        let mut map = HashMap::new();
+        let last = lines.len();
+        for (lineno, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_journal_line(&line) {
+                Some((key, record)) => {
+                    map.insert(key, record);
+                }
+                None if lineno == last => {
+                    // Torn tail: the crash arrived mid-append. The cell
+                    // simply reruns on resume.
+                }
+                None => {
+                    return Err(CampaignError::Corrupt {
+                        path: path.to_path_buf(),
+                        line: lineno,
+                        detail: "unparseable journal entry".to_string(),
+                    });
+                }
+            }
+        }
+        Ok(map)
+    }
+}
+
+/// Extracts `"field":` string values from a flat JSON object written by
+/// [`CellRecord::json_fields`] (only escapes [`json_escape`] produces).
+fn json_str_field(line: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts `"field":<number>` values from a flat JSON object.
+fn json_num_field(line: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn parse_journal_line(line: &str) -> Option<(u64, CellRecord)> {
+    if !line.starts_with("{\"key\":") || !line.ends_with('}') {
+        return None;
+    }
+    let key = json_num_field(line, "key")?;
+    let status = CellStatus::from_name(&json_str_field(line, "status")?)?;
+    Some((
+        key,
+        CellRecord {
+            kernel: json_str_field(line, "kernel")?,
+            arch: json_str_field(line, "arch")?,
+            status,
+            ii: u32::try_from(json_num_field(line, "ii")?).ok()?,
+            copies: usize::try_from(json_num_field(line, "copies")?).ok()?,
+            max_registers: usize::try_from(json_num_field(line, "max_registers")?).ok()?,
+            attempts: json_num_field(line, "attempts")?,
+            detail: json_str_field(line, "detail")?,
+        },
+    ))
+}
+
+/// Result of [`run_campaign`].
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// One record per (kernel, architecture) cell, kernel-major in the
+    /// order given, architecture-minor in the order given.
+    pub records: Vec<CellRecord>,
+    /// How many cells were satisfied from the resume map instead of
+    /// being recomputed.
+    pub resumed: usize,
+}
+
+impl CampaignResult {
+    /// Whether every cell ended `Ok`.
+    pub fn all_ok(&self) -> bool {
+        self.records.iter().all(|r| r.status == CellStatus::Ok)
+    }
+
+    /// Count of cells with the given status.
+    pub fn count(&self, status: CellStatus) -> usize {
+        self.records.iter().filter(|r| r.status == status).count()
+    }
+}
+
+/// Runs a campaign over `kernels` × `archs` with per-cell isolation.
+///
+/// Each cell schedules under a fresh [`StepBudget`] of `step_limit`
+/// placement attempts and is recorded as `Ok`, `Failed`, or `TimedOut` —
+/// never aborting the rest of the grid. Cells found in `resume` (keyed by
+/// [`cell_key`]) are reused verbatim and **not** re-journaled; newly
+/// computed cells are appended to `journal` (when given) and flushed
+/// before the next cell starts.
+pub fn run_campaign(
+    kernels: &[(&str, &Kernel)],
+    archs: &[Architecture],
+    config: &SchedulerConfig,
+    step_limit: u64,
+    mut journal: Option<&mut Journal>,
+    resume: &HashMap<u64, CellRecord>,
+) -> Result<CampaignResult, CampaignError> {
+    let fingerprint = config_fingerprint(config, step_limit);
+    let mut records = Vec::with_capacity(kernels.len() * archs.len());
+    let mut resumed = 0usize;
+    for &(name, kernel) in kernels {
+        for arch in archs {
+            let key = cell_key(name, arch.name(), &fingerprint);
+            if let Some(done) = resume.get(&key) {
+                records.push(done.clone());
+                resumed += 1;
+                continue;
+            }
+            let record = run_cell(name, kernel, arch, config, step_limit);
+            if let Some(j) = journal.as_deref_mut() {
+                j.append(key, &record)?;
+            }
+            records.push(record);
+        }
+    }
+    Ok(CampaignResult { records, resumed })
+}
+
+fn run_cell(
+    name: &str,
+    kernel: &Kernel,
+    arch: &Architecture,
+    config: &SchedulerConfig,
+    step_limit: u64,
+) -> CellRecord {
+    let budget = StepBudget::new(step_limit);
+    let mut record = CellRecord {
+        kernel: name.to_string(),
+        arch: arch.name().to_string(),
+        status: CellStatus::Failed,
+        ii: 0,
+        copies: 0,
+        max_registers: 0,
+        attempts: 0,
+        detail: String::new(),
+    };
+    match schedule_kernel_budgeted(arch, kernel, config.clone(), &budget) {
+        Ok(schedule) => match validate::validate(arch, kernel, &schedule) {
+            Ok(()) => {
+                record.status = CellStatus::Ok;
+                record.ii = schedule.ii().unwrap_or(1);
+                record.copies = schedule.num_copies();
+                record.max_registers = regalloc::analyze(arch, kernel, &schedule).max_required();
+            }
+            Err(violations) => {
+                record.detail = format!(
+                    "invalid schedule: {}",
+                    violations
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                );
+            }
+        },
+        Err(SchedError::DeadlineExceeded { .. } | SchedError::Cancelled { .. }) => {
+            record.status = CellStatus::TimedOut;
+            record.detail = format!("step limit {step_limit} exhausted");
+        }
+        Err(e) => {
+            record.detail = e.to_string();
+        }
+    }
+    record.attempts = budget.spent();
+    record
+}
+
+/// Renders the campaign as one deterministic JSON document. The text is
+/// a pure function of the records, so a resumed campaign whose records
+/// match the uninterrupted run renders byte-for-byte identically.
+pub fn campaign_json(records: &[CellRecord]) -> String {
+    let mut s = String::from("{\"campaign\":{\"cells\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('{');
+        s.push_str(&r.json_fields());
+        s.push('}');
+    }
+    let count = |status: CellStatus| records.iter().filter(|r| r.status == status).count();
+    s.push_str(&format!(
+        "],\"summary\":{{\"total\":{},\"ok\":{},\"failed\":{},\"timed_out\":{},\"skipped\":{}}}}}}}",
+        records.len(),
+        count(CellStatus::Ok),
+        count(CellStatus::Failed),
+        count(CellStatus::TimedOut),
+        count(CellStatus::Skipped),
+    ));
+    s
+}
+
+/// Rebuilds a figure-ready [`Grid`] from campaign records: rows are the
+/// kernels whose every cell is `Ok` (speedups need the full row), in
+/// record order. Scheduler statistics and metrics are not journaled, so
+/// the rebuilt cells carry defaults for those fields — enough for the
+/// Figure 28/29 speedup renderers, which only read `ii`.
+pub fn grid_from_records(records: &[CellRecord], archs: &[String]) -> Grid {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut by_kernel: HashMap<String, Vec<&CellRecord>> = HashMap::new();
+    for r in records {
+        if !by_kernel.contains_key(&r.kernel) {
+            order.push(r.kernel.clone());
+        }
+        by_kernel.entry(r.kernel.clone()).or_default().push(r);
+    }
+    for kernel in order {
+        let Some(cells) = by_kernel.get(&kernel) else {
+            continue;
+        };
+        let mut row_cells = Vec::with_capacity(archs.len());
+        for arch in archs {
+            match cells
+                .iter()
+                .find(|r| &r.arch == arch && r.status == CellStatus::Ok)
+            {
+                Some(r) => row_cells.push(Cell {
+                    arch: arch.clone(),
+                    ii: r.ii.max(1),
+                    copies: r.copies,
+                    stats: Default::default(),
+                    validated: true,
+                    simulated: None,
+                    max_registers: r.max_registers,
+                    metrics: Default::default(),
+                }),
+                None => break,
+            }
+        }
+        if row_cells.len() == archs.len() {
+            rows.push(Row {
+                kernel,
+                cells: row_cells,
+            });
+        }
+    }
+    Grid {
+        archs: archs.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csched_machine::imagine;
+
+    fn record(kernel: &str, arch: &str, status: CellStatus, ii: u32) -> CellRecord {
+        CellRecord {
+            kernel: kernel.to_string(),
+            arch: arch.to_string(),
+            status,
+            ii,
+            copies: 2,
+            max_registers: 7,
+            attempts: 41,
+            detail: if status == CellStatus::Ok {
+                String::new()
+            } else {
+                "deliberate \"detail\"\nwith escapes".to_string()
+            },
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_records() {
+        let dir = std::env::temp_dir().join(format!("csched-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let a = record("Conv", "central", CellStatus::Ok, 11);
+        let b = record("FFT", "clustered-2", CellStatus::Failed, 0);
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(cell_key("Conv", "central", "fp"), &a).unwrap();
+            j.append(cell_key("FFT", "clustered-2", "fp"), &b).unwrap();
+        }
+        let map = Journal::load(&path).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&cell_key("Conv", "central", "fp")], a);
+        assert_eq!(map[&cell_key("FFT", "clustered-2", "fp")], b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_but_interior_corruption_is_typed() {
+        let dir = std::env::temp_dir().join(format!("csched-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let a = record("Conv", "central", CellStatus::Ok, 11);
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(1, &a).unwrap();
+        }
+        // Simulate a crash mid-append: a torn, unterminated final line.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"key\":2,\"kernel\":\"FF").unwrap();
+        }
+        let map = Journal::load(&path).unwrap();
+        assert_eq!(map.len(), 1, "torn tail must be ignored");
+
+        // Reopening for append repairs the torn tail, so the next record
+        // never welds onto the fragment.
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(3, &record("FIR", "central", CellStatus::Ok, 5))
+                .unwrap();
+        }
+        let map = Journal::load(&path).unwrap();
+        assert_eq!(map.len(), 2);
+        assert!(map.contains_key(&1) && map.contains_key(&3));
+
+        // Genuine interior corruption is a typed error, not silent loss.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, "not json at all").unwrap();
+            writeln!(
+                f,
+                "{{\"key\":4,{}}}",
+                record("DCT", "central", CellStatus::Ok, 9).json_fields()
+            )
+            .unwrap();
+        }
+        match Journal::load(&path) {
+            Err(CampaignError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cell_key_separates_kernels_archs_and_configs() {
+        let fp1 = config_fingerprint(&SchedulerConfig::default(), 1000);
+        let fp2 = config_fingerprint(&SchedulerConfig::default(), 2000);
+        assert_ne!(fp1, fp2);
+        assert_ne!(cell_key("A", "x", &fp1), cell_key("A", "y", &fp1));
+        assert_ne!(cell_key("A", "x", &fp1), cell_key("B", "x", &fp1));
+        assert_ne!(cell_key("A", "x", &fp1), cell_key("A", "x", &fp2));
+        // The separator keeps ("AB","C") distinct from ("A","BC").
+        assert_ne!(cell_key("AB", "C", &fp1), cell_key("A", "BC", &fp1));
+    }
+
+    #[test]
+    fn campaign_isolates_failures_and_reports_them() {
+        let w = csched_kernels::by_name("Merge").unwrap();
+        let kernels: Vec<(&str, &Kernel)> = vec![("Merge", &w.kernel)];
+        let archs = [imagine::central(), imagine::clustered(2)];
+        // A starvation budget times every cell out...
+        let starved = run_campaign(
+            &kernels,
+            &archs,
+            &SchedulerConfig::default(),
+            2,
+            None,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(starved.count(CellStatus::TimedOut), 2);
+        assert!(!starved.all_ok());
+        for r in &starved.records {
+            assert!(r.attempts <= 2);
+        }
+        // ...while a real budget completes the same cells.
+        let healthy = run_campaign(
+            &kernels,
+            &archs,
+            &SchedulerConfig::default(),
+            200_000,
+            None,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(healthy.all_ok(), "{:?}", healthy.records);
+        let grid = grid_from_records(
+            &healthy.records,
+            &archs
+                .iter()
+                .map(|a| a.name().to_string())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(grid.rows.len(), 1);
+        assert!(grid.rows[0].speedup(1) > 0.0);
+    }
+}

@@ -12,9 +12,21 @@
 //! - the `paper-report` binary runs the full evaluation in one shot.
 
 #![warn(missing_docs)]
+// The evaluation harness reports typed failures per cell; outside of test
+// code, potential panics must become `CampaignError`/`GridError` (or a
+// recorded Failed cell) rather than unwrapped.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
+pub mod campaign;
 pub mod costs;
 pub mod grid;
 pub mod report;
 
+pub use campaign::{
+    campaign_json, cell_key, config_fingerprint, grid_from_records, run_campaign, CampaignError,
+    CampaignResult, CellRecord, CellStatus, Journal,
+};
 pub use grid::{run_grid, Grid, GridError};

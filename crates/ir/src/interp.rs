@@ -212,9 +212,8 @@ pub fn run(kernel: &Kernel, memory: &mut Memory, trip: u64) -> Result<InterpStat
     let read_operand = |values: &[Option<Word>], operand: Operand| -> Word {
         match operand {
             Operand::Imm(i) => i.to_word(),
-            Operand::Value(v) => {
-                values[v.index()].expect("validated kernels define values before use")
-            }
+            Operand::Value(v) => values[v.index()]
+                .unwrap_or_else(|| unreachable!("validated kernels define values before use")),
         }
     };
 

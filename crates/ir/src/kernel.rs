@@ -620,7 +620,7 @@ impl KernelBuilder {
             "{opcode} accesses memory; use push_mem/load/store"
         );
         let (_, result) = self.push_raw(block, opcode, operands.into_iter().collect(), None);
-        result.expect("checked has_result above")
+        result.unwrap_or_else(|| unreachable!("checked has_result above"))
     }
 
     /// Appends a memory or scratchpad operation tagged with `region`.
@@ -648,7 +648,7 @@ impl KernelBuilder {
     ) -> ValueId {
         self.push_mem(block, Opcode::Load, [base, offset], region)
             .1
-            .expect("loads produce results")
+            .unwrap_or_else(|| unreachable!("loads produce results"))
     }
 
     /// Appends a store to `region`: `mem[base + offset] = value`.
@@ -683,6 +683,9 @@ impl KernelBuilder {
     /// # Panics
     ///
     /// Panics if `var` is not a loop variable.
+    // Documented builder contract: passing a non-loop-variable is a
+    // caller bug caught at construction time, not a recoverable state.
+    #[allow(clippy::panic)]
     pub fn set_update(&mut self, var: ValueId, update: Operand) {
         match self.value_defs[var.index()] {
             ValueDef::LoopVar(block, idx) => {

@@ -32,6 +32,15 @@
 //! ```
 
 #![warn(missing_docs)]
+// Kernel construction and interpretation must be panic-free on
+// well-formed inputs: outside of test code, checked invariants use
+// `unreachable!` with a message and everything else returns typed
+// errors. The one documented exception (`KernelBuilder::set_update`)
+// carries a targeted allow.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![warn(missing_debug_implementations)]
 
 mod depgraph;

@@ -165,7 +165,10 @@ fn round(kernel: &Kernel) -> Result<(Kernel, OptStats), KernelError> {
                         Word::I(i) => Imm::Int(i),
                         Word::F(f) => Imm::Float(f),
                     };
-                    map.insert(op.result().expect("pure ops produce"), Operand::Imm(imm));
+                    let result = op
+                        .result()
+                        .unwrap_or_else(|| unreachable!("pure ops produce results"));
+                    map.insert(result, Operand::Imm(imm));
                     stats.folded += 1;
                     continue;
                 }
@@ -181,7 +184,10 @@ fn round(kernel: &Kernel) -> Result<(Kernel, OptStats), KernelError> {
                         .collect::<Vec<_>>(),
                 );
                 if let Some(&prev) = available.get(&key) {
-                    map.insert(op.result().expect("pure"), Operand::Value(prev));
+                    let result = op
+                        .result()
+                        .unwrap_or_else(|| unreachable!("pure ops produce results"));
+                    map.insert(result, Operand::Value(prev));
                     stats.cse += 1;
                     continue;
                 }
@@ -190,13 +196,19 @@ fn round(kernel: &Kernel) -> Result<(Kernel, OptStats), KernelError> {
                     kb.name_value(nv, name);
                 }
                 available.insert(key, nv);
-                map.insert(op.result().expect("pure"), Operand::Value(nv));
+                let result = op
+                    .result()
+                    .unwrap_or_else(|| unreachable!("pure ops produce results"));
+                map.insert(result, Operand::Value(nv));
             } else {
                 let (_, result) = kb.push_mem(
                     new_block,
                     op.opcode(),
                     operands,
-                    regions[op.region().expect("memory ops have regions").index()],
+                    regions[op
+                        .region()
+                        .unwrap_or_else(|| unreachable!("memory ops have regions"))
+                        .index()],
                 );
                 if let (Some(old), Some(new)) = (op.result(), result) {
                     map.insert(old, Operand::Value(new));
