@@ -32,6 +32,27 @@ cargo run -q --release -p csched-eval --bin chaos -- \
     --seed 3 --runs 6 --max-faults 2 --step-limit 20000 --kernels 2 \
     --arch distributed > /dev/null
 
+# Full-grid explain agreement: every Table 1 kernel × Imagine
+# organisation, checked against independent RecMII/ResMII computations.
+# Ignored under the debug profile (minutes); seconds on release.
+step "explain full-grid agreement (release)"
+cargo test -q --release -p csched-eval --test explain_grid -- --include-ignored
+
+# Perf-regression bench smoke: re-measure a small kernel×arch grid and
+# diff it against the committed baseline. Deterministic fields (ok, II,
+# copies, attempts) must match exactly; wall clock is advisory because
+# the baseline was recorded on different hardware.
+step "bench smoke vs BENCH_baseline.json"
+cargo run -q --release -p csched-eval --bin bench-json -- \
+    --label ci --reps 2 --kernels FFT,Merge,DCT --archs central,distributed
+cargo run -q --release -p csched-eval --bin bench-json -- \
+    --compare BENCH_baseline.json BENCH_ci.json
+
+# Bottleneck-attribution smoke: the explain binary must name a binding.
+step "explain smoke (FFT on distributed)"
+cargo run -q --release -p csched-eval --bin explain -- FFT distributed --json \
+    | grep -q '"binding"'
+
 step "cargo test --doc --workspace"
 cargo test -q --doc --workspace
 

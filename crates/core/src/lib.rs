@@ -60,6 +60,7 @@ mod config;
 mod driver;
 mod engine;
 mod error;
+pub mod explain;
 pub mod faultinject;
 pub mod metrics;
 pub mod regalloc;
@@ -75,6 +76,7 @@ pub use config::{ScheduleOrder, SchedulerConfig};
 pub use driver::{res_mii, schedule_kernel, schedule_kernel_budgeted, schedule_kernel_traced};
 pub use engine::{Engine, OrderEdge};
 pub use error::SchedError;
+pub use explain::{explain, Binding, Counterfactual, Explanation, ResourceRank};
 pub use metrics::ScheduleMetrics;
 pub use retry::{
     schedule_kernel_with_retry, schedule_kernel_with_retry_budgeted,

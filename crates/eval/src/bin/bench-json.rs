@@ -1,0 +1,159 @@
+//! Perf-regression bench harness: measure the kernel×arch grid into a
+//! `BENCH_<label>.json`, or diff two such files.
+//!
+//! Generate:
+//! `cargo run --release -p csched-eval --bin bench-json -- --label ci
+//! [--reps N] [--kernels FFT,Merge] [--archs central,distributed]
+//! [--out PATH]`
+//!
+//! Compare:
+//! `cargo run --release -p csched-eval --bin bench-json -- --compare
+//! BASELINE CURRENT [--time-tolerance 2.0] [--strict-time]`
+//!
+//! Deterministic fields (ok, II, copies, attempts) are compared exactly
+//! — any drift exits 1. Wall clock is advisory unless `--strict-time`,
+//! because the committed baseline was measured on other hardware.
+//! Exit codes: 0 clean, 1 regression, 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+use csched_core::SchedulerConfig;
+use csched_eval::bench;
+use csched_machine::imagine;
+
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    UnknownKernel(String),
+    UnknownArch(String),
+    Io(String, std::io::Error),
+    Parse(String, bench::BenchParseError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::UnknownKernel(k) => write!(f, "unknown kernel {k:?}"),
+            CliError::UnknownArch(a) => write!(
+                f,
+                "unknown arch {a:?} (want central|clustered2|clustered4|distributed)"
+            ),
+            CliError::Io(path, e) => write!(f, "{path}: {e}"),
+            CliError::Parse(path, e) => write!(f, "{path}: {e}"),
+        }
+    }
+}
+
+fn arch_by_name(name: &str) -> Result<csched_machine::Architecture, CliError> {
+    match name {
+        "central" => Ok(imagine::central()),
+        "clustered2" => Ok(imagine::clustered(2)),
+        "clustered4" => Ok(imagine::clustered(4)),
+        "distributed" => Ok(imagine::distributed()),
+        other => Err(CliError::UnknownArch(other.to_string())),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value"))),
+    }
+}
+
+fn run() -> Result<ExitCode, CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        let base_path = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage("--compare needs BASELINE and CURRENT".into()))?;
+        let cur_path = args
+            .get(i + 2)
+            .ok_or_else(|| CliError::Usage("--compare needs BASELINE and CURRENT".into()))?;
+        let tolerance: f64 = match flag_value(&args, "--time-tolerance")? {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --time-tolerance {v:?}")))?,
+            None => 2.0,
+        };
+        let strict_time = args.iter().any(|a| a == "--strict-time");
+        let read = |path: &String| -> Result<bench::BenchReport, CliError> {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            bench::parse_bench_json(&text).map_err(|e| CliError::Parse(path.clone(), e))
+        };
+        let baseline = read(base_path)?;
+        let current = read(cur_path)?;
+        let outcome = bench::compare(&baseline, &current, tolerance);
+        print!("{}", outcome.render());
+        let failed =
+            !outcome.failures.is_empty() || (strict_time && !outcome.advisories.is_empty());
+        return Ok(if failed {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+
+    let label = flag_value(&args, "--label")?.unwrap_or_else(|| "local".to_string());
+    let reps: u32 = match flag_value(&args, "--reps")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --reps {v:?}")))?,
+        None => 3,
+    };
+    let workloads: Vec<csched_kernels::Workload> = match flag_value(&args, "--kernels")? {
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                csched_kernels::by_name(name).ok_or_else(|| CliError::UnknownKernel(name.into()))
+            })
+            .collect::<Result<_, _>>()?,
+        None => csched_kernels::all(),
+    };
+    let archs: Vec<csched_machine::Architecture> = match flag_value(&args, "--archs")? {
+        Some(list) => list
+            .split(',')
+            .map(arch_by_name)
+            .collect::<Result<_, _>>()?,
+        None => vec![
+            imagine::central(),
+            imagine::clustered(2),
+            imagine::clustered(4),
+            imagine::distributed(),
+        ],
+    };
+    let out_path = flag_value(&args, "--out")?.unwrap_or_else(|| format!("BENCH_{label}.json"));
+
+    let kernels: Vec<&csched_ir::Kernel> = workloads.iter().map(|w| &w.kernel).collect();
+    let report = bench::run_bench(&label, reps, &kernels, &archs, &SchedulerConfig::default());
+    std::fs::write(&out_path, bench::bench_json(&report))
+        .map_err(|e| CliError::Io(out_path.clone(), e))?;
+    let bad = report.cells.iter().filter(|c| !c.ok).count();
+    eprintln!(
+        "wrote {out_path}: {} cells ({} failed), best-of-{reps} timings",
+        report.cells.len(),
+        bad
+    );
+    Ok(if bad > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench-json: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Bottleneck attribution for one kernel×architecture cell: names the
+//! constraint binding the achieved II (the recurrence cycle setting
+//! RecMII, the unit saturating ResMII, or the transport resource that
+//! forced the II past both), ranks resources by occupancy, and prints
+//! counterfactual bounds.
+//!
+//! Usage:
+//! `cargo run --release -p csched-eval --bin explain -- <kernel>
+//! [central|clustered2|clustered4|distributed] [--json]`
+//!
+//! `--json` prints the attribution as one JSON object (stable field
+//! order; the CI smoke step greps it). Exit codes: 0 ok, 1 scheduling
+//! failed, 2 usage error.
+
+use std::process::ExitCode;
+
+use csched_core::{explain, schedule_kernel, SchedulerConfig};
+use csched_machine::imagine;
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel_name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("usage: explain <kernel> [arch] [--json]")?;
+    let arch_name = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .map(String::as_str)
+        .unwrap_or("distributed");
+    let w = csched_kernels::by_name(kernel_name)
+        .ok_or_else(|| format!("unknown kernel {kernel_name:?}"))?;
+    let arch = match arch_name {
+        "central" => imagine::central(),
+        "clustered2" => imagine::clustered(2),
+        "clustered4" => imagine::clustered(4),
+        "distributed" => imagine::distributed(),
+        other => {
+            return Err(format!(
+                "unknown arch {other:?} (want central|clustered2|clustered4|distributed)"
+            ))
+        }
+    };
+    let s = match schedule_kernel(&arch, &w.kernel, SchedulerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "explain: scheduling {} on {} failed: {e}",
+                w.kernel.name(),
+                arch.name()
+            );
+            return Ok(ExitCode::from(1));
+        }
+    };
+    let ex = explain::explain(&arch, &w.kernel, &s);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", ex.to_json());
+    } else {
+        print!("{}", ex.render_text());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("explain: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

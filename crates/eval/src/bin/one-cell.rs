@@ -5,17 +5,45 @@
 //! Usage:
 //! `cargo run --release -p csched-eval --bin one-cell -- <kernel>
 //! [central|clustered2|clustered4|distributed] [--sim] [--copies]
-//! [--heatmap] [--metrics-json]`
+//! [--heatmap] [--metrics-json] [--explain] [--explain-json]
+//! [--timeline <path>] [--gantt] [--help]`
 //!
 //! `--sim` executes the schedule against the scalar reference and prints
 //! per-unit utilisation; `--copies` lists every communication that needed
 //! a copy operation; `--heatmap` renders the per-resource occupancy
-//! heatmap; `--metrics-json` prints the cell's schedule metrics as JSON.
+//! heatmap; `--metrics-json` prints the cell's schedule metrics as JSON;
+//! `--explain` / `--explain-json` attribute the achieved II to its
+//! binding constraint (recurrence cycle, saturating unit, or transport
+//! resource) with counterfactual bounds; `--timeline <path>` simulates
+//! the schedule and writes a Chrome trace-event JSON cycle timeline
+//! (open in Perfetto or `chrome://tracing`); `--gantt` simulates and
+//! renders the timeline as a terminal Gantt chart (iteration digits on
+//! FU rows, `=` on bus rows).
 
-use csched_core::{schedule_kernel, validate, ScheduleMetrics, SchedulerConfig};
+use csched_core::{explain, schedule_kernel, validate, ScheduleMetrics, SchedulerConfig};
+use csched_sim::Timeline;
+
+const HELP: &str = "usage: one-cell <kernel> [arch] [flags]
+  kernel   a Table 1 kernel name (e.g. FFT, DCT, Merge; case-insensitive)
+  arch     central | clustered2 | clustered4 | distributed (default)
+flags:
+  --sim             execute the schedule and print utilisation + traffic
+  --copies          list every communication that needed a copy
+  --heatmap         render the per-resource occupancy heatmap
+  --metrics-json    print the schedule metrics as JSON
+  --explain         attribute the II to its binding constraint (text)
+  --explain-json    same attribution as JSON
+  --timeline <path> simulate and write a Chrome trace-event JSON timeline
+                    (open in Perfetto or chrome://tracing)
+  --gantt           simulate and render a terminal Gantt chart
+  --help            this text";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help") || args.is_empty() {
+        println!("{HELP}");
+        return;
+    }
     let kernel_name = args.first().expect("kernel name");
     let arch_name = args.get(1).map(String::as_str).unwrap_or("distributed");
     let w = csched_kernels::by_name(kernel_name).expect("unknown kernel");
@@ -48,6 +76,12 @@ fn main() {
         let m = ScheduleMetrics::compute(&arch, &w.kernel, &s);
         println!("{}", m.to_json());
     }
+    if args.iter().any(|a| a == "--explain") {
+        print!("{}", explain::explain(&arch, &w.kernel, &s).render_text());
+    }
+    if args.iter().any(|a| a == "--explain-json") {
+        println!("{}", explain::explain(&arch, &w.kernel, &s).to_json());
+    }
     if args.iter().any(|a| a == "--copies") {
         let u = s.universe();
         for cid in u.comm_ids() {
@@ -69,6 +103,28 @@ fn main() {
             }
         }
     }
+    let timeline_path = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .map(|i| args.get(i + 1).expect("--timeline needs a path").clone());
+    let want_gantt = args.iter().any(|a| a == "--gantt");
+    if timeline_path.is_some() || want_gantt {
+        let mut mem = w.memory();
+        let mut tl = Timeline::new();
+        let stats = csched_sim::execute_timed(&w.kernel, &s, &mut mem, w.trip, Some(&mut tl))
+            .expect("simulates");
+        if let Some(path) = timeline_path {
+            std::fs::write(&path, tl.chrome_trace(&arch, &s)).expect("writes timeline");
+            println!(
+                "  timeline: {} events over {} cycles -> {path} (open in Perfetto)",
+                tl.events().len(),
+                stats.cycles
+            );
+        }
+        if want_gantt {
+            print!("{}", tl.render_gantt(&arch, 120));
+        }
+    }
     if args.iter().any(|a| a == "--sim") {
         let mut mem = w.memory();
         let stats = csched_sim::execute(&w.kernel, &s, &mut mem, w.trip).expect("simulates");
@@ -86,6 +142,12 @@ fn main() {
         for (name, writes, reads) in stats.rf_traffic(&arch) {
             if writes + reads > 0 {
                 println!("    {name:<6} {writes:>6} / {reads}");
+            }
+        }
+        println!("  bus traffic:");
+        for (name, transfers) in stats.bus_traffic(&arch) {
+            if transfers > 0 {
+                println!("    {name:<6} {transfers:>6}");
             }
         }
     }

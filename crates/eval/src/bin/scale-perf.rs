@@ -4,47 +4,94 @@
 //! larger distributed machines buy lower IIs through extra buses and
 //! units).
 //!
-//! Usage: `cargo run --release -p csched-eval --bin scale-perf`
+//! Usage: `cargo run --release -p csched-eval --bin scale-perf [-- --json]`
+//!
+//! `--json` emits the sweep as a bench-json report (the same record
+//! type `bench-json` writes) instead of the table. Exit codes: 0 every
+//! cell scheduled and validated, 1 otherwise, 2 usage error.
 
-use csched_core::{schedule_kernel, validate, SchedulerConfig};
+use std::process::ExitCode;
 
-fn main() {
+use csched_core::SchedulerConfig;
+use csched_eval::bench;
+use csched_machine::imagine;
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args.iter().find(|a| a.as_str() != "--json") {
+        return Err(format!(
+            "unknown argument {bad:?} (only --json is accepted)"
+        ));
+    }
+
     let kernels = ["FFT", "DCT", "FIR-FP", "Sort"];
-    println!(
-        "{:<10} {:>6} {:>8} {:>14} {:>10} {:>10}",
-        "kernel", "scale", "units", "arch", "II", "copies"
-    );
+    let config = SchedulerConfig::default();
+    let mut cells = Vec::new();
+    if !json {
+        println!(
+            "{:<10} {:>6} {:>8} {:>14} {:>10} {:>10}",
+            "kernel", "scale", "units", "arch", "II", "copies"
+        );
+    }
     for name in kernels {
-        let w = csched_kernels::by_name(name).expect("known kernel");
+        let w = csched_kernels::by_name(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
         for scale in [1usize, 2, 4] {
             for arch in [
-                csched_machine::imagine::central_scaled(scale),
-                csched_machine::imagine::distributed_scaled(scale),
+                imagine::central_scaled(scale),
+                imagine::distributed_scaled(scale),
             ] {
-                let start = std::time::Instant::now();
-                match schedule_kernel(&arch, &w.kernel, SchedulerConfig::default()) {
-                    Ok(s) => {
-                        validate::validate(&arch, &w.kernel, &s).expect("valid at scale");
+                let cell = bench::measure_cell(&arch, &w.kernel, &config, 1);
+                if !json {
+                    if cell.ok {
                         println!(
-                            "{:<10} {:>6} {:>8} {:>14} {:>10} {:>10}   ({:.1?})",
+                            "{:<10} {:>6} {:>8} {:>14} {:>10} {:>10}   ({:.1} ms)",
                             name,
                             scale,
                             12 * scale,
                             arch.name().replace("imagine-", ""),
-                            s.ii().unwrap(),
-                            s.num_copies(),
-                            start.elapsed()
+                            cell.ii,
+                            cell.copies,
+                            cell.best_ns as f64 / 1e6
+                        );
+                    } else {
+                        println!(
+                            "{:<10} {:>6} {:>8} {:>14}   failed: {}",
+                            name,
+                            scale,
+                            12 * scale,
+                            arch.name().replace("imagine-", ""),
+                            cell.detail
                         );
                     }
-                    Err(e) => println!(
-                        "{:<10} {:>6} {:>8} {:>14}   failed: {e}",
-                        name,
-                        scale,
-                        12 * scale,
-                        arch.name().replace("imagine-", "")
-                    ),
                 }
+                cells.push(cell);
             }
+        }
+    }
+    let failed = cells.iter().filter(|c| !c.ok).count();
+    if json {
+        let report = bench::BenchReport {
+            label: "scale-perf".to_string(),
+            reps: 1,
+            cells,
+        };
+        print!("{}", bench::bench_json(&report));
+    }
+    Ok(if failed > 0 {
+        eprintln!("scale-perf: {failed} cell(s) failed to schedule or validate");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("scale-perf: {e}");
+            ExitCode::from(2)
         }
     }
 }

@@ -324,7 +324,7 @@ impl Journal {
 
 /// Extracts `"field":` string values from a flat JSON object written by
 /// [`CellRecord::json_fields`] (only escapes [`json_escape`] produces).
-fn json_str_field(line: &str, field: &str) -> Option<String> {
+pub(crate) fn json_str_field(line: &str, field: &str) -> Option<String> {
     let needle = format!("\"{field}\":\"");
     let start = line.find(&needle)? + needle.len();
     let rest = &line[start..];
@@ -352,7 +352,7 @@ fn json_str_field(line: &str, field: &str) -> Option<String> {
 }
 
 /// Extracts `"field":<number>` values from a flat JSON object.
-fn json_num_field(line: &str, field: &str) -> Option<u64> {
+pub(crate) fn json_num_field(line: &str, field: &str) -> Option<u64> {
     let needle = format!("\"{field}\":");
     let start = line.find(&needle)? + needle.len();
     let digits: String = line[start..]

@@ -20,11 +20,16 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub mod bench;
 pub mod campaign;
 pub mod costs;
 pub mod grid;
 pub mod report;
 
+pub use bench::{
+    bench_json, compare, deterministic_json, measure_cell, parse_bench_json, run_bench, BenchCell,
+    BenchParseError, BenchReport, CompareReport,
+};
 pub use campaign::{
     campaign_json, cell_key, config_fingerprint, grid_from_records, run_campaign, CampaignError,
     CampaignResult, CellRecord, CellStatus, Journal,

@@ -20,6 +20,8 @@ use csched_core::{SOpId, Schedule};
 use csched_ir::{interp, Imm, Kernel, Memory, Operand, ValueDef, Word};
 use csched_machine::{Opcode, ReadStub, RfId, WriteStub};
 
+use crate::timeline::{TimelineEvent, TimelineSink};
+
 /// Errors raised while executing a schedule.
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
@@ -87,6 +89,9 @@ pub struct SimStats {
     pub copies_executed: u64,
     /// Values transported over buses (write-stub activations).
     pub bus_transfers: u64,
+    /// Dynamic transfers per bus (indexed by `BusId`): one per write-stub
+    /// activation on that bus. Sums to `bus_transfers`.
+    pub bus_transfers_per_bus: Vec<u64>,
     /// Dynamic issues per functional unit (indexed by `FuId`).
     pub fu_issues: Vec<u64>,
     /// Dynamic register-file writes per file (indexed by `RfId`): one per
@@ -105,6 +110,22 @@ impl SimStats {
             .map(|fu| {
                 let issues = self.fu_issues.get(fu.index()).copied().unwrap_or(0);
                 (arch.fu(fu).name().to_string(), issues as f64 / cycles)
+            })
+            .collect()
+    }
+
+    /// Dynamic traffic per bus: `(name, transfers)`, covering every bus
+    /// in the machine (zero for buses the schedule never used).
+    pub fn bus_traffic(&self, arch: &csched_machine::Architecture) -> Vec<(String, u64)> {
+        arch.bus_ids()
+            .map(|bus| {
+                (
+                    arch.bus(bus).name().to_string(),
+                    self.bus_transfers_per_bus
+                        .get(bus.index())
+                        .copied()
+                        .unwrap_or(0),
+                )
             })
             .collect()
     }
@@ -189,6 +210,29 @@ pub fn execute(
     memory: &mut Memory,
     trip: u64,
 ) -> Result<SimStats, SimError> {
+    execute_timed(kernel, schedule, memory, trip, None)
+}
+
+/// [`execute`], additionally streaming per-cycle events into `timeline`.
+///
+/// With `timeline: None` this *is* `execute` — the sink costs one branch
+/// per event site. With a sink (for example
+/// [`Timeline`](crate::Timeline)), every functional-unit issue, bus
+/// transfer and register-file port access is reported with its flat
+/// machine cycle and loop iteration, in execution order. The simulated
+/// behaviour and the returned [`SimStats`] are identical either way.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when the schedule fails to transport a value to
+/// its reader or an operation's semantics fail.
+pub fn execute_timed(
+    kernel: &Kernel,
+    schedule: &Schedule,
+    memory: &mut Memory,
+    trip: u64,
+    mut timeline: Option<&mut dyn TimelineSink>,
+) -> Result<SimStats, SimError> {
     let plans = build_plans(kernel, schedule);
     let mut stats = SimStats {
         fu_issues: vec![
@@ -228,6 +272,9 @@ pub fn execute(
     let u = schedule.universe();
 
     // --- straight-line blocks, in order ---
+    // `base` tracks the flat machine cycle each block starts on, so
+    // timeline events from consecutive blocks land on a single axis.
+    let mut base: i64 = 0;
     for block in kernel.block_ids() {
         if kernel.block(block).is_loop() {
             continue;
@@ -235,9 +282,21 @@ pub fn execute(
         let mut ops: Vec<SOpId> = u.op_ids().filter(|&o| u.op(o).block == block).collect();
         ops.sort_by_key(|&o| (plans[&o].cycle, o));
         for op in ops {
-            exec_op(schedule, &plans, &mut rfs, memory, &mut stats, op, 0)?;
+            exec_op(
+                schedule,
+                &plans,
+                &mut rfs,
+                memory,
+                &mut stats,
+                op,
+                0,
+                base,
+                &mut timeline,
+            )?;
         }
-        stats.cycles += schedule.block_len(block).max(0) as u64;
+        let len = schedule.block_len(block).max(0);
+        stats.cycles += len as u64;
+        base += len;
     }
 
     // --- the software-pipelined loop ---
@@ -247,14 +306,24 @@ pub fn execute(
         // Event-driven: (flat cycle, op, iteration) sorted by cycle.
         let mut events: Vec<(i64, SOpId, u64)> = Vec::new();
         for &op in &loop_ops {
-            let base = plans[&op].cycle;
+            let cycle = plans[&op].cycle;
             for k in 0..trip {
-                events.push((base + k as i64 * ii, op, k));
+                events.push((cycle + k as i64 * ii, op, k));
             }
         }
         events.sort_by_key(|&(t, op, k)| (t, k, op));
         for (_, op, k) in events {
-            exec_op(schedule, &plans, &mut rfs, memory, &mut stats, op, k)?;
+            exec_op(
+                schedule,
+                &plans,
+                &mut rfs,
+                memory,
+                &mut stats,
+                op,
+                k,
+                base + k as i64 * ii,
+                &mut timeline,
+            )?;
         }
         if trip > 0 {
             stats.cycles += (trip as i64 - 1).max(0) as u64 * ii as u64
@@ -281,8 +350,13 @@ fn exec_op(
     stats: &mut SimStats,
     op: SOpId,
     iteration: u64,
+    time_offset: i64,
+    timeline: &mut Option<&mut dyn TimelineSink>,
 ) -> Result<(), SimError> {
     let plan = &plans[&op];
+    // Flat machine cycles of this dynamic instance: reads happen on the
+    // issue cycle, write stubs fire on the completion cycle.
+    let issue_cycle = time_offset + plan.cycle;
     // Gather operand values.
     let mut args = Vec::with_capacity(plan.operands.len());
     for (slot, source) in plan.operands.iter().enumerate() {
@@ -312,6 +386,16 @@ fn exec_op(
                 match rfs.get(&(stub.rf, producer, frame)) {
                     Some(w) => {
                         bump(&mut stats.rf_reads, stub.rf.index());
+                        if let Some(sink) = timeline.as_deref_mut() {
+                            sink.event(TimelineEvent::RfRead {
+                                cycle: issue_cycle,
+                                rf: stub.rf,
+                                port: stub.port,
+                                op,
+                                slot,
+                                iteration,
+                            });
+                        }
                         *w
                     }
                     None => {
@@ -332,12 +416,22 @@ fn exec_op(
     if plan.opcode == Opcode::Copy {
         stats.copies_executed += 1;
     }
+    let placement = schedule.placement(op);
     {
-        let fu = schedule.placement(op).fu.index();
+        let fu = placement.fu.index();
         if stats.fu_issues.len() <= fu {
             stats.fu_issues.resize(fu + 1, 0);
         }
         stats.fu_issues[fu] += 1;
+    }
+    if let Some(sink) = timeline.as_deref_mut() {
+        sink.event(TimelineEvent::FuIssue {
+            cycle: issue_cycle,
+            fu: placement.fu,
+            op,
+            iteration,
+            is_copy: plan.opcode == Opcode::Copy,
+        });
     }
 
     // Execute.
@@ -390,10 +484,28 @@ fn exec_op(
 
     // Drive the write stubs.
     if let Some(word) = result {
+        let completion_cycle = issue_cycle + placement.latency as i64 - 1;
         for write in &plan.writes {
             rfs.insert((write.stub.rf, op, iteration), word);
             stats.bus_transfers += 1;
+            bump(&mut stats.bus_transfers_per_bus, write.stub.bus.index());
             bump(&mut stats.rf_writes, write.stub.rf.index());
+            if let Some(sink) = timeline.as_deref_mut() {
+                sink.event(TimelineEvent::BusTransfer {
+                    cycle: completion_cycle,
+                    bus: write.stub.bus,
+                    rf: write.stub.rf,
+                    producer: op,
+                    iteration,
+                });
+                sink.event(TimelineEvent::RfWrite {
+                    cycle: completion_cycle,
+                    rf: write.stub.rf,
+                    port: write.stub.port,
+                    producer: op,
+                    iteration,
+                });
+            }
         }
     }
     Ok(())

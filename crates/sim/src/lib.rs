@@ -41,5 +41,7 @@
 #![warn(missing_docs)]
 
 mod exec;
+pub mod timeline;
 
-pub use exec::{execute, SimError, SimStats};
+pub use exec::{execute, execute_timed, SimError, SimStats};
+pub use timeline::{Timeline, TimelineCounts, TimelineEvent, TimelineSink};

@@ -1,0 +1,486 @@
+//! Cycle timelines: per-cycle event recording during [`execute`].
+//!
+//! Where [`SimStats`](crate::SimStats) reduces a run to aggregate
+//! counters, a timeline records *when* each resource fired: every
+//! functional-unit issue, every bus transfer, every register-file port
+//! read and write, tagged with the flat machine cycle and the loop
+//! iteration it belongs to. Recording follows the same zero-cost pattern
+//! as `csched_core::trace` — [`execute_timed`](crate::execute_timed)
+//! takes an `Option<&mut dyn TimelineSink>` that defaults to `None`, so
+//! the plain [`execute`](crate::execute) path pays one branch per event
+//! site and nothing else.
+//!
+//! The bundled [`Timeline`] sink collects events in order and exports
+//! them two ways:
+//!
+//! - [`Timeline::chrome_trace`] renders Chrome trace-event JSON
+//!   (loadable in Perfetto or `chrome://tracing`): one track per
+//!   functional unit, one per bus, one per register-file port, with one
+//!   duration event per cycle-level action and the loop iteration in
+//!   each event's `args`;
+//! - [`Timeline::render_gantt`] renders a terminal Gantt chart — FUs and
+//!   buses as rows, cycles as columns, the iteration digit marking each
+//!   issue — so pipelining is visible without leaving the shell.
+//!
+//! [`Timeline::counts`] recovers aggregate counters from the event
+//! stream; the property tests assert they equal the [`SimStats`]
+//! counters of the same run exactly (the stats are the timeline's ground
+//! truth).
+//!
+//! [`execute`]: crate::execute
+//! [`SimStats`]: crate::SimStats
+
+use std::fmt::Write as _;
+
+use csched_core::trace::json_escape;
+use csched_core::{SOpId, Schedule};
+use csched_machine::{Architecture, BusId, FuId, Opcode, ReadPortId, RfId, WritePortId};
+
+/// One per-cycle action observed while executing a schedule.
+///
+/// Cycles are *flat machine cycles*: straight-line blocks execute back to
+/// back from cycle 0, and loop iteration `k` is offset by `k · II`, so
+/// events from overlapping iterations interleave exactly as on the
+/// hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimelineEvent {
+    /// An operation issued on a functional unit.
+    FuIssue {
+        /// Flat machine cycle of the issue.
+        cycle: i64,
+        /// The issuing unit.
+        fu: FuId,
+        /// The scheduled operation.
+        op: SOpId,
+        /// Loop iteration (0 for straight-line code).
+        iteration: u64,
+        /// Whether the operation is a scheduler-inserted copy.
+        is_copy: bool,
+    },
+    /// A result travelled over a bus (one write-stub activation).
+    BusTransfer {
+        /// Flat machine cycle of the transfer (the producer's completion).
+        cycle: i64,
+        /// The bus carrying the value.
+        bus: BusId,
+        /// The register file the value lands in.
+        rf: RfId,
+        /// The producing operation.
+        producer: SOpId,
+        /// Loop iteration of the producer.
+        iteration: u64,
+    },
+    /// A write port landed a value into its register file.
+    RfWrite {
+        /// Flat machine cycle of the write (the producer's completion).
+        cycle: i64,
+        /// The file written.
+        rf: RfId,
+        /// The write port used.
+        port: WritePortId,
+        /// The producing operation.
+        producer: SOpId,
+        /// Loop iteration of the producer.
+        iteration: u64,
+    },
+    /// A read port staged an operand out of its register file.
+    RfRead {
+        /// Flat machine cycle of the read (the consumer's issue).
+        cycle: i64,
+        /// The file read.
+        rf: RfId,
+        /// The read port used.
+        port: ReadPortId,
+        /// The consuming operation.
+        op: SOpId,
+        /// The consumer's operand slot.
+        slot: usize,
+        /// Loop iteration of the consumer.
+        iteration: u64,
+    },
+}
+
+impl TimelineEvent {
+    /// The flat machine cycle the event occurred on.
+    pub fn cycle(&self) -> i64 {
+        match *self {
+            TimelineEvent::FuIssue { cycle, .. }
+            | TimelineEvent::BusTransfer { cycle, .. }
+            | TimelineEvent::RfWrite { cycle, .. }
+            | TimelineEvent::RfRead { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A consumer of timeline events.
+///
+/// Passed as `Option<&mut dyn TimelineSink>` so the disabled path costs
+/// one branch per event site (the same contract as
+/// `csched_core::trace::TraceSink`).
+pub trait TimelineSink {
+    /// Receives one event. Events arrive in execution order.
+    fn event(&mut self, event: TimelineEvent);
+}
+
+/// Aggregate counters recovered from a [`Timeline`], shaped to mirror
+/// [`SimStats`](crate::SimStats) for reconciliation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimelineCounts {
+    /// Total operations issued (including copies).
+    pub ops_executed: u64,
+    /// Copy operations issued.
+    pub copies_executed: u64,
+    /// Total bus transfers.
+    pub bus_transfers: u64,
+    /// Issues per functional unit (indexed by `FuId`).
+    pub fu_issues: Vec<u64>,
+    /// Transfers per bus (indexed by `BusId`).
+    pub bus_transfers_per_bus: Vec<u64>,
+    /// Writes per register file (indexed by `RfId`).
+    pub rf_writes: Vec<u64>,
+    /// Reads per register file (indexed by `RfId`).
+    pub rf_reads: Vec<u64>,
+}
+
+/// Increments a dynamically-sized per-resource counter.
+fn bump(counters: &mut Vec<u64>, index: usize) {
+    if counters.len() <= index {
+        counters.resize(index + 1, 0);
+    }
+    counters[index] += 1;
+}
+
+/// A recording sink: collects every event in execution order.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl TimelineSink for Timeline {
+    fn event(&mut self, event: TimelineEvent) {
+        self.events.push(event);
+    }
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in execution order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Aggregate counters over the whole event stream, shaped like
+    /// [`SimStats`](crate::SimStats). The reconciliation property tests
+    /// assert these equal the stats of the same run exactly.
+    pub fn counts(&self) -> TimelineCounts {
+        let mut c = TimelineCounts::default();
+        for e in &self.events {
+            match *e {
+                TimelineEvent::FuIssue { fu, is_copy, .. } => {
+                    c.ops_executed += 1;
+                    if is_copy {
+                        c.copies_executed += 1;
+                    }
+                    bump(&mut c.fu_issues, fu.index());
+                }
+                TimelineEvent::BusTransfer { bus, .. } => {
+                    c.bus_transfers += 1;
+                    bump(&mut c.bus_transfers_per_bus, bus.index());
+                }
+                TimelineEvent::RfWrite { rf, .. } => bump(&mut c.rf_writes, rf.index()),
+                TimelineEvent::RfRead { rf, .. } => bump(&mut c.rf_reads, rf.index()),
+            }
+        }
+        c
+    }
+
+    /// Exports the timeline as Chrome trace-event JSON, loadable in
+    /// Perfetto or `chrome://tracing`.
+    ///
+    /// Tracks (trace "threads" of process 0) are one per functional
+    /// unit, one per bus, and one per register-file port; each recorded
+    /// action becomes a complete (`"ph":"X"`) event of one cycle's
+    /// duration with the operation and iteration in `args`. `schedule`
+    /// supplies opcode names; the output is deterministic for a
+    /// deterministic run.
+    pub fn chrome_trace(&self, arch: &Architecture, schedule: &Schedule) -> String {
+        let mut s = String::with_capacity(4096 + self.events.len() * 96);
+        s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let _ = write!(
+            s,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"name\":\"{} on {}\"}}}}",
+            json_escape(schedule.kernel_name()),
+            json_escape(schedule.arch_name()),
+        );
+        // Track metadata: names and sort order (FUs, then buses, then
+        // write ports, then read ports).
+        let meta = |tid: u64, name: String, s: &mut String| {
+            let _ = write!(
+                s,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(&name)
+            );
+            let _ = write!(
+                s,
+                ",\n{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            );
+        };
+        for fu in arch.fu_ids() {
+            meta(fu_tid(fu), format!("FU {}", arch.fu(fu).name()), &mut s);
+        }
+        for bus in arch.bus_ids() {
+            meta(
+                bus_tid(bus),
+                format!("bus {}", arch.bus(bus).name()),
+                &mut s,
+            );
+        }
+        for i in 0..arch.num_write_ports() {
+            let port = WritePortId::from_raw(i);
+            let rf = arch.write_port_rf(port);
+            meta(
+                wport_tid(port),
+                format!("{} write port {}", arch.rf(rf).name(), i),
+                &mut s,
+            );
+        }
+        for i in 0..arch.num_read_ports() {
+            let port = ReadPortId::from_raw(i);
+            let rf = arch.read_port_rf(port);
+            meta(
+                rport_tid(port),
+                format!("{} read port {}", arch.rf(rf).name(), i),
+                &mut s,
+            );
+        }
+        let u = schedule.universe();
+        let opcode_of = |op: SOpId| -> Opcode { u.op(op).opcode };
+        for e in &self.events {
+            let (name, tid, args) = match *e {
+                TimelineEvent::FuIssue {
+                    fu, op, iteration, ..
+                } => (
+                    format!("{:?} {op}", opcode_of(op)),
+                    fu_tid(fu),
+                    format!("{{\"op\":{},\"iteration\":{iteration}}}", op.index()),
+                ),
+                TimelineEvent::BusTransfer {
+                    bus,
+                    rf,
+                    producer,
+                    iteration,
+                    ..
+                } => (
+                    format!("{producer} -> {}", arch.rf(rf).name()),
+                    bus_tid(bus),
+                    format!(
+                        "{{\"producer\":{},\"iteration\":{iteration}}}",
+                        producer.index()
+                    ),
+                ),
+                TimelineEvent::RfWrite {
+                    port,
+                    producer,
+                    iteration,
+                    ..
+                } => (
+                    format!("write {producer}"),
+                    wport_tid(port),
+                    format!(
+                        "{{\"producer\":{},\"iteration\":{iteration}}}",
+                        producer.index()
+                    ),
+                ),
+                TimelineEvent::RfRead {
+                    port,
+                    op,
+                    slot,
+                    iteration,
+                    ..
+                } => (
+                    format!("read {op}.{slot}"),
+                    rport_tid(port),
+                    format!(
+                        "{{\"op\":{},\"slot\":{slot},\"iteration\":{iteration}}}",
+                        op.index()
+                    ),
+                ),
+            };
+            let _ = write!(
+                s,
+                ",\n{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\"pid\":0,\
+                 \"tid\":{tid},\"args\":{args}}}",
+                json_escape(&name),
+                e.cycle(),
+            );
+        }
+        s.push_str("\n]}\n");
+        s
+    }
+
+    /// Renders a terminal Gantt chart: functional units and buses as
+    /// rows, flat machine cycles as columns. An issue is marked with its
+    /// iteration's last digit (so software-pipelined overlap reads
+    /// directly off the chart), a bus transfer with `=` (a digit when
+    /// several values share the bus cycle via output fanout), and an
+    /// idle cycle with `.`. Rows wider than `max_cols` are truncated
+    /// with a note.
+    pub fn render_gantt(&self, arch: &Architecture, max_cols: usize) -> String {
+        let max_cycle = self
+            .events
+            .iter()
+            .map(TimelineEvent::cycle)
+            .max()
+            .unwrap_or(-1);
+        let mut out = String::new();
+        if max_cycle < 0 {
+            out.push_str("(empty timeline)\n");
+            return out;
+        }
+        let cols = ((max_cycle + 1) as usize).min(max_cols.max(1));
+        // cell value: 0 = idle, 1..=10 -> iteration digit (value-1),
+        // 100+n -> n transfers on a bus cycle.
+        let mut fu_rows = vec![vec![0u64; cols]; arch.num_fus()];
+        let mut bus_rows = vec![vec![0u64; cols]; arch.num_buses()];
+        for e in &self.events {
+            let c = e.cycle();
+            if c < 0 || c as usize >= cols {
+                continue;
+            }
+            match *e {
+                TimelineEvent::FuIssue { fu, iteration, .. } => {
+                    fu_rows[fu.index()][c as usize] = 1 + iteration % 10;
+                }
+                TimelineEvent::BusTransfer { bus, .. } => {
+                    let cell = &mut bus_rows[bus.index()][c as usize];
+                    *cell = if *cell == 0 { 100 } else { *cell + 1 };
+                }
+                _ => {}
+            }
+        }
+        let width = arch
+            .fu_ids()
+            .map(|f| arch.fu(f).name().len())
+            .chain(arch.bus_ids().map(|b| arch.bus(b).name().len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut header = String::new();
+        for c in 0..cols {
+            let _ = write!(header, "{}", c % 10);
+        }
+        let _ = writeln!(out, "{:width$}  {}", "cycle", header);
+        let render_row = |name: &str, row: &[u64], out: &mut String| {
+            let cells: String = row
+                .iter()
+                .map(|&v| match v {
+                    0 => '.',
+                    1..=10 => char::from(b'0' + (v - 1) as u8),
+                    100 => '=',
+                    v => {
+                        let n = v - 99;
+                        if n <= 9 {
+                            char::from(b'0' + n as u8)
+                        } else {
+                            '#'
+                        }
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{name:width$}  {cells}");
+        };
+        for fu in arch.fu_ids() {
+            render_row(arch.fu(fu).name(), &fu_rows[fu.index()], &mut out);
+        }
+        for bus in arch.bus_ids() {
+            render_row(arch.bus(bus).name(), &bus_rows[bus.index()], &mut out);
+        }
+        if (max_cycle + 1) as usize > cols {
+            let _ = writeln!(
+                out,
+                "({} more cycles not shown; raise max_cols or export a Chrome trace)",
+                (max_cycle + 1) as usize - cols
+            );
+        }
+        out
+    }
+}
+
+fn fu_tid(fu: FuId) -> u64 {
+    1 + fu.index() as u64
+}
+
+fn bus_tid(bus: BusId) -> u64 {
+    1000 + bus.index() as u64
+}
+
+fn wport_tid(port: WritePortId) -> u64 {
+    2000 + port.index() as u64
+}
+
+fn rport_tid(port: ReadPortId) -> u64 {
+    3000 + port.index() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_aggregate_events() {
+        let mut tl = Timeline::new();
+        tl.event(TimelineEvent::FuIssue {
+            cycle: 0,
+            fu: FuId::from_raw(1),
+            op: SOpId::from_raw(0),
+            iteration: 0,
+            is_copy: false,
+        });
+        tl.event(TimelineEvent::FuIssue {
+            cycle: 2,
+            fu: FuId::from_raw(1),
+            op: SOpId::from_raw(3),
+            iteration: 1,
+            is_copy: true,
+        });
+        tl.event(TimelineEvent::BusTransfer {
+            cycle: 2,
+            bus: BusId::from_raw(0),
+            rf: RfId::from_raw(0),
+            producer: SOpId::from_raw(0),
+            iteration: 0,
+        });
+        tl.event(TimelineEvent::RfWrite {
+            cycle: 2,
+            rf: RfId::from_raw(0),
+            port: WritePortId::from_raw(0),
+            producer: SOpId::from_raw(0),
+            iteration: 0,
+        });
+        tl.event(TimelineEvent::RfRead {
+            cycle: 2,
+            rf: RfId::from_raw(0),
+            port: ReadPortId::from_raw(1),
+            op: SOpId::from_raw(3),
+            slot: 0,
+            iteration: 1,
+        });
+        let c = tl.counts();
+        assert_eq!(c.ops_executed, 2);
+        assert_eq!(c.copies_executed, 1);
+        assert_eq!(c.fu_issues, vec![0, 2]);
+        assert_eq!(c.bus_transfers, 1);
+        assert_eq!(c.bus_transfers_per_bus, vec![1]);
+        assert_eq!(c.rf_writes, vec![1]);
+        assert_eq!(c.rf_reads, vec![1]);
+        assert_eq!(tl.events().len(), 5);
+    }
+}

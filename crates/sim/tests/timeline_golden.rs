@@ -1,0 +1,119 @@
+//! Golden Chrome-trace acceptance test: the cycle timeline of the
+//! paper's motivating example (§2, Figure 4 on the Figure 5 toy
+//! machine) exports to a byte-stable Chrome trace-event JSON file, and
+//! that file is structurally valid trace-event JSON (Perfetto /
+//! `chrome://tracing` loadable).
+//!
+//! Regenerate the golden file after an intentional scheduler or
+//! exporter change with
+//! `UPDATE_GOLDEN=1 cargo test -p csched-sim --test timeline_golden`.
+
+use csched_core::{schedule_kernel, validate, SchedulerConfig};
+use csched_ir::{Kernel, KernelBuilder, Memory, Word};
+use csched_machine::{toy, Opcode};
+use csched_sim::{execute_timed, Timeline};
+
+/// Figure 4: `a = load; b = 1+2; c = 3+4; _ = a+b; _ = a+c` plus stores.
+fn figure4() -> Kernel {
+    let mut kb = KernelBuilder::new("fig4");
+    let mem = kb.region("mem", true);
+    let b = kb.straight_block("b");
+    let a = kb.load(b, mem, 0i64.into(), 0i64.into());
+    let bv = kb.push(b, Opcode::IAdd, [1i64.into(), 2i64.into()]);
+    let cv = kb.push(b, Opcode::IAdd, [3i64.into(), 4i64.into()]);
+    let s4 = kb.push(b, Opcode::IAdd, [a.into(), bv.into()]);
+    let s5 = kb.push(b, Opcode::IAdd, [a.into(), cv.into()]);
+    kb.store(b, mem, 10i64.into(), 0i64.into(), s4.into());
+    kb.store(b, mem, 11i64.into(), 0i64.into(), s5.into());
+    kb.build().unwrap()
+}
+
+fn motivating_trace() -> (String, Timeline) {
+    let arch = toy::motivating_example();
+    let kernel = figure4();
+    let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default()).unwrap();
+    validate::validate(&arch, &kernel, &schedule).unwrap();
+    let mut mem = Memory::new();
+    mem.write_block(0, [Word::I(100)]);
+    let mut tl = Timeline::new();
+    let stats = execute_timed(&kernel, &schedule, &mut mem, 1, Some(&mut tl)).unwrap();
+    assert_eq!(stats.ops_executed, 7 + stats.copies_executed);
+    assert_eq!(mem.main.get(&10), Some(&Word::I(103)));
+    assert_eq!(mem.main.get(&11), Some(&Word::I(107)));
+    (tl.chrome_trace(&arch, &schedule), tl)
+}
+
+#[test]
+fn motivating_example_timeline_matches_golden_file() {
+    let (got, _) = motivating_trace();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/motivating_timeline.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect(
+        "golden file missing; regenerate with UPDATE_GOLDEN=1 \
+         cargo test -p csched-sim --test timeline_golden",
+    );
+    assert_eq!(
+        got, want,
+        "timeline diverged from golden; if the scheduler or exporter \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Structural trace-event JSON checks, independent of the golden bytes:
+/// the export is one JSON object with a `traceEvents` array whose
+/// entries carry the keys the Chrome trace-event format requires for
+/// their phase ("M" metadata naming tracks, "X" complete events with
+/// timestamps and durations).
+#[test]
+fn timeline_export_is_valid_trace_event_json() {
+    let (got, tl) = motivating_trace();
+    assert!(got.starts_with("{\"displayTimeUnit\":"));
+    assert!(got.trim_end().ends_with("]}"));
+    assert!(got.contains("\"traceEvents\":["));
+
+    let mut metadata = 0usize;
+    let mut complete = 0usize;
+    for line in got.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"ph\":") {
+            continue;
+        }
+        assert!(line.ends_with('}'), "{line}");
+        assert_eq!(
+            line.matches('"').count() % 2,
+            0,
+            "unbalanced quotes: {line}"
+        );
+        assert!(line.contains("\"pid\":"), "{line}");
+        assert!(line.contains("\"tid\":"), "{line}");
+        if line.contains("\"ph\":\"M\"") {
+            metadata += 1;
+            assert!(
+                line.contains("\"name\":\"process_name\"")
+                    || line.contains("\"name\":\"thread_name\"")
+                    || line.contains("\"name\":\"thread_sort_index\""),
+                "{line}"
+            );
+        } else if line.contains("\"ph\":\"X\"") {
+            complete += 1;
+            assert!(line.contains("\"ts\":"), "{line}");
+            assert!(line.contains("\"dur\":"), "{line}");
+            assert!(line.contains("\"name\":\""), "{line}");
+        } else {
+            panic!("unexpected phase: {line}");
+        }
+    }
+    // Every recorded event became exactly one complete event, and every
+    // track got named.
+    assert_eq!(complete, tl.events().len());
+    assert!(
+        metadata >= 2,
+        "expected track-naming metadata, got {metadata}"
+    );
+}

@@ -1,0 +1,142 @@
+//! Timeline↔stats reconciliation: across random kernels, architectures
+//! and trip counts, the aggregate counters recovered from a recorded
+//! [`Timeline`] equal the [`SimStats`] counters of the same run exactly
+//! — per functional unit, per bus, per register file, and for the
+//! copy/op totals. Recording must also never change behaviour: the
+//! stats (and the memory image) with a sink attached are identical to
+//! the plain `execute` run.
+
+use csched_core::{schedule_kernel, SchedulerConfig};
+use csched_ir::{interp, Kernel, KernelBuilder, Memory, Word};
+use csched_machine::{imagine, Architecture, Opcode};
+use csched_sim::{execute, execute_timed, Timeline};
+use proptest::prelude::*;
+
+/// A loop kernel with `width` dependent chains; `flavor` varies the op
+/// mix so different unit classes (and thus buses/ports) get exercised.
+fn random_kernel(width: usize, flavor: usize) -> Kernel {
+    let mut kb = KernelBuilder::new("rand");
+    let input = kb.region("in", true);
+    let output = kb.region("out", true);
+    let pre = kb.straight_block("pre");
+    let bias = kb.push(pre, Opcode::IAdd, [7i64.into(), 0i64.into()]);
+    let lp = kb.loop_block("body");
+    let i = kb.loop_var(lp, 0i64.into());
+    let acc = kb.loop_var(lp, bias.into());
+    let mut carried = None;
+    for k in 0..width {
+        let x = kb.load(lp, input, i.into(), (16 * k as i64).into());
+        let y = match (flavor + k) % 3 {
+            0 => kb.push(lp, Opcode::IMul, [x.into(), 3i64.into()]),
+            1 => kb.push(lp, Opcode::Shl, [x.into(), 1i64.into()]),
+            _ => kb.push(lp, Opcode::IAdd, [x.into(), (k as i64 + 1).into()]),
+        };
+        let z = kb.push(lp, Opcode::IAdd, [y.into(), acc.into()]);
+        kb.store(lp, output, i.into(), (500 + 16 * k as i64).into(), z.into());
+        carried = Some(z);
+    }
+    let i1 = kb.push(lp, Opcode::IAdd, [i.into(), 1i64.into()]);
+    kb.set_update(i, i1.into());
+    if let Some(z) = carried {
+        kb.set_update(acc, z.into());
+    }
+    kb.build().unwrap()
+}
+
+fn arch_by_index(index: usize) -> Architecture {
+    let mut variants = imagine::all_variants();
+    variants.swap_remove(index % variants.len())
+}
+
+fn inputs() -> Memory {
+    let mut mem = Memory::new();
+    mem.write_block(0, (0..64).map(|v| Word::I(v * 5 - 32)));
+    mem
+}
+
+/// Pads `v` to `n` entries so counters that were never bumped compare
+/// equal to pre-sized ones.
+fn padded(v: &[u64], n: usize) -> Vec<u64> {
+    let mut out = v.to_vec();
+    if out.len() < n {
+        out.resize(n, 0);
+    }
+    out
+}
+
+proptest! {
+    /// Timeline event counts equal the `SimStats` counters byte for
+    /// byte, and recording does not perturb execution.
+    #[test]
+    fn timeline_counts_reconcile_with_stats(
+        width in 1usize..4,
+        flavor in 0usize..3,
+        arch_index in 0usize..4,
+        trip in 1u64..8,
+    ) {
+        let kernel = random_kernel(width, flavor);
+        let arch = arch_by_index(arch_index);
+        let schedule = schedule_kernel(&arch, &kernel, SchedulerConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
+
+        let mut mem_plain = inputs();
+        let plain = execute(&kernel, &schedule, &mut mem_plain, trip).unwrap();
+
+        let mut mem_timed = inputs();
+        let mut tl = Timeline::new();
+        let timed =
+            execute_timed(&kernel, &schedule, &mut mem_timed, trip, Some(&mut tl)).unwrap();
+
+        // Recording never changes behaviour.
+        prop_assert_eq!(&plain, &timed);
+        prop_assert_eq!(mem_plain.main, mem_timed.main);
+
+        // The interpreter oracle still agrees.
+        let mut expected = inputs();
+        interp::run(&kernel, &mut expected, trip).unwrap();
+        prop_assert_eq!(mem_timed.main, expected.main);
+
+        // Reconciliation: every aggregate equals the stats counter.
+        let counts = tl.counts();
+        prop_assert_eq!(counts.ops_executed, timed.ops_executed);
+        prop_assert_eq!(counts.copies_executed, timed.copies_executed);
+        prop_assert_eq!(counts.bus_transfers, timed.bus_transfers);
+        let fus = timed.fu_issues.len().max(counts.fu_issues.len());
+        prop_assert_eq!(padded(&counts.fu_issues, fus), padded(&timed.fu_issues, fus));
+        let buses = timed
+            .bus_transfers_per_bus
+            .len()
+            .max(counts.bus_transfers_per_bus.len());
+        prop_assert_eq!(
+            padded(&counts.bus_transfers_per_bus, buses),
+            padded(&timed.bus_transfers_per_bus, buses)
+        );
+        let rfs = timed
+            .rf_writes
+            .len()
+            .max(counts.rf_writes.len())
+            .max(timed.rf_reads.len())
+            .max(counts.rf_reads.len());
+        prop_assert_eq!(padded(&counts.rf_writes, rfs), padded(&timed.rf_writes, rfs));
+        prop_assert_eq!(padded(&counts.rf_reads, rfs), padded(&timed.rf_reads, rfs));
+
+        // Per-bus counters sum to the aggregate, and the accessor covers
+        // every bus in the machine.
+        prop_assert_eq!(
+            timed.bus_transfers_per_bus.iter().sum::<u64>(),
+            timed.bus_transfers
+        );
+        let traffic = timed.bus_traffic(&arch);
+        prop_assert_eq!(traffic.len(), arch.num_buses());
+        prop_assert_eq!(
+            traffic.iter().map(|&(_, n)| n).sum::<u64>(),
+            timed.bus_transfers
+        );
+
+        // Events are cycle-bounded by the simulated run length.
+        for e in tl.events() {
+            prop_assert!(e.cycle() >= 0);
+            prop_assert!((e.cycle() as u64) < timed.cycles + 8, "write within latency slack");
+        }
+    }
+}
