@@ -6,10 +6,12 @@
 # The lint and format steps degrade gracefully when the toolchain lacks
 # the `clippy` or `rustfmt` components (e.g. a minimal container); the
 # build and test steps are mandatory. `csched-core`, `csched-ir`, and
-# `csched-eval` additionally carry
+# `csched-eval` (including the `explore` binary, which carries its own
+# crate-level attribute) additionally carry
 # `deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)` outside
 # test code, so the clippy step doubles as the panic-free gate for the
-# scheduling pipeline and the evaluation harness.
+# scheduling pipeline, the evaluation harness, and the design-space
+# search.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -47,6 +49,24 @@ cargo run -q --release -p csched-eval --bin bench-json -- \
     --label ci --reps 2 --kernels FFT,Merge,DCT --archs central,distributed
 cargo run -q --release -p csched-eval --bin bench-json -- \
     --compare BENCH_baseline.json BENCH_ci.json
+
+# Design-space exploration smoke: a small sampled sweep on 2 worker
+# threads must print JSON byte-identical to the single-threaded run
+# (candidates merge in index order; the report carries no thread count
+# or wall clock). The full determinism suite — including the ignored
+# 50-candidate acceptance sweep at --jobs 8 — then runs on the release
+# profile, where it takes seconds.
+step "explore smoke (thread-count invariance)"
+cargo run -q --release -p csched-eval --bin explore -- \
+    --kernels Merge,Sort --candidates 6 --rounds 0 --step-limit 200000 \
+    --jobs 1 --json > EXPLORE_ci_j1.json
+cargo run -q --release -p csched-eval --bin explore -- \
+    --kernels Merge,Sort --candidates 6 --rounds 0 --step-limit 200000 \
+    --jobs 2 --json > EXPLORE_ci_j2.json
+diff EXPLORE_ci_j1.json EXPLORE_ci_j2.json
+
+step "explore determinism suite incl. acceptance sweep (release)"
+cargo test -q --release -p csched-eval --test explore_determinism -- --include-ignored
 
 # Bottleneck-attribution smoke: the explain binary must name a binding.
 step "explain smoke (FFT on distributed)"

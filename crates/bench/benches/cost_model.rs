@@ -6,11 +6,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use csched_machine::{cost, imagine};
 
 fn print_figures() {
-    let rows = csched_eval::costs::figures_25_27();
+    let rows = csched_eval::costs::figures_25_27().expect("paper machines have positive costs");
     println!("{}", csched_eval::report::figures_25_27(&rows));
     println!(
         "{}",
-        csched_eval::report::headline(&csched_eval::costs::headline(), None)
+        csched_eval::report::headline(
+            &csched_eval::costs::headline().expect("paper machines have positive costs"),
+            None
+        )
     );
     println!(
         "{}",

@@ -86,3 +86,27 @@ pub use schedule::{CommDisposition, PipelineSlot, Route, SchedStats, Schedule, S
 pub use table::{ResourceTable, TableMode};
 pub use trace::{JsonlSink, RingBufferSink, TraceEvent, TraceSink};
 pub use universe::{Comm, CommId, SOp, SOpId, Universe};
+
+// Compile-time Send/Sync audit of the scheduling pipeline's inputs and
+// outputs. Parallel harnesses (`csched_eval::explore`, `table1 --jobs`)
+// share architectures, kernels, and configurations across scoped worker
+// threads by reference and move schedules/errors back across thread
+// boundaries; these assertions pin that contract so an accidental
+// `Rc`/`RefCell`/raw-pointer field turns into a compile error here, next
+// to the scheduler, rather than a confusing one in a downstream crate.
+// `StepBudget` is deliberately only `Send` (interior `Cell` mutability;
+// cross-thread control goes through `CancelToken`), so it is asserted
+// separately and must *not* appear in the `Sync` list.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    const fn moved_between_threads<T: Send>() {}
+    shared_across_threads::<csched_machine::Architecture>();
+    shared_across_threads::<csched_ir::Kernel>();
+    shared_across_threads::<SchedulerConfig>();
+    shared_across_threads::<Schedule>();
+    shared_across_threads::<SchedError>();
+    shared_across_threads::<ScheduleReport>();
+    shared_across_threads::<ScheduleMetrics>();
+    shared_across_threads::<CancelToken>();
+    moved_between_threads::<StepBudget>();
+};

@@ -167,12 +167,37 @@ pub fn run_bench(
     archs: &[Architecture],
     config: &SchedulerConfig,
 ) -> BenchReport {
-    let mut cells = Vec::with_capacity(kernels.len() * archs.len());
+    run_bench_jobs(label, reps, kernels, archs, config, 1)
+}
+
+/// [`run_bench`] on up to `jobs` worker threads. The deterministic
+/// fields ([`deterministic_json`]) are byte-identical for every `jobs`;
+/// the timing fields are *noisier* under parallelism (cells contend for
+/// cores), so regression baselines should stay single-threaded while
+/// exploratory sweeps can afford the speed-up.
+pub fn run_bench_jobs(
+    label: &str,
+    reps: u32,
+    kernels: &[&Kernel],
+    archs: &[Architecture],
+    config: &SchedulerConfig,
+    jobs: usize,
+) -> BenchReport {
+    let mut items: Vec<(&Kernel, &Architecture)> = Vec::with_capacity(kernels.len() * archs.len());
     for kernel in kernels {
         for arch in archs {
-            cells.push(measure_cell(arch, kernel, config, reps));
+            items.push((kernel, arch));
         }
     }
+    let cells = match crate::pool::run_indexed(
+        &items,
+        jobs,
+        |_, &(kernel, arch)| measure_cell(arch, kernel, config, reps),
+        |_, _| Ok::<(), std::convert::Infallible>(()),
+    ) {
+        Ok(cells) => cells,
+        Err(never) => match never {},
+    };
     BenchReport {
         label: label.to_string(),
         reps: reps.max(1),

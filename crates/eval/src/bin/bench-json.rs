@@ -4,7 +4,10 @@
 //! Generate:
 //! `cargo run --release -p csched-eval --bin bench-json -- --label ci
 //! [--reps N] [--kernels FFT,Merge] [--archs central,distributed]
-//! [--out PATH]`
+//! [--out PATH] [--jobs N]`
+//!
+//! `--jobs` parallelises the sweep (deterministic fields unchanged;
+//! timings get noisier under contention, so keep baselines at 1).
 //!
 //! Compare:
 //! `cargo run --release -p csched-eval --bin bench-json -- --compare
@@ -130,9 +133,22 @@ fn run() -> Result<ExitCode, CliError> {
         ],
     };
     let out_path = flag_value(&args, "--out")?.unwrap_or_else(|| format!("BENCH_{label}.json"));
+    let jobs: usize = match flag_value(&args, "--jobs")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --jobs {v:?}")))?,
+        None => 1,
+    };
 
     let kernels: Vec<&csched_ir::Kernel> = workloads.iter().map(|w| &w.kernel).collect();
-    let report = bench::run_bench(&label, reps, &kernels, &archs, &SchedulerConfig::default());
+    let report = bench::run_bench_jobs(
+        &label,
+        reps,
+        &kernels,
+        &archs,
+        &SchedulerConfig::default(),
+        jobs,
+    );
     std::fs::write(&out_path, bench::bench_json(&report))
         .map_err(|e| CliError::Io(out_path.clone(), e))?;
     let bad = report.cells.iter().filter(|c| !c.ok).count();

@@ -1,0 +1,122 @@
+//! Design-space exploration CLI: search architectures around the
+//! paper's four machines and print the Pareto frontier.
+//!
+//! Usage: `cargo run --release -p csched-eval --bin explore --
+//! [--candidates N] [--seed N] [--rounds N] [--step-limit N] [--jobs N]
+//! [--kernels Merge,Sort] [--no-anchors] [--json]
+//! [--journal <path>] [--resume <path>]`
+//!
+//! Candidates are drawn from the default
+//! [`csched_machine::gen::DesignSpace`] (enumerated when it fits inside
+//! `--candidates`, sampled from `--seed` otherwise), the full Table 1
+//! kernel suite is scheduled on each one under a shared placement-attempt
+//! budget, and the four-objective Pareto frontier (harmonic-mean II,
+//! register-file area, power, delay) is printed as a text table — or as
+//! the full deterministic JSON report with `--json`, which is
+//! byte-identical for every `--jobs` value and across `--resume`.
+//!
+//! `--journal` checkpoints completed cells; `--resume` replays a journal
+//! so a killed sweep only recomputes unfinished candidates. Exit codes:
+//! 0 on success, 2 on usage/journal errors.
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+use csched_eval::campaign::Journal;
+use csched_eval::explore::{explore, ExploreConfig};
+use csched_ir::Kernel;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: explore [--candidates N] [--seed N] [--rounds N] \
+[--step-limit N] [--jobs N] [--kernels A,B,...] [--no-anchors] [--json] \
+[--journal PATH] [--resume PATH]";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: not a number: {v}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+
+    let config = ExploreConfig {
+        candidates: parsed_flag(&args, "--candidates", 24),
+        seed: parsed_flag(&args, "--seed", 0xC5C4ED),
+        refine_rounds: parsed_flag(&args, "--rounds", 1),
+        step_limit: parsed_flag(&args, "--step-limit", 1_000_000),
+        anchors: !args.iter().any(|a| a == "--no-anchors"),
+        ..ExploreConfig::default()
+    };
+    let jobs: usize = parsed_flag(&args, "--jobs", 1);
+
+    let workloads: Vec<csched_kernels::Workload> = match flag_value(&args, "--kernels") {
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                csched_kernels::by_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown kernel {name:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => csched_kernels::all(),
+    };
+    let kernels: Vec<(&str, &Kernel)> = workloads
+        .iter()
+        .map(|w| (w.kernel.name(), &w.kernel))
+        .collect();
+
+    let resume = match flag_value(&args, "--resume").map(PathBuf::from) {
+        Some(p) => Journal::load(&p).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => HashMap::new(),
+    };
+    let mut journal = flag_value(&args, "--journal").map(|p| {
+        Journal::open(&PathBuf::from(&p)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
+
+    let start = std::time::Instant::now();
+    let report = explore(&config, &kernels, jobs, journal.as_mut(), &resume).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    // Timing and resume statistics go to stderr only: stdout must be a
+    // pure function of the search, identical across --jobs and --resume.
+    eprintln!(
+        "(explored {} candidates, {} resumed, {} on frontier, jobs={jobs}, {:.1?})",
+        report.candidates.len(),
+        report.resumed,
+        report.frontier.len(),
+        start.elapsed()
+    );
+
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_frontier());
+    }
+}

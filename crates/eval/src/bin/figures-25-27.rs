@@ -6,6 +6,14 @@
 use csched_eval::{costs, report};
 
 fn main() {
-    println!("{}", report::figures_25_27(&costs::figures_25_27()));
-    println!("{}", report::headline(&costs::headline(), None));
+    let rows = costs::figures_25_27().unwrap_or_else(|e| {
+        eprintln!("cost model: {e}");
+        std::process::exit(1);
+    });
+    let headline = costs::headline().unwrap_or_else(|e| {
+        eprintln!("cost model: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", report::figures_25_27(&rows));
+    println!("{}", report::headline(&headline, None));
 }

@@ -47,7 +47,14 @@ fn main() {
     let workloads = csched_kernels::all();
     println!("{}", report::table1(&workloads));
 
-    let rows = costs::figures_25_27();
+    let rows = costs::figures_25_27().unwrap_or_else(|e| {
+        eprintln!("cost model: {e}");
+        std::process::exit(1);
+    });
+    let headline = costs::headline().unwrap_or_else(|e| {
+        eprintln!("cost model: {e}");
+        std::process::exit(1);
+    });
     println!("{}", report::figures_25_27(&rows));
 
     let archs = csched_machine::imagine::all_variants();
@@ -119,9 +126,9 @@ fn main() {
     if !grid.rows.is_empty() {
         println!("{}", report::figure28(&grid));
         println!("{}", report::figure29(&grid));
-        println!("{}", report::headline(&costs::headline(), Some(&grid)));
+        println!("{}", report::headline(&headline, Some(&grid)));
     } else {
-        println!("{}", report::headline(&costs::headline(), None));
+        println!("{}", report::headline(&headline, None));
     }
     println!("{}", report::scaling(&costs::scaling(&[1, 2, 4])));
 

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p csched-eval --bin table1 --
 //! [--metrics-json | --campaign-json] [--journal <path>] [--resume <path>]
-//! [--step-limit <attempts>] [extra-kernel.k ...]`
+//! [--step-limit <attempts>] [--jobs <threads>] [extra-kernel.k ...]`
 //!
 //! With `--metrics-json`, schedules every Table 1 kernel on all four
 //! Imagine register-file organisations and prints the full
@@ -17,7 +17,10 @@
 //! `--journal` as soon as it finishes, and `--resume` replays a previous
 //! journal so only missing cells are recomputed. The report is a pure
 //! function of the cell records, so a resumed campaign prints the same
-//! bytes as an uninterrupted one.
+//! bytes as an uninterrupted one. `--jobs N` spreads the campaign's
+//! cells over N worker threads; the report stays byte-identical because
+//! results merge in grid order and the journal is written only from the
+//! main thread.
 //!
 //! Extra positional arguments name kernel text files (the
 //! `csched_ir::text` language). A file that fails to parse no longer
@@ -54,6 +57,14 @@ fn main() {
             })
         })
         .unwrap_or(1_000_000);
+    let jobs: usize = flag_value(&args, "--jobs")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs: not a number: {v}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
 
     // Positional args are kernel files; skip flag values.
     let mut files: Vec<&String> = Vec::new();
@@ -63,7 +74,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--journal" || a == "--resume" || a == "--step-limit" {
+        if a == "--journal" || a == "--resume" || a == "--step-limit" || a == "--jobs" {
             skip_next = true;
             continue;
         }
@@ -120,13 +131,14 @@ fn main() {
                 std::process::exit(2);
             })
         });
-        let result = campaign::run_campaign(
+        let result = campaign::run_campaign_jobs(
             &kernels,
             &archs,
             &config,
             step_limit,
             journal.as_mut(),
             &resume,
+            jobs,
         )
         .unwrap_or_else(|e| {
             eprintln!("{e}");

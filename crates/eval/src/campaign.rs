@@ -106,7 +106,7 @@ impl CellRecord {
 
     /// Renders the record as one JSON object (one journal line, sans the
     /// key field the journal itself adds).
-    fn json_fields(&self) -> String {
+    pub(crate) fn json_fields(&self) -> String {
         format!(
             "\"kernel\":\"{}\",\"arch\":\"{}\",\"status\":\"{}\",\"ii\":{},\"copies\":{},\
              \"max_registers\":{},\"attempts\":{},\"detail\":\"{}\"",
@@ -419,28 +419,66 @@ pub fn run_campaign(
     archs: &[Architecture],
     config: &SchedulerConfig,
     step_limit: u64,
-    mut journal: Option<&mut Journal>,
+    journal: Option<&mut Journal>,
     resume: &HashMap<u64, CellRecord>,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_jobs(kernels, archs, config, step_limit, journal, resume, 1)
+}
+
+/// [`run_campaign`] on up to `jobs` worker threads.
+///
+/// Cells are evaluated through [`crate::pool::run_indexed`]: workers
+/// claim cells dynamically, but the records come back in the same
+/// kernel-major order as the sequential run and journal appends happen
+/// only on the calling thread, so both the report and the
+/// crash-consistency guarantees are identical for every `jobs` — a
+/// parallel campaign's [`campaign_json`] is byte-for-byte the
+/// single-threaded one.
+pub fn run_campaign_jobs(
+    kernels: &[(&str, &Kernel)],
+    archs: &[Architecture],
+    config: &SchedulerConfig,
+    step_limit: u64,
+    mut journal: Option<&mut Journal>,
+    resume: &HashMap<u64, CellRecord>,
+    jobs: usize,
+) -> Result<CampaignResult, CampaignError> {
     let fingerprint = config_fingerprint(config, step_limit);
-    let mut records = Vec::with_capacity(kernels.len() * archs.len());
-    let mut resumed = 0usize;
+    let mut items: Vec<(&str, &Kernel, &Architecture, u64)> =
+        Vec::with_capacity(kernels.len() * archs.len());
     for &(name, kernel) in kernels {
         for arch in archs {
-            let key = cell_key(name, arch.name(), &fingerprint);
-            if let Some(done) = resume.get(&key) {
-                records.push(done.clone());
-                resumed += 1;
-                continue;
-            }
-            let record = run_cell(name, kernel, arch, config, step_limit);
-            if let Some(j) = journal.as_deref_mut() {
-                j.append(key, &record)?;
-            }
-            records.push(record);
+            items.push((
+                name,
+                kernel,
+                arch,
+                cell_key(name, arch.name(), &fingerprint),
+            ));
         }
     }
-    Ok(CampaignResult { records, resumed })
+    let mut resumed = 0usize;
+    let results = crate::pool::run_indexed(
+        &items,
+        jobs,
+        |_, &(name, kernel, arch, key)| match resume.get(&key) {
+            Some(done) => (false, key, done.clone()),
+            None => (true, key, run_cell(name, kernel, arch, config, step_limit)),
+        },
+        |_, (fresh, key, record)| {
+            if *fresh {
+                if let Some(j) = journal.as_deref_mut() {
+                    j.append(*key, record)?;
+                }
+            } else {
+                resumed += 1;
+            }
+            Ok(())
+        },
+    )?;
+    Ok(CampaignResult {
+        records: results.into_iter().map(|(_, _, r)| r).collect(),
+        resumed,
+    })
 }
 
 fn run_cell(
@@ -718,5 +756,31 @@ mod tests {
         );
         assert_eq!(grid.rows.len(), 1);
         assert!(grid.rows[0].speedup(1) > 0.0);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential_byte_for_byte() {
+        let merge = csched_kernels::by_name("Merge").unwrap();
+        let sort = csched_kernels::by_name("Sort").unwrap();
+        let kernels: Vec<(&str, &Kernel)> = vec![("Merge", &merge.kernel), ("Sort", &sort.kernel)];
+        let archs = [imagine::central(), imagine::distributed()];
+        let config = SchedulerConfig::default();
+        let golden = run_campaign(&kernels, &archs, &config, 200_000, None, &HashMap::new())
+            .map(|r| campaign_json(&r.records))
+            .unwrap();
+        for jobs in [2, 4] {
+            let got = run_campaign_jobs(
+                &kernels,
+                &archs,
+                &config,
+                200_000,
+                None,
+                &HashMap::new(),
+                jobs,
+            )
+            .map(|r| campaign_json(&r.records))
+            .unwrap();
+            assert_eq!(got, golden, "jobs={jobs}");
+        }
     }
 }

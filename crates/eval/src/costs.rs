@@ -4,7 +4,7 @@
 use csched_machine::{cost, imagine, Architecture};
 
 /// One row of the Figures 25–27 bar data: normalised area/power/delay.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CostRow {
     /// Architecture name.
     pub arch: String,
@@ -18,25 +18,41 @@ pub struct CostRow {
 
 /// Computes the normalised cost rows for a set of architectures, using the
 /// first as the baseline (the paper normalises to central).
-pub fn cost_rows(archs: &[Architecture], params: &cost::CostParams) -> Vec<CostRow> {
+///
+/// # Errors
+///
+/// Returns [`cost::CostError::EmptyArchList`] for an empty `archs` (there
+/// is no baseline row to index) and propagates
+/// [`cost::CostError::ZeroBaseline`] when the baseline's area, power, or
+/// delay is zero or non-finite — instead of panicking or emitting
+/// `inf`/`NaN` ratios.
+pub fn cost_rows(
+    archs: &[Architecture],
+    params: &cost::CostParams,
+) -> Result<Vec<CostRow>, cost::CostError> {
     let reports: Vec<cost::CostReport> = archs.iter().map(|a| cost::estimate(a, params)).collect();
-    let base = &reports[0];
+    let base = reports.first().ok_or(cost::CostError::EmptyArchList)?;
     reports
         .iter()
         .map(|r| {
-            let (area, power, delay) = cost::normalized(r, base);
-            CostRow {
+            let (area, power, delay) = cost::normalized(r, base)?;
+            Ok(CostRow {
                 arch: r.arch.clone(),
                 area,
                 power,
                 delay,
-            }
+            })
         })
         .collect()
 }
 
 /// The Figures 25–27 rows for the paper's four organisations.
-pub fn figures_25_27() -> Vec<CostRow> {
+///
+/// # Errors
+///
+/// Propagates [`cost::CostError`] from [`cost_rows`] (cannot occur for
+/// the paper's machines, whose costs are strictly positive).
+pub fn figures_25_27() -> Result<Vec<CostRow>, cost::CostError> {
     cost_rows(&imagine::all_variants(), &cost::CostParams::default())
 }
 
@@ -50,15 +66,19 @@ pub struct Headline {
 }
 
 /// Computes the headline ratios at the paper's 16-unit configuration.
-pub fn headline() -> Headline {
+///
+/// # Errors
+///
+/// Propagates [`cost::CostError`] from [`cost::normalized`].
+pub fn headline() -> Result<Headline, cost::CostError> {
     let p = cost::CostParams::default();
     let central = cost::estimate(&imagine::central(), &p);
     let clustered = cost::estimate(&imagine::clustered(4), &p);
     let dist = cost::estimate(&imagine::distributed(), &p);
-    Headline {
-        dist_vs_central: cost::normalized(&dist, &central),
-        dist_vs_clustered: cost::normalized(&dist, &clustered),
-    }
+    Ok(Headline {
+        dist_vs_central: cost::normalized(&dist, &central)?,
+        dist_vs_clustered: cost::normalized(&dist, &clustered)?,
+    })
 }
 
 /// One point of the §8 scaling projection.
@@ -102,8 +122,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn empty_arch_list_is_a_typed_error() {
+        assert_eq!(
+            cost_rows(&[], &cost::CostParams::default()),
+            Err(cost::CostError::EmptyArchList)
+        );
+    }
+
+    #[test]
     fn figures_monotone_in_file_count() {
-        let rows = figures_25_27();
+        let rows = figures_25_27().unwrap();
         assert_eq!(rows.len(), 4);
         assert!((rows[0].area - 1.0).abs() < 1e-12, "baseline normalised");
         // central > clustered(2) > clustered(4) > distributed in area/power.
@@ -116,7 +144,7 @@ mod tests {
 
     #[test]
     fn headline_in_paper_bands() {
-        let h = headline();
+        let h = headline().unwrap();
         let (a, p, d) = h.dist_vs_central;
         assert!((0.04..=0.16).contains(&a), "area {a:.3} (paper 0.09)");
         assert!((0.02..=0.12).contains(&p), "power {p:.3} (paper 0.06)");

@@ -9,7 +9,12 @@
 //! - [`costs`] reproduces the Figures 25–27 area/power/delay bars, the
 //!   §1/§8 headline ratios, and the §8 scaling projection;
 //! - [`report`] renders everything as plain-text tables;
-//! - the `paper-report` binary runs the full evaluation in one shot.
+//! - [`explore`] searches a parameterised design space around the four
+//!   paper machines on a multi-threaded worker pool ([`pool`]) and
+//!   reports the Pareto frontier over (harmonic-mean II, area, power,
+//!   delay), with journal-backed resume;
+//! - the `paper-report` binary runs the full evaluation in one shot and
+//!   the `explore` binary runs the design-space search.
 
 #![warn(missing_docs)]
 // The evaluation harness reports typed failures per cell; outside of test
@@ -23,15 +28,19 @@
 pub mod bench;
 pub mod campaign;
 pub mod costs;
+pub mod explore;
 pub mod grid;
+pub mod pool;
 pub mod report;
 
 pub use bench::{
-    bench_json, compare, deterministic_json, measure_cell, parse_bench_json, run_bench, BenchCell,
-    BenchParseError, BenchReport, CompareReport,
+    bench_json, compare, deterministic_json, measure_cell, parse_bench_json, run_bench,
+    run_bench_jobs, BenchCell, BenchParseError, BenchReport, CompareReport,
 };
 pub use campaign::{
-    campaign_json, cell_key, config_fingerprint, grid_from_records, run_campaign, CampaignError,
-    CampaignResult, CellRecord, CellStatus, Journal,
+    campaign_json, cell_key, config_fingerprint, grid_from_records, run_campaign,
+    run_campaign_jobs, CampaignError, CampaignResult, CellRecord, CellStatus, Journal,
 };
+pub use explore::{explore, pareto, CandidateReport, ExploreConfig, ExploreReport, Origin, Score};
 pub use grid::{run_grid, Grid, GridError};
+pub use pool::run_indexed;

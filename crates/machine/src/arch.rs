@@ -478,6 +478,87 @@ impl Architecture {
         }
         s
     }
+
+    /// A stable 64-bit content hash of the machine's *structure*: unit
+    /// classes, capabilities (opcode, latency, issue interval), input
+    /// counts, output fanout, register-file capacities and port counts,
+    /// and the full output/bus/port/input connectivity — everything the
+    /// scheduler and the cost model observe. Names are deliberately
+    /// excluded, so two differently-named but structurally identical
+    /// machines fingerprint identically; design-space exploration uses
+    /// this for candidate dedup and for crash-consistent journal keys.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a tagged byte stream.
+        struct Fnv(u64);
+        impl Fnv {
+            fn eat(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn num(&mut self, n: usize) {
+                let mut bytes = [0u8; 9];
+                bytes[..8].copy_from_slice(&(n as u64).to_le_bytes());
+                bytes[8] = 0xfe; // field separator
+                self.eat(&bytes);
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.num(self.num_fus());
+        for fu in self.fu_ids() {
+            let u = self.fu(fu);
+            h.eat(u.class().to_string().as_bytes());
+            h.num(u.num_inputs());
+            h.num(usize::from(u.has_output()));
+            h.num(u.output_fanout());
+            h.num(u.capabilities().len());
+            for cap in u.capabilities() {
+                h.eat(cap.opcode.mnemonic().as_bytes());
+                h.num(cap.latency as usize);
+                h.num(cap.issue_interval as usize);
+            }
+            h.num(self.output_buses(fu).len());
+            for bus in self.output_buses(fu) {
+                h.num(bus.index());
+            }
+        }
+        h.num(self.num_rfs());
+        for rf in self.rf_ids() {
+            let r = self.rf(rf);
+            h.num(r.capacity());
+            h.num(r.read_ports().len());
+            for &rp in r.read_ports() {
+                h.num(rp.index());
+            }
+            h.num(r.write_ports().len());
+            for &wp in r.write_ports() {
+                h.num(wp.index());
+            }
+        }
+        h.num(self.num_buses());
+        for bus in self.bus_ids() {
+            h.num(self.bus_write_ports(bus).len());
+            for &wp in self.bus_write_ports(bus) {
+                h.num(wp.index());
+            }
+            h.num(self.bus_inputs(bus).len());
+            for input in self.bus_inputs(bus) {
+                h.num(input.fu.index());
+                h.num(usize::from(input.slot));
+            }
+        }
+        h.num(self.num_read_ports());
+        for rp in 0..self.num_read_ports() {
+            let rp = crate::ids::ReadPortId::from_raw(rp);
+            h.num(self.read_port_rf(rp).index());
+            h.num(self.read_port_buses(rp).len());
+            for bus in self.read_port_buses(rp) {
+                h.num(bus.index());
+            }
+        }
+        h.0
+    }
 }
 
 /// Incrementally constructs and validates an [`Architecture`].
@@ -981,5 +1062,62 @@ mod tests {
     fn error_display_nonempty() {
         let e = ArchError::Empty;
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_name_blind() {
+        use crate::imagine;
+        // Deterministic across rebuilds of the same structure.
+        assert_eq!(
+            imagine::distributed().fingerprint(),
+            imagine::distributed().fingerprint()
+        );
+        // The four organisations are structurally distinct.
+        let fps: std::collections::HashSet<u64> = imagine::all_variants()
+            .iter()
+            .map(|a| a.fingerprint())
+            .collect();
+        assert_eq!(fps.len(), 4);
+        // Renaming everything leaves the fingerprint unchanged.
+        let mk = |name: &str, fu: &str, rf: &str| {
+            let mut b = ArchBuilder::new(name);
+            let r = b.register_file(rf, 8);
+            let alu = b.functional_unit(
+                fu,
+                FuClass::Alu,
+                2,
+                true,
+                [Opcode::IAdd, Opcode::Copy]
+                    .iter()
+                    .map(|&op| crate::op::default_capability(op)),
+            );
+            b.dedicated_write(alu, r);
+            b.dedicated_read(r, alu, 0);
+            b.dedicated_read(r, alu, 1);
+            b.build().unwrap()
+        };
+        assert_eq!(
+            mk("a", "ALU", "RF").fingerprint(),
+            mk("b", "ADDER", "FILE").fingerprint()
+        );
+        // A structural difference (capacity) changes it.
+        let mut b = ArchBuilder::new("c");
+        let r = b.register_file("RF", 16);
+        let alu = b.functional_unit(
+            "ALU",
+            FuClass::Alu,
+            2,
+            true,
+            [Opcode::IAdd, Opcode::Copy]
+                .iter()
+                .map(|&op| crate::op::default_capability(op)),
+        );
+        b.dedicated_write(alu, r);
+        b.dedicated_read(r, alu, 0);
+        b.dedicated_read(r, alu, 1);
+        assert_ne!(
+            b.build().unwrap().fingerprint(),
+            mk("a", "ALU", "RF").fingerprint()
+        );
     }
 }

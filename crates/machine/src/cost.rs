@@ -286,14 +286,73 @@ pub fn estimate(arch: &Architecture, params: &CostParams) -> CostReport {
     }
 }
 
+/// Typed errors from cost normalisation.
+///
+/// Dividing by a degenerate baseline used to produce silent `inf`/`NaN`
+/// ratios (and an empty architecture list panicked on `reports[0]`
+/// upstream); both conditions now surface as values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CostError {
+    /// No architectures were given, so there is no baseline to normalise
+    /// against.
+    EmptyArchList,
+    /// The named baseline quantity is zero or non-finite, so ratios would
+    /// be `inf`/`NaN`. Carries the baseline architecture name.
+    ZeroBaseline {
+        /// Which quantity was degenerate (`"area"`, `"power"`, `"delay"`).
+        quantity: &'static str,
+        /// The baseline architecture's name.
+        arch: String,
+    },
+}
+
+impl std::fmt::Display for CostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostError::EmptyArchList => {
+                write!(f, "no architectures to normalise (empty list)")
+            }
+            CostError::ZeroBaseline { quantity, arch } => {
+                write!(
+                    f,
+                    "baseline {arch} has zero/non-finite {quantity}; ratios undefined"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
 /// The normalised `(area, power, delay)` triple of `report` relative to
 /// `baseline` (the paper normalises to the central organisation).
-pub fn normalized(report: &CostReport, baseline: &CostReport) -> (f64, f64, f64) {
-    (
+///
+/// # Errors
+///
+/// Returns [`CostError::ZeroBaseline`] when any baseline quantity is zero
+/// or non-finite, instead of producing `inf`/`NaN` ratios.
+pub fn normalized(
+    report: &CostReport,
+    baseline: &CostReport,
+) -> Result<(f64, f64, f64), CostError> {
+    for (quantity, value) in [
+        ("area", baseline.area()),
+        ("power", baseline.power()),
+        ("delay", baseline.delay),
+    ] {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(CostError::ZeroBaseline {
+                quantity,
+                arch: baseline.arch.clone(),
+            });
+        }
+    }
+    Ok((
         report.area() / baseline.area(),
         report.power() / baseline.power(),
         report.delay / baseline.delay,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -329,7 +388,7 @@ mod tests {
         let c4 = estimate(&imagine::clustered(4), &p);
         let dist = estimate(&imagine::distributed(), &p);
 
-        let (a, pw, d) = normalized(&dist, &central);
+        let (a, pw, d) = normalized(&dist, &central).unwrap();
         assert!((0.04..=0.16).contains(&a), "area ratio vs central: {a:.3}");
         assert!(
             (0.02..=0.12).contains(&pw),
@@ -337,7 +396,7 @@ mod tests {
         );
         assert!((0.2..=0.55).contains(&d), "delay ratio vs central: {d:.3}");
 
-        let (a2, pw2, _) = normalized(&dist, &c4);
+        let (a2, pw2, _) = normalized(&dist, &c4).unwrap();
         assert!(
             (0.3..=0.8).contains(&a2),
             "area ratio vs clustered: {a2:.3}"
@@ -406,6 +465,32 @@ mod tests {
         assert!(r.power() >= r.rf_power);
         assert!(r.delay > 0.0);
         assert_eq!(r.arch, "imagine-clustered-4");
+    }
+
+    #[test]
+    fn degenerate_baseline_is_a_typed_error_not_inf() {
+        let p = CostParams::default();
+        let dist = estimate(&imagine::distributed(), &p);
+        let mut zero = dist.clone();
+        zero.rf_area = 0.0;
+        zero.wire_area = 0.0;
+        match normalized(&dist, &zero) {
+            Err(CostError::ZeroBaseline { quantity, arch }) => {
+                assert_eq!(quantity, "area");
+                assert_eq!(arch, "imagine-distributed");
+            }
+            other => panic!("expected ZeroBaseline, got {other:?}"),
+        }
+        let mut nan = dist.clone();
+        nan.delay = f64::NAN;
+        assert!(matches!(
+            normalized(&dist, &nan),
+            Err(CostError::ZeroBaseline {
+                quantity: "delay",
+                ..
+            })
+        ));
+        assert!(!CostError::EmptyArchList.to_string().is_empty());
     }
 
     #[test]

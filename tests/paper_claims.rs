@@ -84,12 +84,12 @@ fn cost_model_matches_headline_bands() {
     let clustered = cost::estimate(&imagine::clustered(4), &p);
     let dist = cost::estimate(&imagine::distributed(), &p);
 
-    let (a, pw, d) = cost::normalized(&dist, &central);
+    let (a, pw, d) = cost::normalized(&dist, &central).unwrap();
     assert!((0.04..=0.16).contains(&a), "area vs central {a:.3}");
     assert!((0.02..=0.12).contains(&pw), "power vs central {pw:.3}");
     assert!((0.20..=0.55).contains(&d), "delay vs central {d:.3}");
 
-    let (a2, pw2, _) = cost::normalized(&dist, &clustered);
+    let (a2, pw2, _) = cost::normalized(&dist, &clustered).unwrap();
     assert!((0.30..=0.80).contains(&a2), "area vs clustered {a2:.3}");
     assert!((0.20..=0.75).contains(&pw2), "power vs clustered {pw2:.3}");
 }
