@@ -73,6 +73,52 @@ step "explain smoke (FFT on distributed)"
 cargo run -q --release -p csched-eval --bin explain -- FFT distributed --json \
     | grep -q '"binding"'
 
+# Scheduler-service smoke: start the server on a persistent cache, drive
+# malformed + cold + warm traffic (the bench gates warm throughput at
+# >= 10x cold), SIGKILL the server mid-request, restart it on the same
+# journal, and assert the cache reloads with zero corrupt or quarantined
+# entries and keeps serving warm hits.
+step "serve smoke (overload/crash/cache consistency)"
+SERVE_DIR="$(mktemp -d)"
+SERVE_CACHE="$SERVE_DIR/serve_cache.jsonl"
+serve_wait_addr() { # log-file -> prints host:port once the server is up
+    local log="$1" addr=""
+    for _ in $(seq 1 300); do
+        addr="$(sed -n 's/^listening on //p' "$log")"
+        if [ -n "$addr" ]; then printf '%s' "$addr"; return 0; fi
+        sleep 0.1
+    done
+    echo "serve never reported its address" >&2
+    return 1
+}
+cargo run -q --release -p csched-eval --bin serve -- \
+    --addr 127.0.0.1:0 --cache "$SERVE_CACHE" > "$SERVE_DIR/serve1.log" &
+SERVE_PID=$!
+SERVE_ADDR="$(serve_wait_addr "$SERVE_DIR/serve1.log")"
+cargo run -q --release -p csched-eval --bin serve -- \
+    --client "$SERVE_ADDR" --malformed > /dev/null
+cargo run -q --release -p csched-eval --bin serve -- \
+    --client "$SERVE_ADDR" --bench-suite --min-ratio 10
+# SIGKILL mid-request: fire a request and kill the server under it; the
+# flushed journal must survive (a torn tail is repaired, never corrupt).
+cargo run -q --release -p csched-eval --bin serve -- \
+    --client "$SERVE_ADDR" --kernel FFT --arch clustered4 > /dev/null 2>&1 &
+SERVE_KILL_CLIENT=$!
+kill -9 "$SERVE_PID"
+wait "$SERVE_KILL_CLIENT" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+cargo run -q --release -p csched-eval --bin serve -- \
+    --addr 127.0.0.1:0 --cache "$SERVE_CACHE" > "$SERVE_DIR/serve2.log" &
+SERVE_PID=$!
+SERVE_ADDR="$(serve_wait_addr "$SERVE_DIR/serve2.log")"
+grep -q ', 0 quarantined, 0 corrupt lines,' "$SERVE_DIR/serve2.log"
+cargo run -q --release -p csched-eval --bin serve -- \
+    --client "$SERVE_ADDR" --kernel Merge --arch distributed \
+    | grep -q 'CACHE hit'
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+rm -rf "$SERVE_DIR"
+
 step "cargo test --doc --workspace"
 cargo test -q --doc --workspace
 

@@ -126,6 +126,24 @@ impl SchedError {
             SchedError::BlockFailed { .. } | SchedError::IiExhausted { .. }
         )
     }
+
+    /// Whether this error is a budget stop — the caller's
+    /// [`StepBudget`](crate::StepBudget) ran dry
+    /// ([`SchedError::DeadlineExceeded`]) or its
+    /// [`CancelToken`](crate::CancelToken) fired
+    /// ([`SchedError::Cancelled`]).
+    ///
+    /// Budget stops are the *caller's* bound, not a verdict on the
+    /// kernel/machine pair: a service maps them to a typed deadline
+    /// response (or a degraded best-so-far answer), a campaign records
+    /// the cell as `TimedOut`, and neither treats them as a scheduling
+    /// failure.
+    pub fn is_budget_stop(&self) -> bool {
+        matches!(
+            self,
+            SchedError::DeadlineExceeded { .. } | SchedError::Cancelled { .. }
+        )
+    }
 }
 
 impl fmt::Display for SchedError {
@@ -220,6 +238,9 @@ mod tests {
             phase: "placement",
         };
         assert!(!e.is_retryable());
+        assert!(e.is_budget_stop());
+        assert!(SchedError::Cancelled { phase: "placement" }.is_budget_stop());
+        assert!(!SchedError::IiExhausted { mii: 1, max_ii: 2 }.is_budget_stop());
         assert_eq!(
             e.to_string(),
             "deadline exceeded in placement: 512 of 512 placement attempts spent"

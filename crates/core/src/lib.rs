@@ -71,7 +71,7 @@ pub mod trace;
 mod universe;
 pub mod validate;
 
-pub use budget::{BudgetStop, CancelToken, StepBudget};
+pub use budget::{BudgetStop, CancelToken, StepBudget, WatchGuard, Watchdog};
 pub use config::{ScheduleOrder, SchedulerConfig};
 pub use driver::{res_mii, schedule_kernel, schedule_kernel_budgeted, schedule_kernel_traced};
 pub use engine::{Engine, OrderEdge};
@@ -79,8 +79,8 @@ pub use error::SchedError;
 pub use explain::{explain, Binding, Counterfactual, Explanation, ResourceRank};
 pub use metrics::ScheduleMetrics;
 pub use retry::{
-    schedule_kernel_with_retry, schedule_kernel_with_retry_budgeted,
-    schedule_kernel_with_retry_traced, Attempt, RetryPolicy, ScheduleReport,
+    schedule_kernel_anytime, schedule_kernel_with_retry, schedule_kernel_with_retry_budgeted,
+    schedule_kernel_with_retry_traced, AnytimeReport, Attempt, RetryPolicy, ScheduleReport,
 };
 pub use schedule::{CommDisposition, PipelineSlot, Route, SchedStats, Schedule, ScheduledOp};
 pub use table::{ResourceTable, TableMode};

@@ -268,10 +268,7 @@ fn schedule_with_retry_impl(
             }
             Err(e) => {
                 let stop = !e.is_retryable();
-                if matches!(
-                    e,
-                    SchedError::DeadlineExceeded { .. } | SchedError::Cancelled { .. }
-                ) {
+                if e.is_budget_stop() {
                     report.budget_exhausted = true;
                 }
                 report.attempts.push(Attempt {
@@ -290,6 +287,142 @@ fn schedule_with_retry_impl(
         SchedError::internal("retry", "no scheduling attempt was made".to_string())
     });
     (Err(err), report)
+}
+
+/// Diagnostic attached to every [`schedule_kernel_anytime`] result.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnytimeReport {
+    /// The acquisition ladder: the same relaxation rungs as
+    /// [`schedule_kernel_with_retry`], run first to get *some* schedule.
+    pub ladder: ScheduleReport,
+    /// Improvement rungs tried after the first schedule was acquired,
+    /// each searching below the best II found so far with escalating
+    /// per-II effort.
+    pub improvements: Vec<Attempt>,
+    /// Budget spent when the first schedule was acquired (equals
+    /// `ladder.attempts_spent`; 0 when acquisition failed outright).
+    pub acquired_spent: u64,
+    /// Total placement attempts charged across acquisition and
+    /// improvement. Never exceeds the budget's limit.
+    pub attempts_spent: u64,
+    /// `true` when the budget (or a cancellation) expired mid-ladder and
+    /// the returned schedule is merely the best one found so far — the
+    /// improvement search was cut short before it could prove no better
+    /// II exists. `false` both on full completion and on outright error.
+    pub degraded: bool,
+    /// The initiation interval of the returned schedule (`None` for
+    /// straight-line kernels or when scheduling failed).
+    pub best_ii: Option<u32>,
+}
+
+/// *Anytime* scheduling: acquire a schedule fast, then spend the rest of
+/// the budget improving it, and always return the best one found.
+///
+/// Phase one runs the [`schedule_kernel_with_retry`] relaxation ladder
+/// under `budget`. Phase two repeatedly re-schedules with the II cap
+/// lowered to one below the best II achieved, escalating the per-II
+/// placement-attempt cap each rung (a backoff ladder in reverse: more
+/// effort per rung as cheaper rungs fail), until either
+///
+/// - an improvement rung fails with [`SchedError::IiExhausted`] at its
+///   full escalated effort — no better schedule was found, the result is
+///   *not* degraded; or
+/// - the shared budget runs dry (or the budget's
+///   [`CancelToken`](crate::CancelToken) fires) mid-rung — the
+///   best-so-far schedule is returned with
+///   [`AnytimeReport::degraded`] set.
+///
+/// This is the graceful-degradation primitive for a scheduling service:
+/// a request whose deadline expires mid-ladder still gets the best
+/// relaxed-II schedule completed so far instead of an error, and the
+/// report says exactly how much confidence the answer carries.
+///
+/// # Errors
+///
+/// Only when *no* schedule was found at all: the acquisition ladder's
+/// final error, under the same taxonomy as [`schedule_kernel_with_retry`].
+pub fn schedule_kernel_anytime(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    policy: &RetryPolicy,
+    budget: &StepBudget,
+) -> (Result<Schedule, SchedError>, AnytimeReport) {
+    let (acquired, ladder) =
+        schedule_with_retry_impl(arch, kernel, config.clone(), policy, budget, None);
+    let mut report = AnytimeReport {
+        acquired_spent: ladder.attempts_spent,
+        attempts_spent: ladder.attempts_spent,
+        ..AnytimeReport::default()
+    };
+    let successful_rung = ladder.attempts.last().map_or(0, |a| a.attempt);
+    report.ladder = ladder;
+    let mut best = match acquired {
+        Ok(schedule) => schedule,
+        Err(e) => return (Err(e), report),
+    };
+    report.best_ii = best.ii();
+    // Straight-line kernels have no II to improve; an II of 1 is already
+    // the floor.
+    let Some(mut best_ii) = best.ii().filter(|&ii| ii > 1) else {
+        return (Ok(best), report);
+    };
+    // Improvement rungs reuse the configuration of the rung that
+    // succeeded (its relaxations are what made the kernel schedulable).
+    let (rung_config, _) = rung(&config, successful_rung);
+    let mut escalation = 0u32;
+    loop {
+        if best_ii <= 1 {
+            break;
+        }
+        let remaining = budget.remaining();
+        if remaining == 0 {
+            // The deadline expired before this rung could start: the
+            // result is the best schedule completed so far.
+            report.degraded = true;
+            break;
+        }
+        let mut cfg = rung_config.clone();
+        cfg.max_ii = best_ii - 1;
+        let effort = rung_config
+            .max_attempts_per_ii
+            .saturating_mul(1 << escalation.min(16));
+        let truncated = effort > remaining;
+        cfg.max_attempts_per_ii = effort.min(remaining);
+        let mut record = Attempt {
+            attempt: report.improvements.len(),
+            relaxation: "improvement: lowered II cap",
+            max_ii: cfg.max_ii,
+            attempts_granted: cfg.max_attempts_per_ii,
+            error: None,
+        };
+        match schedule_kernel_impl(arch, kernel, cfg, None, Some(budget)) {
+            Ok(better) => {
+                report.improvements.push(record);
+                best_ii = better.ii().unwrap_or(1);
+                report.best_ii = Some(best_ii);
+                best = better;
+                escalation = escalation.saturating_add(1);
+            }
+            Err(e) => {
+                let budget_stop = e.is_budget_stop();
+                let exhausted_ii = matches!(e, SchedError::IiExhausted { .. });
+                record.error = Some(e);
+                report.improvements.push(record);
+                if budget_stop || (exhausted_ii && truncated) {
+                    // The budget cut the search short (mid-rung, or by
+                    // truncating the rung's effort): degrade gracefully.
+                    report.degraded = true;
+                }
+                // IiExhausted at full effort proves (heuristically) that
+                // no better II exists; any other error also stops the
+                // ladder — the acquired schedule stands.
+                break;
+            }
+        }
+    }
+    report.attempts_spent = budget.spent();
+    (Ok(best), report)
 }
 
 #[cfg(test)]
@@ -452,6 +585,133 @@ mod tests {
             report.attempts[0].error,
             Some(SchedError::IiExhausted { mii: 2, max_ii: 1 })
         ));
+    }
+
+    #[test]
+    fn anytime_reaches_a_proven_best_with_budget_to_spare() {
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        // max_ii = 1 forces the acquisition ladder to relax before it can
+        // schedule (MII = 2); improvement then tries II cap 1 and proves
+        // IiExhausted at full effort — not degraded.
+        let cfg = SchedulerConfig {
+            max_ii: 1,
+            ..SchedulerConfig::default()
+        };
+        let budget = StepBudget::new(1 << 20);
+        let (result, report) =
+            schedule_kernel_anytime(&arch, &kernel, cfg, &RetryPolicy::default(), &budget);
+        let schedule = result.expect("anytime must return the acquired schedule");
+        assert!(validate::validate(&arch, &kernel, &schedule).is_ok());
+        // MII is 2, but stub/copy pressure on the toy machine makes 3 the
+        // achievable floor: the improvement rung searches II = 2 at full
+        // effort and proves exhaustion.
+        assert_eq!(report.best_ii, Some(3));
+        assert!(!report.degraded, "full completion must not be degraded");
+        assert!(report.ladder.recovered());
+        // The improvement ladder ran and stopped on a genuine proof.
+        assert!(matches!(
+            report.improvements.last().and_then(|a| a.error.as_ref()),
+            Some(SchedError::IiExhausted { .. })
+        ));
+        assert!(report.attempts_spent >= report.acquired_spent);
+        assert!(report.attempts_spent <= budget.limit());
+    }
+
+    #[test]
+    fn deadline_mid_ladder_degrades_to_best_rung_completed_so_far() {
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        let cfg = SchedulerConfig {
+            max_ii: 1,
+            ..SchedulerConfig::default()
+        };
+        // Reference run: learn the deterministic acquisition cost and the
+        // best II the full ladder reaches.
+        let reference = StepBudget::new(1 << 20);
+        let (ref_result, ref_report) = schedule_kernel_anytime(
+            &arch,
+            &kernel,
+            cfg.clone(),
+            &RetryPolicy::default(),
+            &reference,
+        );
+        let ref_ii = ref_result.unwrap().ii().unwrap();
+        let acquired = ref_report.acquired_spent;
+        assert!(acquired > 0);
+
+        // A budget that dies exactly when acquisition completes: the
+        // improvement ladder is cut short before it can run, and the
+        // degraded result is the best (only) rung completed so far.
+        let limit = acquired;
+        let budget = StepBudget::new(limit);
+        let (result, report) =
+            schedule_kernel_anytime(&arch, &kernel, cfg, &RetryPolicy::default(), &budget);
+        let schedule = result.expect("the acquired schedule must be returned, degraded");
+        assert!(report.degraded, "deadline mid-ladder must degrade");
+        assert_eq!(
+            schedule.ii().unwrap(),
+            ref_ii,
+            "degraded result must be the best rung completed so far"
+        );
+        assert!(validate::validate(&arch, &kernel, &schedule).is_ok());
+        // The hard contract: a budgeted call never overruns its limit.
+        assert!(
+            report.attempts_spent <= limit,
+            "attempts_spent {} > limit {limit}",
+            report.attempts_spent
+        );
+        assert_eq!(report.attempts_spent, budget.spent());
+    }
+
+    #[test]
+    fn deadline_mid_improvement_rung_still_returns_acquired_schedule() {
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        let cfg = SchedulerConfig {
+            max_ii: 1,
+            ..SchedulerConfig::default()
+        };
+        let reference = StepBudget::new(1 << 20);
+        let (_, ref_report) = schedule_kernel_anytime(
+            &arch,
+            &kernel,
+            cfg.clone(),
+            &RetryPolicy::default(),
+            &reference,
+        );
+        // One attempt of headroom: the improvement rung starts, charges
+        // work, and trips the deadline mid-search (or proves exhaustion
+        // under truncated effort) — either way a degraded-or-proven
+        // answer within budget.
+        let limit = ref_report.acquired_spent + 1;
+        let budget = StepBudget::new(limit);
+        let (result, report) =
+            schedule_kernel_anytime(&arch, &kernel, cfg, &RetryPolicy::default(), &budget);
+        assert!(result.is_ok());
+        assert!(report.attempts_spent <= limit);
+        assert!(!report.improvements.is_empty());
+    }
+
+    #[test]
+    fn anytime_on_unschedulable_kernel_surfaces_the_ladder_error() {
+        let arch = toy::motivating_example();
+        let mut kb = KernelBuilder::new("fp");
+        let b = kb.straight_block("b");
+        kb.push(b, Opcode::FMul, [1.0f64.into(), 2.0f64.into()]);
+        let kernel = kb.build().unwrap();
+        let budget = StepBudget::new(1 << 20);
+        let (result, report) = schedule_kernel_anytime(
+            &arch,
+            &kernel,
+            SchedulerConfig::default(),
+            &RetryPolicy::default(),
+            &budget,
+        );
+        assert!(matches!(result, Err(SchedError::NoCapableUnit { .. })));
+        assert!(!report.degraded);
+        assert_eq!(report.best_ii, None);
+        assert!(report.improvements.is_empty());
     }
 
     #[test]

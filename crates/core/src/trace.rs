@@ -762,6 +762,72 @@ mod tests {
     }
 
     #[test]
+    fn enospc_latches_once_and_later_events_never_touch_the_writer() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        /// A writer simulating a disk that runs out of space: accepts
+        /// `room` bytes, then fails every write with `StorageFull`,
+        /// counting how often it is even asked.
+        struct Enospc {
+            attempts: Arc<AtomicUsize>,
+            room: usize,
+        }
+        impl std::io::Write for Enospc {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.attempts.fetch_add(1, Ordering::SeqCst);
+                if buf.len() > self.room {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::StorageFull,
+                        "no space left on device",
+                    ));
+                }
+                self.room -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let mut sink = JsonlWriterSink::new(Enospc {
+            attempts: Arc::clone(&attempts),
+            room: 30, // one ii_start line fits, the second overflows
+        });
+        sink.event(TraceEvent::IiStart { ii: 1 });
+        sink.event(TraceEvent::IiStart { ii: 2 }); // ENOSPC: latches
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+
+        // Every later event is a pure no-op: the full disk is not
+        // retried per event, the line count stays frozen.
+        for ii in 3..100 {
+            sink.event(TraceEvent::IiStart { ii });
+        }
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            2,
+            "a latched sink must stop hammering the full disk"
+        );
+        assert_eq!(sink.lines(), 1);
+
+        // The first failure is reported exactly once via take_error…
+        let err = sink.take_error().expect("failure must be latched");
+        assert_eq!(err.operation, "write");
+        assert_eq!(err.lines_written, 1);
+        assert_eq!(err.source.kind(), std::io::ErrorKind::StorageFull);
+        assert!(sink.take_error().is_none(), "error reported once");
+
+        // …which re-arms the sink: the next event hits the (still full)
+        // writer again and `finish` surfaces the fresh failure.
+        sink.event(TraceEvent::IiStart { ii: 50 });
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        let err = sink.finish().expect_err("still-full disk latches again");
+        assert_eq!(err.lines_written, 1);
+        assert_eq!(err.source.kind(), std::io::ErrorKind::StorageFull);
+    }
+
+    #[test]
     fn deadline_event_json_shape() {
         let e = TraceEvent::DeadlineExceeded {
             spent: 40,

@@ -1,0 +1,205 @@
+//! Hosts the hardened scheduler service (`csched_eval::serve`) and ships
+//! a small client for exercising it — including the cold-vs-warm
+//! cache-throughput benchmark the CI smoke run gates on.
+//!
+//! Server: `serve --addr 127.0.0.1:0 [--cache <path>] [--durable]
+//! [--jobs N] [--queue N] [--step-limit N] [--wall-ms N]` — prints
+//! `listening on <addr>` (port 0 resolved) and serves until killed.
+//!
+//! Client: `serve --client <addr>` plus one of
+//! `--kernel <name> --arch <org>` (one request; add `--limit`/`--wall-ms`),
+//! `--stats` (the counters JSON line), `--malformed` (a deliberately
+//! broken request, expecting `ERR malformed`), or `--bench-suite`
+//! (schedule the whole Table 1 suite cold, then again warm, print both
+//! rates, and exit 1 if warm/cold < `--min-ratio`, default 10).
+
+use std::time::{Duration, Instant};
+
+use csched_eval::serve::{client_raw, client_request, client_stats, ServeConfig, Server};
+use csched_ir::text as ir_text;
+use csched_machine::text as machine_text;
+
+const HELP: &str = "usage:
+  serve --addr <host:port> [server flags]    host the service
+  serve --client <host:port> <client mode>   talk to a running service
+server flags:
+  --cache <path>    persistent schedule-cache journal
+  --durable         fsync each cache append
+  --jobs N          worker threads (default 4)
+  --queue N         admission-queue capacity (default 16)
+  --step-limit N    default placement-attempt budget per request
+  --wall-ms N       wall-clock deadline per request
+client modes:
+  --kernel <name> --arch <org> [--limit N] [--wall-ms N]
+                    one SCHED request (org: central | clustered2 |
+                    clustered4 | distributed)
+  --stats           print the service counters JSON line
+  --malformed       send a broken request; expect ERR malformed
+  --bench-suite [--min-ratio N]
+                    cold vs warm requests/sec over the kernel suite;
+                    exit 1 if warm/cold < N (default 10)
+  --help            this text";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn num_flag(args: &[String], flag: &str) -> Option<u64> {
+    flag_value(args, flag).map(|v| v.parse().unwrap_or_else(|_| panic!("bad {flag} value {v}")))
+}
+
+fn arch_by_name(name: &str) -> csched_machine::Architecture {
+    match name {
+        "central" => csched_machine::imagine::central(),
+        "clustered2" => csched_machine::imagine::clustered(2),
+        "clustered4" => csched_machine::imagine::clustered(4),
+        "distributed" => csched_machine::imagine::distributed(),
+        other => {
+            panic!("unknown arch {other} (want central | clustered2 | clustered4 | distributed)")
+        }
+    }
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help") || args.is_empty() {
+        println!("{HELP}");
+        return;
+    }
+    if let Some(addr) = flag_value(&args, "--addr") {
+        run_server(&addr, &args);
+    } else if let Some(addr) = flag_value(&args, "--client") {
+        run_client(&addr, &args);
+    } else {
+        eprintln!("need --addr (server) or --client (client)\n{HELP}");
+        std::process::exit(2);
+    }
+}
+
+fn run_server(addr: &str, args: &[String]) {
+    let mut config = ServeConfig {
+        cache_path: flag_value(args, "--cache").map(Into::into),
+        durable: args.iter().any(|a| a == "--durable"),
+        wall_ms: num_flag(args, "--wall-ms"),
+        ..ServeConfig::default()
+    };
+    if let Some(jobs) = num_flag(args, "--jobs") {
+        config.jobs = jobs as usize;
+    }
+    if let Some(queue) = num_flag(args, "--queue") {
+        config.queue_cap = queue as usize;
+    }
+    if let Some(limit) = num_flag(args, "--step-limit") {
+        config.step_limit = limit;
+    }
+    let (server, load) = Server::bind(addr, config).expect("server starts");
+    println!(
+        "cache: {} entries, {} quarantined, {} corrupt lines, {} torn bytes repaired",
+        load.entries, load.quarantined, load.corrupt_lines, load.repaired_bytes
+    );
+    // Flushed before the address so scripts can parse the last line.
+    println!("listening on {}", server.addr());
+    // Serve until killed; the cache journal is flushed per append, so an
+    // abrupt SIGKILL here is exactly the crash-consistency test case.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_client(addr: &str, args: &[String]) {
+    if args.iter().any(|a| a == "--stats") {
+        println!(
+            "{}",
+            client_stats(addr, CLIENT_TIMEOUT).expect("stats request")
+        );
+    } else if args.iter().any(|a| a == "--malformed") {
+        let response =
+            client_raw(addr, b"BOGUS request\n", CLIENT_TIMEOUT).expect("malformed probe");
+        print!("{response}");
+        assert!(
+            response.starts_with("ERR malformed"),
+            "expected a typed malformed rejection, got: {response}"
+        );
+    } else if args.iter().any(|a| a == "--bench-suite") {
+        bench_suite(addr, num_flag(args, "--min-ratio").unwrap_or(10));
+    } else if let Some(kernel_name) = flag_value(args, "--kernel") {
+        let w = csched_kernels::by_name(&kernel_name).expect("unknown kernel");
+        let arch =
+            arch_by_name(&flag_value(args, "--arch").unwrap_or_else(|| "distributed".to_string()));
+        let response = client_request(
+            addr,
+            &ir_text::print(&w.kernel),
+            &machine_text::print(&arch),
+            num_flag(args, "--limit"),
+            num_flag(args, "--wall-ms"),
+            CLIENT_TIMEOUT,
+        )
+        .expect("request");
+        print!("{response}");
+        if response.starts_with("ERR ") {
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!("need a client mode\n{HELP}");
+        std::process::exit(2);
+    }
+}
+
+/// Schedules the whole kernel suite against the four Imagine machines
+/// twice — cold (first pass populates the cache) and warm (second pass
+/// must hit) — and gates on the warm/cold throughput ratio.
+fn bench_suite(addr: &str, min_ratio: u64) {
+    let archs = [
+        ("central", csched_machine::imagine::central()),
+        ("clustered2", csched_machine::imagine::clustered(2)),
+        ("clustered4", csched_machine::imagine::clustered(4)),
+        ("distributed", csched_machine::imagine::distributed()),
+    ];
+    let requests: Vec<(String, String)> = csched_kernels::all()
+        .iter()
+        .flat_map(|w| {
+            let kernel_text = ir_text::print(&w.kernel);
+            archs
+                .iter()
+                .map(move |(_, arch)| (kernel_text.clone(), machine_text::print(arch)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let pass = |label: &str, expect_cache: &str| -> f64 {
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for (kernel_text, arch_text) in &requests {
+            let response = client_request(addr, kernel_text, arch_text, None, None, CLIENT_TIMEOUT)
+                .expect("suite request");
+            assert!(
+                response.contains("\nOK ") || response.starts_with("OK "),
+                "{label} request failed: {response}"
+            );
+            if response.starts_with(&format!("CACHE {expect_cache}")) {
+                hits += 1;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let rps = requests.len() as f64 / elapsed;
+        println!(
+            "{label}: {} requests in {elapsed:.3}s = {rps:.1} req/s ({hits}/{} {expect_cache})",
+            requests.len(),
+            requests.len(),
+        );
+        rps
+    };
+
+    let cold = pass("cold", "miss");
+    let warm = pass("warm", "hit");
+    let ratio = warm / cold.max(1e-9);
+    println!("warm/cold ratio: {ratio:.1}x (gate: >= {min_ratio}x)");
+    if ratio < min_ratio as f64 {
+        eprintln!("FAIL: warm cache speedup below the {min_ratio}x gate");
+        std::process::exit(1);
+    }
+}

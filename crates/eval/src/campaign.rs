@@ -179,6 +179,16 @@ pub enum CampaignError {
         /// What was wrong.
         detail: String,
     },
+    /// The journal cannot be created at this path at all — its parent
+    /// directory is missing, or the location is read-only. Unlike the
+    /// transient [`CampaignError::Io`], retrying cannot help; the path
+    /// itself is wrong.
+    Unwritable {
+        /// The journal path that was requested.
+        path: PathBuf,
+        /// Why the path cannot hold a journal.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -196,6 +206,9 @@ impl std::fmt::Display for CampaignError {
             CampaignError::Corrupt { path, line, detail } => {
                 write!(f, "journal {} line {line}: {detail}", path.display())
             }
+            CampaignError::Unwritable { path, detail } => {
+                write!(f, "journal path {} is unusable: {detail}", path.display())
+            }
         }
     }
 }
@@ -204,7 +217,7 @@ impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CampaignError::Io { source, .. } => Some(source),
-            CampaignError::Corrupt { .. } => None,
+            CampaignError::Corrupt { .. } | CampaignError::Unwritable { .. } => None,
         }
     }
 }
@@ -212,9 +225,12 @@ impl std::error::Error for CampaignError {
 /// An append-only JSONL checkpoint journal: one line per completed cell,
 /// flushed as soon as it is written so a crash loses at most the line in
 /// flight — which [`Journal::load`] tolerates as a torn tail.
+#[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     file: std::fs::File,
+    durable: bool,
+    repaired: u64,
 }
 
 impl Journal {
@@ -225,6 +241,12 @@ impl Journal {
     /// fragment onto the next record. Open therefore *repairs* first:
     /// anything after the last newline is truncated away (the cell it
     /// belonged to was never completed, so nothing is lost).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Unwritable`] when the path cannot hold a journal
+    /// at all (missing parent directory, read-only location);
+    /// [`CampaignError::Io`] for transient I/O failures.
     pub fn open(path: &Path) -> Result<Journal, CampaignError> {
         let io = |operation: &'static str| {
             let path = path.to_path_buf();
@@ -234,13 +256,38 @@ impl Journal {
                 source,
             }
         };
+        // Diagnose the two permanently-wrong cases up front with a typed
+        // error naming the path, instead of letting the raw OS error
+        // (which names neither the path nor the reason it is wrong)
+        // bubble out of `open`.
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() && !parent.exists() {
+                return Err(CampaignError::Unwritable {
+                    path: path.to_path_buf(),
+                    detail: format!("parent directory {} does not exist", parent.display()),
+                });
+            }
+        }
         let file = std::fs::OpenOptions::new()
             .create(true)
             .read(true)
             .write(true)
             .truncate(false)
             .open(path)
-            .map_err(io("open"))?;
+            .map_err(|source| {
+                if source.kind() == std::io::ErrorKind::PermissionDenied {
+                    CampaignError::Unwritable {
+                        path: path.to_path_buf(),
+                        detail: "permission denied (read-only directory or file)".to_string(),
+                    }
+                } else {
+                    CampaignError::Io {
+                        path: path.to_path_buf(),
+                        operation: "open",
+                        source,
+                    }
+                }
+            })?;
         let contents = std::fs::read(path).map_err(io("read"))?;
         let keep = match contents.iter().rposition(|&b| b == b'\n') {
             Some(last_newline) => last_newline as u64 + 1,
@@ -255,24 +302,82 @@ impl Journal {
         Ok(Journal {
             path: path.to_path_buf(),
             file,
+            durable: false,
+            repaired: contents.len() as u64 - keep,
         })
     }
 
-    /// Appends one cell under its key and flushes to the OS immediately.
-    pub fn append(&mut self, key: u64, record: &CellRecord) -> Result<(), CampaignError> {
-        let line = format!("{{\"key\":{key},{}}}\n", record.json_fields());
-        self.file
-            .write_all(line.as_bytes())
-            .map_err(|source| CampaignError::Io {
-                path: self.path.clone(),
-                operation: "append",
+    /// Bytes of torn tail (a crash arriving mid-append) that
+    /// [`open`](Self::open) truncated away; 0 for a cleanly closed
+    /// journal.
+    pub fn repaired_bytes(&self) -> u64 {
+        self.repaired
+    }
+
+    /// [`open`](Self::open) with durable sync enabled from the start.
+    pub fn open_durable(path: &Path) -> Result<Journal, CampaignError> {
+        let mut journal = Self::open(path)?;
+        journal.set_durable(true);
+        Ok(journal)
+    }
+
+    /// Switches durable sync on or off.
+    ///
+    /// With durable sync **off** (the default), [`append`](Self::append)
+    /// flushes to the OS — enough to survive a killed *process* (the
+    /// campaign contract) but not a lost *machine*: data sitting in the
+    /// page cache dies with a power loss. With durable sync **on**,
+    /// every append additionally `fsync`s file data to the device before
+    /// returning, so a journal whose append succeeded survives power
+    /// loss too. The serve cache runs durable; bulk campaigns usually
+    /// prefer the faster flush-only mode.
+    pub fn set_durable(&mut self, durable: bool) {
+        self.durable = durable;
+    }
+
+    /// Whether durable (fsync-per-append) mode is on.
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// The path this journal appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one raw, newline-terminated-by-us line and flushes it to
+    /// the OS (and, in durable mode, to the device) before returning —
+    /// the primitive under [`append`](Self::append), exposed so other
+    /// journal-backed stores (the serve schedule cache) reuse the same
+    /// open/repair/flush machinery with their own record format.
+    ///
+    /// `line` must not itself contain a newline.
+    pub fn append_line(&mut self, line: &str) -> Result<(), CampaignError> {
+        let io = |operation: &'static str, path: &Path| {
+            let path = path.to_path_buf();
+            move |source| CampaignError::Io {
+                path,
+                operation,
                 source,
-            })?;
-        self.file.flush().map_err(|source| CampaignError::Io {
-            path: self.path.clone(),
-            operation: "flush",
-            source,
-        })
+            }
+        };
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.file
+            .write_all(framed.as_bytes())
+            .map_err(io("append", &self.path))?;
+        self.file.flush().map_err(io("flush", &self.path))?;
+        if self.durable {
+            self.file.sync_data().map_err(io("sync", &self.path))?;
+        }
+        Ok(())
+    }
+
+    /// Appends one cell under its key and flushes to the OS immediately
+    /// (and to the device, in [durable](Self::set_durable) mode).
+    pub fn append(&mut self, key: u64, record: &CellRecord) -> Result<(), CampaignError> {
+        self.append_line(&format!("{{\"key\":{key},{}}}", record.json_fields()))
     }
 
     /// Loads a journal into a key → record map for `--resume`.
@@ -702,6 +807,94 @@ mod tests {
             other => panic!("expected Corrupt, got {other:?}"),
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_sync_mode_toggles_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("csched-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("durable.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let a = record("Conv", "central", CellStatus::Ok, 11);
+        let b = record("FFT", "central", CellStatus::Ok, 7);
+        {
+            // Start durable, then toggle off mid-journal: both appends
+            // must land, bytes identical to the flush-only journal.
+            let mut j = Journal::open_durable(&path).unwrap();
+            assert!(j.is_durable());
+            j.append(1, &a).unwrap();
+            j.set_durable(false);
+            assert!(!j.is_durable());
+            j.append(2, &b).unwrap();
+        }
+        let map = Journal::load(&path).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&1], a);
+        assert_eq!(map[&2], b);
+        // A plain journal of the same records is byte-identical: durable
+        // mode changes when bytes reach the device, never what they are.
+        let plain = dir.join("plain.jsonl");
+        let _ = std::fs::remove_file(&plain);
+        {
+            let mut j = Journal::open(&plain).unwrap();
+            assert!(!j.is_durable());
+            j.append(1, &a).unwrap();
+            j.append(2, &b).unwrap();
+        }
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&plain).unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&plain).unwrap();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_a_typed_unwritable_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "csched-journal-missing-{}/no/such/dir",
+            std::process::id()
+        ));
+        let path = dir.join("j.jsonl");
+        match Journal::open(&path) {
+            Err(CampaignError::Unwritable { path: p, detail }) => {
+                assert_eq!(p, path);
+                assert!(detail.contains("does not exist"), "{detail}");
+                assert!(detail.contains("no/such/dir"), "{detail}");
+            }
+            other => panic!("expected Unwritable, got {other:?}"),
+        }
+        // The error's Display names the path — no bare I/O strings.
+        let err = Journal::open(&path).unwrap_err();
+        assert!(err.to_string().contains("j.jsonl"), "{err}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn read_only_directory_is_a_typed_unwritable_error() {
+        use std::os::unix::fs::PermissionsExt as _;
+        let dir = std::env::temp_dir().join(format!("csched-journal-ro-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut perms = std::fs::metadata(&dir).unwrap().permissions();
+        perms.set_mode(0o555);
+        std::fs::set_permissions(&dir, perms.clone()).unwrap();
+        let path = dir.join("j.jsonl");
+        let result = Journal::open(&path);
+        // Restore before asserting so a failure doesn't leave a
+        // read-only temp directory behind.
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&dir, perms).unwrap();
+        // Root (some CI containers) ignores directory permission bits;
+        // everyone else must get the typed error with the path.
+        match result {
+            Err(CampaignError::Unwritable { path: p, detail }) => {
+                assert_eq!(p, path);
+                assert!(detail.contains("permission denied"), "{detail}");
+            }
+            Ok(_) => {} // running as root: the open legitimately succeeds
+            other => panic!("expected Unwritable, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,12 +9,17 @@
 //! - [`costs`] reproduces the Figures 25–27 area/power/delay bars, the
 //!   §1/§8 headline ratios, and the §8 scaling projection;
 //! - [`report`] renders everything as plain-text tables;
-//! - [`explore`] searches a parameterised design space around the four
+//! - [`mod@explore`] searches a parameterised design space around the four
 //!   paper machines on a multi-threaded worker pool ([`pool`]) and
 //!   reports the Pareto frontier over (harmonic-mean II, area, power,
 //!   delay), with journal-backed resume;
 //! - the `paper-report` binary runs the full evaluation in one shot and
-//!   the `explore` binary runs the design-space search.
+//!   the `explore` binary runs the design-space search;
+//! - [`serve`] turns the scheduler into a hardened long-running service:
+//!   bounded admission with typed load shedding, per-request deadlines
+//!   with graceful degradation, and a crash-consistent checksummed
+//!   schedule cache that quarantines corrupt entries (the `serve`
+//!   binary hosts it).
 
 #![warn(missing_docs)]
 // The evaluation harness reports typed failures per cell; outside of test
@@ -32,6 +37,7 @@ pub mod explore;
 pub mod grid;
 pub mod pool;
 pub mod report;
+pub mod serve;
 
 pub use bench::{
     bench_json, compare, deterministic_json, measure_cell, parse_bench_json, run_bench,
@@ -43,4 +49,8 @@ pub use campaign::{
 };
 pub use explore::{explore, pareto, CandidateReport, ExploreConfig, ExploreReport, Origin, Score};
 pub use grid::{run_grid, Grid, GridError};
-pub use pool::run_indexed;
+pub use pool::{run_indexed, Rejected, Service};
+pub use serve::{
+    cache_key, client_raw, client_request, client_stats, kernel_hash, CacheEntry, CacheLoadReport,
+    ScheduleCache, ServeConfig, ServeError, ServeStats, Server,
+};

@@ -20,7 +20,7 @@
 //! identical semantics (collection order then equals item order).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Maps `work` over `items` on up to `jobs` threads, feeding each result
 /// through `collect` (on the calling thread, in completion order) and
@@ -98,6 +98,98 @@ where
     }
 }
 
+/// A submission refused by [`Service::try_submit`]: the admission queue
+/// was full (or the service is shutting down). Carries the item back so
+/// the caller can shed it with a typed response instead of losing it.
+#[derive(Debug)]
+pub struct Rejected<T>(pub T);
+
+impl<T> std::fmt::Display for Rejected<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "admission queue full; item rejected")
+    }
+}
+
+/// A long-lived worker pool with a *bounded* admission queue — the
+/// persistent sibling of [`run_indexed`] for server workloads.
+///
+/// `jobs` worker threads loop over a shared queue of capacity
+/// `queue_cap`. [`try_submit`](Service::try_submit) never blocks: when
+/// every worker is busy and the queue is full it returns the item back
+/// as [`Rejected`], which is the load-shedding hook — an overloaded
+/// service answers "overloaded" in microseconds instead of stacking
+/// unbounded work behind a slow request.
+///
+/// Dropping the service closes the queue, lets the workers drain what
+/// was already admitted, and joins them (admitted work is never lost on
+/// graceful shutdown).
+pub struct Service<T: Send + 'static> {
+    queue: Option<mpsc::SyncSender<T>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Service<T> {
+    /// Spawns `jobs` workers (at least one) behind a queue of capacity
+    /// `queue_cap` (at least one). Each admitted item runs
+    /// `handler(worker_index, item)` on some worker thread.
+    pub fn new<H>(jobs: usize, queue_cap: usize, handler: H) -> Self
+    where
+        H: Fn(usize, T) + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::sync_channel::<T>(queue_cap.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handler = Arc::new(handler);
+        let workers = (0..jobs.max(1))
+            .map(|worker| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while claiming, not while
+                    // handling, so workers drain the queue in parallel.
+                    let item = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return, // a handler panicked mid-claim
+                    };
+                    match item {
+                        Ok(item) => handler(worker, item),
+                        Err(mpsc::RecvError) => return, // queue closed
+                    }
+                })
+            })
+            .collect();
+        Service {
+            queue: Some(tx),
+            workers,
+        }
+    }
+
+    /// Admits `item` if a queue slot is free, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] with the item when the queue is full — the caller
+    /// sheds the load with a typed response.
+    pub fn try_submit(&self, item: T) -> Result<(), Rejected<T>> {
+        let Some(queue) = &self.queue else {
+            return Err(Rejected(item));
+        };
+        queue.try_send(item).map_err(|e| match e {
+            mpsc::TrySendError::Full(item) => Rejected(item),
+            mpsc::TrySendError::Disconnected(item) => Rejected(item),
+        })
+    }
+}
+
+impl<T: Send + 'static> Drop for Service<T> {
+    fn drop(&mut self) {
+        // Closing the queue lets every worker drain and exit.
+        self.queue = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +230,59 @@ mod tests {
         let items: Vec<usize> = (0..1000).collect();
         let err = run_indexed(&items, 4, |i, _| i, |_, _| Err("journal full")).unwrap_err();
         assert_eq!(err, "journal full");
+    }
+
+    #[test]
+    fn service_sheds_load_when_the_queue_is_full_and_never_hangs() {
+        // One worker, one queue slot. Block the worker, fill the slot,
+        // and the third submission must be rejected immediately.
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let block_rx = Mutex::new(block_rx);
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let svc = Service::new(1, 1, move |_, item: usize| {
+            let _ = block_rx.lock().unwrap().recv();
+            done2.fetch_add(item, Ordering::SeqCst);
+        });
+        svc.try_submit(1).unwrap(); // claimed by the (blocked) worker
+                                    // Wait until the worker has actually claimed item 1, freeing the
+                                    // queue slot for item 2.
+        let start = std::time::Instant::now();
+        loop {
+            match svc.try_submit(2) {
+                Ok(()) => break,
+                Err(Rejected(_)) if start.elapsed() < std::time::Duration::from_secs(10) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(r) => panic!("worker never claimed item 1: {r}"),
+            }
+        }
+        // Queue now holds item 2; the next submission is shed, with the
+        // item handed back.
+        let Rejected(item) = svc.try_submit(3).expect_err("queue full must reject");
+        assert_eq!(item, 3);
+        // Unblock both admitted items; drop drains and joins.
+        block_tx.send(()).unwrap();
+        block_tx.send(()).unwrap();
+        drop(svc);
+        assert_eq!(done.load(Ordering::SeqCst), 1 + 2, "admitted work ran");
+    }
+
+    #[test]
+    fn service_runs_admitted_items_across_workers() {
+        let sum = Arc::new(AtomicUsize::new(0));
+        let sum2 = Arc::clone(&sum);
+        let svc = Service::new(4, 64, move |_, item: usize| {
+            sum2.fetch_add(item, Ordering::SeqCst);
+        });
+        let mut submitted = 0usize;
+        for i in 1..=50 {
+            // With a 64-slot queue nothing here can be rejected.
+            svc.try_submit(i).unwrap();
+            submitted += i;
+        }
+        drop(svc); // graceful shutdown drains the queue
+        assert_eq!(sum.load(Ordering::SeqCst), submitted);
     }
 
     #[test]

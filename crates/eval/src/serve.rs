@@ -1,0 +1,1173 @@
+//! `csched-serve` — a hardened, long-running scheduler service.
+//!
+//! The library turns one machine into a scheduling server: clients send
+//! a kernel and a machine description in the existing textual wire
+//! formats ([`csched_ir::text`], [`csched_machine::text`]) over TCP and
+//! get back the scheduled initiation interval, copy count, and register
+//! demand. Finished schedules are remembered in a **content-addressed
+//! cache** keyed by (canonical kernel text hash ×
+//! [`Architecture::fingerprint`](csched_machine::Architecture::fingerprint)
+//! × scheduler-configuration fingerprint), persisted in a checksummed
+//! journal, so a warm request skips scheduling entirely.
+//!
+//! Every edge is hardened:
+//!
+//! - **Admission control.** Connections are admitted to a *bounded*
+//!   queue in front of the deterministic worker pool
+//!   ([`crate::pool::Service`]). When the queue is full the acceptor
+//!   sheds the connection with a typed `ERR overload` response in
+//!   microseconds — an overloaded server answers, it never hangs, and
+//!   admitted work is never abandoned.
+//! - **Per-request deadlines.** Each request schedules under a
+//!   [`StepBudget`] of placement attempts (deterministic), optionally
+//!   fenced by a wall-clock deadline enforced through a shared
+//!   [`Watchdog`] cancelling the request's
+//!   [`CancelToken`]. Socket reads and writes
+//!   carry timeouts, so a stalled client cannot pin a worker.
+//! - **Graceful degradation.** Scheduling runs the anytime ladder
+//!   ([`csched_core::schedule_kernel_anytime`]): when a deadline
+//!   expires mid-ladder the response is the best relaxed-II schedule
+//!   completed so far, flagged `degraded=1`, instead of an error.
+//! - **Corruption quarantine.** The cache journal checksums every
+//!   entry. A torn final line (crash mid-append) is repaired silently;
+//!   a bit-flipped interior entry is *quarantined* on load — serving
+//!   continues, the key misses, is re-scheduled on its next request,
+//!   and the fresh entry is re-journaled (last record wins on the next
+//!   load, lifting the quarantine).
+//! - **Crash consistency.** Entries are journaled (flushed, and
+//!   `fsync`ed in durable mode) before the response is sent, so a
+//!   `kill -9` mid-request loses only the requests in flight: a
+//!   restarted server answers every previously cached key byte-for-byte
+//!   identically.
+//!
+//! ## Wire protocol
+//!
+//! One request per connection, newline-framed headers with byte-counted
+//! bodies:
+//!
+//! ```text
+//! SCHED [limit=<attempts>] [wall_ms=<ms>]
+//! KERNEL <len>
+//! <len bytes of kernel text>
+//! ARCH <len>
+//! <len bytes of machine text>
+//! END
+//! ```
+//!
+//! The server replies `CACHE hit|miss`, then either
+//! `OK ii=<n> copies=<n> max_registers=<n> attempts=<n> degraded=<0|1>`
+//! or `ERR <kind> <detail>` with `kind` one of `overload`, `malformed`,
+//! `deadline`, `sched`, `internal` — then closes the connection.
+//! `STATS` on a connection of its own returns one JSON line of
+//! counters.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use csched_core::{
+    regalloc, schedule_kernel_anytime, validate, CancelToken, RetryPolicy, SchedulerConfig,
+    StepBudget, Watchdog,
+};
+use csched_ir::Kernel;
+
+use crate::campaign::{cell_key, config_fingerprint, json_num_field, CampaignError, Journal};
+use crate::pool::{Rejected, Service};
+
+/// Typed failures of the serve layer (distinct from
+/// [`csched_core::SchedError`]: these
+/// are service problems — sockets, cache storage, protocol — not
+/// scheduling ones).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or accepting on the listen address failed.
+    Bind {
+        /// The address that could not be served.
+        addr: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A socket read/write failed (client side or server side).
+    Io {
+        /// What was being done.
+        context: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The persistent cache store failed (journal I/O).
+    Cache(CampaignError),
+    /// A response (client side) or request (server side) violated the
+    /// wire protocol.
+    Protocol {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "cannot serve on {addr}: {source}"),
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::Cache(e) => write!(f, "schedule cache: {e}"),
+            ServeError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } | ServeError::Io { source, .. } => Some(source),
+            ServeError::Cache(e) => Some(e),
+            ServeError::Protocol { .. } => None,
+        }
+    }
+}
+
+/// Server tunables. `Default` is sized for tests and smoke runs; a real
+/// deployment raises `jobs`/`queue_cap`.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads scheduling requests.
+    pub jobs: usize,
+    /// Admission-queue capacity; connections beyond `jobs + queue_cap`
+    /// in flight are shed with `ERR overload`.
+    pub queue_cap: usize,
+    /// Default per-request placement-attempt budget.
+    pub step_limit: u64,
+    /// Hard cap on client-requested budgets (`limit=` is clamped here).
+    pub max_step_limit: u64,
+    /// Server-wide wall-clock deadline per request, in milliseconds
+    /// (`None` = placement-attempt budget only).
+    pub wall_ms: Option<u64>,
+    /// Socket read/write timeout — a stalled client cannot pin a worker
+    /// longer than this.
+    pub io_timeout: Duration,
+    /// Maximum bytes accepted for one kernel or machine body.
+    pub max_request_bytes: usize,
+    /// Persistent cache journal path (`None` = in-memory cache only).
+    pub cache_path: Option<PathBuf>,
+    /// `fsync` each cache append (survives power loss, not just
+    /// `kill -9`).
+    pub durable: bool,
+    /// Scheduler configuration every request runs under (part of the
+    /// cache key).
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            jobs: 4,
+            queue_cap: 16,
+            step_limit: 200_000,
+            max_step_limit: 1 << 22,
+            wall_ms: None,
+            io_timeout: Duration::from_millis(5_000),
+            max_request_bytes: 1 << 20,
+            cache_path: None,
+            durable: false,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// One cached scheduling outcome — everything a response needs, nothing
+/// machine-specific, so a warm response is a pure function of the entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Initiation interval (0 for straight-line kernels).
+    pub ii: u32,
+    /// Copy operations inserted.
+    pub copies: u64,
+    /// Maximum register demand in any file.
+    pub max_registers: u64,
+    /// Placement attempts the cold schedule charged.
+    pub attempts: u64,
+    /// Whether the result is degraded (deadline expired mid-ladder).
+    pub degraded: bool,
+    /// The placement-attempt budget the entry was computed under; a
+    /// degraded entry is only served warm to requests with an equal or
+    /// smaller budget (a larger budget deserves a fresh, better try).
+    pub limit: u64,
+}
+
+impl CacheEntry {
+    /// The checksummed journal line body (sans `sum`).
+    fn body(&self, key: u64) -> String {
+        format!(
+            "\"key\":{key},\"ii\":{},\"copies\":{},\"max_registers\":{},\"attempts\":{},\
+             \"degraded\":{},\"limit\":{}",
+            self.ii,
+            self.copies,
+            self.max_registers,
+            self.attempts,
+            u8::from(self.degraded),
+            self.limit,
+        )
+    }
+
+    /// Renders the full journal line: `{<body>,"sum":<fnv1a(body)>}`.
+    fn to_line(&self, key: u64) -> String {
+        let body = self.body(key);
+        format!("{{{body},\"sum\":{}}}", fnv1a(body.as_bytes()))
+    }
+
+    /// Parses and checksum-verifies one journal line.
+    fn parse_line(line: &str) -> Option<(u64, CacheEntry)> {
+        let rest = line.strip_prefix('{')?.strip_suffix('}')?;
+        let sum_at = rest.rfind(",\"sum\":")?;
+        let (body, sum_text) = rest.split_at(sum_at);
+        let sum: u64 = sum_text.strip_prefix(",\"sum\":")?.parse().ok()?;
+        if fnv1a(body.as_bytes()) != sum {
+            return None;
+        }
+        let entry = CacheEntry {
+            ii: u32::try_from(json_num_field(body, "ii")?).ok()?,
+            copies: json_num_field(body, "copies")?,
+            max_registers: json_num_field(body, "max_registers")?,
+            attempts: json_num_field(body, "attempts")?,
+            degraded: json_num_field(body, "degraded")? != 0,
+            limit: json_num_field(body, "limit")?,
+        };
+        Some((json_num_field(body, "key")?, entry))
+    }
+}
+
+/// FNV-1a over raw bytes (the cache line checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The content hash of a kernel: FNV-1a over its *canonical* textual
+/// form, so semantically identical requests (same kernel, different
+/// whitespace or comments) share one cache slot.
+pub fn kernel_hash(kernel: &Kernel) -> u64 {
+    fnv1a(csched_ir::text::print(kernel).as_bytes())
+}
+
+/// The content-addressed cache key of one request:
+/// (kernel text hash × architecture structural fingerprint × scheduler
+/// configuration fingerprint).
+pub fn cache_key(kernel_hash: u64, arch_fingerprint: u64, config_fp: &str) -> u64 {
+    cell_key(
+        &format!("{kernel_hash:016x}"),
+        &format!("{arch_fingerprint:016x}"),
+        config_fp,
+    )
+}
+
+/// What [`ScheduleCache::open`] found on disk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheLoadReport {
+    /// Entries loaded clean (checksum verified).
+    pub entries: usize,
+    /// Keys quarantined: their newest journal line was corrupt.
+    pub quarantined: usize,
+    /// Corrupt (checksum-failing or unparseable) lines seen, including
+    /// ones whose key could not be recovered.
+    pub corrupt_lines: usize,
+    /// Bytes of torn tail (crash mid-append) repaired on open.
+    pub repaired_bytes: u64,
+}
+
+/// The content-addressed schedule cache: an in-memory map backed by a
+/// checksummed, append-only journal (reusing the campaign
+/// [`Journal`]'s open/repair/flush machinery).
+#[derive(Debug)]
+pub struct ScheduleCache {
+    map: HashMap<u64, CacheEntry>,
+    /// Keys whose newest journal line failed its checksum: known to
+    /// exist but untrusted, so they miss until re-scheduled.
+    quarantined: HashSet<u64>,
+    journal: Option<Journal>,
+    corrupt_lines: usize,
+    repaired_bytes: u64,
+}
+
+impl ScheduleCache {
+    /// Opens (or creates) the cache. Corrupt entries are quarantined and
+    /// reported, never fatal: a served cache heals by re-scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Only journal I/O ([`CampaignError::Io`] /
+    /// [`CampaignError::Unwritable`]); corruption is *not* an error.
+    pub fn open(
+        path: Option<&Path>,
+        durable: bool,
+    ) -> Result<(ScheduleCache, CacheLoadReport), CampaignError> {
+        let mut cache = ScheduleCache {
+            map: HashMap::new(),
+            quarantined: HashSet::new(),
+            journal: None,
+            corrupt_lines: 0,
+            repaired_bytes: 0,
+        };
+        let Some(path) = path else {
+            return Ok((cache, CacheLoadReport::default()));
+        };
+        if path.exists() {
+            let text = std::fs::read_to_string(path).map_err(|source| CampaignError::Io {
+                path: path.to_path_buf(),
+                operation: "read",
+                source,
+            })?;
+            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            for (idx, line) in lines.iter().enumerate() {
+                match CacheEntry::parse_line(line) {
+                    Some((key, entry)) => {
+                        // Last record wins: a re-journaled entry lifts an
+                        // earlier quarantine of the same key.
+                        cache.map.insert(key, entry);
+                        cache.quarantined.remove(&key);
+                    }
+                    None if idx == lines.len() - 1 && !text.ends_with('\n') => {
+                        // Torn tail: the crash arrived mid-append; the
+                        // journal open below truncates it away.
+                    }
+                    None => {
+                        cache.corrupt_lines += 1;
+                        // Quarantine the key if it is still legible, so
+                        // the bit-flipped payload is never served.
+                        if let Some(key) = json_num_field(line, "key") {
+                            cache.map.remove(&key);
+                            cache.quarantined.insert(key);
+                        }
+                    }
+                }
+            }
+        }
+        let mut journal = if durable {
+            Journal::open_durable(path)?
+        } else {
+            Journal::open(path)?
+        };
+        journal.set_durable(durable);
+        cache.repaired_bytes = journal.repaired_bytes();
+        cache.journal = Some(journal);
+        let report = CacheLoadReport {
+            entries: cache.map.len(),
+            quarantined: cache.quarantined.len(),
+            corrupt_lines: cache.corrupt_lines,
+            repaired_bytes: cache.repaired_bytes,
+        };
+        Ok((cache, report))
+    }
+
+    /// Looks up a warm entry usable for a request budgeted at `limit`.
+    ///
+    /// Quarantined keys always miss. A degraded entry is served only to
+    /// an equal-or-smaller budget; a request with more budget than the
+    /// degraded entry had deserves a fresh attempt at a better answer.
+    pub fn lookup(&self, key: u64, limit: u64) -> Option<&CacheEntry> {
+        if self.quarantined.contains(&key) {
+            return None;
+        }
+        self.map
+            .get(&key)
+            .filter(|e| !e.degraded || e.limit >= limit)
+    }
+
+    /// Inserts and journals an entry (journaled *before* it is visible,
+    /// so a response is only ever sent for a durably recorded entry).
+    /// Re-inserting a quarantined key lifts the quarantine.
+    pub fn insert(&mut self, key: u64, entry: CacheEntry) -> Result<(), CampaignError> {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append_line(&entry.to_line(key))?;
+        }
+        self.quarantined.remove(&key);
+        self.map.insert(key, entry);
+        Ok(())
+    }
+
+    /// Cached entries currently servable.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Keys currently quarantined (corrupt on disk, awaiting
+    /// re-scheduling).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
+/// Monotonic service counters, exported by `STATS`.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted (including shed ones).
+    pub requests: AtomicU64,
+    /// Requests answered `OK`.
+    pub ok: AtomicU64,
+    /// Warm cache hits.
+    pub hits: AtomicU64,
+    /// Cold misses that went to the scheduler.
+    pub misses: AtomicU64,
+    /// Connections shed by admission control.
+    pub shed: AtomicU64,
+    /// Requests rejected as malformed (parse error, framing error,
+    /// oversized body, read timeout).
+    pub malformed: AtomicU64,
+    /// Requests whose deadline expired with nothing to return.
+    pub deadline: AtomicU64,
+    /// Requests that failed with a typed scheduling error.
+    pub sched_errors: AtomicU64,
+    /// `OK` responses that were degraded (best-so-far under an expired
+    /// deadline).
+    pub degraded: AtomicU64,
+    /// Internal failures (cache I/O, invariant breaks).
+    pub internal_errors: AtomicU64,
+}
+
+struct ServerState {
+    config: ServeConfig,
+    config_fp: String,
+    stats: ServeStats,
+    cache: Mutex<ScheduleCache>,
+    watchdog: Watchdog,
+}
+
+impl ServerState {
+    /// One deterministic JSON line of counters and cache state.
+    fn stats_json(&self) -> String {
+        let s = &self.stats;
+        let (entries, quarantined, corrupt, repaired) = match self.cache.lock() {
+            Ok(cache) => (
+                cache.len(),
+                cache.quarantined(),
+                cache.corrupt_lines,
+                cache.repaired_bytes,
+            ),
+            Err(_) => (0, 0, 0, 0),
+        };
+        format!(
+            "{{\"serve\":{{\"requests\":{},\"ok\":{},\"hits\":{},\"misses\":{},\"shed\":{},\
+             \"malformed\":{},\"deadline\":{},\"sched_errors\":{},\"degraded\":{},\
+             \"internal_errors\":{},\"cache\":{{\"entries\":{entries},\
+             \"quarantined\":{quarantined},\"corrupt_lines\":{corrupt},\
+             \"repaired_bytes\":{repaired}}}}}}}",
+            s.requests.load(Ordering::Relaxed),
+            s.ok.load(Ordering::Relaxed),
+            s.hits.load(Ordering::Relaxed),
+            s.misses.load(Ordering::Relaxed),
+            s.shed.load(Ordering::Relaxed),
+            s.malformed.load(Ordering::Relaxed),
+            s.deadline.load(Ordering::Relaxed),
+            s.sched_errors.load(Ordering::Relaxed),
+            s.degraded.load(Ordering::Relaxed),
+            s.internal_errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A running server: accepted connections flow through admission control
+/// onto the worker pool until [`shutdown`](Server::shutdown).
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address cannot be bound,
+    /// [`ServeError::Cache`] when the cache journal cannot be opened.
+    pub fn bind(addr: &str, config: ServeConfig) -> Result<(Server, CacheLoadReport), ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        Server::start(listener, config)
+    }
+
+    /// Starts serving on an already bound listener.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Cache`] when the cache journal cannot be opened;
+    /// [`ServeError::Bind`] when the listener's address cannot be read.
+    pub fn start(
+        listener: TcpListener,
+        config: ServeConfig,
+    ) -> Result<(Server, CacheLoadReport), ServeError> {
+        let addr = listener.local_addr().map_err(|source| ServeError::Bind {
+            addr: "<unbound listener>".to_string(),
+            source,
+        })?;
+        let (cache, load_report) =
+            ScheduleCache::open(config.cache_path.as_deref(), config.durable)
+                .map_err(ServeError::Cache)?;
+        let config_fp = config_fingerprint(&config.scheduler, 0);
+        let state = Arc::new(ServerState {
+            config,
+            config_fp,
+            stats: ServeStats::default(),
+            cache: Mutex::new(cache),
+            watchdog: Watchdog::new(),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let worker_state = Arc::clone(&accept_state);
+            let pool = Service::new(
+                accept_state.config.jobs,
+                accept_state.config.queue_cap,
+                move |_, stream: TcpStream| handle_connection(&worker_state, &stream),
+            );
+            loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => continue,
+                };
+                if accept_stop.load(Ordering::Acquire) {
+                    break; // the shutdown self-connection
+                }
+                accept_state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                configure_stream(&stream, accept_state.config.io_timeout);
+                if let Err(Rejected(stream)) = pool.try_submit(stream) {
+                    // Admission queue full: shed with a typed response.
+                    // A short detached thread writes it, half-closes, and
+                    // drains the client's unread bytes (dropping them
+                    // unread would RST the response away); each is
+                    // bounded by the socket timeouts, and the acceptor
+                    // itself never blocks on a shed client.
+                    accept_state.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        let _ = stream.write_all(b"ERR overload admission queue full\n");
+                        let _ = stream.shutdown(std::net::Shutdown::Write);
+                        let mut sink = [0u8; 1024];
+                        while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0)
+                        {
+                        }
+                    });
+                }
+            }
+            // Dropping the pool drains admitted connections and joins
+            // the workers: graceful shutdown never abandons admitted
+            // work.
+        });
+        Ok((
+            Server {
+                addr,
+                state,
+                stop,
+                accept_thread: Some(accept_thread),
+            },
+            load_report,
+        ))
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The stats JSON line, as `STATS` would return it.
+    pub fn stats_json(&self) -> String {
+        self.state.stats_json()
+    }
+
+    /// Stops accepting, drains admitted requests, and joins every
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor with a self-connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn configure_stream(stream: &TcpStream, timeout: Duration) {
+    // A failure to arm a timeout is not fatal — the budget and watchdog
+    // still bound the request — so errors are deliberately ignored.
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+}
+
+/// Reads one `\n`-terminated header line of at most `max` bytes.
+/// Returns `Ok(None)` at EOF before any byte.
+fn read_header_line(
+    reader: &mut impl BufRead,
+    max: usize,
+) -> Result<Option<String>, std::io::Error> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ))
+            };
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            break;
+        }
+        line.extend_from_slice(buf);
+        let n = buf.len();
+        reader.consume(n);
+        if line.len() > max {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "header line too long",
+            ));
+        }
+    }
+    if line.len() > max {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "header line too long",
+        ));
+    }
+    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+}
+
+/// How one request ended, for the stats counters.
+enum Outcome {
+    OkWarm,
+    OkCold {
+        degraded: bool,
+    },
+    /// A `STATS` request: counted as a request, not a schedule.
+    Stats,
+    Malformed,
+    Deadline,
+    Sched,
+    Internal,
+}
+
+/// Flattens a detail message onto one response line.
+fn one_line(detail: &str) -> String {
+    detail.replace(['\n', '\r'], "; ")
+}
+
+fn respond(stream: &TcpStream, text: &str) -> Result<(), std::io::Error> {
+    let mut stream = stream;
+    stream.write_all(text.as_bytes())?;
+    stream.flush()
+}
+
+/// The deterministic `OK` line for an entry — used identically for cold
+/// and warm responses, so a warm hit is byte-for-byte the cold answer.
+fn ok_line(entry: &CacheEntry) -> String {
+    format!(
+        "OK ii={} copies={} max_registers={} attempts={} degraded={}\n",
+        entry.ii,
+        entry.copies,
+        entry.max_registers,
+        entry.attempts,
+        u8::from(entry.degraded),
+    )
+}
+
+fn handle_connection(state: &ServerState, stream: &TcpStream) {
+    let outcome = serve_one(state, stream);
+    let s = &state.stats;
+    match outcome {
+        Outcome::OkWarm => {
+            s.ok.fetch_add(1, Ordering::Relaxed);
+            s.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::OkCold { degraded } => {
+            s.ok.fetch_add(1, Ordering::Relaxed);
+            s.misses.fetch_add(1, Ordering::Relaxed);
+            if degraded {
+                s.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Outcome::Stats => {}
+        Outcome::Malformed => {
+            s.malformed.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Deadline => {
+            s.deadline.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Sched => {
+            s.sched_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Internal => {
+            s.internal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn serve_one(state: &ServerState, stream: &TcpStream) -> Outcome {
+    let mut reader = BufReader::new(stream);
+    let header = match read_header_line(&mut reader, 256) {
+        Ok(Some(h)) => h,
+        Ok(None) => {
+            let _ = respond(stream, "ERR malformed empty request\n");
+            return Outcome::Malformed;
+        }
+        Err(e) => {
+            let _ = respond(stream, &format!("ERR malformed request read failed: {e}\n"));
+            return Outcome::Malformed;
+        }
+    };
+    let mut words = header.split_whitespace();
+    match words.next() {
+        Some("STATS") => {
+            let _ = respond(stream, &format!("{}\n", state.stats_json()));
+            Outcome::Stats
+        }
+        Some("SCHED") => serve_sched(state, &mut reader, stream, words),
+        Some(other) => {
+            let _ = respond(
+                stream,
+                &format!("ERR malformed unknown command {}\n", one_line(other)),
+            );
+            Outcome::Malformed
+        }
+        None => {
+            let _ = respond(stream, "ERR malformed empty request\n");
+            Outcome::Malformed
+        }
+    }
+}
+
+/// Reads one `NAME <len>` section header plus its body.
+fn read_section(reader: &mut impl BufRead, name: &str, max: usize) -> Result<String, String> {
+    let header = match read_header_line(reader, 256) {
+        Ok(Some(h)) => h,
+        Ok(None) => return Err(format!("missing {name} section")),
+        Err(e) => return Err(format!("reading {name} header: {e}")),
+    };
+    let mut words = header.split_whitespace();
+    if words.next() != Some(name) {
+        return Err(format!(
+            "expected {name} section, got {}",
+            one_line(&header)
+        ));
+    }
+    let len: usize = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("{name} section needs a byte length"))?;
+    if len > max {
+        return Err(format!(
+            "{name} section of {len} bytes exceeds the {max}-byte cap"
+        ));
+    }
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading {name} body: {e}"))?;
+    String::from_utf8(body).map_err(|_| format!("{name} body is not UTF-8"))
+}
+
+fn serve_sched<'a>(
+    state: &ServerState,
+    reader: &mut impl BufRead,
+    stream: &TcpStream,
+    options: impl Iterator<Item = &'a str>,
+) -> Outcome {
+    // Request options.
+    let mut limit = state.config.step_limit;
+    let mut wall_ms = state.config.wall_ms;
+    for opt in options {
+        if let Some(v) = opt.strip_prefix("limit=") {
+            match v.parse::<u64>() {
+                Ok(v) => limit = v,
+                Err(_) => {
+                    let _ = respond(stream, "ERR malformed bad limit= value\n");
+                    return Outcome::Malformed;
+                }
+            }
+        } else if let Some(v) = opt.strip_prefix("wall_ms=") {
+            match v.parse::<u64>() {
+                // The request may tighten the server deadline, never
+                // widen it.
+                Ok(v) => wall_ms = Some(wall_ms.map_or(v, |server| server.min(v))),
+                Err(_) => {
+                    let _ = respond(stream, "ERR malformed bad wall_ms= value\n");
+                    return Outcome::Malformed;
+                }
+            }
+        } else {
+            let _ = respond(
+                stream,
+                &format!("ERR malformed unknown option {}\n", one_line(opt)),
+            );
+            return Outcome::Malformed;
+        }
+    }
+    // max(1) guards a misconfigured zero cap: clamp panics if min > max.
+    let limit = limit.clamp(1, state.config.max_step_limit.max(1));
+
+    // Bodies.
+    let max = state.config.max_request_bytes;
+    let kernel_text = match read_section(reader, "KERNEL", max) {
+        Ok(t) => t,
+        Err(detail) => {
+            let _ = respond(stream, &format!("ERR malformed {}\n", one_line(&detail)));
+            return Outcome::Malformed;
+        }
+    };
+    let arch_text = match read_section(reader, "ARCH", max) {
+        Ok(t) => t,
+        Err(detail) => {
+            let _ = respond(stream, &format!("ERR malformed {}\n", one_line(&detail)));
+            return Outcome::Malformed;
+        }
+    };
+    match read_header_line(reader, 256) {
+        Ok(Some(end)) if end.trim() == "END" => {}
+        Ok(_) | Err(_) => {
+            let _ = respond(stream, "ERR malformed missing END\n");
+            return Outcome::Malformed;
+        }
+    }
+
+    // Parse both wire payloads with spanned errors.
+    let kernel = match csched_ir::text::parse(&kernel_text) {
+        Ok(k) => k,
+        Err(e) => {
+            let _ = respond(
+                stream,
+                &format!("ERR malformed kernel: {}\n", one_line(&e.to_string())),
+            );
+            return Outcome::Malformed;
+        }
+    };
+    let arch = match csched_machine::text::parse(&arch_text) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = respond(
+                stream,
+                &format!("ERR malformed machine: {}\n", one_line(&e.to_string())),
+            );
+            return Outcome::Malformed;
+        }
+    };
+
+    let key = cache_key(kernel_hash(&kernel), arch.fingerprint(), &state.config_fp);
+
+    // Warm path: serve straight from the cache.
+    {
+        let Ok(cache) = state.cache.lock() else {
+            let _ = respond(stream, "ERR internal cache lock poisoned\n");
+            return Outcome::Internal;
+        };
+        if let Some(entry) = cache.lookup(key, limit) {
+            let line = ok_line(entry);
+            drop(cache);
+            let _ = respond(stream, &format!("CACHE hit\n{line}"));
+            return Outcome::OkWarm;
+        }
+    }
+
+    // Cold path: schedule under the request deadline.
+    let token = CancelToken::new();
+    let budget = StepBudget::new(limit).with_cancel(token.clone());
+    let _guard = wall_ms.map(|ms| {
+        state
+            .watchdog
+            .watch(token.clone(), Instant::now() + Duration::from_millis(ms))
+    });
+    let (result, report) = schedule_kernel_anytime(
+        &arch,
+        &kernel,
+        state.config.scheduler.clone(),
+        &RetryPolicy::default(),
+        &budget,
+    );
+    match result {
+        Ok(schedule) => {
+            if let Err(violations) = validate::validate(&arch, &kernel, &schedule) {
+                let detail = violations
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                let _ = respond(
+                    stream,
+                    &format!("ERR internal invalid schedule: {}\n", one_line(&detail)),
+                );
+                return Outcome::Internal;
+            }
+            let entry = CacheEntry {
+                ii: schedule.ii().unwrap_or(0),
+                copies: schedule.num_copies() as u64,
+                max_registers: regalloc::analyze(&arch, &kernel, &schedule).max_required() as u64,
+                attempts: report.attempts_spent,
+                degraded: report.degraded,
+                limit,
+            };
+            // Journal before responding: a response is only ever sent
+            // for a durably recorded entry, so a crash immediately after
+            // the response still serves this key warm on restart.
+            {
+                let Ok(mut cache) = state.cache.lock() else {
+                    let _ = respond(stream, "ERR internal cache lock poisoned\n");
+                    return Outcome::Internal;
+                };
+                if let Err(e) = cache.insert(key, entry.clone()) {
+                    drop(cache);
+                    let _ = respond(
+                        stream,
+                        &format!("ERR internal cache append: {}\n", one_line(&e.to_string())),
+                    );
+                    return Outcome::Internal;
+                }
+            }
+            let _ = respond(stream, &format!("CACHE miss\n{}", ok_line(&entry)));
+            Outcome::OkCold {
+                degraded: entry.degraded,
+            }
+        }
+        Err(e) if e.is_budget_stop() => {
+            let _ = respond(
+                stream,
+                &format!("ERR deadline {}\n", one_line(&e.to_string())),
+            );
+            Outcome::Deadline
+        }
+        Err(e) => {
+            let _ = respond(stream, &format!("ERR sched {}\n", one_line(&e.to_string())));
+            Outcome::Sched
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client helpers (used by the `serve` binary, the CI smoke script, and
+// the robustness tests).
+// ---------------------------------------------------------------------
+
+/// Sends one `SCHED` request and returns the server's full response
+/// text (both lines on success, the `ERR` line on failure).
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the connection fails or times out.
+pub fn client_request(
+    addr: &str,
+    kernel_text: &str,
+    arch_text: &str,
+    limit: Option<u64>,
+    wall_ms: Option<u64>,
+    timeout: Duration,
+) -> Result<String, ServeError> {
+    let mut request = String::from("SCHED");
+    if let Some(limit) = limit {
+        request.push_str(&format!(" limit={limit}"));
+    }
+    if let Some(wall) = wall_ms {
+        request.push_str(&format!(" wall_ms={wall}"));
+    }
+    request.push('\n');
+    request.push_str(&format!("KERNEL {}\n", kernel_text.len()));
+    request.push_str(kernel_text);
+    request.push_str(&format!("ARCH {}\n", arch_text.len()));
+    request.push_str(arch_text);
+    request.push_str("END\n");
+    client_raw(addr, request.as_bytes(), timeout)
+}
+
+/// Sends `STATS` and returns the JSON line.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the connection fails or times out.
+pub fn client_stats(addr: &str, timeout: Duration) -> Result<String, ServeError> {
+    client_raw(addr, b"STATS\n", timeout).map(|s| s.trim_end().to_string())
+}
+
+/// Sends raw request bytes and reads the response to EOF — the hook for
+/// malformed-request testing.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the connection fails or times out.
+pub fn client_raw(addr: &str, request: &[u8], timeout: Duration) -> Result<String, ServeError> {
+    let io = |context: &'static str| move |source| ServeError::Io { context, source };
+    let mut stream = TcpStream::connect(addr).map_err(io("connect"))?;
+    configure_stream(&stream, timeout);
+    stream.write_all(request).map_err(io("send request"))?;
+    // Half-close so a server reading to EOF is never stuck on us.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(io("read response"))?;
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ii: u32) -> CacheEntry {
+        CacheEntry {
+            ii,
+            copies: 3,
+            max_registers: 9,
+            attempts: 1234,
+            degraded: false,
+            limit: 200_000,
+        }
+    }
+
+    #[test]
+    fn cache_line_round_trips_and_checksum_rejects_bit_flips() {
+        let e = entry(7);
+        let line = e.to_line(42);
+        assert_eq!(CacheEntry::parse_line(&line), Some((42, e)));
+        // Flip one payload character: the checksum must reject it.
+        let flipped = line.replacen("\"ii\":7", "\"ii\":9", 1);
+        assert_ne!(flipped, line);
+        assert_eq!(CacheEntry::parse_line(&flipped), None);
+        // Corrupt the checksum itself: also rejected.
+        let broken_sum = line.replacen("\"sum\":", "\"sum\":1", 1);
+        assert_eq!(CacheEntry::parse_line(&broken_sum), None);
+    }
+
+    #[test]
+    fn cache_load_quarantines_corrupt_entries_and_heals_on_insert() {
+        let dir = std::env::temp_dir().join(format!("csched-serve-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut cache, report) = ScheduleCache::open(Some(&path), false).unwrap();
+            assert_eq!(report, CacheLoadReport::default());
+            cache.insert(1, entry(4)).unwrap();
+            cache.insert(2, entry(6)).unwrap();
+        }
+        // Bit-flip the first (interior) entry on disk.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[0] = lines[0].replacen("\"ii\":4", "\"ii\":5", 1);
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let (mut cache, report) = ScheduleCache::open(Some(&path), false).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.corrupt_lines, 1);
+        assert!(cache.lookup(1, 1).is_none(), "corrupt entry must not serve");
+        assert_eq!(cache.lookup(2, 1), Some(&entry(6)));
+
+        // Re-scheduling the key re-journals it and lifts the quarantine…
+        cache.insert(1, entry(4)).unwrap();
+        assert_eq!(cache.quarantined(), 0);
+        assert_eq!(cache.lookup(1, 1), Some(&entry(4)));
+        drop(cache);
+
+        // …and the *next* load sees the healed entry (last record wins
+        // over the still-present corrupt line).
+        let (cache, report) = ScheduleCache::open(Some(&path), false).unwrap();
+        assert_eq!(report.entries, 2);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(
+            report.corrupt_lines, 1,
+            "the old corrupt line is still counted"
+        );
+        assert_eq!(cache.lookup(1, 1), Some(&entry(4)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_not_quarantined() {
+        let dir = std::env::temp_dir().join(format!("csched-serve-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut cache, _) = ScheduleCache::open(Some(&path), false).unwrap();
+            cache.insert(1, entry(4)).unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"key\":2,\"ii\":9").unwrap(); // no newline: torn
+        }
+        let (cache, report) = ScheduleCache::open(Some(&path), false).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.quarantined, 0, "a torn tail is not corruption");
+        assert_eq!(report.corrupt_lines, 0);
+        assert!(report.repaired_bytes > 0);
+        assert_eq!(cache.lookup(1, 1), Some(&entry(4)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn degraded_entries_only_serve_equal_or_smaller_budgets() {
+        let (mut cache, _) = ScheduleCache::open(None, false).unwrap();
+        let degraded = CacheEntry {
+            degraded: true,
+            limit: 1_000,
+            ..entry(8)
+        };
+        cache.insert(5, degraded.clone()).unwrap();
+        assert_eq!(cache.lookup(5, 1_000), Some(&degraded));
+        assert_eq!(cache.lookup(5, 500), Some(&degraded));
+        assert!(
+            cache.lookup(5, 2_000).is_none(),
+            "a bigger budget deserves a fresh, better attempt"
+        );
+        // Full-quality entries serve any budget.
+        cache.insert(6, entry(3)).unwrap();
+        assert!(cache.lookup(6, u64::MAX).is_some());
+    }
+
+    #[test]
+    fn kernel_hash_is_whitespace_insensitive_via_canonical_text() {
+        let w = csched_kernels::by_name("Merge").unwrap();
+        let canonical = csched_ir::text::print(&w.kernel);
+        let reparsed = csched_ir::text::parse(&canonical).unwrap();
+        assert_eq!(kernel_hash(&w.kernel), kernel_hash(&reparsed));
+    }
+
+    #[test]
+    fn cache_key_separates_kernel_arch_and_config() {
+        let fp_a = "cfg-a";
+        let fp_b = "cfg-b";
+        assert_ne!(cache_key(1, 2, fp_a), cache_key(1, 3, fp_a));
+        assert_ne!(cache_key(1, 2, fp_a), cache_key(2, 2, fp_a));
+        assert_ne!(cache_key(1, 2, fp_a), cache_key(1, 2, fp_b));
+    }
+}

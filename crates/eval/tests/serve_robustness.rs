@@ -1,0 +1,310 @@
+//! Robustness tests for the scheduler service: overload shedding,
+//! corruption quarantine, crash-consistent restart, deadline handling,
+//! and malformed-request rejection — each an ISSUE acceptance criterion.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use csched_eval::serve::{client_raw, client_request, client_stats, ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn tmp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csched-serve-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn merge_request() -> (String, String) {
+    let w = csched_kernels::by_name("Merge").unwrap();
+    (
+        csched_ir::text::print(&w.kernel),
+        csched_machine::text::print(&csched_machine::imagine::distributed()),
+    )
+}
+
+fn fir_request() -> (String, String) {
+    let w = csched_kernels::by_name("FIR-int").unwrap();
+    (
+        csched_ir::text::print(&w.kernel),
+        csched_machine::text::print(&csched_machine::imagine::central()),
+    )
+}
+
+/// Overload: with one worker pinned by a slow client and the one-slot
+/// queue full, the next connection gets a typed `ERR overload` response
+/// quickly — the server answers, it never hangs.
+#[test]
+fn overload_sheds_with_a_typed_response_and_never_hangs() {
+    let config = ServeConfig {
+        jobs: 1,
+        queue_cap: 1,
+        // Short I/O timeout so the deliberately stalled connections
+        // below are reclaimed quickly after the assertion.
+        io_timeout: Duration::from_millis(2_000),
+        ..ServeConfig::default()
+    };
+    let (server, _) = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.addr();
+
+    // Pin the single worker with a connection that sends a partial
+    // request (header, no body) and then stalls.
+    let partial = b"SCHED\nKERNEL 10\n";
+    let mut s1 = TcpStream::connect(addr).unwrap();
+    s1.write_all(partial).unwrap();
+    // Fill the single queue slot the same way. If the worker has not
+    // claimed the first connection yet, the acceptor sheds this one
+    // instead (we see its `ERR overload` bytes) — retry until it is
+    // genuinely queued (the peek times out with nothing to read).
+    let s2 = loop {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(partial).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        match s.peek(&mut buf) {
+            Ok(_) => std::thread::sleep(Duration::from_millis(50)), // shed; retry
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break s; // silence: admitted and waiting in the queue
+            }
+            Err(e) => panic!("unexpected peek error: {e}"),
+        }
+    };
+    // Worker pinned, queue full: the next connection must be shed fast.
+    let start = std::time::Instant::now();
+    let response = client_raw(&addr.to_string(), b"STATS\n", Duration::from_secs(10)).unwrap();
+    assert!(
+        response.starts_with("ERR overload"),
+        "expected typed shed, got: {response}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shedding must be immediate, took {:?}",
+        start.elapsed()
+    );
+
+    // Closing the stalled connections frees the worker (its blocked
+    // body read sees EOF) and the service recovers.
+    drop(s1);
+    drop(s2);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match client_stats(&addr.to_string(), TIMEOUT) {
+            Ok(stats) if stats.starts_with('{') => break,
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            other => panic!("service never recovered from overload: {other:?}"),
+        }
+    }
+    let stats = client_stats(&addr.to_string(), TIMEOUT).unwrap();
+    // At least the probe was shed (setup retries may add more).
+    assert!(
+        stats.contains("\"shed\":") && !stats.contains("\"shed\":0,"),
+        "shed counter recorded: {stats}"
+    );
+    server.shutdown();
+}
+
+/// Corruption quarantine: bit-flip one cached entry on disk; the restart
+/// quarantines exactly that key (the rest still serve warm), the next
+/// request for it re-schedules and re-journals, and a second restart
+/// loads the healed entry.
+#[test]
+fn bit_flipped_cache_entry_is_quarantined_then_healed_by_rescheduling() {
+    let path = tmp_path("quarantine");
+    let config = || ServeConfig {
+        jobs: 2,
+        cache_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let (merge_k, merge_a) = merge_request();
+    let (fir_k, fir_a) = fir_request();
+    let addr_of = |server: &Server| server.addr().to_string();
+
+    // Populate two entries.
+    let (server, load) = Server::bind("127.0.0.1:0", config()).unwrap();
+    assert_eq!((load.entries, load.quarantined), (0, 0));
+    let merge_cold =
+        client_request(&addr_of(&server), &merge_k, &merge_a, None, None, TIMEOUT).unwrap();
+    let fir_cold = client_request(&addr_of(&server), &fir_k, &fir_a, None, None, TIMEOUT).unwrap();
+    assert!(merge_cold.starts_with("CACHE miss\nOK "), "{merge_cold}");
+    assert!(fir_cold.starts_with("CACHE miss\nOK "), "{fir_cold}");
+    server.shutdown();
+
+    // Bit-flip the first entry's payload on disk.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    assert_eq!(lines.len(), 2);
+    let flipped = lines[0].replacen("\"ii\":", "\"ii\":9", 1); // prefix a digit: value corrupted
+    assert_ne!(flipped, lines[0]);
+    lines[0] = flipped;
+    std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+    // Restart: the corrupt key is quarantined, the clean one serves.
+    let (server, load) = Server::bind("127.0.0.1:0", config()).unwrap();
+    assert_eq!(load.entries, 1, "one clean entry survives");
+    assert_eq!(load.quarantined, 1, "the corrupt key is quarantined");
+    assert_eq!(load.corrupt_lines, 1);
+    let fir_warm = client_request(&addr_of(&server), &fir_k, &fir_a, None, None, TIMEOUT).unwrap();
+    assert!(
+        fir_warm.starts_with("CACHE hit\n"),
+        "clean entry must keep serving warm: {fir_warm}"
+    );
+    // The quarantined key misses, is re-scheduled, and matches the
+    // original cold answer.
+    let merge_requarantined =
+        client_request(&addr_of(&server), &merge_k, &merge_a, None, None, TIMEOUT).unwrap();
+    assert!(
+        merge_requarantined.starts_with("CACHE miss\n"),
+        "quarantined key must miss: {merge_requarantined}"
+    );
+    assert_eq!(
+        merge_requarantined.trim_start_matches("CACHE miss\n"),
+        merge_cold.trim_start_matches("CACHE miss\n"),
+        "re-scheduling is deterministic"
+    );
+    let stats = client_stats(&addr_of(&server), TIMEOUT).unwrap();
+    assert!(stats.contains("\"quarantined\":0"), "healed: {stats}");
+    server.shutdown();
+
+    // Second restart: the re-journaled entry wins over the corrupt line.
+    let (server, load) = Server::bind("127.0.0.1:0", config()).unwrap();
+    assert_eq!(load.entries, 2, "both keys clean after healing");
+    assert_eq!(load.quarantined, 0);
+    let merge_warm =
+        client_request(&addr_of(&server), &merge_k, &merge_a, None, None, TIMEOUT).unwrap();
+    assert!(merge_warm.starts_with("CACHE hit\n"), "{merge_warm}");
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Crash consistency: warm responses after a restart are byte-identical
+/// to the responses before it (the cache key and entry rendering are
+/// stable across processes).
+#[test]
+fn restart_serves_warm_hits_byte_identical_to_pre_restart() {
+    let path = tmp_path("restart");
+    let config = || ServeConfig {
+        jobs: 2,
+        cache_path: Some(path.clone()),
+        durable: true, // exercise the fsync path end to end
+        ..ServeConfig::default()
+    };
+    let (kernel, arch) = merge_request();
+
+    let (server, _) = Server::bind("127.0.0.1:0", config()).unwrap();
+    let addr = server.addr().to_string();
+    let cold = client_request(&addr, &kernel, &arch, None, None, TIMEOUT).unwrap();
+    let warm_before = client_request(&addr, &kernel, &arch, None, None, TIMEOUT).unwrap();
+    assert!(cold.starts_with("CACHE miss\n"), "{cold}");
+    assert!(warm_before.starts_with("CACHE hit\n"), "{warm_before}");
+    assert_eq!(
+        cold.trim_start_matches("CACHE miss\n"),
+        warm_before.trim_start_matches("CACHE hit\n"),
+        "warm OK line is byte-identical to the cold one"
+    );
+    server.shutdown();
+
+    let (server, load) = Server::bind("127.0.0.1:0", config()).unwrap();
+    assert_eq!(load.entries, 1);
+    let warm_after = client_request(
+        &server.addr().to_string(),
+        &kernel,
+        &arch,
+        None,
+        None,
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(
+        warm_after, warm_before,
+        "restart must not change the answer"
+    );
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A request whose placement-attempt budget is too small to finish the
+/// ladder gets a typed `ERR deadline`, not a hang or a panic — and is
+/// not cached, so a follow-up with real budget succeeds.
+#[test]
+fn exhausted_budget_is_a_typed_deadline_error_and_not_cached() {
+    let (server, _) = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let (kernel, arch) = merge_request();
+    let starved = client_request(&addr, &kernel, &arch, Some(1), None, TIMEOUT).unwrap();
+    assert!(
+        starved.starts_with("ERR deadline"),
+        "expected typed deadline error, got: {starved}"
+    );
+    let retry = client_request(&addr, &kernel, &arch, None, None, TIMEOUT).unwrap();
+    assert!(
+        retry.starts_with("CACHE miss\nOK "),
+        "failed request must not poison the cache: {retry}"
+    );
+    let stats = client_stats(&addr, TIMEOUT).unwrap();
+    assert!(stats.contains("\"deadline\":1"), "{stats}");
+    server.shutdown();
+}
+
+/// Malformed requests of several shapes are rejected with one-line typed
+/// errors and never take the service down.
+#[test]
+fn malformed_requests_get_typed_errors_and_service_survives() {
+    let (server, _) = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let cases: [&[u8]; 5] = [
+        b"BOGUS\n",
+        b"SCHED frobnicate=1\nKERNEL 0\nARCH 0\nEND\n",
+        b"SCHED\nKERNEL nine\n",
+        b"SCHED\nKERNEL 7\nnot ir!ARCH 0\nEND\n",
+        b"\n",
+    ];
+    for request in cases {
+        let response = client_raw(&addr, request, TIMEOUT).unwrap();
+        assert!(
+            response.starts_with("ERR malformed"),
+            "request {:?} got: {response}",
+            String::from_utf8_lossy(request)
+        );
+        assert_eq!(response.lines().count(), 1, "one-line error: {response}");
+    }
+    // The service still schedules fine afterwards.
+    let (kernel, arch) = merge_request();
+    let ok = client_request(&addr, &kernel, &arch, None, None, TIMEOUT).unwrap();
+    assert!(ok.starts_with("CACHE miss\nOK "), "{ok}");
+    let stats = client_stats(&addr, TIMEOUT).unwrap();
+    assert!(stats.contains("\"malformed\":5"), "{stats}");
+    server.shutdown();
+}
+
+/// The stats line always carries the full counter and cache sections.
+#[test]
+fn stats_reports_counters_and_cache_state() {
+    let (server, _) = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let (kernel, arch) = fir_request();
+    client_request(&addr, &kernel, &arch, None, None, TIMEOUT).unwrap();
+    client_request(&addr, &kernel, &arch, None, None, TIMEOUT).unwrap();
+    let stats = client_stats(&addr, TIMEOUT).unwrap();
+    for needle in [
+        "\"ok\":2",
+        "\"hits\":1",
+        "\"misses\":1",
+        "\"cache\":{\"entries\":1",
+        "\"quarantined\":0",
+    ] {
+        assert!(stats.contains(needle), "missing {needle} in {stats}");
+    }
+    server.shutdown();
+}
