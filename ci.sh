@@ -40,6 +40,14 @@ cargo run -q --release -p csched-eval --bin chaos -- \
 step "explain full-grid agreement (release)"
 cargo test -q --release -p csched-eval --test explain_grid -- --include-ignored
 
+# Golden byte-identity for the full paper grid: every kernel ×
+# organisation cell must schedule to exactly the pinned
+# (II, copies, attempts) triple — any drift in a candidate order,
+# tie-break, or table admission fails here even if the schedule stays
+# valid. Ignored under the debug profile (minutes); seconds on release.
+step "golden (II, copies, attempts) triples on the full grid (release)"
+cargo test -q --release -p csched-eval --test grid_golden -- --include-ignored
+
 # Perf-regression bench smoke: re-measure a small kernel×arch grid and
 # diff it against the committed baseline. Deterministic fields (ok, II,
 # copies, attempts) must match exactly; wall clock is advisory because

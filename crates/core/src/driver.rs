@@ -7,11 +7,14 @@
 //! for the ablation configuration. Every tentative placement is accepted
 //! or rejected by communication scheduling ([`Engine::place`]).
 
+use std::sync::Arc;
+
 use csched_ir::{BlockId, DepGraph, DepKind, Kernel, OpId};
 use csched_machine::{Architecture, FuId, Opcode};
 
 use crate::budget::StepBudget;
 use crate::config::{ScheduleOrder, SchedulerConfig};
+use crate::conn::ConnCache;
 use crate::engine::{Engine, OrderEdge};
 use crate::schedule::Schedule;
 use crate::trace::{TraceEvent, TraceSink};
@@ -89,6 +92,117 @@ pub(crate) fn min_latency(arch: &Architecture, opcode: Opcode) -> u32 {
         .unwrap_or(1)
 }
 
+/// Everything about an `(Architecture, Kernel)` pair that is independent
+/// of the scheduler configuration and the initiation interval: the dense
+/// connectivity cache, the dependence graph, memory-order edges, ASAP
+/// levels, and the minimum II.
+///
+/// Building one of these is the expensive front half of
+/// [`schedule_kernel`]; the II search inside a single call shares it
+/// across every II attempt, and the retry ladder in [`crate::retry`]
+/// builds one per `(arch, kernel)` and reuses it for the whole ladder
+/// (every rung varies only the [`SchedulerConfig`], which no `Prepared`
+/// field depends on).
+pub(crate) struct Prepared {
+    cache: Arc<ConnCache>,
+    graph: DepGraph,
+    order_edges: Vec<OrderEdge>,
+    asap: Vec<i64>,
+    mii: u32,
+    has_loop: bool,
+}
+
+/// Runs the configuration-independent front half of [`schedule_kernel`]:
+/// connectivity and capability checks, dependence analysis, and the dense
+/// connectivity cache build.
+///
+/// # Errors
+///
+/// [`SchedError::NotCopyConnected`] / [`SchedError::NoCapableUnit`] when
+/// `arch` cannot execute `kernel` at all.
+pub(crate) fn prepare(arch: &Architecture, kernel: &Kernel) -> Result<Prepared, SchedError> {
+    let cache = Arc::new(ConnCache::new(arch));
+    if !cache.connectivity().is_copy_connected() {
+        return Err(not_copy_connected(arch));
+    }
+    for op in kernel.op_ids() {
+        if cache.fus_for(kernel.op(op).opcode()).is_empty() {
+            return Err(SchedError::NoCapableUnit {
+                opcode: kernel.op(op).opcode(),
+            });
+        }
+    }
+
+    let graph = DepGraph::build(kernel, |opcode| min_latency(arch, opcode));
+    let order_edges: Vec<OrderEdge> = graph
+        .edges()
+        .iter()
+        .filter(|e| e.kind == DepKind::Mem)
+        .filter(|e| kernel.op(e.from).block() == kernel.op(e.to).block())
+        .map(|e| OrderEdge {
+            from: SOpId::from_raw(e.from.index()),
+            to: SOpId::from_raw(e.to.index()),
+            distance: e.distance,
+        })
+        .collect();
+    let asap = graph.asap(kernel);
+
+    let has_loop = kernel.loop_block().is_some();
+    let mii = if has_loop {
+        graph.rec_mii(kernel).max(res_mii(arch, kernel))
+    } else {
+        1
+    };
+    Ok(Prepared {
+        cache,
+        graph,
+        order_edges,
+        asap,
+        mii,
+        has_loop,
+    })
+}
+
+/// Lazily-built, memoised [`Prepared`] for one `(arch, kernel)` pair.
+///
+/// The retry ladder and the anytime improvement loop call
+/// [`PrepCache::get`] once per rung; only the first call pays for the
+/// build, and a build *error* surfaces at exactly the point the
+/// un-cached driver would have reported it (so rung records and error
+/// taxonomy are unchanged by the caching).
+pub(crate) struct PrepCache {
+    inner: Option<Prepared>,
+}
+
+impl PrepCache {
+    pub(crate) fn new() -> Self {
+        PrepCache { inner: None }
+    }
+
+    /// The memoised [`Prepared`], building it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`prepare`].
+    pub(crate) fn get(
+        &mut self,
+        arch: &Architecture,
+        kernel: &Kernel,
+    ) -> Result<&Prepared, SchedError> {
+        if self.inner.is_none() {
+            self.inner = Some(prepare(arch, kernel)?);
+        }
+        match self.inner.as_ref() {
+            Some(p) => Ok(p),
+            // Unreachable: just populated above.
+            None => Err(SchedError::internal(
+                "prepare",
+                "preparation cache empty after fill".to_string(),
+            )),
+        }
+    }
+}
+
 /// Schedules `kernel` on `arch` with the paper's algorithm.
 ///
 /// # Errors
@@ -119,7 +233,7 @@ pub fn schedule_kernel(
     kernel: &Kernel,
     config: SchedulerConfig,
 ) -> Result<Schedule, SchedError> {
-    schedule_kernel_impl(arch, kernel, config, None, None)
+    schedule_kernel_impl(arch, kernel, config, None, None, None)
 }
 
 /// [`schedule_kernel`] under a deterministic [`StepBudget`]: every
@@ -142,7 +256,7 @@ pub fn schedule_kernel_budgeted(
     config: SchedulerConfig,
     budget: &StepBudget,
 ) -> Result<Schedule, SchedError> {
-    schedule_kernel_impl(arch, kernel, config, None, Some(budget))
+    schedule_kernel_impl(arch, kernel, config, None, Some(budget), None)
 }
 
 /// [`schedule_kernel`] with every pipeline decision traced into `sink`.
@@ -163,7 +277,7 @@ pub fn schedule_kernel_traced(
     config: SchedulerConfig,
     sink: &mut dyn TraceSink,
 ) -> Result<Schedule, SchedError> {
-    schedule_kernel_impl(arch, kernel, config, Some(sink), None)
+    schedule_kernel_impl(arch, kernel, config, Some(sink), None, None)
 }
 
 pub(crate) fn schedule_kernel_impl(
@@ -172,38 +286,25 @@ pub(crate) fn schedule_kernel_impl(
     config: SchedulerConfig,
     mut sink: Option<&mut dyn TraceSink>,
     budget: Option<&StepBudget>,
+    prep: Option<&Prepared>,
 ) -> Result<Schedule, SchedError> {
-    if !arch.copy_connectivity().is_copy_connected() {
-        return Err(not_copy_connected(arch));
-    }
-    for op in kernel.op_ids() {
-        if arch.fus_for(kernel.op(op).opcode()).is_empty() {
-            return Err(SchedError::NoCapableUnit {
-                opcode: kernel.op(op).opcode(),
-            });
+    let owned;
+    let prep = match prep {
+        Some(p) => p,
+        None => {
+            owned = prepare(arch, kernel)?;
+            &owned
         }
-    }
-
-    let graph = DepGraph::build(kernel, |opcode| min_latency(arch, opcode));
-    let order_edges: Vec<OrderEdge> = graph
-        .edges()
-        .iter()
-        .filter(|e| e.kind == DepKind::Mem)
-        .filter(|e| kernel.op(e.from).block() == kernel.op(e.to).block())
-        .map(|e| OrderEdge {
-            from: SOpId::from_raw(e.from.index()),
-            to: SOpId::from_raw(e.to.index()),
-            distance: e.distance,
-        })
-        .collect();
-    let asap = graph.asap(kernel);
-
-    let has_loop = kernel.loop_block().is_some();
-    let mii = if has_loop {
-        graph.rec_mii(kernel).max(res_mii(arch, kernel))
-    } else {
-        1
     };
+    let Prepared {
+        cache,
+        graph,
+        order_edges,
+        asap,
+        mii,
+        has_loop,
+    } = prep;
+    let (mii, has_loop) = (*mii, *has_loop);
 
     // Larger kernels legitimately need more placement attempts per II.
     let attempts_cap = config
@@ -217,7 +318,15 @@ pub(crate) fn schedule_kernel_impl(
             let mut cfg = config.clone();
             cfg.cross_block_copy_slack = slack;
             cfg.max_attempts_per_ii = attempts_cap;
-            let mut engine = Engine::new(arch, kernel, cfg, order_edges.clone(), asap.clone(), ii);
+            let mut engine = Engine::with_cache(
+                arch,
+                kernel,
+                cfg,
+                order_edges.clone(),
+                asap.clone(),
+                ii,
+                Arc::clone(cache),
+            );
             engine.stats.ii_tried = ii - mii + 1;
             if slack_round > 0 {
                 engine.stats.backtracked = true;
@@ -229,7 +338,7 @@ pub(crate) fn schedule_kernel_impl(
             if let Some(b) = budget {
                 engine.set_budget(b);
             }
-            match run_blocks(&mut engine, kernel, &graph, &config) {
+            match run_blocks(&mut engine, kernel, graph, &config) {
                 Ok(()) => {
                     debug_assert!(engine.all_closed());
                     return engine.into_schedule(has_loop);
@@ -303,17 +412,18 @@ fn run_blocks(
     graph: &DepGraph,
     config: &SchedulerConfig,
 ) -> Result<(), RunError> {
+    let mut scratch = DriverScratch::default();
     for block in kernel.block_ids() {
         match config.order {
             ScheduleOrder::Operation => {
                 for op in graph.operation_order(kernel, block) {
-                    if !place_with_window(engine, kernel, op, config) {
+                    if !place_with_window(engine, kernel, op, config, &mut scratch) {
                         return Err(RunError::Block(block, op));
                     }
                 }
             }
             ScheduleOrder::Cycle => {
-                schedule_block_cycle_order(engine, kernel, graph, block, config)
+                schedule_block_cycle_order(engine, kernel, graph, block, config, &mut scratch)
                     .map_err(|op| RunError::Block(block, op))?;
             }
         }
@@ -330,13 +440,15 @@ fn window(engine: &Engine<'_>, kernel: &Kernel, op: OpId) -> (i64, Option<i64>) 
     let u = engine_universe(engine);
     let mut earliest = 0i64;
     let mut latest: Option<i64> = None;
-    for &cid in &u.comms_to(sop) {
-        let c = u.comm(cid);
-        if engine_block(engine, c.producer) != block {
-            continue;
-        }
-        if let Some(p) = engine.placement(c.producer) {
-            earliest = earliest.max(p.completion() + 1 - c.distance as i64 * bii);
+    for slot in 0..u.op(sop).num_operands {
+        for &cid in u.comms_to_operand(sop, slot) {
+            let c = u.comm(cid);
+            if engine_block(engine, c.producer) != block {
+                continue;
+            }
+            if let Some(p) = engine.placement(c.producer) {
+                earliest = earliest.max(p.completion() + 1 - c.distance as i64 * bii);
+            }
         }
     }
     for &cid in u.comms_from(sop) {
@@ -362,47 +474,48 @@ fn engine_block(engine: &Engine<'_>, op: SOpId) -> BlockId {
     engine.universe.op(op).block
 }
 
-/// Candidate functional units for `op` at `cycle`, best first.
-fn ordered_fus(
-    engine: &mut Engine<'_>,
+/// Reusable buffers for [`ordered_fus_into`]: one set per driver run,
+/// so the per-(op, cycle) unit ranking allocates nothing.
+#[derive(Default)]
+struct DriverScratch {
+    scored: Vec<(i64, i64, usize, FuId)>,
+    fus: Vec<FuId>,
+}
+
+/// Candidate functional units for `op` at `cycle`, best first, written
+/// into `scratch.fus`. The sort key ends in the unit id, so the ranking
+/// is a total order and deterministic.
+fn ordered_fus_into(
+    engine: &Engine<'_>,
     kernel: &Kernel,
     op: OpId,
     cycle: i64,
     use_cost: bool,
-) -> Vec<FuId> {
+    scratch: &mut DriverScratch,
+) {
     let sop = SOpId::from_raw(op.index());
     let opcode = kernel.op(op).opcode();
-    let fus = engine.arch().fus_for(opcode);
-    let mut scored: Vec<(i64, i64, usize, FuId)> = fus
-        .into_iter()
-        .map(|fu| {
-            let cost = if use_cost {
-                (engine.comm_cost(sop, fu, cycle) * 1024.0) as i64
-            } else {
-                0
-            };
-            // Prefer less-capable units (save flexible ones) and lighter
-            // load as tie-breakers.
-            let load = engine_load(engine, fu);
-            let caps = engine.arch().fu(fu).capabilities().len();
-            (cost, load, caps, fu)
-        })
-        .collect();
-    scored.sort_by_key(|&(cost, load, caps, fu)| (cost, load, caps, fu));
-    scored.truncate(engine.config_ref().max_fu_candidates);
-    scored.into_iter().map(|(_, _, _, f)| f).collect()
-}
-
-fn engine_load(engine: &Engine<'_>, fu: FuId) -> i64 {
-    let mut n = 0i64;
-    for op in engine.universe.op_ids() {
-        if let Some(p) = engine.placement(op) {
-            if p.fu == fu {
-                n += 1;
-            }
-        }
+    scratch.scored.clear();
+    for &fu in engine.conn_cache().fus_for(opcode) {
+        let cost = if use_cost {
+            (engine.comm_cost(sop, fu, cycle) * 1024.0) as i64
+        } else {
+            0
+        };
+        // Prefer less-capable units (save flexible ones) and lighter
+        // load as tie-breakers.
+        let load = engine.fu_load(fu);
+        let caps = engine.arch().fu(fu).capabilities().len();
+        scratch.scored.push((cost, load, caps, fu));
     }
-    n
+    scratch.scored.sort_unstable();
+    scratch
+        .scored
+        .truncate(engine.config_ref().max_fu_candidates);
+    scratch.fus.clear();
+    scratch
+        .fus
+        .extend(scratch.scored.iter().map(|&(_, _, _, f)| f));
 }
 
 fn place_with_window(
@@ -410,6 +523,7 @@ fn place_with_window(
     kernel: &Kernel,
     op: OpId,
     config: &SchedulerConfig,
+    scratch: &mut DriverScratch,
 ) -> bool {
     let (earliest, latest) = window(engine, kernel, op);
     let block = kernel.op(op).block();
@@ -438,8 +552,16 @@ fn place_with_window(
             if engine.stats.attempts > config.max_attempts_per_ii || engine.budget_stopped() {
                 return false;
             }
-            for fu in ordered_fus(engine, kernel, op, cycle, config.comm_cost_heuristic) {
-                if engine.place_ext(sop, fu, cycle, 0, allow_copies) {
+            ordered_fus_into(
+                engine,
+                kernel,
+                op,
+                cycle,
+                config.comm_cost_heuristic,
+                scratch,
+            );
+            for i in 0..scratch.fus.len() {
+                if engine.place_ext(sop, scratch.fus[i], cycle, 0, allow_copies) {
                     return true;
                 }
             }
@@ -456,6 +578,7 @@ fn schedule_block_cycle_order(
     graph: &DepGraph,
     block: BlockId,
     config: &SchedulerConfig,
+    scratch: &mut DriverScratch,
 ) -> Result<(), OpId> {
     let mut remaining: Vec<OpId> = graph.operation_order(kernel, block);
     let mut cycle = 0i64;
@@ -468,20 +591,33 @@ fn schedule_block_cycle_order(
         for op in remaining {
             let sop = SOpId::from_raw(op.index());
             // Ready: every same-block producer is placed.
-            let ready = engine.universe.comms_to(sop).iter().all(|&cid| {
-                let c = engine.universe.comm(cid);
-                engine_block(engine, c.producer) != block
-                    || c.distance > 0
-                    || engine.placement(c.producer).is_some()
+            let ready = (0..engine.universe.op(sop).num_operands).all(|slot| {
+                engine
+                    .universe
+                    .comms_to_operand(sop, slot)
+                    .iter()
+                    .all(|&cid| {
+                        let c = engine.universe.comm(cid);
+                        engine_block(engine, c.producer) != block
+                            || c.distance > 0
+                            || engine.placement(c.producer).is_some()
+                    })
             });
             let mut placed = false;
             if ready {
                 let (earliest, latest) = window(engine, kernel, op);
                 if earliest <= cycle && latest.is_none_or(|l| cycle <= l) {
                     'fu: for allow_copies in [false, true] {
-                        for fu in ordered_fus(engine, kernel, op, cycle, config.comm_cost_heuristic)
-                        {
-                            if engine.place_ext(sop, fu, cycle, 0, allow_copies) {
+                        ordered_fus_into(
+                            engine,
+                            kernel,
+                            op,
+                            cycle,
+                            config.comm_cost_heuristic,
+                            scratch,
+                        );
+                        for i in 0..scratch.fus.len() {
+                            if engine.place_ext(sop, scratch.fus[i], cycle, 0, allow_copies) {
                                 placed = true;
                                 break 'fu;
                             }

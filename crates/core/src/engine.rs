@@ -20,13 +20,37 @@
 //! failed placement rolls back exactly and the scheduler can retry on
 //! another functional unit or cycle (the accept/reject protocol of
 //! Figure 11).
+//!
+//! # Hot-path discipline (DESIGN.md §14)
+//!
+//! The attempt loop — [`Engine::place_ext`] down through stub permutation
+//! and route search — is engineered for zero steady-state allocation and
+//! O(1) probes:
+//!
+//! - resource claims go through the dense modulo tables of
+//!   [`crate::table`];
+//! - every copy-distance score is a flat-array read from the shared
+//!   [`ConnCache`] (`Arc`-held, so the whole II search and retry ladder
+//!   reuse one cache);
+//! - candidate enumeration scores stubs per register-file *group* (all
+//!   stubs targeting one file share a score) and keeps only the
+//!   configured top-k by `select_nth_unstable` before sorting the
+//!   surviving prefix — exact, because every sort key in this module is a
+//!   total order (a `(port, bus)` pair identifies a stub uniquely);
+//! - the permutation searches, closing lists, and revision scans run in
+//!   reusable scratch buffers (`Scratch`) that keep their capacity across
+//!   attempts.
+//!
+//! Any change here must preserve *schedule identity*: identical candidate
+//! sets, identical orderings, identical tiebreaks — see the invariants in
+//! DESIGN.md §14 and the byte-identity gates in `ci.sh`.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use csched_ir::{BlockId, Kernel};
-use csched_machine::{
-    Architecture, Capability, CopyConnectivity, FuId, Opcode, ReadStub, ResourceMap, WriteStub,
-};
+use csched_machine::{Architecture, Capability, FuId, Opcode, ReadStub, ResourceMap, WriteStub};
+
+use crate::conn::ConnCache;
 
 use crate::budget::{BudgetStop, StepBudget};
 use crate::config::SchedulerConfig;
@@ -53,7 +77,11 @@ enum Undo {
     Comm(CommId, CommInfo),
     Operand(usize, Option<ReadStub>, bool),
     Place(SOpId),
-    CopyAdded { ops: usize, comms: usize },
+    CopyAdded {
+        ops: usize,
+        comms: usize,
+        operands: usize,
+    },
     CommAdded,
 }
 
@@ -76,7 +104,7 @@ pub(crate) fn debug_env(n: usize) -> bool {
 #[derive(Clone, Debug)]
 pub struct EngineSavepoint {
     journal: usize,
-    tables: Vec<usize>,
+    tables: Vec<crate::table::Savepoint>,
 }
 
 /// A memory-ordering constraint (from the kernel dependence graph): the
@@ -92,11 +120,57 @@ pub struct OrderEdge {
     pub distance: u32,
 }
 
+/// Reusable scratch buffers for the permutation searches of §4.3 steps
+/// 2–3 and the closing machinery of steps 4–5. Buffers keep their
+/// capacity across placement attempts, so the steady-state attempt loop
+/// allocates nothing. None of them is live across a recursive
+/// [`Engine::place`] (copy insertion): the permutation buffers are taken
+/// and restored within one permutation call, and the closing list uses a
+/// pop/push pool so each recursion depth gets its own vector.
+#[derive(Default)]
+struct Scratch {
+    rperm: RPermBufs,
+    wperm: WPermBufs,
+    closing_pool: Vec<Vec<CommId>>,
+    revise: Vec<(u32, WriteStub)>,
+}
+
+/// Buffers for one read-stub permutation (participants, §4.4 ordering,
+/// flattened candidate lists, and the backtracking state).
+#[derive(Default)]
+struct RPermBufs {
+    participants: Vec<(SOpId, usize, i64)>,
+    keyed: Vec<(i64, usize, (SOpId, usize, i64))>,
+    scored: Vec<(i64, ReadStub)>,
+    cand: Vec<ReadStub>,
+    ranges: Vec<(u32, u32)>,
+    pos: Vec<usize>,
+    chosen: Vec<Option<ReadStub>>,
+}
+
+/// A write-permutation participant: the communication, its completion
+/// cycle, and the producing unit.
+type WParticipant = (CommId, i64, FuId);
+
+/// Buffers for one write-stub permutation.
+#[derive(Default)]
+struct WPermBufs {
+    participants: Vec<WParticipant>,
+    keyed: Vec<(i64, i64, u32, WParticipant)>,
+    /// `(score, rotated port, port-run index)` per candidate port run.
+    scored: Vec<(i64, u32, u32)>,
+    cand: Vec<WriteStub>,
+    ranges: Vec<(u32, u32)>,
+    pos: Vec<usize>,
+    chosen: Vec<Option<WriteStub>>,
+}
+
 /// The scheduling engine. See the module docs.
 pub struct Engine<'a> {
     arch: &'a Architecture,
     kernel: &'a Kernel,
-    conn: CopyConnectivity,
+    /// Shared dense connectivity tables (see [`crate::conn`]).
+    cache: Arc<ConnCache>,
     config: SchedulerConfig,
     /// Operations and communications (grows with copy insertion).
     pub(crate) universe: Universe,
@@ -125,18 +199,12 @@ pub struct Engine<'a> {
     /// insertion).
     copy_work: u32,
     pub(crate) stats: SchedStats,
-    /// Cache: min copies from a unit's writable files to one file.
-    fu_to_rf: HashMap<(FuId, usize), Option<u32>>,
-    /// Cache: min copies for any route from one unit to another's input.
-    route_cache: HashMap<(FuId, FuId, usize), Option<u32>>,
-    /// Cache: min copies from a unit to any input of any unit capable of
-    /// an opcode.
-    fu_to_consumer: HashMap<(FuId, Opcode, usize), Option<u32>>,
-    /// Cache: min copies from one file to any input-readable file of any
-    /// unit capable of an opcode.
-    rf_to_consumer: HashMap<(usize, Opcode, usize), Option<u32>>,
-    /// Cache: min copies from any unit capable of an opcode to one file.
-    producer_to_rf: HashMap<(Opcode, usize), Option<u32>>,
+    /// Number of placed operations per unit, maintained incrementally
+    /// (placement increments, rollback decrements) — the driver's
+    /// load tiebreak reads it in O(1) instead of scanning all ops.
+    fu_load: Vec<i64>,
+    /// Reusable hot-path buffers (see [`Scratch`]).
+    scratch: Scratch,
     /// Optional event sink; `None` (the default) makes every emission a
     /// single never-taken branch.
     trace: Option<&'a mut dyn TraceSink>,
@@ -169,6 +237,10 @@ impl<'a> Engine<'a> {
     /// kernel's memory-ordering constraints; `asap` the per-kernel-op ASAP
     /// estimates used by the eq 1 heuristic. `ii` configures the loop
     /// block's modulo table (pass 1 when the kernel has no loop).
+    ///
+    /// Builds a private [`ConnCache`]; the driver's II search uses
+    /// [`Engine::with_cache`] to share one cache across every engine it
+    /// creates.
     pub fn new(
         arch: &'a Architecture,
         kernel: &'a Kernel,
@@ -176,6 +248,22 @@ impl<'a> Engine<'a> {
         order_edges: Vec<OrderEdge>,
         asap: Vec<i64>,
         ii: u32,
+    ) -> Self {
+        let cache = Arc::new(ConnCache::new(arch));
+        Self::with_cache(arch, kernel, config, order_edges, asap, ii, cache)
+    }
+
+    /// [`Engine::new`] with a shared connectivity cache. The cache holds
+    /// no scheduling state (see [`crate::conn`]), so sharing it across II
+    /// attempts and retry rungs cannot change any placement decision.
+    pub fn with_cache(
+        arch: &'a Architecture,
+        kernel: &'a Kernel,
+        config: SchedulerConfig,
+        order_edges: Vec<OrderEdge>,
+        asap: Vec<i64>,
+        ii: u32,
+        cache: Arc<ConnCache>,
     ) -> Self {
         let universe = Universe::build(kernel);
         let map = ResourceMap::new(arch);
@@ -197,7 +285,7 @@ impl<'a> Engine<'a> {
         Engine {
             arch,
             kernel,
-            conn: arch.copy_connectivity(),
+            cache,
             config,
             universe,
             tables,
@@ -212,11 +300,8 @@ impl<'a> Engine<'a> {
             internal_error: None,
             copy_work: 0,
             stats: SchedStats::default(),
-            fu_to_rf: HashMap::new(),
-            route_cache: HashMap::new(),
-            fu_to_consumer: HashMap::new(),
-            rf_to_consumer: HashMap::new(),
-            producer_to_rf: HashMap::new(),
+            fu_load: vec![0; arch.num_fus()],
+            scratch: Scratch::default(),
             trace: None,
             budget: None,
             budget_stop: None,
@@ -270,6 +355,17 @@ impl<'a> Engine<'a> {
     /// The engine's scheduler configuration.
     pub fn config_ref(&self) -> &SchedulerConfig {
         &self.config
+    }
+
+    /// The shared connectivity cache.
+    pub fn conn_cache(&self) -> &ConnCache {
+        &self.cache
+    }
+
+    /// Number of operations currently placed on `fu` (maintained
+    /// incrementally; the driver's unit-ordering tiebreak).
+    pub fn fu_load(&self, fu: FuId) -> i64 {
+        self.fu_load[fu.index()]
     }
 
     /// Number of buses already carrying a value on `cycle`'s row of
@@ -333,18 +429,34 @@ impl<'a> Engine<'a> {
                     self.operand_stub[idx] = stub;
                     self.operand_frozen[idx] = frozen;
                 }
-                Undo::Place(op) => self.placements[op.index()] = None,
+                Undo::Place(op) => {
+                    if let Some(p) = self.placements[op.index()] {
+                        self.fu_load[p.fu.index()] -= 1;
+                    }
+                    self.placements[op.index()] = None;
+                }
                 Undo::CommAdded => {
                     self.universe.remove_last_comm();
                     self.comm_info.pop();
                 }
-                Undo::CopyAdded { ops, comms } => {
+                Undo::CopyAdded {
+                    ops,
+                    comms,
+                    operands,
+                } => {
                     self.universe.remove_last_copy();
                     debug_assert_eq!(self.universe.num_ops(), ops);
                     debug_assert_eq!(self.universe.num_comms(), comms);
+                    debug_assert_eq!(
+                        self.universe
+                            .ops
+                            .iter()
+                            .map(|o| o.num_operands)
+                            .sum::<usize>(),
+                        operands
+                    );
                     self.placements.truncate(ops);
                     self.comm_info.truncate(comms);
-                    let operands: usize = self.universe.ops.iter().map(|o| o.num_operands).sum();
                     self.operand_stub.truncate(operands);
                     self.operand_frozen.truncate(operands);
                 }
@@ -415,82 +527,6 @@ impl<'a> Engine<'a> {
         let c = self.universe.comm(comm);
         self.placements[c.producer.index()].is_some()
             && self.placements[c.consumer.index()].is_some()
-    }
-
-    /// Minimum copies to move a value from some file writable by `fu` into
-    /// the file `rf` (memoised).
-    fn min_copies_fu_to_rf(&mut self, fu: FuId, rf: usize) -> Option<u32> {
-        if let Some(&hit) = self.fu_to_rf.get(&(fu, rf)) {
-            return hit;
-        }
-        let target = csched_machine::RfId::from_raw(rf);
-        let best = self
-            .arch
-            .write_stubs(fu)
-            .iter()
-            .filter_map(|s| self.conn.copy_distance(s.rf, target))
-            .min();
-        self.fu_to_rf.insert((fu, rf), best);
-        best
-    }
-
-    /// Memoised `CopyConnectivity::min_route_copies`.
-    fn min_route_copies_cached(&mut self, p: FuId, q: FuId, slot: usize) -> Option<u32> {
-        if let Some(&hit) = self.route_cache.get(&(p, q, slot)) {
-            return hit;
-        }
-        let v = self.conn.min_route_copies(self.arch, p, q, slot);
-        self.route_cache.insert((p, q, slot), v);
-        v
-    }
-
-    /// Min copies for a route from `fu` to any unit able to run `opcode`,
-    /// reading operand `slot`.
-    fn min_copies_fu_to_consumer(&mut self, fu: FuId, opcode: Opcode, slot: usize) -> Option<u32> {
-        if let Some(&hit) = self.fu_to_consumer.get(&(fu, opcode, slot)) {
-            return hit;
-        }
-        let v = self
-            .arch
-            .fus_for(opcode)
-            .into_iter()
-            .filter_map(|f| self.min_route_copies_cached(fu, f, slot))
-            .min();
-        self.fu_to_consumer.insert((fu, opcode, slot), v);
-        v
-    }
-
-    /// Min copies from file `rf` to a file readable by operand `slot` of
-    /// any unit able to run `opcode`.
-    fn min_copies_rf_to_consumer(&mut self, rf: usize, opcode: Opcode, slot: usize) -> Option<u32> {
-        if let Some(&hit) = self.rf_to_consumer.get(&(rf, opcode, slot)) {
-            return hit;
-        }
-        let from = csched_machine::RfId::from_raw(rf);
-        let v = self
-            .arch
-            .fus_for(opcode)
-            .into_iter()
-            .flat_map(|f| self.arch.readable_rfs(f, slot))
-            .filter_map(|r| self.conn.copy_distance(from, r))
-            .min();
-        self.rf_to_consumer.insert((rf, opcode, slot), v);
-        v
-    }
-
-    /// Min copies from any unit able to produce via `opcode` into file `rf`.
-    fn min_copies_producer_to_rf(&mut self, opcode: Opcode, rf: usize) -> Option<u32> {
-        if let Some(&hit) = self.producer_to_rf.get(&(opcode, rf)) {
-            return hit;
-        }
-        let v = self
-            .arch
-            .fus_for(opcode)
-            .into_iter()
-            .filter_map(|f| self.min_copies_fu_to_rf(f, rf))
-            .min();
-        self.producer_to_rf.insert((opcode, rf), v);
-        v
     }
 
     /// The flat cycle on which `comm`'s value is read, in the producer's
@@ -604,14 +640,16 @@ impl<'a> Engine<'a> {
     fn timing_feasible(&self, op: SOpId, cycle: i64, latency: u32) -> bool {
         let block = self.block_of(op);
         let bii = self.block_ii(block);
-        for &cid in &self.universe.comms_to(op) {
-            let c = self.universe.comm(cid);
-            if self.block_of(c.producer) != block {
-                continue; // blocks execute sequentially
-            }
-            if let Some(p) = self.placements[c.producer.index()] {
-                if cycle + c.distance as i64 * bii < p.completion() + 1 {
-                    return false;
+        for slot in 0..self.universe.op(op).num_operands {
+            for &cid in self.universe.comms_to_operand(op, slot) {
+                let c = self.universe.comm(cid);
+                if self.block_of(c.producer) != block {
+                    continue; // blocks execute sequentially
+                }
+                if let Some(p) = self.placements[c.producer.index()] {
+                    if cycle + c.distance as i64 * bii < p.completion() + 1 {
+                        return false;
+                    }
                 }
             }
         }
@@ -669,6 +707,7 @@ impl<'a> Engine<'a> {
             cycle,
             latency: cap.latency,
         });
+        self.fu_load[fu.index()] += 1;
 
         // Fast path: choose stubs only for the new operation against the
         // existing claims. If any of steps 2-5 then fails, fall back to the
@@ -727,47 +766,77 @@ impl<'a> Engine<'a> {
     // ----- step 2: read-stub permutation -----
 
     fn permute_reads(&mut self, block: BlockId, cycle: i64, only: Option<SOpId>) -> bool {
+        // The scratch buffers are taken out of the engine for the duration
+        // of the call (no `place` recursion crosses a permutation, so a
+        // single set suffices) and restored on every exit path.
+        let mut bufs = std::mem::take(&mut self.scratch.rperm);
+        let ok = self.permute_reads_inner(block, cycle, only, &mut bufs);
+        self.scratch.rperm = bufs;
+        ok
+    }
+
+    /// Collects participants for [`Engine::permute_reads`]: non-frozen
+    /// operands of `o` with at least one unclosed communication.
+    fn read_participants_of(&self, o: SOpId, cycle: i64, out: &mut Vec<(SOpId, usize, i64)>) {
+        for slot in 0..self.universe.op(o).num_operands {
+            let idx = self.universe.operand_index(o, slot);
+            if self.operand_frozen[idx] {
+                continue;
+            }
+            let comms = self.universe.comms_to_operand(o, slot);
+            if comms.is_empty() {
+                continue;
+            }
+            if comms.iter().all(|&c| self.comm_closed(c)) {
+                continue;
+            }
+            out.push((o, slot, cycle));
+        }
+    }
+
+    fn permute_reads_inner(
+        &mut self,
+        block: BlockId,
+        cycle: i64,
+        only: Option<SOpId>,
+        bufs: &mut RPermBufs,
+    ) -> bool {
         // Participants: non-frozen operands of ops placed in `block` whose
         // issue shares this row, having at least one unclosed communication,
         // each carrying its operation's issue cycle. With `only`, restrict
-        // to that operation's operands (fast path).
-        let mut participants: Vec<(SOpId, usize, i64)> = Vec::new();
-        for o in self.universe.op_ids() {
-            if let Some(only) = only {
-                if o != only {
-                    continue;
+        // to that operation's operands (fast path: skip the full op scan).
+        bufs.participants.clear();
+        match only {
+            Some(o) => {
+                if self.block_of(o) == block {
+                    if let Some(p) = self.placements[o.index()] {
+                        if self.same_row(block, p.cycle, cycle) {
+                            self.read_participants_of(o, p.cycle, &mut bufs.participants);
+                        }
+                    }
                 }
             }
-            if self.block_of(o) != block {
-                continue;
-            }
-            let Some(p) = self.placements[o.index()] else {
-                continue;
-            };
-            if !self.same_row(block, p.cycle, cycle) {
-                continue;
-            }
-            for slot in 0..self.universe.op(o).num_operands {
-                let idx = self.universe.operand_index(o, slot);
-                if self.operand_frozen[idx] {
-                    continue;
+            None => {
+                for o in self.universe.op_ids() {
+                    if self.block_of(o) != block {
+                        continue;
+                    }
+                    let Some(p) = self.placements[o.index()] else {
+                        continue;
+                    };
+                    if !self.same_row(block, p.cycle, cycle) {
+                        continue;
+                    }
+                    self.read_participants_of(o, p.cycle, &mut bufs.participants);
                 }
-                let comms = self.universe.comms_to_operand(o, slot);
-                if comms.is_empty() {
-                    continue;
-                }
-                if comms.iter().all(|&c| self.comm_closed(c)) {
-                    continue;
-                }
-                participants.push((o, slot, p.cycle));
             }
         }
-        if participants.is_empty() {
+        if bufs.participants.is_empty() {
             return true;
         }
 
         // Release current tentative stubs.
-        for &(o, slot, pcycle) in &participants {
+        for &(o, slot, pcycle) in &bufs.participants {
             let idx = self.universe.operand_index(o, slot);
             if let Some(stub) = self.operand_stub[idx] {
                 self.tables[block.index()].unplace_read_stub(pcycle, stub, o, slot);
@@ -778,71 +847,80 @@ impl<'a> Engine<'a> {
         // Order: operands with closing communications first, smallest copy
         // range first (§4.4).
         if self.config.closing_first {
-            let mut keyed: Vec<(i64, usize, (SOpId, usize, i64))> = participants
-                .iter()
-                .enumerate()
-                .map(|(i, &(o, slot, pcycle))| {
-                    let key = self.operand_search_key(o, slot);
-                    (key, i, (o, slot, pcycle))
-                })
-                .collect();
-            keyed.sort();
-            participants = keyed.into_iter().map(|(_, _, p)| p).collect();
+            bufs.keyed.clear();
+            for (i, &(o, slot, pcycle)) in bufs.participants.iter().enumerate() {
+                let key = self.operand_search_key(o, slot);
+                bufs.keyed.push((key, i, (o, slot, pcycle)));
+            }
+            bufs.keyed.sort_unstable();
+            bufs.participants.clear();
+            bufs.participants
+                .extend(bufs.keyed.iter().map(|&(_, _, p)| p));
         }
 
-        // Candidate stubs per participant, scored.
-        let candidates: Vec<Vec<ReadStub>> = participants
-            .iter()
-            .map(|&(o, slot, _)| self.read_candidates(o, slot))
-            .collect();
+        // Candidate stubs per participant, scored, flattened into one
+        // buffer with per-participant ranges.
+        bufs.cand.clear();
+        bufs.ranges.clear();
+        for i in 0..bufs.participants.len() {
+            let (o, slot, _) = bufs.participants[i];
+            let start = bufs.cand.len() as u32;
+            self.read_candidates_into(o, slot, &mut bufs.scored, &mut bufs.cand);
+            bufs.ranges.push((start, bufs.cand.len() as u32));
+        }
 
         // Backtracking assignment.
         let mut budget = self.config.search_budget;
-        let n = participants.len();
-        let mut pos = vec![0usize; n];
-        let mut chosen: Vec<Option<ReadStub>> = vec![None; n];
+        let n = bufs.participants.len();
+        bufs.pos.clear();
+        bufs.pos.resize(n, 0);
+        bufs.chosen.clear();
+        bufs.chosen.resize(n, None);
         let mut i = 0usize;
         while i < n {
-            let (o, slot, pcycle) = participants[i];
+            let (o, slot, pcycle) = bufs.participants[i];
+            let (start, end) = bufs.ranges[i];
+            let ncand = (end - start) as usize;
             let mut advanced = false;
-            while pos[i] < candidates[i].len() {
+            while bufs.pos[i] < ncand {
                 if budget == 0 {
                     return false;
                 }
                 budget -= 1;
-                let stub = candidates[i][pos[i]];
+                let stub = bufs.cand[start as usize + bufs.pos[i]];
                 if self.tables[block.index()].place_read_stub(pcycle, stub, o, slot) {
-                    chosen[i] = Some(stub);
+                    bufs.chosen[i] = Some(stub);
                     advanced = true;
                     break;
                 }
-                pos[i] += 1;
+                bufs.pos[i] += 1;
             }
             if advanced {
                 i += 1;
                 if i < n {
-                    pos[i] = 0;
+                    bufs.pos[i] = 0;
                 }
             } else {
                 if i == 0 {
                     return false;
                 }
                 i -= 1;
-                let (po, pslot, ppcycle) = participants[i];
-                let Some(stub) = chosen[i].take() else {
+                let (po, pslot, ppcycle) = bufs.participants[i];
+                let Some(stub) = bufs.chosen[i].take() else {
                     return self.fail_internal(
                         "permute_reads",
                         format!("backtracked to {po} slot {pslot} with no chosen stub"),
                     );
                 };
                 self.tables[block.index()].unplace_read_stub(ppcycle, stub, po, pslot);
-                pos[i] += 1;
+                bufs.pos[i] += 1;
             }
         }
-        for (k, &(o, slot, _)) in participants.iter().enumerate() {
+        for k in 0..n {
+            let (o, slot, _) = bufs.participants[k];
             let idx = self.universe.operand_index(o, slot);
-            self.set_operand(idx, chosen[k], false);
-            if let Some(stub) = chosen[k] {
+            self.set_operand(idx, bufs.chosen[k], false);
+            if let Some(stub) = bufs.chosen[k] {
                 self.emit(TraceEvent::ReadStubAllocated {
                     op: o.index() as u32,
                     slot: slot as u32,
@@ -868,78 +946,126 @@ impl<'a> Engine<'a> {
         best
     }
 
-    fn read_candidates(&mut self, o: SOpId, slot: usize) -> Vec<ReadStub> {
+    /// Scores and ranks the read stubs available to operand (`o`, `slot`),
+    /// appending the best `max_stub_candidates` to `out`. `scored` is a
+    /// scratch buffer; all scoring is O(1) reads of the shared
+    /// [`ConnCache`]. The sort key `(score, port, bus)` is a total order
+    /// ((port, bus) identifies a stub), so ranking is deterministic.
+    fn read_candidates_into(
+        &self,
+        o: SOpId,
+        slot: usize,
+        scored: &mut Vec<(i64, ReadStub)>,
+        out: &mut Vec<ReadStub>,
+    ) {
         let fu = match self.placements[o.index()] {
             Some(p) => p.fu,
-            None => return Vec::new(),
+            None => return,
         };
-        let stubs: Vec<ReadStub> = self.arch.read_stubs(fu, slot).to_vec();
-        let comms: Vec<CommId> = self.universe.comms_to_operand(o, slot).to_vec();
-        let mut scored: Vec<(i64, ReadStub)> = stubs
-            .into_iter()
-            .map(|stub| {
-                let mut score = 0i64;
-                for &cid in &comms {
-                    if self.comm_closed(cid) {
-                        continue;
-                    }
-                    let c = self.universe.comm(cid).clone();
-                    let info = self.comm_info[cid.index()];
-                    let d = if let (true, Some(w)) = (info.wstub_frozen, info.wstub) {
-                        self.conn.copy_distance(w.rf, stub.rf)
-                    } else if let Some(p) = self.placements[c.producer.index()] {
-                        self.min_copies_fu_to_rf(p.fu, stub.rf.index())
-                    } else {
-                        // Unscheduled producer: optimistic minimum over all
-                        // units able to run it.
-                        let opcode = self.universe.op(c.producer).opcode;
-                        self.min_copies_producer_to_rf(opcode, stub.rf.index())
-                    };
-                    score += match d {
-                        Some(copies) => copies as i64 * 16,
-                        None => 100_000,
-                    };
+        let arch = self.arch;
+        let comms = self.universe.comms_to_operand(o, slot);
+        scored.clear();
+        for &stub in arch.read_stubs(fu, slot) {
+            let mut score = 0i64;
+            for &cid in comms {
+                if self.comm_closed(cid) {
+                    continue;
                 }
-                (score, stub)
-            })
-            .collect();
-        scored.sort_by_key(|&(s, stub)| (s, stub.port, stub.bus));
-        scored.truncate(self.config.max_stub_candidates);
-        scored.into_iter().map(|(_, s)| s).collect()
+                let c = self.universe.comm(cid);
+                let info = self.comm_info[cid.index()];
+                let d = if let (true, Some(w)) = (info.wstub_frozen, info.wstub) {
+                    self.cache.copy_distance(w.rf, stub.rf)
+                } else if let Some(p) = self.placements[c.producer.index()] {
+                    self.cache.fu_to_rf(p.fu, stub.rf.index())
+                } else {
+                    // Unscheduled producer: optimistic minimum over all
+                    // units able to run it.
+                    let opcode = self.universe.op(c.producer).opcode;
+                    self.cache.producer_to_rf(opcode, stub.rf.index())
+                };
+                score += match d {
+                    Some(copies) => copies as i64 * 16,
+                    None => 100_000,
+                };
+            }
+            scored.push((score, stub));
+        }
+        let max = self.config.max_stub_candidates;
+        if scored.len() > max {
+            scored.select_nth_unstable_by_key(max - 1, |&(s, stub)| (s, stub.port, stub.bus));
+            scored.truncate(max);
+        }
+        scored.sort_unstable_by_key(|&(s, stub)| (s, stub.port, stub.bus));
+        out.extend(scored.iter().map(|&(_, s)| s));
     }
 
     // ----- step 3: write-stub permutation -----
 
     fn permute_writes(&mut self, block: BlockId, completion: i64, only: Option<SOpId>) -> bool {
+        // Scratch buffers are taken/restored exactly as in
+        // [`Engine::permute_reads`].
+        let mut bufs = std::mem::take(&mut self.scratch.wperm);
+        let ok = self.permute_writes_inner(block, completion, only, &mut bufs);
+        self.scratch.wperm = bufs;
+        ok
+    }
+
+    /// Whether `cid` participates in a write permutation on `completion`'s
+    /// row of `block`; returns the producer's completion cycle and unit.
+    fn write_participant(
+        &self,
+        cid: CommId,
+        block: BlockId,
+        completion: i64,
+    ) -> Option<(CommId, i64, FuId)> {
+        if self.comm_closed(cid) || self.comm_info[cid.index()].wstub_frozen {
+            return None;
+        }
+        let c = self.universe.comm(cid);
+        if self.block_of(c.producer) != block {
+            return None;
+        }
+        let p = self.placements[c.producer.index()]?;
+        if !self.same_row(block, p.completion(), completion) {
+            return None;
+        }
+        Some((cid, p.completion(), p.fu))
+    }
+
+    fn permute_writes_inner(
+        &mut self,
+        block: BlockId,
+        completion: i64,
+        only: Option<SOpId>,
+        bufs: &mut WPermBufs,
+    ) -> bool {
         // Each participant carries its producer's completion cycle and unit
-        // (captured while the placement is known to exist).
-        let mut participants: Vec<(CommId, i64, FuId)> = Vec::new();
-        for cid in self.universe.comm_ids() {
-            if self.comm_closed(cid) || self.comm_info[cid.index()].wstub_frozen {
-                continue;
-            }
-            let c = self.universe.comm(cid);
-            if let Some(only) = only {
-                if c.producer != only {
-                    continue;
+        // (captured while the placement is known to exist). With `only`,
+        // walk just that producer's outgoing communications (fast path) —
+        // `comms_from` lists them in ascending id order, matching the full
+        // `comm_ids` scan.
+        bufs.participants.clear();
+        match only {
+            Some(o) => {
+                for &cid in self.universe.comms_from(o) {
+                    if let Some(part) = self.write_participant(cid, block, completion) {
+                        bufs.participants.push(part);
+                    }
                 }
             }
-            if self.block_of(c.producer) != block {
-                continue;
+            None => {
+                for cid in self.universe.comm_ids() {
+                    if let Some(part) = self.write_participant(cid, block, completion) {
+                        bufs.participants.push(part);
+                    }
+                }
             }
-            let Some(p) = self.placements[c.producer.index()] else {
-                continue;
-            };
-            if !self.same_row(block, p.completion(), completion) {
-                continue;
-            }
-            participants.push((cid, p.completion(), p.fu));
         }
-        if participants.is_empty() {
+        if bufs.participants.is_empty() {
             return true;
         }
 
-        for &(cid, pcompl, _) in &participants {
+        for &(cid, pcompl, _) in &bufs.participants {
             let info = self.comm_info[cid.index()];
             if let Some(stub) = info.wstub {
                 let c = self.universe.comm(cid);
@@ -958,87 +1084,95 @@ impl<'a> Engine<'a> {
         if self.config.closing_first {
             // Sort key: closing comms first, narrowest copy range first,
             // comm index as the tiebreak.
-            type Keyed = (i64, i64, u32, (CommId, i64, FuId));
-            let mut keyed: Vec<Keyed> = participants
-                .iter()
-                .map(|&(cid, pcompl, pfu)| {
-                    let closing = self.comm_closing(cid);
-                    let range = if closing {
-                        self.copy_range(cid).map(|(lo, hi)| hi - lo).unwrap_or(0)
-                    } else {
-                        i64::MAX / 2
-                    };
-                    (
-                        if closing { 0 } else { 1 },
-                        range,
-                        cid.index() as u32,
-                        (cid, pcompl, pfu),
-                    )
-                })
-                .collect();
-            keyed.sort();
-            participants = keyed.into_iter().map(|(_, _, _, c)| c).collect();
+            bufs.keyed.clear();
+            for &(cid, pcompl, pfu) in bufs.participants.iter() {
+                let closing = self.comm_closing(cid);
+                let range = if closing {
+                    self.copy_range(cid).map(|(lo, hi)| hi - lo).unwrap_or(0)
+                } else {
+                    i64::MAX / 2
+                };
+                bufs.keyed.push((
+                    if closing { 0 } else { 1 },
+                    range,
+                    cid.index() as u32,
+                    (cid, pcompl, pfu),
+                ));
+            }
+            bufs.keyed.sort_unstable();
+            bufs.participants.clear();
+            bufs.participants
+                .extend(bufs.keyed.iter().map(|&(_, _, _, c)| c));
         }
 
-        let candidates: Vec<Vec<WriteStub>> = participants
-            .iter()
-            .map(|&(cid, _, _)| self.write_candidates(cid))
-            .collect();
+        bufs.cand.clear();
+        bufs.ranges.clear();
+        for i in 0..bufs.participants.len() {
+            let (cid, _, _) = bufs.participants[i];
+            let start = bufs.cand.len() as u32;
+            self.write_candidates_into(cid, &mut bufs.scored, &mut bufs.cand);
+            bufs.ranges.push((start, bufs.cand.len() as u32));
+        }
         let mut budget = self.config.search_budget;
-        let n = participants.len();
-        let mut pos = vec![0usize; n];
-        let mut chosen: Vec<Option<WriteStub>> = vec![None; n];
+        let n = bufs.participants.len();
+        bufs.pos.clear();
+        bufs.pos.resize(n, 0);
+        bufs.chosen.clear();
+        bufs.chosen.resize(n, None);
         let mut i = 0usize;
         while i < n {
-            let (cid, pcompl, pfu) = participants[i];
-            let c = self.universe.comm(cid).clone();
+            let (cid, pcompl, pfu) = bufs.participants[i];
+            let producer = self.universe.comm(cid).producer;
             let fanout = self.arch.fu(pfu).output_fanout();
+            let (start, end) = bufs.ranges[i];
+            let ncand = (end - start) as usize;
             let mut advanced = false;
-            while pos[i] < candidates[i].len() {
+            while bufs.pos[i] < ncand {
                 if budget == 0 {
                     return false;
                 }
                 budget -= 1;
-                let stub = candidates[i][pos[i]];
-                if self.tables[block.index()].place_write_stub(pcompl, stub, c.producer, fanout) {
-                    chosen[i] = Some(stub);
+                let stub = bufs.cand[start as usize + bufs.pos[i]];
+                if self.tables[block.index()].place_write_stub(pcompl, stub, producer, fanout) {
+                    bufs.chosen[i] = Some(stub);
                     advanced = true;
                     break;
                 }
-                pos[i] += 1;
+                bufs.pos[i] += 1;
             }
             if advanced {
                 i += 1;
                 if i < n {
-                    pos[i] = 0;
+                    bufs.pos[i] = 0;
                 }
             } else {
                 if i == 0 {
                     return false;
                 }
                 i -= 1;
-                let (pc, ppcompl, _) = participants[i];
-                let c = self.universe.comm(pc).clone();
-                let Some(stub) = chosen[i].take() else {
+                let (pc, ppcompl, _) = bufs.participants[i];
+                let producer = self.universe.comm(pc).producer;
+                let Some(stub) = bufs.chosen[i].take() else {
                     return self.fail_internal(
                         "permute_writes",
                         format!("backtracked to {pc:?} with no chosen stub"),
                     );
                 };
-                self.tables[block.index()].unplace_write_stub(ppcompl, stub, c.producer);
-                pos[i] += 1;
+                self.tables[block.index()].unplace_write_stub(ppcompl, stub, producer);
+                bufs.pos[i] += 1;
             }
         }
-        for (k, &(cid, _, _)) in participants.iter().enumerate() {
+        for k in 0..n {
+            let (cid, _, _) = bufs.participants[k];
             let info = self.comm_info[cid.index()];
             self.set_comm_info(
                 cid,
                 CommInfo {
-                    wstub: chosen[k],
+                    wstub: bufs.chosen[k],
                     ..info
                 },
             );
-            if let Some(stub) = chosen[k] {
+            if let Some(stub) = bufs.chosen[k] {
                 self.emit(TraceEvent::WriteStubAllocated {
                     comm: cid.index() as u32,
                     rf: stub.rf.index() as u32,
@@ -1049,11 +1183,23 @@ impl<'a> Engine<'a> {
         true
     }
 
-    fn write_candidates(&mut self, cid: CommId) -> Vec<WriteStub> {
-        let c = self.universe.comm(cid).clone();
-        let fu = match self.placements[c.producer.index()] {
+    /// Scores and ranks the write stubs available to `cid`'s producer,
+    /// appending the best `max_stub_candidates` to `out`. Scores depend
+    /// only on a stub's register file, so the [`ConnCache`]'s per-RF stub
+    /// groups let each file be scored once instead of once per stub.
+    fn write_candidates_into(
+        &self,
+        cid: CommId,
+        scored: &mut Vec<(i64, u32, u32)>,
+        out: &mut Vec<WriteStub>,
+    ) {
+        let c = self.universe.comm(cid);
+        let producer = c.producer;
+        let consumer = c.consumer;
+        let slot = c.slot;
+        let fu = match self.placements[producer.index()] {
             Some(p) => p.fu,
-            None => return Vec::new(),
+            None => return,
         };
         // Equal-score candidates are rotated by a per-producer seed:
         // communications from different producers spread across ports and
@@ -1061,75 +1207,110 @@ impl<'a> Engine<'a> {
         // truncated), while sibling communications of one result keep the
         // same bus order, so broadcasts to several register files align on
         // a single bus and respect the output fanout.
-        let seed = c.producer.index() as u32;
+        let seed = producer.index() as u32;
         let nports = self.arch.num_write_ports().max(1) as u32;
         let nbuses = self.arch.num_buses().max(1) as u32;
-        let stubs: Vec<WriteStub> = self.arch.write_stubs(fu).to_vec();
-        let operand_idx = self.universe.operand_index(c.consumer, c.slot);
+        let operand_idx = self.universe.operand_index(consumer, slot);
         let target_rf = self.operand_stub[operand_idx].map(|s| s.rf);
-        let mut scored: Vec<(i64, WriteStub)> = stubs
-            .into_iter()
-            .filter_map(|stub| {
-                // A stub whose register file has no copy path to the
-                // consumer's (possible) read files can never close this
-                // communication: the read side is fixed by the consumer's
-                // unit and no copy can move the value out of a dead-end
-                // file. Offering such stubs lets a placement be accepted
-                // whose communication is permanently unroutable, which
-                // violates the §4.3 accept/reject contract — so they are
-                // excluded rather than merely sorted last.
-                let score = match target_rf {
-                    Some(rf) => self
-                        .conn
-                        .copy_distance(stub.rf, rf)
-                        .map(|copies| copies as i64 * 16)?,
-                    None => {
-                        // Consumer unscheduled: minimum copies to any file
-                        // readable by any unit able to run the consumer.
-                        let opcode = self.universe.op(c.consumer).opcode;
-                        self.min_copies_rf_to_consumer(stub.rf.index(), opcode, c.slot)
-                            .map(|copies| copies as i64)?
+        let opcode = self.universe.op(consumer).opcode;
+        let (stubs, groups) = self.cache.write_stub_groups(fu);
+        let runs = self.cache.write_stub_port_runs(fu);
+        scored.clear();
+        for g in groups {
+            // A stub whose register file has no copy path to the
+            // consumer's (possible) read files can never close this
+            // communication: the read side is fixed by the consumer's
+            // unit and no copy can move the value out of a dead-end
+            // file. Offering such stubs lets a placement be accepted
+            // whose communication is permanently unroutable, which
+            // violates the §4.3 accept/reject contract — so they are
+            // excluded rather than merely sorted last.
+            let score = match target_rf {
+                Some(rf) => match self.cache.copy_distance(g.rf, rf) {
+                    Some(copies) => copies as i64 * 16,
+                    None => continue,
+                },
+                None => {
+                    // Consumer unscheduled: minimum copies to any file
+                    // readable by any unit able to run the consumer.
+                    match self.cache.rf_to_consumer(g.rf.index(), opcode, slot) {
+                        Some(copies) => copies as i64,
+                        None => continue,
                     }
-                };
-                Some((score, stub))
-            })
-            .collect();
-        scored.sort_by_key(|&(s, stub)| {
-            (
-                s,
-                (stub.port.index() as u32).wrapping_add(seed.wrapping_mul(7)) % nports,
-                (stub.bus.index() as u32).wrapping_add(seed.wrapping_mul(13)) % nbuses,
-            )
-        });
-        scored.truncate(self.config.max_stub_candidates);
-        scored.into_iter().map(|(_, s)| s).collect()
+                }
+            };
+            for ri in g.runs_start..g.runs_end {
+                let rot_port = runs[ri as usize].port.wrapping_add(seed.wrapping_mul(7));
+                scored.push((score, rot_port % nports, ri));
+            }
+        }
+        // The full ranking sorts stubs by `(score, rotated port, rotated
+        // bus)`. That key factors over the per-`(file, port)` runs: the
+        // score is constant per file and the rotated port per run, and a
+        // write port belongs to exactly one file, so `(score, rotated
+        // port)` is a total order over runs. Within a run the buses are
+        // sorted ascending, and ascending *rotated* bus order is the same
+        // array rotated at the wrap point `split` (the first bus whose
+        // rotation folds to zero). Emitting runs in sorted order and each
+        // run's bus ring from `split` therefore reproduces exactly the
+        // stub order of sorting every `(score, port, bus)` key — without
+        // materialising or sorting per-stub keys.
+        scored.sort_unstable();
+        let max = self.config.max_stub_candidates;
+        let taken = out.len();
+        let shift = seed.wrapping_mul(13) % nbuses;
+        let split = (nbuses - shift) % nbuses;
+        'runs: for &(_, _, ri) in scored.iter() {
+            let run = &runs[ri as usize];
+            let buses = &stubs[run.start as usize..run.end as usize];
+            let pivot = buses.partition_point(|s| (s.bus.index() as u32) < split);
+            for &stub in buses[pivot..].iter().chain(buses[..pivot].iter()) {
+                out.push(stub);
+                if out.len() - taken >= max {
+                    break 'runs;
+                }
+            }
+        }
     }
 
     // ----- steps 4 and 5: route assignment and copy insertion -----
 
     fn close_comms(&mut self, op: SOpId, depth: usize, allow_copies: bool) -> bool {
-        let mut closing: Vec<CommId> = self
-            .universe
-            .comms_to(op)
-            .into_iter()
-            .chain(self.universe.comms_from(op).iter().copied())
-            .filter(|&c| self.comm_closing(c))
-            .collect();
+        // The closing list lives across the `place` recursion below (copy
+        // insertion re-enters `close_comms`), so it is drawn from a pool of
+        // reusable buffers rather than a single scratch slot.
+        let mut closing = self.scratch.closing_pool.pop().unwrap_or_default();
+        closing.clear();
+        for slot in 0..self.universe.op(op).num_operands {
+            for &c in self.universe.comms_to_operand(op, slot) {
+                if self.comm_closing(c) {
+                    closing.push(c);
+                }
+            }
+        }
+        for &c in self.universe.comms_from(op) {
+            if self.comm_closing(c) {
+                closing.push(c);
+            }
+        }
         closing.sort_unstable();
         closing.dedup();
         // Smallest copy range first, so tight communications claim routes
         // before flexible ones.
         closing.sort_by_key(|&c| self.copy_range(c).map(|(lo, hi)| hi - lo).unwrap_or(0));
 
-        for cid in closing {
+        let mut ok = true;
+        for &cid in &closing {
             if self.comm_closed(cid) {
                 continue; // may have been split while closing another
             }
             if !self.close_one(cid, depth, allow_copies) {
-                return false;
+                ok = false;
+                break;
             }
         }
-        true
+        self.scratch.closing_pool.push(closing);
+        ok
     }
 
     fn close_one(&mut self, cid: CommId, depth: usize, allow_copies: bool) -> bool {
@@ -1219,29 +1400,50 @@ impl<'a> Engine<'a> {
         let Some(old) = info.wstub else {
             return;
         };
-        let dist = |rf| self.conn.copy_distance(rf, target).map_or(u32::MAX, |d| d);
-        let current = dist(old.rf);
+        let current = self
+            .cache
+            .copy_distance(old.rf, target)
+            .map_or(u32::MAX, |d| d);
         if current == 0 {
             return;
         }
-        let mut candidates: Vec<(u32, WriteStub)> = self
-            .arch
-            .write_stubs(p.fu)
-            .iter()
-            .copied()
-            .map(|s| (dist(s.rf), s))
-            .filter(|&(d, _)| d < current)
-            .collect();
-        candidates.sort_by_key(|&(d, s)| (d, s.port, s.bus));
+        // Candidate stubs strictly closer to `target`, scored per register
+        // file via the cache's stub groups and collected into a reusable
+        // scratch buffer.
+        let mut candidates = std::mem::take(&mut self.scratch.revise);
+        candidates.clear();
+        let (stubs, groups) = self.cache.write_stub_groups(p.fu);
+        for g in groups {
+            let d = self
+                .cache
+                .copy_distance(g.rf, target)
+                .map_or(u32::MAX, |d| d);
+            if d >= current {
+                continue;
+            }
+            for &stub in &stubs[g.start as usize..g.end as usize] {
+                candidates.push((d, stub));
+            }
+        }
+        candidates.sort_unstable_by_key(|&(d, s)| (d, s.port, s.bus));
         if candidates.is_empty() {
+            self.scratch.revise = candidates;
             return;
         }
         let fanout = self.arch.fu(p.fu).output_fanout();
         let sp = self.savepoint();
         self.tables[block.index()].unplace_write_stub(p.completion(), old, c.producer);
-        for (_, stub) in candidates {
+        let mut placed = None;
+        for &(_, stub) in &candidates {
             if self.tables[block.index()].place_write_stub(p.completion(), stub, c.producer, fanout)
             {
+                placed = Some(stub);
+                break;
+            }
+        }
+        self.scratch.revise = candidates;
+        match placed {
+            Some(stub) => {
                 self.set_comm_info(
                     cid,
                     CommInfo {
@@ -1253,10 +1455,9 @@ impl<'a> Engine<'a> {
                     comm: cid.index() as u32,
                     rf: stub.rf.index() as u32,
                 });
-                return;
             }
+            None => self.rollback(&sp),
         }
-        self.rollback(&sp);
     }
 
     fn close_direct(&mut self, cid: CommId, route: Route) -> bool {
@@ -1294,14 +1495,11 @@ impl<'a> Engine<'a> {
         };
         let sp = self.savepoint();
         self.tables[block.index()].unplace_read_stub(q.cycle, old, c.consumer, c.slot);
-        let candidates: Vec<ReadStub> = self
-            .arch
-            .read_stubs(q.fu, c.slot)
-            .iter()
-            .copied()
-            .filter(|s| s.rf == target)
-            .collect();
-        for stub in candidates {
+        let arch = self.arch;
+        for &stub in arch.read_stubs(q.fu, c.slot) {
+            if stub.rf != target {
+                continue;
+            }
             if self.tables[block.index()].place_read_stub(q.cycle, stub, c.consumer, c.slot) {
                 self.set_operand(operand_idx, Some(stub), false);
                 return true;
@@ -1472,6 +1670,7 @@ impl<'a> Engine<'a> {
 
         let ops_before = self.universe.num_ops();
         let comms_before = self.universe.num_comms();
+        let operands_before = self.operand_stub.len();
         let copy = self.universe.add_copy(copy_block);
         // First leg: producer -> copy (same iteration frame); second leg:
         // copy -> consumer, carrying the original distance.
@@ -1499,6 +1698,7 @@ impl<'a> Engine<'a> {
         self.journal.push(Undo::CopyAdded {
             ops: ops_before,
             comms: comms_before,
+            operands: operands_before,
         });
         self.set_comm_info(
             cid,
@@ -1512,42 +1712,22 @@ impl<'a> Engine<'a> {
         // Schedule the copy like any other operation, restricted to the
         // copy range. Only units that can read the staged file directly can
         // complete the route without further copies; a couple of indirect
-        // units are tried as well while recursion depth remains.
-        let mut fus: Vec<(i64, FuId)> = self
-            .arch
-            .fus_for(Opcode::Copy)
-            .into_iter()
-            .map(|f| {
-                let direct = self.arch.read_stubs(f, 0).iter().any(|s| s.rf == wstub.rf);
-                let reach = self
-                    .arch
-                    .read_stubs(f, 0)
-                    .iter()
-                    .filter_map(|s| self.conn.copy_distance(wstub.rf, s.rf))
-                    .min();
-                let base = if direct {
-                    0
-                } else {
-                    match reach {
-                        Some(d) => 8 + d as i64,
-                        None => 100_000,
-                    }
-                };
-                (base, f)
-            })
-            .collect();
-        fus.sort_by_key(|&(s, f)| (s, f));
-        let direct_count = fus.iter().filter(|&&(s, _)| s == 0).count();
+        // units are tried as well while recursion depth remains. The
+        // ranked unit list is precomputed per source file in the shared
+        // [`ConnCache`] (cloned `Arc` so `self` stays borrowable below).
+        let cache = Arc::clone(&self.cache);
+        let rank = cache.copy_rank(wstub.rf);
         let keep = if depth + 1 < self.config.max_copy_depth {
-            direct_count + 2
+            rank.direct_count() + 2
         } else {
-            direct_count
+            rank.direct_count()
         };
-        fus.truncate(keep.max(1));
+        let ranked = rank.fus();
+        let fus = &ranked[..ranked.len().min(keep.max(1))];
 
         let mut tries = 0usize;
         'search: for cycle in range_lo..=range_hi {
-            for &(score, f) in &fus {
+            for &(score, f) in fus {
                 if score >= 100_000 {
                     continue;
                 }
@@ -1663,43 +1843,44 @@ impl<'a> Engine<'a> {
     /// The communication-cost heuristic of §4.6 (eq 1): estimated copies
     /// divided by (1 + copy range) summed over the open communications
     /// that assigning `op` to `fu` at `cycle` would affect.
-    pub fn comm_cost(&mut self, op: SOpId, fu: FuId, cycle: i64) -> f64 {
+    pub fn comm_cost(&self, op: SOpId, fu: FuId, cycle: i64) -> f64 {
         let mut cost = 0.0f64;
         let bii = self.block_ii(self.block_of(op));
-        for &cid in &self.universe.comms_to(op) {
-            let c = self.universe.comm(cid).clone();
-            if self.comm_closed(cid) {
-                continue;
-            }
-            let (copies, prod_done) = match self.placements[c.producer.index()] {
-                Some(p) => {
-                    let best = self
-                        .arch
-                        .read_stubs(fu, c.slot)
-                        .iter()
-                        .filter_map(|rs| self.min_copies_fu_to_rf(p.fu, rs.rf.index()))
-                        .min();
-                    (best, p.completion())
+        for slot in 0..self.universe.op(op).num_operands {
+            for &cid in self.universe.comms_to_operand(op, slot) {
+                let c = self.universe.comm(cid);
+                if self.comm_closed(cid) {
+                    continue;
                 }
-                None => {
-                    let kop = self.universe.op(c.producer).kernel_op;
-                    let est = kop.map(|k| self.asap[k.index()]).unwrap_or(0);
-                    (Some(0), est)
+                let (copies, prod_done) = match self.placements[c.producer.index()] {
+                    Some(p) => {
+                        let best = self
+                            .arch
+                            .read_stubs(fu, c.slot)
+                            .iter()
+                            .filter_map(|rs| self.cache.fu_to_rf(p.fu, rs.rf.index()))
+                            .min();
+                        (best, p.completion())
+                    }
+                    None => {
+                        let kop = self.universe.op(c.producer).kernel_op;
+                        let est = kop.map(|k| self.asap[k.index()]).unwrap_or(0);
+                        (Some(0), est)
+                    }
+                };
+                let Some(copies) = copies else {
+                    cost += 1000.0;
+                    continue;
+                };
+                if copies == 0 {
+                    continue;
                 }
-            };
-            let Some(copies) = copies else {
-                cost += 1000.0;
-                continue;
-            };
-            if copies == 0 {
-                continue;
+                let range = (cycle + c.distance as i64 * bii - 1 - prod_done).max(0);
+                cost += copies as f64 / (1.0 + range as f64);
             }
-            let range = (cycle + c.distance as i64 * bii - 1 - prod_done).max(0);
-            cost += copies as f64 / (1.0 + range as f64);
         }
-        let outgoing: Vec<CommId> = self.universe.comms_from(op).to_vec();
-        for cid in outgoing {
-            let c = self.universe.comm(cid).clone();
+        for &cid in self.universe.comms_from(op) {
+            let c = self.universe.comm(cid);
             if self.comm_closed(cid) {
                 continue;
             }
@@ -1710,12 +1891,12 @@ impl<'a> Engine<'a> {
             let completion = cycle + cap.latency as i64 - 1;
             let (copies, read_at) = match self.placements[c.consumer.index()] {
                 Some(q) => {
-                    let best = self.min_route_copies_cached(fu, q.fu, c.slot);
+                    let best = self.cache.min_route_copies(fu, q.fu, c.slot);
                     (best, q.cycle + c.distance as i64 * bii)
                 }
                 None => {
                     let opcode = self.universe.op(c.consumer).opcode;
-                    let best = self.min_copies_fu_to_consumer(fu, opcode, c.slot);
+                    let best = self.cache.fu_to_consumer(fu, opcode, c.slot);
                     let kop = self.universe.op(c.consumer).kernel_op;
                     let est = kop.map(|k| self.asap[k.index()]).unwrap_or(0);
                     (best, est + c.distance as i64 * bii)

@@ -57,6 +57,7 @@
 
 pub mod budget;
 mod config;
+pub mod conn;
 mod driver;
 mod engine;
 mod error;
@@ -73,6 +74,7 @@ pub mod validate;
 
 pub use budget::{BudgetStop, CancelToken, StepBudget, WatchGuard, Watchdog};
 pub use config::{ScheduleOrder, SchedulerConfig};
+pub use conn::ConnCache;
 pub use driver::{res_mii, schedule_kernel, schedule_kernel_budgeted, schedule_kernel_traced};
 pub use engine::{Engine, OrderEdge};
 pub use error::SchedError;

@@ -259,6 +259,9 @@ pub fn analyze_budgeted(
 
     let mut per_rf = Vec::with_capacity(arch.num_rfs());
     let mut spills = Vec::new();
+    // The connectivity analysis is only needed when some file overflows,
+    // and is the same for every overflowing file: compute it lazily, once.
+    let mut conn_lazy: Option<csched_machine::CopyConnectivity> = None;
     for rf in arch.rf_ids() {
         let mut values = per_value_rf.get(&rf).cloned().unwrap_or_default();
         values.sort();
@@ -272,7 +275,7 @@ pub fn analyze_budgeted(
         if required > capacity {
             // Find the cheapest reachable file with spare room for each
             // candidate (fewest copies first, then most spare capacity).
-            let conn = arch.copy_connectivity();
+            let conn = conn_lazy.get_or_insert_with(|| arch.copy_connectivity());
             let spare: Vec<(RfId, usize)> = arch
                 .rf_ids()
                 .filter(|&other| other != rf)

@@ -27,7 +27,7 @@ use csched_machine::Architecture;
 
 use crate::budget::StepBudget;
 use crate::config::{ScheduleOrder, SchedulerConfig};
-use crate::driver::schedule_kernel_impl;
+use crate::driver::{schedule_kernel_impl, PrepCache};
 use crate::error::SchedError;
 use crate::schedule::Schedule;
 use crate::trace::{TraceEvent, TraceSink};
@@ -184,7 +184,8 @@ pub fn schedule_kernel_with_retry(
     // One-attempt floor: a zero budget still lets the first rung try one
     // placement, so the caller gets a real scheduler answer.
     let budget = StepBudget::new(policy.budget.max(1));
-    schedule_with_retry_impl(arch, kernel, config, policy, &budget, None)
+    let mut prep = PrepCache::new();
+    schedule_with_retry_impl(arch, kernel, config, policy, &budget, None, &mut prep)
 }
 
 /// [`schedule_kernel_with_retry`] with the ladder's shared work budget
@@ -202,7 +203,8 @@ pub fn schedule_kernel_with_retry_budgeted(
     policy: &RetryPolicy,
     budget: &StepBudget,
 ) -> (Result<Schedule, SchedError>, ScheduleReport) {
-    schedule_with_retry_impl(arch, kernel, config, policy, budget, None)
+    let mut prep = PrepCache::new();
+    schedule_with_retry_impl(arch, kernel, config, policy, budget, None, &mut prep)
 }
 
 /// [`schedule_kernel_with_retry`] with every pipeline decision traced
@@ -215,7 +217,8 @@ pub fn schedule_kernel_with_retry_traced(
     sink: &mut dyn TraceSink,
 ) -> (Result<Schedule, SchedError>, ScheduleReport) {
     let budget = StepBudget::new(policy.budget.max(1));
-    schedule_with_retry_impl(arch, kernel, config, policy, &budget, Some(sink))
+    let mut prep = PrepCache::new();
+    schedule_with_retry_impl(arch, kernel, config, policy, &budget, Some(sink), &mut prep)
 }
 
 fn schedule_with_retry_impl(
@@ -225,6 +228,7 @@ fn schedule_with_retry_impl(
     policy: &RetryPolicy,
     budget: &StepBudget,
     mut sink: Option<&mut dyn TraceSink>,
+    prep: &mut PrepCache,
 ) -> (Result<Schedule, SchedError>, ScheduleReport) {
     let mut report = ScheduleReport::default();
     let mut last_err: Option<SchedError> = None;
@@ -253,13 +257,19 @@ fn schedule_with_retry_impl(
                 max_ii: cfg.max_ii,
             });
         }
-        let result = schedule_kernel_impl(
-            arch,
-            kernel,
-            cfg,
-            sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink),
-            Some(budget),
-        );
+        // The prepared tables are shared by every rung; a build error is
+        // handled exactly like the same error from the driver itself.
+        let result = match prep.get(arch, kernel) {
+            Ok(p) => schedule_kernel_impl(
+                arch,
+                kernel,
+                cfg,
+                sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink),
+                Some(budget),
+                Some(p),
+            ),
+            Err(e) => Err(e),
+        };
         match result {
             Ok(schedule) => {
                 report.attempts.push(record);
@@ -348,8 +358,16 @@ pub fn schedule_kernel_anytime(
     policy: &RetryPolicy,
     budget: &StepBudget,
 ) -> (Result<Schedule, SchedError>, AnytimeReport) {
-    let (acquired, ladder) =
-        schedule_with_retry_impl(arch, kernel, config.clone(), policy, budget, None);
+    let mut prep = PrepCache::new();
+    let (acquired, ladder) = schedule_with_retry_impl(
+        arch,
+        kernel,
+        config.clone(),
+        policy,
+        budget,
+        None,
+        &mut prep,
+    );
     let mut report = AnytimeReport {
         acquired_spent: ladder.attempts_spent,
         attempts_spent: ladder.attempts_spent,
@@ -396,7 +414,11 @@ pub fn schedule_kernel_anytime(
             attempts_granted: cfg.max_attempts_per_ii,
             error: None,
         };
-        match schedule_kernel_impl(arch, kernel, cfg, None, Some(budget)) {
+        let improved = match prep.get(arch, kernel) {
+            Ok(p) => schedule_kernel_impl(arch, kernel, cfg, None, Some(budget), Some(p)),
+            Err(e) => Err(e),
+        };
+        match improved {
             Ok(better) => {
                 report.improvements.push(record);
                 best_ii = better.ii().unwrap_or(1);

@@ -1,4 +1,5 @@
-//! Transactional per-cycle resource tables.
+//! Transactional per-cycle resource tables on dense modulo-indexed
+//! occupancy arrays.
 //!
 //! Communication scheduling is trial-heavy: a placement attempt claims
 //! issue slots, outputs, buses and ports, and the whole attempt must be
@@ -6,6 +7,27 @@
 //! communication scheduling fails, any routes assigned to communications
 //! to/from the current operation are unassigned"). The table therefore
 //! journals every claim and exposes savepoint/rollback.
+//!
+//! # Hot-path layout (DESIGN.md §14)
+//!
+//! The table is a flat `Vec` of *cells*, one per `(row, resource)` pair,
+//! indexed `row * num_resources + resource_index` with the dense resource
+//! indices of [`ResourceMap`]. In modulo mode the row is `cycle mod II`
+//! and all `II` rows are allocated up front; in linear mode the row is
+//! the cycle itself and rows grow geometrically on demand. A cell is a
+//! small inline list of `(payload, refcount)` claims whose capacity is
+//! *retained* when the cell empties, so the steady-state placement loop
+//! performs no allocation at all — the previous design paid a hashmap
+//! probe (hash + bucket walk) per claim and allocated a fresh list per
+//! occupied `(cycle, resource)` key.
+//!
+//! Savepoint/rollback is a generation-stamped undo log: every mutation
+//! appends a [`JournalEntry`] naming the flat cell it touched, a
+//! [`Savepoint`] is the journal length stamped with the table's rollback
+//! generation, and rolling back pops entries in reverse. The generation
+//! stamp makes stale savepoints (taken before an enclosing rollback
+//! already unwound past them) detectable in debug builds instead of
+//! silently corrupting claims.
 //!
 //! The table understands the paper's sharing rules (§4.2):
 //!
@@ -22,8 +44,8 @@
 //!   same operand conflict if they are not identical").
 //!
 //! In modulo mode (software pipelining), cycles fold into `cycle mod II`.
-
-use std::collections::HashMap;
+//! Linear tables expect non-negative cycles (the driver never schedules
+//! below cycle 0); a negative linear cycle is rejected as a conflict.
 
 use csched_machine::{FuId, ReadPortId, ReadStub, Resource, ResourceMap, WriteStub};
 
@@ -54,36 +76,61 @@ enum Payload {
     Read { op: SOpId, slot: u8 },
 }
 
-/// A claim journal entry for rollback.
+/// A claim journal entry for rollback: the flat cell touched, the payload,
+/// and whether it was added (rollback removes) or released (rollback
+/// re-adds).
 #[derive(Clone, Copy, Debug)]
 struct JournalEntry {
-    key: (i64, u32),
+    /// Flat cell index `row * num_resources + resource_index`.
+    cell: u32,
     payload: Payload,
     /// `true` for claims added, `false` for claims released (rollback
     /// re-adds those).
     added: bool,
 }
 
-/// The per-block resource table.
+/// The per-block resource table. See the module docs for the layout.
 #[derive(Clone, Debug)]
 pub struct ResourceTable {
     mode: TableMode,
     map: ResourceMap,
-    slots: HashMap<(i64, u32), Vec<(Payload, u32)>>,
+    /// Number of resources (row stride).
+    nres: usize,
+    /// Allocated rows (`cells.len() / nres`). Fixed at the II in modulo
+    /// mode; grows on demand in linear mode.
+    rows: usize,
+    /// `cells[row * nres + resource]` = the claims on that resource in
+    /// that row. Emptied cells keep their capacity.
+    cells: Vec<Vec<(Payload, u32)>>,
     journal: Vec<JournalEntry>,
+    /// Rollback generation: bumped by every [`ResourceTable::rollback`].
+    generation: u64,
 }
 
-/// A savepoint for rollback (a journal length).
-pub type Savepoint = usize;
+/// A savepoint for rollback: a journal position stamped with the rollback
+/// generation it was taken in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Savepoint {
+    len: usize,
+    generation: u64,
+}
 
 impl ResourceTable {
     /// Creates an empty table for an architecture's resources.
     pub fn new(map: ResourceMap, mode: TableMode) -> Self {
+        let nres = map.len();
+        let rows = match mode {
+            TableMode::Linear => 0,
+            TableMode::Modulo(ii) => ii.max(1) as usize,
+        };
         ResourceTable {
             mode,
             map,
-            slots: HashMap::new(),
+            nres,
+            rows,
+            cells: vec![Vec::new(); rows * nres],
             journal: Vec::new(),
+            generation: 0,
         }
     }
 
@@ -92,28 +139,70 @@ impl ResourceTable {
         self.mode
     }
 
-    fn key(&self, cycle: i64, resource: Resource) -> (i64, u32) {
-        let c = match self.mode {
-            TableMode::Linear => cycle,
-            TableMode::Modulo(ii) => cycle.rem_euclid(ii as i64),
-        };
-        (c, self.map.index(resource) as u32)
+    /// The row `cycle` folds onto, or `None` for a negative linear cycle
+    /// (never scheduled; see the module docs).
+    #[inline]
+    fn row(&self, cycle: i64) -> Option<usize> {
+        match self.mode {
+            TableMode::Linear => (cycle >= 0).then_some(cycle as usize),
+            TableMode::Modulo(ii) => Some(cycle.rem_euclid(ii as i64) as usize),
+        }
+    }
+
+    /// Flat cell index for reading: `None` when the row was never
+    /// allocated (trivially unoccupied).
+    #[inline]
+    fn cell_read(&self, cycle: i64, resource: Resource) -> Option<usize> {
+        let row = self.row(cycle)?;
+        if row >= self.rows {
+            return None;
+        }
+        Some(row * self.nres + self.map.index(resource))
+    }
+
+    /// Flat cell index for claiming, growing linear tables on demand.
+    /// `None` only for negative linear cycles.
+    #[inline]
+    fn cell_claim(&mut self, cycle: i64, resource: Resource) -> Option<usize> {
+        let row = self.row(cycle)?;
+        if row >= self.rows {
+            debug_assert!(matches!(self.mode, TableMode::Linear));
+            // Geometric growth keeps amortised claim cost O(1); retained
+            // cells are reused for the rest of the schedule.
+            let new_rows = (row + 1).next_power_of_two().max(8);
+            self.cells.resize(new_rows * self.nres, Vec::new());
+            self.rows = new_rows;
+        }
+        Some(row * self.nres + self.map.index(resource))
     }
 
     /// Number of distinct claims on `resource` at `cycle` (0 = free).
     pub fn occupancy(&self, cycle: i64, resource: Resource) -> usize {
-        self.slots
-            .get(&self.key(cycle, resource))
-            .map_or(0, Vec::len)
+        self.cell_read(cycle, resource)
+            .map_or(0, |c| self.cells[c].len())
     }
 
     /// Per-row occupancy of `resource` over the first `rows` rows
     /// (`0..rows`): the table's occupancy histogram for one resource,
     /// used by the metrics layer. For a modulo table, `rows` is normally
-    /// the II; rows past the fold repeat.
+    /// the II; rows past the fold repeat. The dense layout makes this a
+    /// strided walk over one column — the resource index is resolved
+    /// once, not once per row.
     pub fn occupancy_profile(&self, resource: Resource, rows: i64) -> Vec<usize> {
-        (0..rows.max(0))
-            .map(|c| self.occupancy(c, resource))
+        let n = rows.max(0) as usize;
+        let ridx = self.map.index(resource);
+        (0..n)
+            .map(|r| {
+                let row = match self.mode {
+                    TableMode::Linear => r,
+                    TableMode::Modulo(ii) => r % ii.max(1) as usize,
+                };
+                if row >= self.rows {
+                    0
+                } else {
+                    self.cells[row * self.nres + ridx].len()
+                }
+            })
             .collect()
     }
 
@@ -122,38 +211,55 @@ impl ResourceTable {
     /// debugging the scheduler).
     pub fn fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
-        let mut entries: Vec<String> = Vec::new();
-        for (key, list) in &self.slots {
-            let mut items: Vec<String> = list.iter().map(|e| format!("{e:?}")).collect();
-            items.sort();
-            entries.push(format!("{key:?}:{items:?}"));
-        }
-        entries.sort();
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        entries.hash(&mut h);
+        for (i, cell) in self.cells.iter().enumerate() {
+            if cell.is_empty() {
+                continue;
+            }
+            // Entries within a cell are order-independent (swap_remove
+            // reorders them): combine per-entry hashes commutatively.
+            let mut combined: u64 = 0;
+            for entry in cell {
+                let mut eh = std::collections::hash_map::DefaultHasher::new();
+                entry.hash(&mut eh);
+                combined = combined.wrapping_add(eh.finish());
+            }
+            (i as u64, cell.len() as u64, combined).hash(&mut h);
+        }
         h.finish()
     }
 
     /// Marks the current journal position.
     pub fn savepoint(&self) -> Savepoint {
-        self.journal.len()
+        Savepoint {
+            len: self.journal.len(),
+            generation: self.generation,
+        }
     }
 
     /// Reverts every claim change (addition or release) made since `sp`.
     pub fn rollback(&mut self, sp: Savepoint) {
-        while self.journal.len() > sp {
+        // A savepoint from an older generation whose position has already
+        // been unwound past is stale; rolling back to it would corrupt the
+        // refcounts. Trip debug builds, degrade to a no-op in release
+        // (the placement fails and validation rejects the schedule).
+        debug_assert!(
+            sp.len <= self.journal.len(),
+            "stale savepoint: journal already unwound past it"
+        );
+        if self.journal.len() > sp.len {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        while self.journal.len() > sp.len {
             let Some(entry) = self.journal.pop() else {
                 break; // unreachable: the loop condition guarantees an entry
             };
+            let list = &mut self.cells[entry.cell as usize];
             if entry.added {
                 // A journalled addition always has a matching live claim;
                 // tolerate its absence (skip) rather than panic, so a
                 // corrupted table degrades into a failed schedule that
                 // validation rejects instead of aborting the process.
-                let Some(list) = self.slots.get_mut(&entry.key) else {
-                    debug_assert!(false, "journalled claim missing on rollback");
-                    continue;
-                };
                 let Some(pos) = list.iter().position(|(p, _)| *p == entry.payload) else {
                     debug_assert!(false, "journalled claim missing on rollback");
                     continue;
@@ -163,12 +269,8 @@ impl ResourceTable {
                 } else {
                     list.swap_remove(pos);
                 }
-                if list.is_empty() {
-                    self.slots.remove(&entry.key);
-                }
             } else {
                 // Re-add a released claim.
-                let list = self.slots.entry(entry.key).or_default();
                 match list.iter_mut().find(|(p, _)| *p == entry.payload) {
                     Some((_, count)) => *count += 1,
                     None => list.push((entry.payload, 1)),
@@ -177,15 +279,12 @@ impl ResourceTable {
         }
     }
 
-    fn release(&mut self, key: (i64, u32), payload: Payload) {
+    fn release(&mut self, cell: usize, payload: Payload) {
         // Releasing a claim that is not held indicates an engine bug; skip
         // (and trip debug builds) rather than panic — the resulting table
         // can only over-constrain later placements, never corrupt a
         // schedule that validation accepts.
-        let Some(list) = self.slots.get_mut(&key) else {
-            debug_assert!(false, "released claim missing");
-            return;
-        };
+        let list = &mut self.cells[cell];
         let Some(pos) = list.iter().position(|(p, _)| *p == payload) else {
             debug_assert!(false, "released claim missing");
             return;
@@ -195,11 +294,8 @@ impl ResourceTable {
         } else {
             list.swap_remove(pos);
         }
-        if list.is_empty() {
-            self.slots.remove(&key);
-        }
         self.journal.push(JournalEntry {
-            key,
+            cell: cell as u32,
             payload,
             added: false,
         });
@@ -213,24 +309,21 @@ impl ResourceTable {
     /// engine bug; it is skipped (debug builds trip an assertion).
     pub fn unplace_write_stub(&mut self, cycle: i64, stub: WriteStub, value: SOpId) {
         let bus_raw = stub.bus.index() as u32;
-        let okey = self.key(cycle, Resource::FuOutput(stub.fu));
-        self.release(
-            okey,
-            Payload::Write {
-                value,
-                bus: bus_raw,
-            },
-        );
-        let bkey = self.key(cycle, Resource::Bus(stub.bus));
-        self.release(bkey, Payload::WriteBus { value });
-        let pkey = self.key(cycle, Resource::WritePort(stub.port));
-        self.release(
-            pkey,
-            Payload::Write {
-                value,
-                bus: bus_raw,
-            },
-        );
+        let payload = Payload::Write {
+            value,
+            bus: bus_raw,
+        };
+        let Some(ocell) = self.cell_read(cycle, Resource::FuOutput(stub.fu)) else {
+            debug_assert!(false, "released claim on an unallocated row");
+            return;
+        };
+        self.release(ocell, payload);
+        if let Some(bcell) = self.cell_read(cycle, Resource::Bus(stub.bus)) {
+            self.release(bcell, Payload::WriteBus { value });
+        }
+        if let Some(pcell) = self.cell_read(cycle, Resource::WritePort(stub.port)) {
+            self.release(pcell, payload);
+        }
     }
 
     /// Releases one placement of a read stub made with
@@ -242,77 +335,83 @@ impl ResourceTable {
             op,
             slot: slot as u8,
         };
-        let rkey = self.key(cycle, Resource::ReadPort(stub.port));
-        self.release(rkey, payload);
-        let bkey = self.key(cycle, Resource::Bus(stub.bus));
-        self.release(bkey, Payload::ReadBus { port: stub.port });
-        let ikey = self.key(cycle, Resource::FuInput(stub.input()));
-        self.release(ikey, payload);
+        let Some(rcell) = self.cell_read(cycle, Resource::ReadPort(stub.port)) else {
+            debug_assert!(false, "released claim on an unallocated row");
+            return;
+        };
+        self.release(rcell, payload);
+        if let Some(bcell) = self.cell_read(cycle, Resource::Bus(stub.bus)) {
+            self.release(bcell, Payload::ReadBus { port: stub.port });
+        }
+        if let Some(icell) = self.cell_read(cycle, Resource::FuInput(stub.input())) {
+            self.release(icell, payload);
+        }
     }
 
-    fn try_claim(
-        &mut self,
-        key: (i64, u32),
-        payload: Payload,
-        admit: impl Fn(&[(Payload, u32)], Payload) -> Admission,
-    ) -> bool {
-        let list = self.slots.entry(key).or_default();
-        match admit(list, payload) {
+    /// Applies an admission decision computed by `admit_exclusive` /
+    /// `admit_output` against the cell's current claim list, journalling
+    /// the addition. `Conflict` must be filtered out by the caller before
+    /// mutating anything; it is tolerated here as a no-op (debug builds
+    /// trip an assertion) so a logic error degrades into a failed schedule
+    /// rather than a corrupted table.
+    fn apply_claim(&mut self, cell: usize, payload: Payload, adm: Admission) {
+        let list = &mut self.cells[cell];
+        match adm {
             Admission::Conflict => {
-                if list.is_empty() {
-                    self.slots.remove(&key);
-                }
-                false
+                debug_assert!(false, "applied a conflicting claim");
+                return;
             }
-            Admission::Identical(pos) => {
-                list[pos].1 += 1;
-                self.journal.push(JournalEntry {
-                    key,
-                    payload,
-                    added: true,
-                });
-                true
-            }
-            Admission::Additional => {
-                list.push((payload, 1));
-                self.journal.push(JournalEntry {
-                    key,
-                    payload,
-                    added: true,
-                });
-                true
-            }
+            Admission::Identical(pos) => list[pos].1 += 1,
+            Admission::Additional => list.push((payload, 1)),
         }
+        self.journal.push(JournalEntry {
+            cell: cell as u32,
+            payload,
+            added: true,
+        });
     }
 
     /// Claims the issue slot of `fu` for `op` on cycles
     /// `cycle .. cycle + interval` (partially pipelined capabilities hold
-    /// the unit for several cycles). Rolls itself back on failure.
+    /// the unit for several cycles). Leaves the table untouched on failure.
     pub fn place_issue(&mut self, cycle: i64, fu: FuId, interval: u32, op: SOpId) -> bool {
         if let TableMode::Modulo(ii) = self.mode {
             if interval > ii {
                 return false; // cannot re-issue fast enough
             }
         }
-        let sp = self.savepoint();
+        // The claimed cycles map to distinct cells (`interval <= II` in
+        // modulo mode), so the admissions are independent: check them all
+        // read-only, then mutate only when every cycle admits. The failure
+        // path touches neither the cells nor the journal, so the hot
+        // permutation search never pays for journalling doomed claims.
+        let payload = Payload::Op(op);
         for i in 0..interval as i64 {
-            let key = self.key(cycle + i, Resource::FuIssue(fu));
-            let ok = self.try_claim(key, Payload::Op(op), |list, p| match list.first() {
-                None => Admission::Additional,
-                Some((existing, _)) if *existing == p => Admission::Identical(0),
-                Some(_) => Admission::Conflict,
-            });
-            if !ok {
-                self.rollback(sp);
+            let Some(cell) = self.cell_claim(cycle + i, Resource::FuIssue(fu)) else {
+                return false;
+            };
+            if matches!(
+                admit_exclusive(&self.cells[cell], payload),
+                Admission::Conflict
+            ) {
                 return false;
             }
+        }
+        for i in 0..interval as i64 {
+            let Some(cell) = self.cell_claim(cycle + i, Resource::FuIssue(fu)) else {
+                debug_assert!(false, "claimable cell vanished between check and apply");
+                return false;
+            };
+            let adm = admit_exclusive(&self.cells[cell], payload);
+            self.apply_claim(cell, payload, adm);
         }
         true
     }
 
     /// Claims the resources of a write stub on `cycle` for the result of
     /// `value` (identified by its producing operation). `fanout` is the
-    /// producing unit's maximum simultaneous bus drive count.
+    /// producing unit's maximum simultaneous bus drive count. Leaves the
+    /// table untouched on failure.
     pub fn place_write_stub(
         &mut self,
         cycle: i64,
@@ -320,124 +419,85 @@ impl ResourceTable {
         value: SOpId,
         fanout: usize,
     ) -> bool {
-        let sp = self.savepoint();
         let bus_raw = stub.bus.index() as u32;
+        let wpayload = Payload::Write {
+            value,
+            bus: bus_raw,
+        };
+
+        // The three claims live in distinct cells (distinct resource
+        // kinds), so their admissions are independent: resolve every cell,
+        // check every admission read-only, and mutate only when all three
+        // admit. The failure path — the common case during the §4.3
+        // permutation search — touches neither the cells nor the journal.
+        let Some(ocell) = self.cell_claim(cycle, Resource::FuOutput(stub.fu)) else {
+            return false;
+        };
+        let Some(bcell) = self.cell_claim(cycle, Resource::Bus(stub.bus)) else {
+            return false;
+        };
+        let Some(pcell) = self.cell_claim(cycle, Resource::WritePort(stub.port)) else {
+            return false;
+        };
 
         // Output: one value; up to `fanout` distinct buses.
-        let okey = self.key(cycle, Resource::FuOutput(stub.fu));
-        let ok = self.try_claim(
-            okey,
-            Payload::Write {
-                value,
-                bus: bus_raw,
-            },
-            |list, p| {
-                let Payload::Write { value: nv, bus: nb } = p else {
-                    unreachable!()
-                };
-                let mut distinct = std::collections::HashSet::new();
-                for (e, _) in list {
-                    match e {
-                        Payload::Write { value: ev, bus: eb } => {
-                            if *ev != nv {
-                                return Admission::Conflict;
-                            }
-                            distinct.insert(*eb);
-                        }
-                        _ => return Admission::Conflict,
-                    }
-                }
-                if let Some(pos) = list.iter().position(|(e, _)| *e == p) {
-                    return Admission::Identical(pos);
-                }
-                distinct.insert(nb);
-                if distinct.len() <= fanout {
-                    Admission::Additional
-                } else {
-                    Admission::Conflict
-                }
-            },
-        );
-        if !ok {
-            self.rollback(sp);
+        let o_adm = admit_output(&self.cells[ocell], value, bus_raw, fanout);
+        if matches!(o_adm, Admission::Conflict) {
             return false;
         }
-
         // Bus: one value, broadcast allowed.
-        let bkey = self.key(cycle, Resource::Bus(stub.bus));
-        let ok = self.try_claim(bkey, Payload::WriteBus { value }, |list, p| {
-            // A bus carries one value per cycle, so at most one distinct
-            // payload can be present.
-            match list.first() {
-                Some((e, _)) if *e == p => Admission::Identical(0),
-                Some(_) => Admission::Conflict,
-                None => Admission::Additional,
-            }
-        });
-        if !ok {
-            self.rollback(sp);
+        let b_adm = admit_exclusive(&self.cells[bcell], Payload::WriteBus { value });
+        if matches!(b_adm, Admission::Conflict) {
+            return false;
+        }
+        // Write port: one (value, bus) pair.
+        let p_adm = admit_exclusive(&self.cells[pcell], wpayload);
+        if matches!(p_adm, Admission::Conflict) {
             return false;
         }
 
-        // Write port: one (value, bus) pair.
-        let pkey = self.key(cycle, Resource::WritePort(stub.port));
-        let ok = self.try_claim(
-            pkey,
-            Payload::Write {
-                value,
-                bus: bus_raw,
-            },
-            |list, p| match list.first() {
-                Some((e, _)) if *e == p => Admission::Identical(0),
-                Some(_) => Admission::Conflict,
-                None => Admission::Additional,
-            },
-        );
-        if !ok {
-            self.rollback(sp);
-            return false;
-        }
+        self.apply_claim(ocell, wpayload, o_adm);
+        self.apply_claim(bcell, Payload::WriteBus { value }, b_adm);
+        self.apply_claim(pcell, wpayload, p_adm);
         true
     }
 
     /// Claims the resources of a read stub on `cycle` for consumer operand
-    /// `(op, slot)`.
+    /// `(op, slot)`. Leaves the table untouched on failure.
     pub fn place_read_stub(&mut self, cycle: i64, stub: ReadStub, op: SOpId, slot: usize) -> bool {
-        let sp = self.savepoint();
         let payload = Payload::Read {
             op,
             slot: slot as u8,
         };
-        let exclusive = |list: &[(Payload, u32)], p: Payload| match list.first() {
-            Some((e, _)) if *e == p => Admission::Identical(0),
-            Some(_) => Admission::Conflict,
-            None => Admission::Additional,
+        // As in `place_write_stub`: distinct cells, so check all three
+        // admissions read-only before mutating anything.
+        let Some(rcell) = self.cell_claim(cycle, Resource::ReadPort(stub.port)) else {
+            return false;
+        };
+        let Some(bcell) = self.cell_claim(cycle, Resource::Bus(stub.bus)) else {
+            return false;
+        };
+        let Some(icell) = self.cell_claim(cycle, Resource::FuInput(stub.input())) else {
+            return false;
         };
 
-        let rkey = self.key(cycle, Resource::ReadPort(stub.port));
-        if !self.try_claim(rkey, payload, exclusive) {
-            self.rollback(sp);
+        let r_adm = admit_exclusive(&self.cells[rcell], payload);
+        if matches!(r_adm, Admission::Conflict) {
             return false;
         }
         // Bus: shareable between identical source ports (broadcast).
-        let bkey = self.key(cycle, Resource::Bus(stub.bus));
-        if !self.try_claim(
-            bkey,
-            Payload::ReadBus { port: stub.port },
-            |list, p| match list.first() {
-                Some((e, _)) if *e == p => Admission::Identical(0),
-                Some(_) => Admission::Conflict,
-                None => Admission::Additional,
-            },
-        ) {
-            self.rollback(sp);
+        let b_adm = admit_exclusive(&self.cells[bcell], Payload::ReadBus { port: stub.port });
+        if matches!(b_adm, Admission::Conflict) {
             return false;
         }
-        let ikey = self.key(cycle, Resource::FuInput(stub.input()));
-        if !self.try_claim(ikey, payload, exclusive) {
-            self.rollback(sp);
+        let i_adm = admit_exclusive(&self.cells[icell], payload);
+        if matches!(i_adm, Admission::Conflict) {
             return false;
         }
+
+        self.apply_claim(rcell, payload, r_adm);
+        self.apply_claim(bcell, Payload::ReadBus { port: stub.port }, b_adm);
+        self.apply_claim(icell, payload, i_adm);
         true
     }
 
@@ -477,6 +537,57 @@ enum Admission {
     Additional,
     /// Incompatible.
     Conflict,
+}
+
+/// Admission for resources carrying one claim per cycle: identical claims
+/// share (refcounted), anything else conflicts.
+fn admit_exclusive(list: &[(Payload, u32)], p: Payload) -> Admission {
+    match list.first() {
+        Some((e, _)) if *e == p => Admission::Identical(0),
+        Some(_) => Admission::Conflict,
+        None => Admission::Additional,
+    }
+}
+
+/// Admission for a unit's output: one value per cycle, broadcast onto up
+/// to `fanout` distinct buses.
+fn admit_output(list: &[(Payload, u32)], value: SOpId, bus: u32, fanout: usize) -> Admission {
+    // The distinct-bus count is over a list at most `fanout` long: count
+    // in place instead of allocating a set.
+    for (e, _) in list {
+        match e {
+            Payload::Write { value: ev, .. } => {
+                if *ev != value {
+                    return Admission::Conflict;
+                }
+            }
+            _ => return Admission::Conflict,
+        }
+    }
+    let p = Payload::Write { value, bus };
+    if let Some(pos) = list.iter().position(|(e, _)| *e == p) {
+        return Admission::Identical(pos);
+    }
+    let mut distinct = 1usize; // the new bus
+    for (i, (e, _)) in list.iter().enumerate() {
+        let Payload::Write { bus: eb, .. } = e else {
+            continue;
+        };
+        if *eb == bus {
+            continue;
+        }
+        let first = !list[..i]
+            .iter()
+            .any(|(prev, _)| matches!(prev, Payload::Write { bus: pb, .. } if pb == eb));
+        if first {
+            distinct += 1;
+        }
+    }
+    if distinct <= fanout {
+        Admission::Additional
+    } else {
+        Admission::Conflict
+    }
 }
 
 #[cfg(test)]
@@ -683,5 +794,49 @@ mod tests {
         let rstub = arch.read_stubs(add0, 1)[0];
         assert!(t.can_place_read_stub(0, rstub, op(0), 1));
         assert!(t.can_place_read_stub(0, rstub, op(1), 1));
+    }
+
+    #[test]
+    fn negative_linear_cycle_is_rejected_not_corrupting() {
+        let (arch, mut t) = setup();
+        let fu = arch.fu_by_name("ADD0").unwrap();
+        let fp = t.fingerprint();
+        assert!(!t.place_issue(-1, fu, 1, op(0)));
+        assert_eq!(t.occupancy(-1, Resource::FuIssue(fu)), 0);
+        assert_eq!(t.fingerprint(), fp);
+        // Modulo mode folds negatives instead.
+        let mut m = ResourceTable::new(ResourceMap::new(&arch), TableMode::Modulo(4));
+        assert!(m.place_issue(-1, fu, 1, op(0)));
+        assert!(!m.place_issue(3, fu, 1, op(1))); // -1 mod 4 == 3
+    }
+
+    #[test]
+    fn modulo_profile_repeats_past_the_fold() {
+        let (arch, _) = setup();
+        let mut t = ResourceTable::new(ResourceMap::new(&arch), TableMode::Modulo(3));
+        let fu = arch.fu_by_name("ADD0").unwrap();
+        assert!(t.place_issue(1, fu, 1, op(0)));
+        assert_eq!(
+            t.occupancy_profile(Resource::FuIssue(fu), 7),
+            vec![0, 1, 0, 0, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn stale_savepoint_is_ignored_in_release() {
+        let (arch, mut t) = setup();
+        let fu = arch.fu_by_name("ADD0").unwrap();
+        let outer = t.savepoint();
+        assert!(t.place_issue(0, fu, 1, op(0)));
+        let inner = t.savepoint();
+        t.rollback(outer);
+        // `inner` now points past the journal's end: a later-generation
+        // position. Rolling back to it must not invent claims.
+        let fp = t.fingerprint();
+        if !cfg!(debug_assertions) {
+            t.rollback(inner);
+            assert_eq!(t.fingerprint(), fp);
+        }
+        assert!(inner.len > t.savepoint().len);
     }
 }

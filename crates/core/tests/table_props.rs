@@ -176,3 +176,443 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential model: the dense modulo-indexed table against a reference
+// hashmap implementation of the same admission rules (the design the dense
+// layout replaced). Every placement decision and every observable occupancy
+// count must agree, across savepoint/rollback and stub releases.
+// ---------------------------------------------------------------------------
+
+use csched_machine::{FuId, ReadPortId, ReadStub, Resource, WritePortId, WriteStub};
+use std::collections::HashMap;
+
+/// Reference mirror of the table's (private) claim payloads, built from
+/// public ids only.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RefClaim {
+    Op(usize),
+    Write { value: usize, bus: usize },
+    WriteBus { value: usize },
+    ReadBus { port: usize },
+    Read { op: usize, slot: usize },
+}
+
+enum RefAdmission {
+    Identical(usize),
+    Additional,
+    Conflict,
+}
+
+/// The reference table: a hashmap of claim lists keyed by (row, resource),
+/// with savepoints implemented by cloning the whole map.
+#[derive(Clone, Debug, Default)]
+struct RefTable {
+    cells: HashMap<(usize, Resource), Vec<(RefClaim, u32)>>,
+}
+
+fn ref_row(mode: TableMode, cycle: i64) -> Option<usize> {
+    match mode {
+        TableMode::Linear => (cycle >= 0).then_some(cycle as usize),
+        TableMode::Modulo(ii) => Some(cycle.rem_euclid(ii as i64) as usize),
+    }
+}
+
+fn ref_admit_exclusive(list: &[(RefClaim, u32)], p: RefClaim) -> RefAdmission {
+    match list.first() {
+        Some((e, _)) if *e == p => RefAdmission::Identical(0),
+        Some(_) => RefAdmission::Conflict,
+        None => RefAdmission::Additional,
+    }
+}
+
+fn ref_admit_output(
+    list: &[(RefClaim, u32)],
+    value: usize,
+    bus: usize,
+    fanout: usize,
+) -> RefAdmission {
+    for (e, _) in list {
+        match e {
+            RefClaim::Write { value: ev, .. } if *ev == value => {}
+            _ => return RefAdmission::Conflict,
+        }
+    }
+    let p = RefClaim::Write { value, bus };
+    if let Some(pos) = list.iter().position(|(e, _)| *e == p) {
+        return RefAdmission::Identical(pos);
+    }
+    let mut buses: Vec<usize> = vec![bus];
+    for (e, _) in list {
+        if let RefClaim::Write { bus: eb, .. } = e {
+            if !buses.contains(eb) {
+                buses.push(*eb);
+            }
+        }
+    }
+    if buses.len() <= fanout {
+        RefAdmission::Additional
+    } else {
+        RefAdmission::Conflict
+    }
+}
+
+impl RefTable {
+    fn list(&self, row: usize, r: Resource) -> &[(RefClaim, u32)] {
+        self.cells.get(&(row, r)).map_or(&[], |v| v.as_slice())
+    }
+
+    fn apply(&mut self, row: usize, r: Resource, claim: RefClaim, adm: RefAdmission) {
+        let list = self.cells.entry((row, r)).or_default();
+        match adm {
+            RefAdmission::Identical(pos) => list[pos].1 += 1,
+            RefAdmission::Additional => list.push((claim, 1)),
+            RefAdmission::Conflict => unreachable!("conflicting claim applied"),
+        }
+    }
+
+    fn release(&mut self, row: usize, r: Resource, claim: RefClaim) {
+        if let Some(list) = self.cells.get_mut(&(row, r)) {
+            if let Some(pos) = list.iter().position(|(c, _)| *c == claim) {
+                if list[pos].1 > 1 {
+                    list[pos].1 -= 1;
+                } else {
+                    list.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    fn occupancy(&self, mode: TableMode, cycle: i64, r: Resource) -> usize {
+        ref_row(mode, cycle).map_or(0, |row| self.list(row, r).len())
+    }
+
+    fn place_issue(
+        &mut self,
+        mode: TableMode,
+        cycle: i64,
+        fu: FuId,
+        interval: u32,
+        op: usize,
+    ) -> bool {
+        if let TableMode::Modulo(ii) = mode {
+            if interval > ii {
+                return false;
+            }
+        }
+        let claim = RefClaim::Op(op);
+        let mut rows = Vec::new();
+        for i in 0..interval as i64 {
+            let Some(row) = ref_row(mode, cycle + i) else {
+                return false;
+            };
+            rows.push(row);
+        }
+        for &row in &rows {
+            if matches!(
+                ref_admit_exclusive(self.list(row, Resource::FuIssue(fu)), claim),
+                RefAdmission::Conflict
+            ) {
+                return false;
+            }
+        }
+        for &row in &rows {
+            let adm = ref_admit_exclusive(self.list(row, Resource::FuIssue(fu)), claim);
+            self.apply(row, Resource::FuIssue(fu), claim, adm);
+        }
+        true
+    }
+
+    fn place_write_stub(
+        &mut self,
+        mode: TableMode,
+        cycle: i64,
+        stub: WriteStub,
+        value: usize,
+        fanout: usize,
+    ) -> bool {
+        let Some(row) = ref_row(mode, cycle) else {
+            return false;
+        };
+        let bus = stub.bus.index();
+        let wclaim = RefClaim::Write { value, bus };
+        let o_adm = ref_admit_output(
+            self.list(row, Resource::FuOutput(stub.fu)),
+            value,
+            bus,
+            fanout,
+        );
+        if matches!(o_adm, RefAdmission::Conflict) {
+            return false;
+        }
+        let b_adm = ref_admit_exclusive(
+            self.list(row, Resource::Bus(stub.bus)),
+            RefClaim::WriteBus { value },
+        );
+        if matches!(b_adm, RefAdmission::Conflict) {
+            return false;
+        }
+        let p_adm = ref_admit_exclusive(self.list(row, Resource::WritePort(stub.port)), wclaim);
+        if matches!(p_adm, RefAdmission::Conflict) {
+            return false;
+        }
+        self.apply(row, Resource::FuOutput(stub.fu), wclaim, o_adm);
+        self.apply(
+            row,
+            Resource::Bus(stub.bus),
+            RefClaim::WriteBus { value },
+            b_adm,
+        );
+        self.apply(row, Resource::WritePort(stub.port), wclaim, p_adm);
+        true
+    }
+
+    fn place_read_stub(
+        &mut self,
+        mode: TableMode,
+        cycle: i64,
+        stub: ReadStub,
+        op: usize,
+        slot: usize,
+    ) -> bool {
+        let Some(row) = ref_row(mode, cycle) else {
+            return false;
+        };
+        let claim = RefClaim::Read { op, slot };
+        let r_adm = ref_admit_exclusive(self.list(row, Resource::ReadPort(stub.port)), claim);
+        if matches!(r_adm, RefAdmission::Conflict) {
+            return false;
+        }
+        let b_adm = ref_admit_exclusive(
+            self.list(row, Resource::Bus(stub.bus)),
+            RefClaim::ReadBus {
+                port: stub.port.index(),
+            },
+        );
+        if matches!(b_adm, RefAdmission::Conflict) {
+            return false;
+        }
+        let i_adm = ref_admit_exclusive(self.list(row, Resource::FuInput(stub.input())), claim);
+        if matches!(i_adm, RefAdmission::Conflict) {
+            return false;
+        }
+        self.apply(row, Resource::ReadPort(stub.port), claim, r_adm);
+        self.apply(
+            row,
+            Resource::Bus(stub.bus),
+            RefClaim::ReadBus {
+                port: stub.port.index(),
+            },
+            b_adm,
+        );
+        self.apply(row, Resource::FuInput(stub.input()), claim, i_adm);
+        true
+    }
+}
+
+/// Every resource of `arch`, for exhaustive occupancy comparison.
+fn all_resources(arch: &Architecture) -> Vec<Resource> {
+    let mut rs = Vec::new();
+    for fu in arch.fu_ids() {
+        rs.push(Resource::FuIssue(fu));
+        rs.push(Resource::FuOutput(fu));
+        for slot in 0..arch.fu(fu).num_inputs() {
+            for stub in arch.read_stubs(fu, slot) {
+                let r = Resource::FuInput(stub.input());
+                if !rs.contains(&r) {
+                    rs.push(r);
+                }
+            }
+        }
+    }
+    for b in arch.bus_ids() {
+        rs.push(Resource::Bus(b));
+    }
+    for i in 0..arch.num_write_ports() {
+        rs.push(Resource::WritePort(WritePortId::from_raw(i)));
+    }
+    for i in 0..arch.num_read_ports() {
+        rs.push(Resource::ReadPort(ReadPortId::from_raw(i)));
+    }
+    rs
+}
+
+#[derive(Clone, Debug)]
+enum MAction {
+    Issue {
+        fu: usize,
+        cycle: i64,
+        interval: u32,
+        op: usize,
+    },
+    WriteStub {
+        fu: usize,
+        stub: usize,
+        cycle: i64,
+        value: usize,
+    },
+    ReadStub {
+        fu: usize,
+        slot: usize,
+        stub: usize,
+        cycle: i64,
+        op: usize,
+    },
+    UnplaceWrite(usize),
+    UnplaceRead(usize),
+    Checkpoint,
+    Rollback,
+}
+
+fn model_action_strategy() -> impl Strategy<Value = MAction> {
+    prop_oneof![
+        (0..3usize, 0..6i64, 1..3u32, 0..8usize).prop_map(|(fu, cycle, interval, op)| {
+            MAction::Issue {
+                fu,
+                cycle,
+                interval,
+                op,
+            }
+        }),
+        (0..3usize, 0..8usize, 0..6i64, 0..8usize).prop_map(|(fu, stub, cycle, value)| {
+            MAction::WriteStub {
+                fu,
+                stub,
+                cycle,
+                value,
+            }
+        }),
+        (0..3usize, 0..2usize, 0..4usize, 0..6i64, 0..8usize).prop_map(
+            |(fu, slot, stub, cycle, op)| MAction::ReadStub {
+                fu,
+                slot,
+                stub,
+                cycle,
+                op,
+            }
+        ),
+        (0..16usize).prop_map(MAction::UnplaceWrite),
+        (0..16usize).prop_map(MAction::UnplaceRead),
+        Just(MAction::Checkpoint),
+        Just(MAction::Rollback),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The dense table and the reference hashmap accept/reject every
+    /// placement identically and expose identical occupancy everywhere,
+    /// through placements, releases, and nested savepoint/rollback.
+    #[test]
+    fn dense_table_matches_reference_hashmap(
+        actions in prop::collection::vec(model_action_strategy(), 1..80),
+        modulo in prop::option::of(2u32..6),
+    ) {
+        let arch = arch();
+        let mode = match modulo {
+            Some(ii) => TableMode::Modulo(ii),
+            None => TableMode::Linear,
+        };
+        let mut table = ResourceTable::new(ResourceMap::new(&arch), mode);
+        let mut model = RefTable::default();
+        let resources = all_resources(&arch);
+        // Successful placements eligible for release.
+        let mut placed_w: Vec<(i64, WriteStub, usize)> = Vec::new();
+        let mut placed_r: Vec<(i64, ReadStub, usize, usize)> = Vec::new();
+        let mut stack = Vec::new();
+        for action in &actions {
+            match *action {
+                MAction::Issue { fu, cycle, interval, op } => {
+                    let fu = FuId::from_raw(fu);
+                    let got = table.place_issue(cycle, fu, interval, SOpId::from_raw(op));
+                    let want = model.place_issue(mode, cycle, fu, interval, op);
+                    prop_assert_eq!(got, want, "issue decision diverged");
+                }
+                MAction::WriteStub { fu, stub, cycle, value } => {
+                    let fu = FuId::from_raw(fu);
+                    let stubs = arch.write_stubs(fu);
+                    if stubs.is_empty() {
+                        continue;
+                    }
+                    let stub = stubs[stub % stubs.len()];
+                    let fanout = arch.fu(fu).output_fanout();
+                    let got = table.place_write_stub(cycle, stub, SOpId::from_raw(value), fanout);
+                    let want = model.place_write_stub(mode, cycle, stub, value, fanout);
+                    prop_assert_eq!(got, want, "write-stub decision diverged");
+                    if got {
+                        placed_w.push((cycle, stub, value));
+                    }
+                }
+                MAction::ReadStub { fu, slot, stub, cycle, op } => {
+                    let fu = FuId::from_raw(fu);
+                    let slot = slot % arch.fu(fu).num_inputs();
+                    let stubs = arch.read_stubs(fu, slot);
+                    if stubs.is_empty() {
+                        continue;
+                    }
+                    let stub = stubs[stub % stubs.len()];
+                    let got = table.place_read_stub(cycle, stub, SOpId::from_raw(op), slot);
+                    let want = model.place_read_stub(mode, cycle, stub, op, slot);
+                    prop_assert_eq!(got, want, "read-stub decision diverged");
+                    if got {
+                        placed_r.push((cycle, stub, op, slot));
+                    }
+                }
+                MAction::UnplaceWrite(i) => {
+                    if placed_w.is_empty() {
+                        continue;
+                    }
+                    let (cycle, stub, value) = placed_w.swap_remove(i % placed_w.len());
+                    table.unplace_write_stub(cycle, stub, SOpId::from_raw(value));
+                    if let Some(row) = ref_row(mode, cycle) {
+                        let bus = stub.bus.index();
+                        let wclaim = RefClaim::Write { value, bus };
+                        model.release(row, Resource::FuOutput(stub.fu), wclaim);
+                        model.release(row, Resource::Bus(stub.bus), RefClaim::WriteBus { value });
+                        model.release(row, Resource::WritePort(stub.port), wclaim);
+                    }
+                }
+                MAction::UnplaceRead(i) => {
+                    if placed_r.is_empty() {
+                        continue;
+                    }
+                    let (cycle, stub, op, slot) = placed_r.swap_remove(i % placed_r.len());
+                    table.unplace_read_stub(cycle, stub, SOpId::from_raw(op), slot);
+                    if let Some(row) = ref_row(mode, cycle) {
+                        let claim = RefClaim::Read { op, slot };
+                        model.release(row, Resource::ReadPort(stub.port), claim);
+                        model.release(
+                            row,
+                            Resource::Bus(stub.bus),
+                            RefClaim::ReadBus { port: stub.port.index() },
+                        );
+                        model.release(row, Resource::FuInput(stub.input()), claim);
+                    }
+                }
+                MAction::Checkpoint => {
+                    stack.push((table.savepoint(), model.clone(), placed_w.clone(), placed_r.clone()));
+                }
+                MAction::Rollback => {
+                    if let Some((sp, m, pw, pr)) = stack.pop() {
+                        table.rollback(sp);
+                        model = m;
+                        placed_w = pw;
+                        placed_r = pr;
+                    }
+                }
+            }
+            for &r in &resources {
+                for cycle in 0..10i64 {
+                    prop_assert_eq!(
+                        table.occupancy(cycle, r),
+                        model.occupancy(mode, cycle, r),
+                        "occupancy diverged at cycle {} on {:?}",
+                        cycle,
+                        r
+                    );
+                }
+            }
+        }
+    }
+}

@@ -91,6 +91,22 @@ impl CopyConnectivity {
         // must exist from some writable RF to some readable RF.
         let mut copy_connected = true;
         let mut violations = Vec::new();
+        // Hoist the per-consumer readable lists out of the producer loop:
+        // `readable_rfs` allocates, and the check visits every
+        // (producer, consumer, slot) triple.
+        let consumer_slots: Vec<(FuId, usize, Vec<RfId>)> = arch
+            .fu_ids()
+            .flat_map(|consumer| {
+                let cu = arch.fu(consumer);
+                (0..cu.num_inputs())
+                    .filter(|&slot| {
+                        cu.capabilities()
+                            .iter()
+                            .any(|c| c.opcode.num_operands() > slot)
+                    })
+                    .map(move |slot| (consumer, slot, arch.readable_rfs(consumer, slot)))
+            })
+            .collect();
         for producer in arch.fu_ids() {
             let produces = arch
                 .fu(producer)
@@ -101,26 +117,15 @@ impl CopyConnectivity {
                 continue;
             }
             let writable = arch.writable_rfs(producer);
-            for consumer in arch.fu_ids() {
-                let cu = arch.fu(consumer);
-                for slot in 0..cu.num_inputs() {
-                    let used = cu
-                        .capabilities()
+            for (consumer, slot, readable) in &consumer_slots {
+                let reachable = writable.iter().any(|&a| {
+                    readable
                         .iter()
-                        .any(|c| c.opcode.num_operands() > slot);
-                    if !used {
-                        continue;
-                    }
-                    let readable = arch.readable_rfs(consumer, slot);
-                    let reachable = writable.iter().any(|&a| {
-                        readable
-                            .iter()
-                            .any(|&b| dist[a.index() * n + b.index()] != UNREACHABLE)
-                    });
-                    if !reachable {
-                        copy_connected = false;
-                        violations.push((producer, consumer, slot));
-                    }
+                        .any(|&b| dist[a.index() * n + b.index()] != UNREACHABLE)
+                });
+                if !reachable {
+                    copy_connected = false;
+                    violations.push((producer, *consumer, *slot));
                 }
             }
         }
@@ -165,6 +170,11 @@ impl CopyConnectivity {
         consumer: FuId,
         slot: usize,
     ) -> Option<u32> {
+        // `read_stubs` is only defined for slots the consumer actually has;
+        // a nonexistent operand slot can never be routed to.
+        if slot >= arch.fu(consumer).num_inputs() {
+            return None;
+        }
         let mut best: Option<u32> = None;
         for ws in arch.write_stubs(producer) {
             for rs in arch.read_stubs(consumer, slot) {
