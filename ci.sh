@@ -6,12 +6,13 @@
 # The lint and format steps degrade gracefully when the toolchain lacks
 # the `clippy` or `rustfmt` components (e.g. a minimal container); the
 # build and test steps are mandatory. `csched-core`, `csched-ir`, and
-# `csched-eval` (including the `explore` binary, which carries its own
-# crate-level attribute) additionally carry
+# `csched-eval` (including the `explore` and `soak` binaries, which carry
+# their own crate-level attributes; the `chaosnet` fault-injection module
+# is covered by the csched-eval lib attribute) additionally carry
 # `deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)` outside
 # test code, so the clippy step doubles as the panic-free gate for the
-# scheduling pipeline, the evaluation harness, and the design-space
-# search.
+# scheduling pipeline, the evaluation harness, the design-space search,
+# and the chaos/soak tooling.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -126,6 +127,26 @@ cargo run -q --release -p csched-eval --bin serve -- \
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 rm -rf "$SERVE_DIR"
+
+# Chaos soak smoke: the soak harness drives seeded mixed good/evil
+# clients through the fault-injecting proxy against a live server with
+# one mid-run SIGKILL+restart (plus a final verification restart). The
+# fixed seed is known to inject at least one disconnect and one
+# slowloris in this window (soak exits 1 if a required kind never
+# fired). The binary asserts the full invariant set internally:
+# retrying clients reach 100% eventual success while the no-retry
+# control client fails at least once, attempts <= limit on every
+# response, compaction runs (12 keys over the 8-entry cap), and after
+# the final SIGKILL+restart the cache reports 0 quarantined / 0 corrupt
+# and serves every key byte-identically to the first recorded answer.
+step "chaos soak smoke (seeded proxy faults + SIGKILL + compaction)"
+SOAK_CACHE="$(mktemp -u)"
+cargo run -q --release -p csched-eval --bin soak -- \
+    --seed 42 --clients 4 --rounds 2 --fault-permille 250 --kills 1 \
+    --compact-entries 8 --require-faults disconnect,slowloris \
+    --cache "$SOAK_CACHE" \
+    --server-bin target/release/serve
+rm -f "$SOAK_CACHE"
 
 step "cargo test --doc --workspace"
 cargo test -q --doc --workspace

@@ -278,6 +278,14 @@ impl Watchdog {
         }
     }
 
+    /// Arms `token` to be cancelled `timeout` from now — the common
+    /// "answer or degrade within N milliseconds" form of
+    /// [`watch`](Self::watch), so callers never compute the absolute
+    /// deadline themselves.
+    pub fn watch_for(&self, token: CancelToken, timeout: std::time::Duration) -> WatchGuard {
+        self.watch(token, Instant::now() + timeout)
+    }
+
     /// Arms `token` to be cancelled at `deadline`. The returned guard
     /// disarms on drop; keep it alive for the duration of the request.
     pub fn watch(&self, token: CancelToken, deadline: Instant) -> WatchGuard {

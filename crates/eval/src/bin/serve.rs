@@ -15,7 +15,10 @@
 
 use std::time::{Duration, Instant};
 
-use csched_eval::serve::{client_raw, client_request, client_stats, ServeConfig, Server};
+use csched_eval::serve::{
+    client_raw, client_request, client_request_retry, client_stats, RetryConfig, ServeConfig,
+    Server,
+};
 use csched_ir::text as ir_text;
 use csched_machine::text as machine_text;
 
@@ -29,10 +32,16 @@ server flags:
   --queue N         admission-queue capacity (default 16)
   --step-limit N    default placement-attempt budget per request
   --wall-ms N       wall-clock deadline per request
+  --compact-bytes N journal byte threshold for compaction
+  --compact-entries N
+                    cache entry cap (oldest evicted beyond it)
+  --read-phase-ms N budget to read one whole request (slowloris guard)
 client modes:
   --kernel <name> --arch <org> [--limit N] [--wall-ms N]
                     one SCHED request (org: central | clustered2 |
-                    clustered4 | distributed)
+                    clustered4 | distributed); add --retries N
+                    [--backoff-ms N] [--retry-seed N] to retry torn or
+                    transient failures with seeded jittered backoff
   --stats           print the service counters JSON line
   --malformed       send a broken request; expect ERR malformed
   --bench-suite [--min-ratio N]
@@ -96,6 +105,15 @@ fn run_server(addr: &str, args: &[String]) {
     if let Some(limit) = num_flag(args, "--step-limit") {
         config.step_limit = limit;
     }
+    if let Some(bytes) = num_flag(args, "--compact-bytes") {
+        config.compaction.max_journal_bytes = bytes;
+    }
+    if let Some(entries) = num_flag(args, "--compact-entries") {
+        config.compaction.max_entries = entries as usize;
+    }
+    if let Some(ms) = num_flag(args, "--read-phase-ms") {
+        config.read_phase_ms = ms;
+    }
     let (server, load) = Server::bind(addr, config).expect("server starts");
     println!(
         "cache: {} entries, {} quarantined, {} corrupt lines, {} torn bytes repaired",
@@ -130,15 +148,47 @@ fn run_client(addr: &str, args: &[String]) {
         let w = csched_kernels::by_name(&kernel_name).expect("unknown kernel");
         let arch =
             arch_by_name(&flag_value(args, "--arch").unwrap_or_else(|| "distributed".to_string()));
-        let response = client_request(
-            addr,
-            &ir_text::print(&w.kernel),
-            &machine_text::print(&arch),
-            num_flag(args, "--limit"),
-            num_flag(args, "--wall-ms"),
-            CLIENT_TIMEOUT,
-        )
-        .expect("request");
+        let kernel_text = ir_text::print(&w.kernel);
+        let arch_text = machine_text::print(&arch);
+        let limit = num_flag(args, "--limit");
+        let wall_ms = num_flag(args, "--wall-ms");
+        let response = if let Some(retries) = num_flag(args, "--retries") {
+            let retry = RetryConfig {
+                retries: retries as u32,
+                backoff_ms: num_flag(args, "--backoff-ms").unwrap_or(50),
+                seed: num_flag(args, "--retry-seed").unwrap_or(0x5eed),
+            };
+            let (outcome, report) = client_request_retry(
+                addr,
+                &kernel_text,
+                &arch_text,
+                limit,
+                wall_ms,
+                CLIENT_TIMEOUT,
+                &retry,
+            );
+            eprintln!(
+                "retry: {} attempts, {} ms backoff{}",
+                report.attempts,
+                report.total_backoff_ms,
+                if report.retried.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", report.retried.join("; "))
+                }
+            );
+            outcome.expect("request")
+        } else {
+            client_request(
+                addr,
+                &kernel_text,
+                &arch_text,
+                limit,
+                wall_ms,
+                CLIENT_TIMEOUT,
+            )
+            .expect("request")
+        };
         print!("{response}");
         if response.starts_with("ERR ") {
             std::process::exit(1);

@@ -1,0 +1,630 @@
+//! `chaosnet` — a deterministic fault-injecting TCP proxy.
+//!
+//! Sits between a [`serve`](crate::serve) client and server and injects
+//! network faults on a schedule derived entirely from a splitmix64 seed
+//! ([`csched_core::faultinject::ChaosRng`]): connection *i* through the
+//! proxy always suffers the same [`FaultAction`], for the same seed, no
+//! matter the thread timing — so every failure a soak run finds is
+//! replayable by re-running with the same seed.
+//!
+//! The proxy is protocol-agnostic (it relays bytes), but its fault
+//! vocabulary is chosen to hit every hardened edge of the serve stack:
+//!
+//! | fault | exercises |
+//! |---|---|
+//! | [`FaultAction::Latency`] | client socket timeouts, retry backoff |
+//! | [`FaultAction::Disconnect`] | torn requests, worker EOF paths |
+//! | [`FaultAction::TornWrite`] | `ERR malformed` on half a request |
+//! | [`FaultAction::Slowloris`] | per-phase read deadlines on the server |
+//! | [`FaultAction::Truncate`] | client-side response completeness checks |
+//!
+//! Every connection — faulted or clean — is recorded as a
+//! [`FaultRecord`] in an in-memory log ([`ChaosProxy::log`]), so a
+//! harness can assert that specific fault kinds actually fired.
+//!
+//! The upstream address is swappable at runtime
+//! ([`ChaosProxy::set_upstream`]) so a harness can SIGKILL the server,
+//! restart it on a fresh port, and keep the same proxy (and therefore
+//! the same deterministic fault schedule) in front of it.
+
+use std::io::{Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use csched_core::faultinject::ChaosRng;
+
+/// A category of injectable network fault, used to restrict a
+/// [`ChaosNetConfig`] to specific kinds (e.g. a test that wants only
+/// slowloris connections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Delay the request before forwarding any byte.
+    Latency,
+    /// Drop the connection (both directions) mid-request.
+    Disconnect,
+    /// Forward only a prefix of the request, then half-close upstream.
+    TornWrite,
+    /// Drip the request one byte per tick.
+    Slowloris,
+    /// Relay the request cleanly but cut the response short.
+    Truncate,
+}
+
+impl FaultKind {
+    /// All fault kinds, in a stable order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Latency,
+        FaultKind::Disconnect,
+        FaultKind::TornWrite,
+        FaultKind::Slowloris,
+        FaultKind::Truncate,
+    ];
+
+    /// Stable lowercase name (the CLI vocabulary of `--require-faults`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Latency => "latency",
+            FaultKind::Disconnect => "disconnect",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::Slowloris => "slowloris",
+            FaultKind::Truncate => "truncate",
+        }
+    }
+
+    /// Parse a [`FaultKind::name`] back into a kind.
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// The concrete fault injected on one proxied connection.
+///
+/// Parameters are drawn deterministically from the connection's seeded
+/// substream, so the full action (not just its kind) is replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: relay both directions verbatim.
+    Clean,
+    /// Sleep `ms` before forwarding the first request byte.
+    Latency {
+        /// Delay before the first forwarded byte, in milliseconds.
+        ms: u64,
+    },
+    /// Forward at most `after_bytes` of the request, then sever the
+    /// connection in both directions. The client sees EOF/reset; the
+    /// server sees a torn request.
+    Disconnect {
+        /// Request bytes forwarded before the cut.
+        after_bytes: u64,
+    },
+    /// Forward exactly `at_byte` request bytes, then half-close the
+    /// upstream write side. The server sees EOF mid-request (a torn
+    /// write) and answers `ERR malformed`, which is still relayed back.
+    TornWrite {
+        /// Request bytes forwarded before the half-close.
+        at_byte: u64,
+    },
+    /// Drip the first `slow_bytes` request bytes one byte per
+    /// `tick_ms`, then relay the rest at full speed. Exercises the
+    /// server's per-phase read deadline.
+    Slowloris {
+        /// Milliseconds between dripped bytes.
+        tick_ms: u64,
+        /// Number of bytes dripped before resuming full speed.
+        slow_bytes: u64,
+    },
+    /// Relay the request cleanly but forward at most `response_bytes`
+    /// of the response before closing the client side. The client sees
+    /// a torn (incomplete) response.
+    Truncate {
+        /// Response bytes forwarded before the cut.
+        response_bytes: u64,
+    },
+}
+
+impl FaultAction {
+    /// The kind of this action, or `None` for [`FaultAction::Clean`].
+    pub fn kind(&self) -> Option<FaultKind> {
+        match self {
+            FaultAction::Clean => None,
+            FaultAction::Latency { .. } => Some(FaultKind::Latency),
+            FaultAction::Disconnect { .. } => Some(FaultKind::Disconnect),
+            FaultAction::TornWrite { .. } => Some(FaultKind::TornWrite),
+            FaultAction::Slowloris { .. } => Some(FaultKind::Slowloris),
+            FaultAction::Truncate { .. } => Some(FaultKind::Truncate),
+        }
+    }
+}
+
+/// One proxied connection's entry in the fault log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Zero-based index of the connection in accept order.
+    pub conn_index: u64,
+    /// The action injected (possibly [`FaultAction::Clean`]).
+    pub action: FaultAction,
+}
+
+/// Configuration for a [`ChaosProxy`]'s deterministic fault schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosNetConfig {
+    /// Master seed; connection *i* uses
+    /// [`ChaosRng::substream`]`(seed, i)`.
+    pub seed: u64,
+    /// Probability, in parts per thousand, that a connection is
+    /// faulted at all (0 = pure relay, 1000 = every connection).
+    pub fault_permille: u32,
+    /// Upper bound for [`FaultAction::Latency`] delays.
+    pub max_latency_ms: u64,
+    /// Tick length for [`FaultAction::Slowloris`] drips.
+    pub slow_tick_ms: u64,
+    /// Maximum bytes dripped by a slowloris connection.
+    pub slow_max_bytes: u64,
+    /// Fault kinds eligible for injection. Empty disables all faults.
+    pub kinds: Vec<FaultKind>,
+}
+
+impl Default for ChaosNetConfig {
+    fn default() -> Self {
+        ChaosNetConfig {
+            seed: 0xc405,
+            fault_permille: 200,
+            max_latency_ms: 40,
+            slow_tick_ms: 20,
+            slow_max_bytes: 16,
+            kinds: FaultKind::ALL.to_vec(),
+        }
+    }
+}
+
+impl ChaosNetConfig {
+    /// The action connection `conn_index` will suffer. Pure function of
+    /// `(self, conn_index)` — this *is* the replayable fault schedule,
+    /// usable offline to predict or explain a run.
+    pub fn action_for(&self, conn_index: u64) -> FaultAction {
+        let mut rng = ChaosRng::substream(self.seed, conn_index);
+        if self.kinds.is_empty() || rng.below_u64(1000) >= u64::from(self.fault_permille) {
+            return FaultAction::Clean;
+        }
+        let pick = rng.below_u64(self.kinds.len() as u64) as usize;
+        let kind = self
+            .kinds
+            .get(pick)
+            .copied()
+            .unwrap_or(FaultKind::Disconnect);
+        match kind {
+            FaultKind::Latency => FaultAction::Latency {
+                ms: 1 + rng.below_u64(self.max_latency_ms.max(1)),
+            },
+            // Headers occupy the first few dozen bytes of a request, so
+            // small offsets cut mid-header — the nastiest place.
+            FaultKind::Disconnect => FaultAction::Disconnect {
+                after_bytes: rng.below_u64(48),
+            },
+            FaultKind::TornWrite => FaultAction::TornWrite {
+                at_byte: 8 + rng.below_u64(56),
+            },
+            FaultKind::Slowloris => FaultAction::Slowloris {
+                tick_ms: self.slow_tick_ms,
+                slow_bytes: 1 + rng.below_u64(self.slow_max_bytes.max(1)),
+            },
+            FaultKind::Truncate => FaultAction::Truncate {
+                response_bytes: rng.below_u64(24),
+            },
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How long a relay pump waits without a single byte in either
+/// direction before declaring the connection dead. Generous enough for
+/// a scheduling request; short enough that pumps never linger.
+const PUMP_IDLE: Duration = Duration::from_secs(20);
+
+/// Poll interval for relay reads — also the latency with which pumps
+/// notice a proxy shutdown.
+const PUMP_TICK: Duration = Duration::from_millis(100);
+
+struct ProxyShared {
+    upstream: Mutex<SocketAddr>,
+    log: Mutex<Vec<FaultRecord>>,
+    stop: AtomicBool,
+    relay_errors: AtomicU64,
+}
+
+/// A running fault-injecting proxy. Dropping it (or calling
+/// [`ChaosProxy::shutdown`]) stops the acceptor and joins every relay
+/// thread.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy on an ephemeral localhost port, relaying to
+    /// `upstream` under `config`'s fault schedule.
+    pub fn start(config: ChaosNetConfig, upstream: SocketAddr) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            upstream: Mutex::new(upstream),
+            log: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            relay_errors: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("chaosnet-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared, config))?;
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point the proxy at a new upstream (e.g. a restarted server).
+    /// Applies to connections accepted after the call; the fault
+    /// schedule keeps counting connections where it left off.
+    pub fn set_upstream(&self, upstream: SocketAddr) {
+        *lock(&self.shared.upstream) = upstream;
+    }
+
+    /// Snapshot of every connection handled so far, in accept order.
+    pub fn log(&self) -> Vec<FaultRecord> {
+        lock(&self.shared.log).clone()
+    }
+
+    /// Number of connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        lock(&self.shared.log).len() as u64
+    }
+
+    /// Count of relay-side I/O errors (excluding the faults the proxy
+    /// injected on purpose). Useful as a smoke signal in harnesses.
+    pub fn relay_errors(&self) -> u64 {
+        self.shared.relay_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, sever in-flight relays, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ProxyShared>, config: ChaosNetConfig) {
+    let mut conn_index: u64 = 0;
+    let mut relays: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let action = config.action_for(conn_index);
+        lock(&shared.log).push(FaultRecord { conn_index, action });
+        conn_index += 1;
+        let relay_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("chaosnet-relay-{conn_index}"))
+            .spawn(move || {
+                if let Err(_e) = relay(stream, action, &relay_shared) {
+                    relay_shared.relay_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+
+        match spawned {
+            Ok(handle) => relays.push(handle),
+            Err(_) => {
+                shared.relay_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Reap finished relays so a long soak doesn't accumulate
+        // thousands of joinable handles.
+        relays.retain(|h| !h.is_finished());
+    }
+    for handle in relays {
+        let _ = handle.join();
+    }
+}
+
+/// Relay one connection under `action`. Injected faults are the point,
+/// so fault-induced short-circuits return `Ok(())`; only unexpected
+/// I/O failures bubble as errors.
+fn relay(client: TcpStream, action: FaultAction, shared: &Arc<ProxyShared>) -> std::io::Result<()> {
+    if let FaultAction::Latency { ms } = action {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    let upstream_addr = *lock(&shared.upstream);
+    let upstream = match TcpStream::connect_timeout(&upstream_addr, Duration::from_secs(5)) {
+        Ok(s) => s,
+        Err(_) => {
+            // Upstream down (e.g. mid-SIGKILL): sever the client so it
+            // sees a clean connection failure, not a hang.
+            let _ = client.shutdown(Shutdown::Both);
+            return Ok(());
+        }
+    };
+    client.set_read_timeout(Some(PUMP_TICK))?;
+    upstream.set_read_timeout(Some(PUMP_TICK))?;
+
+    // Response pump (upstream -> client) runs concurrently so early
+    // server errors (ERR overload / malformed) reach the client even
+    // while the request is still being dripped.
+    let response_limit = match action {
+        FaultAction::Truncate { response_bytes } => Some(response_bytes),
+        _ => None,
+    };
+    let client_for_response = client.try_clone()?;
+    let upstream_for_response = upstream.try_clone()?;
+    let stop_flag = StopView(Arc::clone(shared));
+    let downstream = std::thread::Builder::new()
+        .name("chaosnet-response".to_string())
+        .spawn(move || {
+            pump(
+                upstream_for_response,
+                client_for_response,
+                response_limit,
+                None,
+                stop_flag,
+            )
+        })?;
+
+    // Request pump (client -> upstream) on this thread, applying the
+    // request-side fault.
+    let request_result = match action {
+        FaultAction::Clean | FaultAction::Latency { .. } | FaultAction::Truncate { .. } => pump(
+            client.try_clone()?,
+            upstream.try_clone()?,
+            None,
+            None,
+            StopView(Arc::clone(shared)),
+        ),
+        FaultAction::Disconnect { after_bytes } => {
+            let r = pump(
+                client.try_clone()?,
+                upstream.try_clone()?,
+                Some(after_bytes),
+                None,
+                StopView(Arc::clone(shared)),
+            );
+            // Sever both directions: the client must see the failure.
+            let _ = upstream.shutdown(Shutdown::Both);
+            let _ = client.shutdown(Shutdown::Both);
+            r
+        }
+        FaultAction::TornWrite { at_byte } => {
+            let r = pump(
+                client.try_clone()?,
+                upstream.try_clone()?,
+                Some(at_byte),
+                None,
+                StopView(Arc::clone(shared)),
+            );
+            // Half-close only: the server sees EOF mid-request and its
+            // ERR malformed response still flows back to the client.
+            let _ = upstream.shutdown(Shutdown::Write);
+            r
+        }
+        FaultAction::Slowloris {
+            tick_ms,
+            slow_bytes,
+        } => pump(
+            client.try_clone()?,
+            upstream.try_clone()?,
+            None,
+            Some(Drip {
+                tick: Duration::from_millis(tick_ms),
+                bytes: slow_bytes,
+            }),
+            StopView(Arc::clone(shared)),
+        ),
+    };
+    // Request side finished (EOF, fault, or error): half-close upstream
+    // so the server never waits on more request bytes.
+    let _ = upstream.shutdown(Shutdown::Write);
+    let pumped_response = downstream.join().unwrap_or(Ok(0))?;
+    if response_limit.is_some_and(|limit| pumped_response >= limit) {
+        // Truncation fired: sever the client so it sees EOF now.
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = upstream.shutdown(Shutdown::Both);
+    }
+    request_result?;
+    Ok(())
+}
+
+/// A clonable view of the proxy-wide stop flag for pump threads.
+struct StopView(Arc<ProxyShared>);
+
+impl StopView {
+    fn stopped(&self) -> bool {
+        self.0.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Byte-drip configuration for slowloris pumps.
+struct Drip {
+    tick: Duration,
+    bytes: u64,
+}
+
+/// Copy bytes `from` -> `to` until EOF, an optional byte `limit`, the
+/// proxy stops, or the connection idles past [`PUMP_IDLE`]. Returns the
+/// number of bytes forwarded.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    limit: Option<u64>,
+    drip: Option<Drip>,
+    stop: StopView,
+) -> std::io::Result<u64> {
+    let mut buf = [0u8; 4096];
+    let mut forwarded: u64 = 0;
+    let mut last_byte = Instant::now();
+    loop {
+        if stop.stopped() {
+            let _ = to.shutdown(Shutdown::Both);
+            return Ok(forwarded);
+        }
+        if let Some(limit) = limit {
+            if forwarded >= limit {
+                return Ok(forwarded);
+            }
+        }
+        let want = match limit {
+            Some(limit) => {
+                let left = (limit - forwarded).min(buf.len() as u64) as usize;
+                left.max(1)
+            }
+            None => buf.len(),
+        };
+        // `want` is clamped to the buffer length above, so the slice is
+        // always in bounds.
+        let n = match from.read(&mut buf[..want]) {
+            Ok(0) => return Ok(forwarded),
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_byte.elapsed() > PUMP_IDLE {
+                    let _ = to.shutdown(Shutdown::Both);
+                    return Ok(forwarded);
+                }
+                continue;
+            }
+            // The peer was severed (often by our own fault on the
+            // other pump): treat as EOF, not an error.
+            Err(_) => return Ok(forwarded),
+        };
+        last_byte = Instant::now();
+        let chunk = &buf[..n];
+        let dripping = drip
+            .as_ref()
+            .is_some_and(|d| forwarded < d.bytes && !d.tick.is_zero());
+        if dripping {
+            for byte in chunk {
+                if stop.stopped() {
+                    let _ = to.shutdown(Shutdown::Both);
+                    return Ok(forwarded);
+                }
+                if to.write_all(std::slice::from_ref(byte)).is_err() {
+                    return Ok(forwarded);
+                }
+                let _ = to.flush();
+                forwarded += 1;
+                let still_dripping = drip.as_ref().is_some_and(|d| forwarded < d.bytes);
+                if let Some(d) = drip.as_ref() {
+                    if still_dripping || forwarded == d.bytes {
+                        std::thread::sleep(d.tick);
+                    }
+                }
+            }
+        } else {
+            if to.write_all(chunk).is_err() {
+                return Ok(forwarded);
+            }
+            forwarded += n as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_index() {
+        let config = ChaosNetConfig::default();
+        for i in 0..64 {
+            assert_eq!(config.action_for(i), config.action_for(i));
+        }
+        let other = ChaosNetConfig {
+            seed: config.seed + 1,
+            ..ChaosNetConfig::default()
+        };
+        let same: Vec<FaultAction> = (0..64).map(|i| config.action_for(i)).collect();
+        let diff: Vec<FaultAction> = (0..64).map(|i| other.action_for(i)).collect();
+        assert_ne!(same, diff, "different seeds must yield different schedules");
+    }
+
+    #[test]
+    fn fault_rate_tracks_permille() {
+        let config = ChaosNetConfig {
+            fault_permille: 200,
+            ..ChaosNetConfig::default()
+        };
+        let faulted = (0..1000)
+            .filter(|&i| config.action_for(i) != FaultAction::Clean)
+            .count();
+        assert!(
+            (100..=300).contains(&faulted),
+            "~20% of 1000 connections should fault, got {faulted}"
+        );
+        let none = ChaosNetConfig {
+            fault_permille: 0,
+            ..ChaosNetConfig::default()
+        };
+        assert!((0..1000).all(|i| none.action_for(i) == FaultAction::Clean));
+        let empty = ChaosNetConfig {
+            kinds: Vec::new(),
+            fault_permille: 1000,
+            ..ChaosNetConfig::default()
+        };
+        assert!((0..100).all(|i| empty.action_for(i) == FaultAction::Clean));
+    }
+
+    #[test]
+    fn restricted_kinds_only_produce_those_kinds() {
+        let config = ChaosNetConfig {
+            fault_permille: 1000,
+            kinds: vec![FaultKind::Slowloris],
+            ..ChaosNetConfig::default()
+        };
+        for i in 0..100 {
+            assert_eq!(config.action_for(i).kind(), Some(FaultKind::Slowloris));
+        }
+    }
+
+    #[test]
+    fn fault_kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("bogus"), None);
+    }
+}

@@ -17,9 +17,14 @@
 //!   the `explore` binary runs the design-space search;
 //! - [`serve`] turns the scheduler into a hardened long-running service:
 //!   bounded admission with typed load shedding, per-request deadlines
-//!   with graceful degradation, and a crash-consistent checksummed
-//!   schedule cache that quarantines corrupt entries (the `serve`
-//!   binary hosts it).
+//!   with graceful degradation, slowloris read-phase budgets, journal
+//!   compaction with a disk-full serve-from-memory latch, and a
+//!   crash-consistent checksummed schedule cache that quarantines
+//!   corrupt entries (the `serve` binary hosts it);
+//! - [`chaosnet`] is a deterministic fault-injecting TCP proxy (seeded
+//!   disconnects, torn writes, slowloris drips, response truncation,
+//!   latency) used by the `soak` binary to hammer the service through a
+//!   hostile network and assert its invariants survive.
 
 #![warn(missing_docs)]
 // The evaluation harness reports typed failures per cell; outside of test
@@ -32,6 +37,7 @@
 
 pub mod bench;
 pub mod campaign;
+pub mod chaosnet;
 pub mod costs;
 pub mod explore;
 pub mod grid;
@@ -47,10 +53,12 @@ pub use campaign::{
     campaign_json, cell_key, config_fingerprint, grid_from_records, run_campaign,
     run_campaign_jobs, CampaignError, CampaignResult, CellRecord, CellStatus, Journal,
 };
+pub use chaosnet::{ChaosNetConfig, ChaosProxy, FaultAction, FaultKind, FaultRecord};
 pub use explore::{explore, pareto, CandidateReport, ExploreConfig, ExploreReport, Origin, Score};
 pub use grid::{run_grid, Grid, GridError};
 pub use pool::{run_indexed, Rejected, Service};
 pub use serve::{
-    cache_key, client_raw, client_request, client_stats, kernel_hash, CacheEntry, CacheLoadReport,
-    ScheduleCache, ServeConfig, ServeError, ServeStats, Server,
+    cache_key, client_raw, client_request, client_request_retry, client_stats, kernel_hash,
+    response_complete, response_retryable, CacheEntry, CacheLoadReport, CompactionPolicy,
+    RetryConfig, RetryReport, ScheduleCache, ServeConfig, ServeError, ServeStats, Server,
 };

@@ -39,6 +39,34 @@
 //!   `kill -9` mid-request loses only the requests in flight: a
 //!   restarted server answers every previously cached key byte-for-byte
 //!   identically.
+//! - **Slowloris defense.** The whole request-read runs under one
+//!   per-phase wall deadline ([`ServeConfig::read_phase_ms`]): header
+//!   lines and body chunks are read piecewise with the deadline checked
+//!   and the socket timeout re-armed between reads, so a client
+//!   dripping one byte per tick is cut off with `ERR malformed` when
+//!   the phase budget expires — a per-call socket timeout alone can
+//!   never fire against such a client.
+//! - **Journal compaction.** When the journal grows past
+//!   [`CompactionPolicy`] thresholds it is rewritten last-record-wins
+//!   into a temp file and atomically renamed over the original;
+//!   over-cap caches evict their oldest-inserted entries first.
+//!   Compaction physically drops quarantined lines, so a heal is
+//!   complete the moment a compaction lands. `compactions`,
+//!   `evicted_entries`, `journal_bytes`, and `degraded_writes` are all
+//!   surfaced in `STATS`.
+//! - **Degraded serve-from-memory.** When the disk fills (`ENOSPC`)
+//!   mid-journal-append, the cache latches into a degraded mode
+//!   (mirroring `JsonlWriterSink`): scheduling and serving continue
+//!   from memory, writes stop, and the latch is visible in `STATS` as
+//!   `write_degraded` — the service degrades to non-persistent instead
+//!   of dying.
+//! - **Client-side retries.** [`client_request_retry`] classifies
+//!   responses ([`response_complete`]/[`response_retryable`]) and
+//!   retries transient failures under a seeded full-jitter exponential
+//!   backoff ([`RetryConfig`]), returning a [`RetryReport`] of every
+//!   attempt. Retries are idempotent by construction: the server
+//!   journals before responding, so a retried key at worst hits the
+//!   cache.
 //!
 //! ## Wire protocol
 //!
@@ -145,9 +173,16 @@ pub struct ServeConfig {
     /// Server-wide wall-clock deadline per request, in milliseconds
     /// (`None` = placement-attempt budget only).
     pub wall_ms: Option<u64>,
-    /// Socket read/write timeout — a stalled client cannot pin a worker
-    /// longer than this.
+    /// Socket read/write timeout per *call* — a stalled client cannot
+    /// pin a worker in one blocking read longer than this.
     pub io_timeout: Duration,
+    /// Wall budget for reading one *whole* request (headers and bodies
+    /// together). A per-call timeout alone cannot stop a slowloris
+    /// client dripping one byte per tick — every individual read
+    /// succeeds — so the read phase also carries this total deadline,
+    /// checked between reads, with the remaining time re-armed as the
+    /// socket timeout so the worker is freed within the budget.
+    pub read_phase_ms: u64,
     /// Maximum bytes accepted for one kernel or machine body.
     pub max_request_bytes: usize,
     /// Persistent cache journal path (`None` = in-memory cache only).
@@ -155,6 +190,8 @@ pub struct ServeConfig {
     /// `fsync` each cache append (survives power loss, not just
     /// `kill -9`).
     pub durable: bool,
+    /// Journal compaction thresholds (see [`CompactionPolicy`]).
+    pub compaction: CompactionPolicy,
     /// Scheduler configuration every request runs under (part of the
     /// cache key).
     pub scheduler: SchedulerConfig,
@@ -169,10 +206,43 @@ impl Default for ServeConfig {
             max_step_limit: 1 << 22,
             wall_ms: None,
             io_timeout: Duration::from_millis(5_000),
+            read_phase_ms: 10_000,
             max_request_bytes: 1 << 20,
             cache_path: None,
             durable: false,
+            compaction: CompactionPolicy::default(),
             scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// When and how far the schedule-cache journal is compacted.
+///
+/// An append-only journal grows without bound: every re-scheduled key,
+/// every quarantine heal, and every corrupt line stays on disk forever.
+/// Compaction rewrites the journal *last-record-wins* — one checksummed
+/// line per live entry — into a temp file that is atomically renamed
+/// over the journal, so a crash at any instant leaves either the old or
+/// the new journal, never a mix. Corrupt lines and superseded records
+/// are dropped by construction; quarantined keys simply vanish (their
+/// payload was never trustworthy) and miss until re-scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact when the journal exceeds this many bytes *and* holds at
+    /// least one dead line (a rewrite that cannot shrink is pointless).
+    pub max_journal_bytes: u64,
+    /// Hard cap on live cache entries. When an insert pushes the map
+    /// past this, compaction also *evicts* the oldest-inserted entries
+    /// down to 3/4 of the cap (the slack stops a full cache from
+    /// rewriting the journal on every insert).
+    pub max_entries: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_journal_bytes: 1 << 22,
+            max_entries: 1 << 16,
         }
     }
 }
@@ -283,20 +353,39 @@ pub struct CacheLoadReport {
 
 /// The content-addressed schedule cache: an in-memory map backed by a
 /// checksummed, append-only journal (reusing the campaign
-/// [`Journal`]'s open/repair/flush machinery).
+/// [`Journal`]'s open/repair/flush machinery), compacted last-record-wins
+/// when the journal outgrows its [`CompactionPolicy`], and latched into a
+/// degraded serve-from-memory mode when the disk fills (mirroring
+/// [`csched_core::trace::JsonlWriterSink`]'s ENOSPC latch: the first full
+/// disk stops all journaling instead of hammering the device on every
+/// request).
 #[derive(Debug)]
 pub struct ScheduleCache {
     map: HashMap<u64, CacheEntry>,
     /// Keys whose newest journal line failed its checksum: known to
     /// exist but untrusted, so they miss until re-scheduled.
     quarantined: HashSet<u64>,
+    /// Insertion sequence per key — the eviction order (oldest first).
+    touch: HashMap<u64, u64>,
+    next_seq: u64,
     journal: Option<Journal>,
+    policy: CompactionPolicy,
     corrupt_lines: usize,
     repaired_bytes: u64,
+    /// Journal size tracking for the byte-threshold compaction trigger.
+    journal_bytes: u64,
+    journal_lines: u64,
+    /// Monotonic counters surfaced through `STATS`.
+    compactions: u64,
+    evicted_entries: u64,
+    degraded_writes: u64,
+    /// Latched on the first ENOSPC: all further inserts stay in memory.
+    degraded: bool,
 }
 
 impl ScheduleCache {
-    /// Opens (or creates) the cache. Corrupt entries are quarantined and
+    /// Opens (or creates) the cache with the default
+    /// [`CompactionPolicy`]. Corrupt entries are quarantined and
     /// reported, never fatal: a served cache heals by re-scheduling.
     ///
     /// # Errors
@@ -307,34 +396,71 @@ impl ScheduleCache {
         path: Option<&Path>,
         durable: bool,
     ) -> Result<(ScheduleCache, CacheLoadReport), CampaignError> {
+        Self::open_with(path, durable, CompactionPolicy::default())
+    }
+
+    /// [`open`](Self::open) with an explicit compaction policy.
+    ///
+    /// # Errors
+    ///
+    /// Only journal I/O ([`CampaignError::Io`] /
+    /// [`CampaignError::Unwritable`]); corruption is *not* an error.
+    pub fn open_with(
+        path: Option<&Path>,
+        durable: bool,
+        policy: CompactionPolicy,
+    ) -> Result<(ScheduleCache, CacheLoadReport), CampaignError> {
         let mut cache = ScheduleCache {
             map: HashMap::new(),
             quarantined: HashSet::new(),
+            touch: HashMap::new(),
+            next_seq: 0,
             journal: None,
+            policy,
             corrupt_lines: 0,
             repaired_bytes: 0,
+            journal_bytes: 0,
+            journal_lines: 0,
+            compactions: 0,
+            evicted_entries: 0,
+            degraded_writes: 0,
+            degraded: false,
         };
         let Some(path) = path else {
             return Ok((cache, CacheLoadReport::default()));
         };
         if path.exists() {
-            let text = std::fs::read_to_string(path).map_err(|source| CampaignError::Io {
+            // Read raw bytes, not a String: a single non-UTF-8 byte
+            // (disk corruption) must cost one quarantined line, never
+            // the whole cache.
+            let bytes = std::fs::read(path).map_err(|source| CampaignError::Io {
                 path: path.to_path_buf(),
                 operation: "read",
                 source,
             })?;
-            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            let ends_with_newline = bytes.last() == Some(&b'\n');
+            let lines: Vec<std::borrow::Cow<'_, str>> = bytes
+                .split(|b| *b == b'\n')
+                .map(String::from_utf8_lossy)
+                .filter(|l| !l.trim().is_empty())
+                .collect();
             for (idx, line) in lines.iter().enumerate() {
+                let line = line.strip_suffix('\r').unwrap_or(line);
+                cache.journal_lines += 1;
                 match CacheEntry::parse_line(line) {
                     Some((key, entry)) => {
                         // Last record wins: a re-journaled entry lifts an
                         // earlier quarantine of the same key.
                         cache.map.insert(key, entry);
                         cache.quarantined.remove(&key);
+                        let seq = cache.next_seq;
+                        cache.next_seq += 1;
+                        cache.touch.insert(key, seq);
                     }
-                    None if idx == lines.len() - 1 && !text.ends_with('\n') => {
+                    None if idx == lines.len() - 1 && !ends_with_newline => {
                         // Torn tail: the crash arrived mid-append; the
                         // journal open below truncates it away.
+                        cache.journal_lines -= 1;
                     }
                     None => {
                         cache.corrupt_lines += 1;
@@ -342,6 +468,7 @@ impl ScheduleCache {
                         // the bit-flipped payload is never served.
                         if let Some(key) = json_num_field(line, "key") {
                             cache.map.remove(&key);
+                            cache.touch.remove(&key);
                             cache.quarantined.insert(key);
                         }
                     }
@@ -355,6 +482,7 @@ impl ScheduleCache {
         };
         journal.set_durable(durable);
         cache.repaired_bytes = journal.repaired_bytes();
+        cache.journal_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         cache.journal = Some(journal);
         let report = CacheLoadReport {
             entries: cache.map.len(),
@@ -381,14 +509,192 @@ impl ScheduleCache {
 
     /// Inserts and journals an entry (journaled *before* it is visible,
     /// so a response is only ever sent for a durably recorded entry).
-    /// Re-inserting a quarantined key lifts the quarantine.
+    /// Re-inserting a quarantined key lifts the quarantine. May trigger
+    /// a [compaction](CompactionPolicy) afterwards.
+    ///
+    /// A full disk (ENOSPC) does **not** fail the insert: the cache
+    /// latches into degraded serve-from-memory mode — the entry lands in
+    /// the map, `degraded_writes` counts it, and no further journal
+    /// writes are attempted until the process restarts. Losing
+    /// crash-durability beats refusing to serve.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on journal failures other than a full disk.
     pub fn insert(&mut self, key: u64, entry: CacheEntry) -> Result<(), CampaignError> {
-        if let Some(journal) = self.journal.as_mut() {
-            journal.append_line(&entry.to_line(key))?;
+        if self.journal.is_some() {
+            if self.degraded {
+                self.degraded_writes += 1;
+            } else {
+                let line = entry.to_line(key);
+                // Borrow the journal only for the append so the latch
+                // path below can mutate the rest of the cache.
+                let appended = match self.journal.as_mut() {
+                    Some(journal) => journal.append_line(&line),
+                    None => Ok(()),
+                };
+                match appended {
+                    Ok(()) => {
+                        self.journal_bytes += line.len() as u64 + 1;
+                        self.journal_lines += 1;
+                    }
+                    Err(e) if is_disk_full(&e) => {
+                        self.degraded = true;
+                        self.degraded_writes += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
         }
         self.quarantined.remove(&key);
         self.map.insert(key, entry);
-        Ok(())
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.touch.insert(key, seq);
+        self.maybe_compact()
+    }
+
+    /// Whether the journal currently deserves a compaction pass.
+    fn wants_compaction(&self) -> bool {
+        if self.journal.is_none() || self.degraded {
+            return false;
+        }
+        let over_cap = self.map.len() > self.policy.max_entries;
+        // The byte trigger only fires when a rewrite can actually
+        // shrink the file (dead lines exist: superseded or corrupt).
+        let oversized = self.journal_bytes > self.policy.max_journal_bytes
+            && self.journal_lines > self.map.len() as u64;
+        over_cap || oversized
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), CampaignError> {
+        if self.wants_compaction() {
+            self.compact()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Rewrites the journal last-record-wins (evicting down to the entry
+    /// cap first): live entries stream into `<path>.compact`, the temp
+    /// file is fsynced and atomically renamed over the journal, and the
+    /// journal handle is reopened on the new file. A crash anywhere in
+    /// between leaves either the complete old journal or the complete
+    /// new one.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on temp-file/rename failures — except a
+    /// full disk, which latches degraded mode (the old journal stays in
+    /// place and serving continues from memory).
+    pub fn compact(&mut self) -> Result<(), CampaignError> {
+        let Some(journal) = self.journal.take() else {
+            return Ok(());
+        };
+        let path = journal.path().to_path_buf();
+        let durable = journal.is_durable();
+        drop(journal); // close the append handle before the rename dance
+
+        // Evict oldest-inserted entries down to 3/4 of the cap.
+        if self.map.len() > self.policy.max_entries {
+            let target = (self.policy.max_entries - self.policy.max_entries / 4).max(1);
+            let mut order: Vec<(u64, u64)> = self
+                .map
+                .keys()
+                .map(|&k| (self.touch.get(&k).copied().unwrap_or(0), k))
+                .collect();
+            order.sort_unstable();
+            let doomed = self.map.len().saturating_sub(target);
+            for &(_, key) in order.iter().take(doomed) {
+                self.map.remove(&key);
+                self.touch.remove(&key);
+                self.evicted_entries += 1;
+            }
+        }
+
+        let mut failure = None;
+        let mut rewrote = false;
+        match self.write_compacted(&path, durable) {
+            Ok(()) => {
+                // The corrupt lines are gone from disk, so their keys no
+                // longer need an in-memory quarantine: a missing key
+                // misses exactly like a quarantined one.
+                self.quarantined.clear();
+                self.compactions += 1;
+                rewrote = true;
+            }
+            Err(e) if is_disk_full(&e) => {
+                // No room for the rewrite: keep serving from memory with
+                // the old journal file intact on disk.
+                self.degraded = true;
+            }
+            Err(e) => failure = Some(e),
+        }
+        // Always reopen the journal (the compacted file on success, the
+        // untouched original otherwise) so the cache keeps journaling
+        // even when this pass failed.
+        let reopened = if durable {
+            Journal::open_durable(&path)
+        } else {
+            Journal::open(&path)
+        };
+        match reopened {
+            Ok(j) => {
+                self.journal_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                if rewrote {
+                    self.journal_lines = self.map.len() as u64;
+                }
+                self.journal = Some(j);
+            }
+            Err(e) if is_disk_full(&e) => {
+                self.degraded = true;
+            }
+            Err(e) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Streams the live entries (in insertion order) into a temp file and
+    /// atomically renames it over `path`.
+    fn write_compacted(&self, path: &Path, durable: bool) -> Result<(), CampaignError> {
+        use std::io::Write as _;
+        let io = |operation: &'static str| {
+            let path = path.to_path_buf();
+            move |source| CampaignError::Io {
+                path,
+                operation,
+                source,
+            }
+        };
+        let tmp = path.with_extension("compact");
+        {
+            let file = std::fs::File::create(&tmp).map_err(io("create temp"))?;
+            let mut writer = std::io::BufWriter::new(file);
+            let mut order: Vec<(u64, u64)> = self
+                .map
+                .keys()
+                .map(|&k| (self.touch.get(&k).copied().unwrap_or(0), k))
+                .collect();
+            order.sort_unstable();
+            for &(_, key) in &order {
+                if let Some(entry) = self.map.get(&key) {
+                    writeln!(writer, "{}", entry.to_line(key)).map_err(io("write temp"))?;
+                }
+            }
+            writer.flush().map_err(io("flush temp"))?;
+            // Sync before the rename regardless of durable mode: the
+            // rename must never become visible ahead of the data.
+            writer.get_ref().sync_data().map_err(io("sync temp"))?;
+            let _ = durable; // durability of appends is re-armed on reopen
+        }
+        std::fs::rename(&tmp, path).map_err(io("rename"))
     }
 
     /// Cached entries currently servable.
@@ -405,6 +711,60 @@ impl ScheduleCache {
     /// re-scheduling).
     pub fn quarantined(&self) -> usize {
         self.quarantined.len()
+    }
+
+    /// Compactions performed since open.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Entries evicted (oldest-inserted first) by over-cap compactions.
+    pub fn evicted_entries(&self) -> u64 {
+        self.evicted_entries
+    }
+
+    /// Current journal size in bytes (0 for an in-memory cache).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes
+    }
+
+    /// Current journal line count, dead lines included.
+    pub fn journal_lines(&self) -> u64 {
+        self.journal_lines
+    }
+
+    /// Inserts that could not be journaled because the cache is latched
+    /// in degraded (full-disk) mode.
+    pub fn degraded_writes(&self) -> u64 {
+        self.degraded_writes
+    }
+
+    /// Whether the ENOSPC latch has tripped (serving from memory only).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Test hook: trips the full-disk latch as if an append had just
+    /// returned ENOSPC. Public (not `cfg(test)`) so integration tests
+    /// and the soak harness can exercise degraded mode without an
+    /// actual full device.
+    pub fn latch_degraded_for_test(&mut self) {
+        self.degraded = true;
+    }
+}
+
+/// Whether a journal failure means the disk is full (ENOSPC or quota) —
+/// the one I/O error class the cache degrades through instead of
+/// propagating, mirroring `JsonlWriterSink`'s latch.
+fn is_disk_full(e: &CampaignError) -> bool {
+    match e {
+        CampaignError::Io { source, .. } => {
+            matches!(
+                source.kind(),
+                std::io::ErrorKind::StorageFull | std::io::ErrorKind::QuotaExceeded
+            ) || source.raw_os_error() == Some(28) // ENOSPC
+        }
+        _ => false,
     }
 }
 
@@ -433,6 +793,11 @@ pub struct ServeStats {
     pub degraded: AtomicU64,
     /// Internal failures (cache I/O, invariant breaks).
     pub internal_errors: AtomicU64,
+    /// Connections closed because their socket read/write timeouts could
+    /// not be armed — serving without a deadline would hand a hostile
+    /// client an unbounded worker, so the connection is dropped and the
+    /// failure counted instead of silently ignored.
+    pub timeout_config_failures: AtomicU64,
 }
 
 struct ServerState {
@@ -447,21 +812,30 @@ impl ServerState {
     /// One deterministic JSON line of counters and cache state.
     fn stats_json(&self) -> String {
         let s = &self.stats;
-        let (entries, quarantined, corrupt, repaired) = match self.cache.lock() {
-            Ok(cache) => (
+        let cache_json = match self.cache.lock() {
+            Ok(cache) => format!(
+                "{{\"entries\":{},\"quarantined\":{},\"corrupt_lines\":{},\
+                 \"repaired_bytes\":{},\"compactions\":{},\"evicted_entries\":{},\
+                 \"journal_bytes\":{},\"journal_lines\":{},\"degraded_writes\":{},\
+                 \"write_degraded\":{}}}",
                 cache.len(),
                 cache.quarantined(),
                 cache.corrupt_lines,
                 cache.repaired_bytes,
+                cache.compactions(),
+                cache.evicted_entries(),
+                cache.journal_bytes(),
+                cache.journal_lines(),
+                cache.degraded_writes(),
+                u8::from(cache.is_degraded()),
             ),
-            Err(_) => (0, 0, 0, 0),
+            Err(_) => "{}".to_string(),
         };
         format!(
             "{{\"serve\":{{\"requests\":{},\"ok\":{},\"hits\":{},\"misses\":{},\"shed\":{},\
              \"malformed\":{},\"deadline\":{},\"sched_errors\":{},\"degraded\":{},\
-             \"internal_errors\":{},\"cache\":{{\"entries\":{entries},\
-             \"quarantined\":{quarantined},\"corrupt_lines\":{corrupt},\
-             \"repaired_bytes\":{repaired}}}}}}}",
+             \"internal_errors\":{},\"timeout_config_failures\":{},\
+             \"cache\":{cache_json}}}}}",
             s.requests.load(Ordering::Relaxed),
             s.ok.load(Ordering::Relaxed),
             s.hits.load(Ordering::Relaxed),
@@ -472,6 +846,7 @@ impl ServerState {
             s.sched_errors.load(Ordering::Relaxed),
             s.degraded.load(Ordering::Relaxed),
             s.internal_errors.load(Ordering::Relaxed),
+            s.timeout_config_failures.load(Ordering::Relaxed),
         )
     }
 }
@@ -515,9 +890,12 @@ impl Server {
             addr: "<unbound listener>".to_string(),
             source,
         })?;
-        let (cache, load_report) =
-            ScheduleCache::open(config.cache_path.as_deref(), config.durable)
-                .map_err(ServeError::Cache)?;
+        let (cache, load_report) = ScheduleCache::open_with(
+            config.cache_path.as_deref(),
+            config.durable,
+            config.compaction,
+        )
+        .map_err(ServeError::Cache)?;
         let config_fp = config_fingerprint(&config.scheduler, 0);
         let state = Arc::new(ServerState {
             config,
@@ -545,7 +923,17 @@ impl Server {
                     break; // the shutdown self-connection
                 }
                 accept_state.stats.requests.fetch_add(1, Ordering::Relaxed);
-                configure_stream(&stream, accept_state.config.io_timeout);
+                if configure_stream(&stream, accept_state.config.io_timeout).is_err() {
+                    // A connection without I/O deadlines is a connection
+                    // that can pin a worker forever: close it and count
+                    // the failure rather than serving unprotected.
+                    accept_state
+                        .stats
+                        .timeout_config_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    drop(stream);
+                    continue;
+                }
                 if let Err(Rejected(stream)) = pool.try_submit(stream) {
                     // Admission queue full: shed with a typed response.
                     // A short detached thread writes it, half-closes, and
@@ -612,22 +1000,88 @@ impl Drop for Server {
     }
 }
 
-fn configure_stream(stream: &TcpStream, timeout: Duration) {
-    // A failure to arm a timeout is not fatal — the budget and watchdog
-    // still bound the request — so errors are deliberately ignored.
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
+/// Arms socket timeouts. A connection whose deadlines cannot be armed
+/// must not be served (a stalled peer would pin a worker forever), so
+/// the failure is returned for the caller to count and close on —
+/// never silently swallowed. `set_nodelay` stays advisory: losing Nagle
+/// batching costs latency, not safety.
+fn configure_stream(stream: &TcpStream, timeout: Duration) -> Result<(), std::io::Error> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let _ = stream.set_nodelay(true);
+    Ok(())
+}
+
+/// The wall budget for one whole request-read phase.
+///
+/// The per-call socket timeout bounds each individual `read`, but a
+/// slowloris client defeats it by dripping one byte per tick: every read
+/// succeeds, the phase never ends. `ReadPhase` closes that hole — it is
+/// checked between reads ([`tick`](Self::tick)), fails the phase once
+/// the total deadline passes, and re-arms the socket read timeout to the
+/// remaining time so even the final blocking read cannot overshoot.
+struct ReadPhase<'a> {
+    stream: Option<&'a TcpStream>,
+    deadline: Option<Instant>,
+    io_timeout: Duration,
+}
+
+impl ReadPhase<'_> {
+    /// A phase bound to a live socket.
+    fn bounded(stream: &TcpStream, budget: Duration, io_timeout: Duration) -> ReadPhase<'_> {
+        ReadPhase {
+            stream: Some(stream),
+            deadline: Some(Instant::now() + budget),
+            io_timeout,
+        }
+    }
+
+    /// No deadline at all — for unit tests over in-memory readers.
+    #[cfg(test)]
+    fn unbounded() -> ReadPhase<'static> {
+        ReadPhase {
+            stream: None,
+            deadline: None,
+            io_timeout: Duration::from_secs(0),
+        }
+    }
+
+    /// Charges one inter-read check: fails once the phase deadline has
+    /// passed, and otherwise shrinks the socket read timeout to
+    /// `min(io_timeout, remaining)` so the next blocking read cannot
+    /// sleep past the phase end.
+    fn tick(&self) -> Result<(), std::io::Error> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "read phase deadline exceeded (slow client)",
+            ));
+        }
+        if let Some(stream) = self.stream {
+            let remaining = (deadline - now)
+                .min(self.io_timeout)
+                .max(Duration::from_millis(1));
+            stream.set_read_timeout(Some(remaining))?;
+        }
+        Ok(())
+    }
 }
 
 /// Reads one `\n`-terminated header line of at most `max` bytes.
-/// Returns `Ok(None)` at EOF before any byte.
+/// Returns `Ok(None)` at EOF before any byte. A trailing `\r` (CRLF
+/// framing) is stripped, so `SCHED\r\n` parses like `SCHED\n`.
 fn read_header_line(
     reader: &mut impl BufRead,
     max: usize,
+    phase: &ReadPhase<'_>,
 ) -> Result<Option<String>, std::io::Error> {
     let mut line: Vec<u8> = Vec::new();
     loop {
+        phase.tick()?;
         let buf = reader.fill_buf()?;
         if buf.is_empty() {
             return if line.is_empty() {
@@ -653,6 +1107,9 @@ fn read_header_line(
                 "header line too long",
             ));
         }
+    }
+    if line.ends_with(b"\r") {
+        line.pop();
     }
     if line.len() > max {
         return Err(std::io::Error::new(
@@ -734,7 +1191,12 @@ fn handle_connection(state: &ServerState, stream: &TcpStream) {
 
 fn serve_one(state: &ServerState, stream: &TcpStream) -> Outcome {
     let mut reader = BufReader::new(stream);
-    let header = match read_header_line(&mut reader, 256) {
+    let phase = ReadPhase::bounded(
+        stream,
+        Duration::from_millis(state.config.read_phase_ms),
+        state.config.io_timeout,
+    );
+    let header = match read_header_line(&mut reader, 256, &phase) {
         Ok(Some(h)) => h,
         Ok(None) => {
             let _ = respond(stream, "ERR malformed empty request\n");
@@ -751,7 +1213,7 @@ fn serve_one(state: &ServerState, stream: &TcpStream) -> Outcome {
             let _ = respond(stream, &format!("{}\n", state.stats_json()));
             Outcome::Stats
         }
-        Some("SCHED") => serve_sched(state, &mut reader, stream, words),
+        Some("SCHED") => serve_sched(state, &mut reader, stream, words, &phase),
         Some(other) => {
             let _ = respond(
                 stream,
@@ -766,9 +1228,16 @@ fn serve_one(state: &ServerState, stream: &TcpStream) -> Outcome {
     }
 }
 
-/// Reads one `NAME <len>` section header plus its body.
-fn read_section(reader: &mut impl BufRead, name: &str, max: usize) -> Result<String, String> {
-    let header = match read_header_line(reader, 256) {
+/// Reads one `NAME <len>` section header plus its body. The body is
+/// read in bounded chunks with a phase-deadline check between chunks, so
+/// a client dripping a large body slowly cannot outlive the read phase.
+fn read_section(
+    reader: &mut impl BufRead,
+    name: &str,
+    max: usize,
+    phase: &ReadPhase<'_>,
+) -> Result<String, String> {
+    let header = match read_header_line(reader, 256, phase) {
         Ok(Some(h)) => h,
         Ok(None) => return Err(format!("missing {name} section")),
         Err(e) => return Err(format!("reading {name} header: {e}")),
@@ -790,9 +1259,17 @@ fn read_section(reader: &mut impl BufRead, name: &str, max: usize) -> Result<Str
         ));
     }
     let mut body = vec![0u8; len];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("reading {name} body: {e}"))?;
+    let mut off = 0usize;
+    while off < len {
+        phase
+            .tick()
+            .map_err(|e| format!("reading {name} body: {e}"))?;
+        let end = (off + 4096).min(len);
+        reader
+            .read_exact(&mut body[off..end])
+            .map_err(|e| format!("reading {name} body: {e}"))?;
+        off = end;
+    }
     String::from_utf8(body).map_err(|_| format!("{name} body is not UTF-8"))
 }
 
@@ -801,6 +1278,7 @@ fn serve_sched<'a>(
     reader: &mut impl BufRead,
     stream: &TcpStream,
     options: impl Iterator<Item = &'a str>,
+    phase: &ReadPhase<'_>,
 ) -> Outcome {
     // Request options.
     let mut limit = state.config.step_limit;
@@ -837,27 +1315,30 @@ fn serve_sched<'a>(
 
     // Bodies.
     let max = state.config.max_request_bytes;
-    let kernel_text = match read_section(reader, "KERNEL", max) {
+    let kernel_text = match read_section(reader, "KERNEL", max, phase) {
         Ok(t) => t,
         Err(detail) => {
             let _ = respond(stream, &format!("ERR malformed {}\n", one_line(&detail)));
             return Outcome::Malformed;
         }
     };
-    let arch_text = match read_section(reader, "ARCH", max) {
+    let arch_text = match read_section(reader, "ARCH", max, phase) {
         Ok(t) => t,
         Err(detail) => {
             let _ = respond(stream, &format!("ERR malformed {}\n", one_line(&detail)));
             return Outcome::Malformed;
         }
     };
-    match read_header_line(reader, 256) {
+    match read_header_line(reader, 256, phase) {
         Ok(Some(end)) if end.trim() == "END" => {}
         Ok(_) | Err(_) => {
             let _ = respond(stream, "ERR malformed missing END\n");
             return Outcome::Malformed;
         }
     }
+    // The request is fully read: restore the full per-call timeout for
+    // the (possibly much later) response write.
+    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
 
     // Parse both wire payloads with spanned errors.
     let kernel = match csched_ir::text::parse(&kernel_text) {
@@ -1023,7 +1504,7 @@ pub fn client_stats(addr: &str, timeout: Duration) -> Result<String, ServeError>
 pub fn client_raw(addr: &str, request: &[u8], timeout: Duration) -> Result<String, ServeError> {
     let io = |context: &'static str| move |source| ServeError::Io { context, source };
     let mut stream = TcpStream::connect(addr).map_err(io("connect"))?;
-    configure_stream(&stream, timeout);
+    configure_stream(&stream, timeout).map_err(io("arm socket timeouts"))?;
     stream.write_all(request).map_err(io("send request"))?;
     // Half-close so a server reading to EOF is never stuck on us.
     let _ = stream.shutdown(std::net::Shutdown::Write);
@@ -1032,6 +1513,155 @@ pub fn client_raw(addr: &str, request: &[u8], timeout: Duration) -> Result<Strin
         .read_to_string(&mut response)
         .map_err(io("read response"))?;
     Ok(response)
+}
+
+// ---------------------------------------------------------------------
+// Client-side resilience: seeded retry with exponential backoff.
+// ---------------------------------------------------------------------
+
+/// How a client retries a failed request. Retries are
+/// idempotent-by-construction: the server journals an entry *before*
+/// responding, and requests are content-addressed, so re-sending the
+/// same request can only hit the cache or recompute the identical
+/// deterministic answer — never double-apply anything.
+#[derive(Clone, Debug)]
+pub struct RetryConfig {
+    /// Retry budget: total attempts are `1 + retries`.
+    pub retries: u32,
+    /// Base backoff in milliseconds; attempt `n` waits
+    /// `backoff_ms * 2^n` plus a uniform jitter of the same magnitude
+    /// (capped at [`RetryConfig::MAX_BACKOFF_MS`]).
+    pub backoff_ms: u64,
+    /// Seed for the jitter stream — the same seed replays the same
+    /// backoff schedule.
+    pub seed: u64,
+}
+
+impl RetryConfig {
+    /// Cap on one backoff step, jitter included.
+    pub const MAX_BACKOFF_MS: u64 = 5_000;
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            retries: 4,
+            backoff_ms: 50,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// What a retried request cost: every attempt, every reason, all the
+/// waiting — the typed receipt for post-hoc analysis and the soak
+/// harness's invariants.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryReport {
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Milliseconds spent backing off between attempts.
+    pub total_backoff_ms: u64,
+    /// One reason per retried attempt, in order.
+    pub retried: Vec<String>,
+}
+
+/// Whether `response` is a *complete* wire response: one `ERR` line, or
+/// a `CACHE hit|miss` line followed by an `OK`/`ERR` line, all
+/// newline-terminated. A torn TCP stream (proxy truncation, server
+/// crash mid-write) fails this check and is therefore retryable.
+pub fn response_complete(response: &str) -> bool {
+    if !response.ends_with('\n') {
+        return false;
+    }
+    let mut lines = response.lines();
+    match lines.next() {
+        Some(first) if first.starts_with("ERR ") => true,
+        Some("CACHE hit") | Some("CACHE miss") => matches!(
+            lines.next(),
+            Some(second) if second.starts_with("OK ") || second.starts_with("ERR ")
+        ),
+        _ => false,
+    }
+}
+
+/// Whether a (complete or torn) response deserves a retry. Transient
+/// server states retry: `overload` (shed), `deadline` (contention), and
+/// torn/incomplete responses (the transport failed, not the request).
+/// `ERR malformed` also retries: the request the *caller* built is
+/// well-formed by construction, so a malformed verdict means the bytes
+/// were mangled in flight (exactly what a chaos proxy's torn writes
+/// do). Genuine scheduling failures (`sched`, `internal`) do not retry
+/// — the same deterministic answer would come back.
+pub fn response_retryable(response: &str) -> bool {
+    if !response_complete(response) {
+        return true;
+    }
+    let err_line = response
+        .lines()
+        .find(|l| l.starts_with("ERR "))
+        .unwrap_or("");
+    err_line.starts_with("ERR overload")
+        || err_line.starts_with("ERR deadline")
+        || err_line.starts_with("ERR malformed")
+}
+
+/// [`client_request`] with seeded exponential backoff: retries transport
+/// failures and transient server errors up to `retry.retries` times,
+/// returning the final result plus a [`RetryReport`] of what the
+/// resilience cost.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the final attempt still failed at the
+/// transport level (the report says how hard it tried).
+pub fn client_request_retry(
+    addr: &str,
+    kernel_text: &str,
+    arch_text: &str,
+    limit: Option<u64>,
+    wall_ms: Option<u64>,
+    timeout: Duration,
+    retry: &RetryConfig,
+) -> (Result<String, ServeError>, RetryReport) {
+    let mut rng = csched_core::faultinject::ChaosRng::new(retry.seed);
+    let mut report = RetryReport::default();
+    loop {
+        report.attempts += 1;
+        let outcome = client_request(addr, kernel_text, arch_text, limit, wall_ms, timeout);
+        let reason = match &outcome {
+            Ok(response) if !response_retryable(response) => {
+                return (outcome, report);
+            }
+            Ok(response) if !response_complete(response) => "torn response".to_string(),
+            Ok(response) => {
+                let err = response
+                    .lines()
+                    .find(|l| l.starts_with("ERR "))
+                    .unwrap_or("ERR");
+                one_line(err)
+            }
+            Err(e) => format!("io: {e}"),
+        };
+        if report.attempts > retry.retries {
+            return (outcome, report);
+        }
+        report.retried.push(reason);
+        // Exponential base with full jitter, capped: deterministic per
+        // seed, decorrelated across clients via distinct seeds.
+        let exp = report.attempts.saturating_sub(1).min(16);
+        let base = retry
+            .backoff_ms
+            .saturating_mul(1u64 << exp)
+            .min(RetryConfig::MAX_BACKOFF_MS);
+        let jitter = if base == 0 {
+            0
+        } else {
+            rng.below_u64(base + 1)
+        };
+        let wait = (base + jitter).min(RetryConfig::MAX_BACKOFF_MS);
+        report.total_backoff_ms += wait;
+        std::thread::sleep(Duration::from_millis(wait));
+    }
 }
 
 #[cfg(test)]
@@ -1152,6 +1782,290 @@ mod tests {
         // Full-quality entries serve any budget.
         cache.insert(6, entry(3)).unwrap();
         assert!(cache.lookup(6, u64::MAX).is_some());
+    }
+
+    // --- wire-framing edge cases (read_header_line / read_section) ---
+
+    use std::io::Cursor;
+
+    fn header(text: &str) -> Result<Option<String>, std::io::Error> {
+        read_header_line(
+            &mut Cursor::new(text.as_bytes()),
+            64,
+            &ReadPhase::unbounded(),
+        )
+    }
+
+    #[test]
+    fn header_line_handles_eof_crlf_and_oversize() {
+        // Clean LF line.
+        assert_eq!(header("SCHED\nrest").unwrap(), Some("SCHED".to_string()));
+        // CRLF framing parses identically to LF.
+        assert_eq!(header("SCHED\r\nrest").unwrap(), Some("SCHED".to_string()));
+        // EOF before any byte is a clean None…
+        assert_eq!(header("").unwrap(), None);
+        // …but EOF mid-line is a typed error, not a silent partial line.
+        let err = header("SCHED with no newline").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // A line exactly at the cap passes; one byte over fails.
+        let exactly = "x".repeat(64);
+        assert_eq!(header(&format!("{exactly}\n")).unwrap(), Some(exactly));
+        let over = "x".repeat(65);
+        let err = header(&format!("{over}\n")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    fn section(text: &str, max: usize) -> Result<String, String> {
+        read_section(
+            &mut Cursor::new(text.as_bytes()),
+            "KERNEL",
+            max,
+            &ReadPhase::unbounded(),
+        )
+    }
+
+    #[test]
+    fn section_reads_exact_bodies_and_rejects_liars() {
+        // Exact byte count round-trips, including newlines in the body.
+        assert_eq!(section("KERNEL 5\nab\ncd", 10).unwrap(), "ab\ncd");
+        // A body exactly at the cap is accepted…
+        assert_eq!(section("KERNEL 4\nwxyz", 4).unwrap(), "wxyz");
+        // …and one byte over the cap is rejected before any read.
+        let err = section("KERNEL 5\nwxyzq", 4).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        // A count larger than what the client sends hits EOF, typed.
+        let err = section("KERNEL 10\nabc", 64).unwrap_err();
+        assert!(err.contains("body"), "{err}");
+        // A count smaller than the real body silently swallows the
+        // excess into the next read — the *next* header then fails.
+        let mut cursor = Cursor::new(&b"KERNEL 3\nabcdef\nEND\n"[..]);
+        let body = read_section(&mut cursor, "KERNEL", 64, &ReadPhase::unbounded()).unwrap();
+        assert_eq!(body, "abc");
+        let next = read_header_line(&mut cursor, 64, &ReadPhase::unbounded())
+            .unwrap()
+            .unwrap();
+        assert_eq!(next, "def", "the lied-about bytes surface as garbage");
+        // Missing section header entirely.
+        let err = section("", 64).unwrap_err();
+        assert!(err.contains("missing KERNEL"), "{err}");
+        // Wrong section name.
+        let err = section("ARCH 3\nabc", 64).unwrap_err();
+        assert!(err.contains("expected KERNEL"), "{err}");
+        // No byte length.
+        let err = section("KERNEL\nabc", 64).unwrap_err();
+        assert!(err.contains("byte length"), "{err}");
+        // Non-UTF-8 body.
+        let mut raw = Cursor::new(&b"KERNEL 2\n\xff\xfe"[..]);
+        let err = read_section(&mut raw, "KERNEL", 64, &ReadPhase::unbounded()).unwrap_err();
+        assert!(err.contains("UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn expired_read_phase_fails_between_reads() {
+        let phase = ReadPhase {
+            stream: None,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            io_timeout: Duration::from_secs(1),
+        };
+        let err = read_header_line(&mut Cursor::new(&b"SCHED\n"[..]), 64, &phase).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        let err = read_section(
+            &mut Cursor::new(&b"KERNEL 3\nabc"[..]),
+            "KERNEL",
+            64,
+            &phase,
+        )
+        .unwrap_err();
+        assert!(err.contains("deadline"), "{err}");
+    }
+
+    // --- compaction and degraded-write mode ---
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("csched-serve-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn compaction_rewrites_last_record_wins_and_reload_matches() {
+        let path = tmp("compact");
+        let policy = CompactionPolicy {
+            max_journal_bytes: 1, // every dead line triggers
+            max_entries: 1 << 16,
+        };
+        let (mut cache, _) = ScheduleCache::open_with(Some(&path), false, policy).unwrap();
+        // Write each key several times: only the newest version may
+        // survive compaction.
+        for round in 0..3u32 {
+            for key in 0..4u64 {
+                cache.insert(key, entry(10 + round)).unwrap();
+            }
+        }
+        assert!(
+            cache.compactions() >= 1,
+            "dead lines must trigger compaction"
+        );
+        assert_eq!(cache.len(), 4);
+        let pre: Vec<Option<CacheEntry>> = (0..4).map(|k| cache.lookup(k, 1).cloned()).collect();
+        drop(cache);
+        // The on-disk journal now holds exactly the live entries…
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4, "compacted journal is minimal");
+        // …and reloads to the exact same entry set.
+        let (reloaded, report) = ScheduleCache::open_with(Some(&path), false, policy).unwrap();
+        assert_eq!(report.entries, 4);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.corrupt_lines, 0);
+        for (k, expect) in pre.iter().enumerate() {
+            assert_eq!(reloaded.lookup(k as u64, 1), expect.as_ref());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_corrupt_lines_and_clears_quarantine() {
+        let path = tmp("compact-heal");
+        {
+            let (mut cache, _) = ScheduleCache::open(Some(&path), false).unwrap();
+            cache.insert(1, entry(4)).unwrap();
+            cache.insert(2, entry(6)).unwrap();
+        }
+        // Bit-flip entry 1 on disk, reload: quarantined.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[0] = lines[0].replacen("\"ii\":4", "\"ii\":5", 1);
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let policy = CompactionPolicy {
+            max_journal_bytes: 1,
+            max_entries: 1 << 16,
+        };
+        let (mut cache, report) = ScheduleCache::open_with(Some(&path), false, policy).unwrap();
+        assert_eq!(report.quarantined, 1);
+        // The corrupt line is a dead line: the next insert compacts it
+        // away, and the quarantine clears with it (nothing corrupt is
+        // left on disk to mistrust).
+        cache.insert(3, entry(7)).unwrap();
+        assert!(cache.compactions() >= 1);
+        assert_eq!(cache.quarantined(), 0);
+        drop(cache);
+        let (_, report) = ScheduleCache::open_with(Some(&path), false, policy).unwrap();
+        assert_eq!(report.quarantined, 0, "no corrupt line survives compaction");
+        assert_eq!(report.corrupt_lines, 0);
+        assert_eq!(
+            report.entries, 2,
+            "key 1 is gone until re-scheduled; 2 and 3 live"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn over_cap_insert_evicts_oldest_entries() {
+        let path = tmp("evict");
+        let policy = CompactionPolicy {
+            max_journal_bytes: u64::MAX,
+            max_entries: 8,
+        };
+        let (mut cache, _) = ScheduleCache::open_with(Some(&path), false, policy).unwrap();
+        for key in 0..9u64 {
+            cache.insert(key, entry(key as u32)).unwrap();
+        }
+        // 9 > 8 triggered an evicting compaction down to 6 (3/4 of 8).
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.evicted_entries(), 3);
+        assert!(cache.lookup(0, 1).is_none(), "oldest keys evicted first");
+        assert!(cache.lookup(1, 1).is_none());
+        assert!(cache.lookup(2, 1).is_none());
+        assert!(cache.lookup(8, 1).is_some(), "newest key survives");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn degraded_latch_keeps_serving_from_memory() {
+        let path = tmp("degraded");
+        let (mut cache, _) = ScheduleCache::open(Some(&path), false).unwrap();
+        cache.insert(1, entry(4)).unwrap();
+        cache.latch_degraded_for_test();
+        // Inserts still succeed and serve…
+        cache.insert(2, entry(6)).unwrap();
+        cache.insert(3, entry(8)).unwrap();
+        assert_eq!(cache.lookup(2, 1), Some(&entry(6)));
+        assert_eq!(cache.degraded_writes(), 2);
+        assert!(cache.is_degraded());
+        drop(cache);
+        // …but never touched the journal: only the pre-latch entry is on
+        // disk.
+        let (reloaded, report) = ScheduleCache::open(Some(&path), false).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(reloaded.lookup(1, 1), Some(&entry(4)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_full_errors_are_classified() {
+        let full = CampaignError::Io {
+            path: "x".into(),
+            operation: "append",
+            source: std::io::Error::from_raw_os_error(28), // ENOSPC
+        };
+        assert!(is_disk_full(&full));
+        let other = CampaignError::Io {
+            path: "x".into(),
+            operation: "append",
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope"),
+        };
+        assert!(!is_disk_full(&other));
+    }
+
+    // --- retry classification ---
+
+    #[test]
+    fn response_completeness_and_retryability_classify_correctly() {
+        // Complete successes are final.
+        assert!(response_complete(
+            "CACHE miss\nOK ii=5 copies=2 max_registers=9 attempts=7 degraded=0\n"
+        ));
+        assert!(!response_retryable(
+            "CACHE miss\nOK ii=5 copies=2 max_registers=9 attempts=7 degraded=0\n"
+        ));
+        // Torn responses retry: mid-line cut, missing OK line, empty.
+        assert!(!response_complete("CACHE miss\nOK ii=5 cop"));
+        assert!(response_retryable("CACHE miss\nOK ii=5 cop"));
+        assert!(!response_complete("CACHE hit\n"));
+        assert!(response_retryable("CACHE hit\n"));
+        assert!(!response_complete(""));
+        assert!(response_retryable(""));
+        // Transient server errors retry; hard errors do not.
+        assert!(response_retryable("ERR overload admission queue full\n"));
+        assert!(response_retryable("ERR deadline budget exhausted\n"));
+        assert!(response_retryable("ERR malformed torn request\n"));
+        assert!(!response_retryable("ERR sched no capable unit\n"));
+        assert!(!response_retryable("ERR internal cache append\n"));
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_deterministic_per_seed() {
+        // Drive the jitter stream exactly as client_request_retry does
+        // and check the same seed replays the same schedule.
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut rng = csched_core::faultinject::ChaosRng::new(seed);
+            (0u32..5)
+                .map(|attempt| {
+                    let base = 50u64
+                        .saturating_mul(1 << attempt.min(16))
+                        .min(RetryConfig::MAX_BACKOFF_MS);
+                    (base + rng.below_u64(base + 1)).min(RetryConfig::MAX_BACKOFF_MS)
+                })
+                .collect()
+        };
+        assert_eq!(schedule(1), schedule(1));
+        assert_ne!(
+            schedule(1),
+            schedule(2),
+            "different seeds, different jitter"
+        );
     }
 
     #[test]
