@@ -6,9 +6,10 @@
 # The lint and format steps degrade gracefully when the toolchain lacks
 # the `clippy` or `rustfmt` components (e.g. a minimal container); the
 # build and test steps are mandatory. `csched-core`, `csched-ir`, and
-# `csched-eval` (including the `explore` and `soak` binaries, which carry
-# their own crate-level attributes; the `chaosnet` fault-injection module
-# is covered by the csched-eval lib attribute) additionally carry
+# `csched-eval` (including the `explore`, `soak`, and `dash` binaries,
+# which carry their own crate-level attributes; the `chaosnet` and
+# `telemetry` modules are covered by the csched-eval lib attribute)
+# additionally carry
 # `deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)` outside
 # test code, so the clippy step doubles as the panic-free gate for the
 # scheduling pipeline, the evaluation harness, the design-space search,
@@ -124,6 +125,25 @@ grep -q ', 0 quarantined, 0 corrupt lines,' "$SERVE_DIR/serve2.log"
 cargo run -q --release -p csched-eval --bin serve -- \
     --client "$SERVE_ADDR" --kernel Merge --arch distributed \
     | grep -q 'CACHE hit'
+# Telemetry smoke: METRICS must lead with the schema-versioned JSON
+# line and every exposition line must match the Prometheus text
+# grammar; TRACE must stream JSONL that terminates with its summary
+# and status lines within the event cap; the dashboard renders a
+# frame from the same endpoints.
+cargo run -q --release -p csched-eval --bin serve -- \
+    --client "$SERVE_ADDR" --metrics > "$SERVE_DIR/metrics.txt"
+head -1 "$SERVE_DIR/metrics.txt" | grep -q '^{"schema":1,'
+grep -q '^csched_requests_total{outcome="ok"} ' "$SERVE_DIR/metrics.txt"
+! tail -n +2 "$SERVE_DIR/metrics.txt" \
+    | grep -qvE '^(# (HELP|TYPE) csched_[a-z_]+ .+|csched_[a-z_]+(\{[^}]*\})? [0-9]+|)$'
+cargo run -q --release -p csched-eval --bin serve -- \
+    --client "$SERVE_ADDR" --kernel Merge --arch distributed \
+    --trace --events 64 > "$SERVE_DIR/trace.txt"
+[ "$(grep -c '^{"req":' "$SERVE_DIR/trace.txt")" -le 64 ]
+grep -q '^TRACE end events=' "$SERVE_DIR/trace.txt"
+tail -1 "$SERVE_DIR/trace.txt" | grep -q '^OK ii='
+cargo run -q --release -p csched-eval --bin dash -- \
+    --addr "$SERVE_ADDR" --once | grep -q '^csched dash'
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 rm -rf "$SERVE_DIR"

@@ -81,12 +81,13 @@ pub use error::SchedError;
 pub use explain::{explain, Binding, Counterfactual, Explanation, ResourceRank};
 pub use metrics::ScheduleMetrics;
 pub use retry::{
-    schedule_kernel_anytime, schedule_kernel_with_retry, schedule_kernel_with_retry_budgeted,
-    schedule_kernel_with_retry_traced, AnytimeReport, Attempt, RetryPolicy, ScheduleReport,
+    schedule_kernel_anytime, schedule_kernel_anytime_traced, schedule_kernel_with_retry,
+    schedule_kernel_with_retry_budgeted, schedule_kernel_with_retry_traced, AnytimeReport, Attempt,
+    RetryPolicy, ScheduleReport,
 };
 pub use schedule::{CommDisposition, PipelineSlot, Route, SchedStats, Schedule, ScheduledOp};
 pub use table::{ResourceTable, TableMode};
-pub use trace::{JsonlSink, RingBufferSink, TraceEvent, TraceSink};
+pub use trace::{decision_filter, CappingSink, JsonlSink, RingBufferSink, TraceEvent, TraceSink};
 pub use universe::{Comm, CommId, SOp, SOpId, Universe};
 
 // Compile-time Send/Sync audit of the scheduling pipeline's inputs and

@@ -358,6 +358,43 @@ pub fn schedule_kernel_anytime(
     policy: &RetryPolicy,
     budget: &StepBudget,
 ) -> (Result<Schedule, SchedError>, AnytimeReport) {
+    schedule_anytime_impl(arch, kernel, config, policy, budget, None)
+}
+
+/// [`schedule_kernel_anytime`] with every pipeline decision traced into
+/// `sink` — the acquisition ladder (including its
+/// [`TraceEvent::RungAdvanced`] markers) *and* the improvement rungs, so
+/// a service attaching a sink sees exactly where a degraded request's
+/// budget went.
+///
+/// Restricted to [`crate::trace::decision_filter`] events, the stream of
+/// a successful un-degraded run is byte-identical to
+/// [`schedule_kernel_traced`](crate::schedule_kernel_traced) on the same
+/// inputs: the first acquisition rung runs the caller's configuration
+/// unchanged, and the decision filter drops the ladder markers.
+///
+/// # Errors
+///
+/// As [`schedule_kernel_anytime`].
+pub fn schedule_kernel_anytime_traced(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    policy: &RetryPolicy,
+    budget: &StepBudget,
+    sink: &mut dyn TraceSink,
+) -> (Result<Schedule, SchedError>, AnytimeReport) {
+    schedule_anytime_impl(arch, kernel, config, policy, budget, Some(sink))
+}
+
+fn schedule_anytime_impl(
+    arch: &Architecture,
+    kernel: &Kernel,
+    config: SchedulerConfig,
+    policy: &RetryPolicy,
+    budget: &StepBudget,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> (Result<Schedule, SchedError>, AnytimeReport) {
     let mut prep = PrepCache::new();
     let (acquired, ladder) = schedule_with_retry_impl(
         arch,
@@ -365,7 +402,7 @@ pub fn schedule_kernel_anytime(
         config.clone(),
         policy,
         budget,
-        None,
+        sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink),
         &mut prep,
     );
     let mut report = AnytimeReport {
@@ -415,7 +452,14 @@ pub fn schedule_kernel_anytime(
             error: None,
         };
         let improved = match prep.get(arch, kernel) {
-            Ok(p) => schedule_kernel_impl(arch, kernel, cfg, None, Some(budget), Some(p)),
+            Ok(p) => schedule_kernel_impl(
+                arch,
+                kernel,
+                cfg,
+                sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink),
+                Some(budget),
+                Some(p),
+            ),
             Err(e) => Err(e),
         };
         match improved {

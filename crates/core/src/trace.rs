@@ -76,6 +76,16 @@ pub enum RejectReason {
 }
 
 impl RejectReason {
+    /// Every reason, in declaration (placement-step) order — the index
+    /// of a reason here is its slot in aggregated reject arrays.
+    pub const ALL: [RejectReason; 5] = [
+        RejectReason::Timing,
+        RejectReason::IssueSlot,
+        RejectReason::ReadPermutation,
+        RejectReason::WritePermutation,
+        RejectReason::Closing,
+    ];
+
     /// Stable lower-snake-case name, used in the JSONL encoding.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -405,6 +415,94 @@ impl TraceEvent {
     }
 }
 
+/// The stable *decision-level* event filter: keeps the events that
+/// describe the surviving schedule's construction (II starts, accepted
+/// placements, stub freezes, route closures, copy insertion/reuse) and
+/// drops the search-order-dependent attempt/reject stream.
+///
+/// This is the filter behind the golden-trace acceptance tests and the
+/// serve layer's `TRACE` wire verb: a stream filtered this way is a
+/// deterministic function of (kernel, architecture, configuration).
+pub fn decision_filter(e: &TraceEvent) -> bool {
+    matches!(
+        e,
+        TraceEvent::IiStart { .. }
+            | TraceEvent::PlaceAccept { .. }
+            | TraceEvent::StubsFrozen { .. }
+            | TraceEvent::RouteClosed { .. }
+            | TraceEvent::CopyInserted { .. }
+            | TraceEvent::CopyReused { .. }
+    )
+}
+
+/// A sink retaining the *first* `cap` events that pass its filter — the
+/// streaming complement of [`RingBufferSink`] (which keeps the last N).
+///
+/// Built for wire streaming: a consumer that relays the retained events
+/// to a socket is bounded by construction, no matter how many events the
+/// schedule produces, and [`truncated`](Self::truncated) says whether
+/// the cap cut the stream short. The total pass-filter count keeps
+/// accumulating after the cap so the loss is quantifiable.
+#[derive(Debug)]
+pub struct CappingSink {
+    cap: usize,
+    filter: Option<fn(&TraceEvent) -> bool>,
+    events: Vec<TraceEvent>,
+    total: u64,
+}
+
+impl CappingSink {
+    /// A sink keeping the first `cap` events of any kind.
+    pub fn new(cap: usize) -> Self {
+        CappingSink {
+            cap,
+            filter: None,
+            events: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// A sink keeping the first `cap` events for which `filter` is true;
+    /// events failing the filter are neither retained nor counted.
+    pub fn with_filter(cap: usize, filter: fn(&TraceEvent) -> bool) -> Self {
+        CappingSink {
+            cap,
+            filter: Some(filter),
+            events: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total events that passed the filter, including dropped ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the cap dropped at least one passing event.
+    pub fn truncated(&self) -> bool {
+        self.total > self.events.len() as u64
+    }
+}
+
+impl TraceSink for CappingSink {
+    fn event(&mut self, event: TraceEvent) {
+        if let Some(f) = self.filter {
+            if !f(&event) {
+                return;
+            }
+        }
+        self.total += 1;
+        if self.events.len() < self.cap {
+            self.events.push(event);
+        }
+    }
+}
+
 /// Escapes `s` for inclusion inside a JSON string literal.
 ///
 /// Handles the two mandatory escapes (`"` and `\`) plus control
@@ -711,6 +809,33 @@ mod tests {
             })
             .collect();
         assert_eq!(iis, vec![3, 4]);
+    }
+
+    #[test]
+    fn capping_sink_keeps_first_events_and_counts_overflow() {
+        let mut sink = CappingSink::with_filter(2, decision_filter);
+        sink.event(TraceEvent::PlaceAttempt {
+            op: 0,
+            fu: 0,
+            cycle: 0,
+        }); // filtered out: neither retained nor counted
+        for ii in 0..5 {
+            sink.event(TraceEvent::IiStart { ii });
+        }
+        assert_eq!(sink.total(), 5);
+        assert!(sink.truncated());
+        let iis: Vec<u32> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::IiStart { ii } => *ii,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(iis, vec![0, 1], "the first events survive, not the last");
+        let mut roomy = CappingSink::new(8);
+        roomy.event(TraceEvent::IiStart { ii: 1 });
+        assert!(!roomy.truncated());
     }
 
     #[test]

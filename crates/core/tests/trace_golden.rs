@@ -14,7 +14,7 @@
 use std::collections::HashSet;
 
 use csched_core::metrics::ScheduleMetrics;
-use csched_core::trace::{JsonlSink, TraceEvent};
+use csched_core::trace::{decision_filter, JsonlSink};
 use csched_core::{
     schedule_kernel, schedule_kernel_traced, validate, ResourceTable, SchedulerConfig, TableMode,
 };
@@ -36,25 +36,11 @@ fn figure4() -> Kernel {
     kb.build().unwrap()
 }
 
-/// Only the stable decision-level events go into the golden file: the
-/// attempt/reject stream is an implementation detail of the search order.
-fn golden_filter(e: &TraceEvent) -> bool {
-    matches!(
-        e,
-        TraceEvent::IiStart { .. }
-            | TraceEvent::PlaceAccept { .. }
-            | TraceEvent::StubsFrozen { .. }
-            | TraceEvent::RouteClosed { .. }
-            | TraceEvent::CopyInserted { .. }
-            | TraceEvent::CopyReused { .. }
-    )
-}
-
 #[test]
 fn motivating_example_trace_matches_golden_file() {
     let arch = toy::motivating_example();
     let kernel = figure4();
-    let mut sink = JsonlSink::with_filter(golden_filter);
+    let mut sink = JsonlSink::with_filter(decision_filter);
     let schedule =
         schedule_kernel_traced(&arch, &kernel, SchedulerConfig::default(), &mut sink).unwrap();
     validate::validate(&arch, &kernel, &schedule).unwrap();

@@ -16,8 +16,8 @@
 use std::time::{Duration, Instant};
 
 use csched_eval::serve::{
-    client_raw, client_request, client_request_retry, client_stats, RetryConfig, ServeConfig,
-    Server,
+    client_metrics, client_raw, client_request, client_request_retry, client_stats, client_trace,
+    RetryConfig, ServeConfig, Server,
 };
 use csched_ir::text as ir_text;
 use csched_machine::text as machine_text;
@@ -36,13 +36,19 @@ server flags:
   --compact-entries N
                     cache entry cap (oldest evicted beyond it)
   --read-phase-ms N budget to read one whole request (slowloris guard)
+  --no-telemetry    disable per-request spans and histograms
+  --span-ring N     recent-request span ring capacity (default 64)
+  --trace-events N  per-request cap on streamed TRACE events (default 4096)
 client modes:
   --kernel <name> --arch <org> [--limit N] [--wall-ms N]
                     one SCHED request (org: central | clustered2 |
                     clustered4 | distributed); add --retries N
                     [--backoff-ms N] [--retry-seed N] to retry torn or
-                    transient failures with seeded jittered backoff
+                    transient failures with seeded jittered backoff;
+                    add --trace [--events N] [--full] to stream the
+                    schedule's trace events as JSONL instead
   --stats           print the service counters JSON line
+  --metrics         print the METRICS JSON line + Prometheus exposition
   --malformed       send a broken request; expect ERR malformed
   --bench-suite [--min-ratio N]
                     cold vs warm requests/sec over the kernel suite;
@@ -114,6 +120,15 @@ fn run_server(addr: &str, args: &[String]) {
     if let Some(ms) = num_flag(args, "--read-phase-ms") {
         config.read_phase_ms = ms;
     }
+    if args.iter().any(|a| a == "--no-telemetry") {
+        config.telemetry = false;
+    }
+    if let Some(ring) = num_flag(args, "--span-ring") {
+        config.span_ring = ring as usize;
+    }
+    if let Some(cap) = num_flag(args, "--trace-events") {
+        config.trace_event_cap = cap as usize;
+    }
     let (server, load) = Server::bind(addr, config).expect("server starts");
     println!(
         "cache: {} entries, {} quarantined, {} corrupt lines, {} torn bytes repaired",
@@ -134,6 +149,11 @@ fn run_client(addr: &str, args: &[String]) {
             "{}",
             client_stats(addr, CLIENT_TIMEOUT).expect("stats request")
         );
+    } else if args.iter().any(|a| a == "--metrics") {
+        print!(
+            "{}",
+            client_metrics(addr, CLIENT_TIMEOUT).expect("metrics request")
+        );
     } else if args.iter().any(|a| a == "--malformed") {
         let response =
             client_raw(addr, b"BOGUS request\n", CLIENT_TIMEOUT).expect("malformed probe");
@@ -152,6 +172,22 @@ fn run_client(addr: &str, args: &[String]) {
         let arch_text = machine_text::print(&arch);
         let limit = num_flag(args, "--limit");
         let wall_ms = num_flag(args, "--wall-ms");
+        if args.iter().any(|a| a == "--trace") {
+            let events = num_flag(args, "--events").map(|n| n as usize);
+            let full = args.iter().any(|a| a == "--full");
+            let response =
+                client_trace(addr, &kernel_text, &arch_text, events, full, CLIENT_TIMEOUT)
+                    .expect("trace request");
+            print!("{response}");
+            if response
+                .lines()
+                .last()
+                .is_some_and(|l| l.starts_with("ERR "))
+            {
+                std::process::exit(1);
+            }
+            return;
+        }
         let response = if let Some(retries) = num_flag(args, "--retries") {
             let retry = RetryConfig {
                 retries: retries as u32,

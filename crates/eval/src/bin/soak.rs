@@ -636,18 +636,18 @@ fn soak(plan: &Plan) -> Result<(Summary, Vec<String>), String> {
         ));
     }
 
-    // Required fault kinds must actually have been injected.
-    let log = proxy.log();
-    let mut faults_by_kind = Vec::new();
-    for kind in FaultKind::ALL {
-        let count = log.iter().filter(|r| r.action.kind() == Some(kind)).count();
-        faults_by_kind.push((kind, count));
-    }
+    // Required fault kinds must actually have *fired* — the proxy's
+    // injection counters increment at relay time, not at schedule time,
+    // so a fault planned against a dead upstream doesn't satisfy the
+    // requirement.
+    println!("soak: proxy {}", proxy.stats_line());
+    let faults_by_kind: Vec<(FaultKind, usize)> = proxy
+        .fault_counts()
+        .iter()
+        .map(|&(k, n)| (k, n as usize))
+        .collect();
     for kind in &plan.require_faults {
-        let seen = faults_by_kind
-            .iter()
-            .find(|(k, _)| k == kind)
-            .map_or(0, |(_, n)| *n);
+        let seen = proxy.injected(*kind);
         if seen == 0 {
             violations.push(format!(
                 "required fault kind {} was never injected (seed {})",

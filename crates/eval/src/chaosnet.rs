@@ -236,6 +236,13 @@ struct ProxyShared {
     log: Mutex<Vec<FaultRecord>>,
     stop: AtomicBool,
     relay_errors: AtomicU64,
+    /// Faults *actually injected*, by [`FaultKind::ALL`] order. The log
+    /// records the scheduled action at accept time; these count at relay
+    /// time, after the upstream connection succeeded — a fault scheduled
+    /// against a dead upstream never fires and is never counted.
+    injected: [AtomicU64; 5],
+    /// Connections relayed clean (same fired-not-scheduled semantics).
+    clean: AtomicU64,
 }
 
 /// A running fault-injecting proxy. Dropping it (or calling
@@ -258,6 +265,8 @@ impl ChaosProxy {
             log: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             relay_errors: AtomicU64::new(0),
+            injected: Default::default(),
+            clean: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
@@ -296,6 +305,63 @@ impl ChaosProxy {
     /// injected on purpose). Useful as a smoke signal in harnesses.
     pub fn relay_errors(&self) -> u64 {
         self.shared.relay_errors.load(Ordering::Relaxed)
+    }
+
+    /// Faults actually injected so far, by kind. Unlike
+    /// [`log`](ChaosProxy::log) — which records the *scheduled* action
+    /// at accept time — a fault counts here only once its relay got an
+    /// upstream connection and applied it to live traffic, so soak
+    /// assertions can require "N slowloris faults actually fired"
+    /// instead of trusting the seed.
+    pub fn fault_counts(&self) -> [(FaultKind, u64); 5] {
+        let mut out = [(FaultKind::Latency, 0); 5];
+        for (slot, kind) in out.iter_mut().zip(FaultKind::ALL) {
+            *slot = (
+                kind,
+                self.shared.injected[Self::kind_slot(kind)].load(Ordering::Relaxed),
+            );
+        }
+        out
+    }
+
+    /// Faults of one kind actually injected so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.shared.injected[Self::kind_slot(kind)].load(Ordering::Relaxed)
+    }
+
+    /// Connections relayed clean (no fault fired).
+    pub fn clean_relays(&self) -> u64 {
+        self.shared.clean.load(Ordering::Relaxed)
+    }
+
+    /// One deterministic JSON line of proxy-side counters, shaped like
+    /// the serve layer's `STATS` line so harnesses can log both
+    /// uniformly.
+    pub fn stats_line(&self) -> String {
+        let mut injected = String::new();
+        for (i, (kind, n)) in self.fault_counts().iter().enumerate() {
+            if i > 0 {
+                injected.push(',');
+            }
+            injected.push_str(&format!("\"{}\":{}", kind.name(), n));
+        }
+        format!(
+            "{{\"chaosnet\":{{\"connections\":{},\"clean\":{},\"relay_errors\":{},\
+             \"injected\":{{{injected}}}}}}}",
+            self.connections(),
+            self.clean_relays(),
+            self.relay_errors(),
+        )
+    }
+
+    fn kind_slot(kind: FaultKind) -> usize {
+        match kind {
+            FaultKind::Latency => 0,
+            FaultKind::Disconnect => 1,
+            FaultKind::TornWrite => 2,
+            FaultKind::Slowloris => 3,
+            FaultKind::Truncate => 4,
+        }
     }
 
     /// Stop accepting, sever in-flight relays, and join all threads.
@@ -379,6 +445,16 @@ fn relay(client: TcpStream, action: FaultAction, shared: &Arc<ProxyShared>) -> s
             return Ok(());
         }
     };
+    // The upstream leg exists: the action is now being applied to live
+    // traffic, so it counts as fired.
+    match action.kind() {
+        Some(kind) => {
+            shared.injected[ChaosProxy::kind_slot(kind)].fetch_add(1, Ordering::Relaxed);
+        }
+        None => {
+            shared.clean.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     client.set_read_timeout(Some(PUMP_TICK))?;
     upstream.set_read_timeout(Some(PUMP_TICK))?;
 

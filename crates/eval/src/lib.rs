@@ -24,7 +24,12 @@
 //! - [`chaosnet`] is a deterministic fault-injecting TCP proxy (seeded
 //!   disconnects, torn writes, slowloris drips, response truncation,
 //!   latency) used by the `soak` binary to hammer the service through a
-//!   hostile network and assert its invariants survive.
+//!   hostile network and assert its invariants survive;
+//! - [`telemetry`] gives the service per-request structured spans,
+//!   deterministic log-bucketed latency/attempts histograms, and the
+//!   renderings behind the `METRICS` (JSON + Prometheus exposition) and
+//!   `TRACE` (wire-streamed JSONL decision events) verbs; the `dash`
+//!   binary polls them into a live terminal dashboard.
 
 #![warn(missing_docs)]
 // The evaluation harness reports typed failures per cell; outside of test
@@ -44,6 +49,7 @@ pub mod grid;
 pub mod pool;
 pub mod report;
 pub mod serve;
+pub mod telemetry;
 
 pub use bench::{
     bench_json, compare, deterministic_json, measure_cell, parse_bench_json, run_bench,
@@ -58,7 +64,12 @@ pub use explore::{explore, pareto, CandidateReport, ExploreConfig, ExploreReport
 pub use grid::{run_grid, Grid, GridError};
 pub use pool::{run_indexed, Rejected, Service};
 pub use serve::{
-    cache_key, client_raw, client_request, client_request_retry, client_stats, kernel_hash,
-    response_complete, response_retryable, CacheEntry, CacheLoadReport, CompactionPolicy,
-    RetryConfig, RetryReport, ScheduleCache, ServeConfig, ServeError, ServeStats, Server,
+    cache_key, client_metrics, client_raw, client_request, client_request_retry, client_stats,
+    client_trace, kernel_hash, response_complete, response_retryable, CacheEntry, CacheLoadReport,
+    CompactionPolicy, RetryConfig, RetryReport, ScheduleCache, ServeConfig, ServeError, ServeStats,
+    Server,
+};
+pub use telemetry::{
+    validate_prometheus, CacheDisposition, Histogram, MetricsSnapshot, Outcome, RequestSpan,
+    SpanSummary, StageTimes, Telemetry, TraceCapture, METRICS_SCHEMA,
 };

@@ -88,6 +88,30 @@
 //! `deadline`, `sched`, `internal` — then closes the connection.
 //! `STATS` on a connection of its own returns one JSON line of
 //! counters.
+//!
+//! Three observability verbs ride the same framing
+//! (see [`crate::telemetry`]):
+//!
+//! - `METRICS` returns one JSON line (schema-versioned counts,
+//!   deterministic log-bucketed latency/attempts histograms per
+//!   outcome, the recent-request span ring) followed by a
+//!   Prometheus-style text exposition;
+//! - `TRACE [limit=] [wall_ms=] [events=<cap>] [full=1]` frames exactly
+//!   like `SCHED` but *bypasses the cache*, schedules with a
+//!   [`TraceSink`](csched_core::trace::TraceSink) attached, and streams
+//!   the decision-level trace events back as JSONL (each line gains a
+//!   leading `"req"` key), then a
+//!   `TRACE end events=<sent> total=<seen> truncated=<0|1>` summary,
+//!   then the usual `OK`/`ERR` line. The event cap (client-requested,
+//!   clamped to [`ServeConfig::trace_event_cap`]) bounds what a worker
+//!   will ever write, so a slow trace reader cannot pin a worker any
+//!   longer than an ordinary slow client;
+//! - every `SCHED`/`TRACE` request is recorded as a
+//!   [`RequestSpan`] with per-stage
+//!   timings — including shed connections (recorded by the acceptor),
+//!   watchdog deadline expiries, and requests served during the ENOSPC
+//!   degraded latch — unless [`ServeConfig::telemetry`] is off, in
+//!   which case the schedule path runs sink-free and records nothing.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Read as _, Write as _};
@@ -98,13 +122,17 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use csched_core::{
-    regalloc, schedule_kernel_anytime, validate, CancelToken, RetryPolicy, SchedulerConfig,
-    StepBudget, Watchdog,
+    explain, regalloc, schedule_kernel_anytime, schedule_kernel_anytime_traced, validate,
+    CancelToken, RetryPolicy, SchedulerConfig, StepBudget, Watchdog,
 };
 use csched_ir::Kernel;
 
 use crate::campaign::{cell_key, config_fingerprint, json_num_field, CampaignError, Journal};
 use crate::pool::{Rejected, Service};
+use crate::telemetry::{
+    elapsed_us, CacheDisposition, Outcome as SpanOutcome, RequestSpan, Telemetry, TraceCapture,
+    METRICS_SCHEMA,
+};
 
 /// Typed failures of the serve layer (distinct from
 /// [`csched_core::SchedError`]: these
@@ -195,6 +223,16 @@ pub struct ServeConfig {
     /// Scheduler configuration every request runs under (part of the
     /// cache key).
     pub scheduler: SchedulerConfig,
+    /// Record per-request telemetry spans and histograms. When off, the
+    /// schedule path runs with no trace sink attached and records
+    /// nothing — `METRICS`/`TRACE` still answer, over empty
+    /// aggregates.
+    pub telemetry: bool,
+    /// Capacity of the recent-request span ring.
+    pub span_ring: usize,
+    /// Hard cap on trace events streamed per `TRACE` request
+    /// (client-requested `events=` is clamped here).
+    pub trace_event_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -212,6 +250,9 @@ impl Default for ServeConfig {
             durable: false,
             compaction: CompactionPolicy::default(),
             scheduler: SchedulerConfig::default(),
+            telemetry: true,
+            span_ring: 64,
+            trace_event_cap: 4096,
         }
     }
 }
@@ -806,10 +847,16 @@ struct ServerState {
     stats: ServeStats,
     cache: Mutex<ScheduleCache>,
     watchdog: Watchdog,
+    telemetry: Telemetry,
+    started: Instant,
 }
 
 impl ServerState {
-    /// One deterministic JSON line of counters and cache state.
+    /// One JSON line of counters and cache state. `schema` versions the
+    /// field set so dashboards and CI diffs detect format drift instead
+    /// of guessing; `uptime_ms` is monotonic since bind (the one
+    /// non-deterministic field, placed right after the schema so the
+    /// deterministic remainder still diffs cleanly).
     fn stats_json(&self) -> String {
         let s = &self.stats;
         let cache_json = match self.cache.lock() {
@@ -832,10 +879,12 @@ impl ServerState {
             Err(_) => "{}".to_string(),
         };
         format!(
-            "{{\"serve\":{{\"requests\":{},\"ok\":{},\"hits\":{},\"misses\":{},\"shed\":{},\
+            "{{\"schema\":{METRICS_SCHEMA},\"uptime_ms\":{},\
+             \"serve\":{{\"requests\":{},\"ok\":{},\"hits\":{},\"misses\":{},\"shed\":{},\
              \"malformed\":{},\"deadline\":{},\"sched_errors\":{},\"degraded\":{},\
              \"internal_errors\":{},\"timeout_config_failures\":{},\
              \"cache\":{cache_json}}}}}",
+            u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
             s.requests.load(Ordering::Relaxed),
             s.ok.load(Ordering::Relaxed),
             s.hits.load(Ordering::Relaxed),
@@ -897,12 +946,15 @@ impl Server {
         )
         .map_err(ServeError::Cache)?;
         let config_fp = config_fingerprint(&config.scheduler, 0);
+        let telemetry = Telemetry::new(config.span_ring);
         let state = Arc::new(ServerState {
             config,
             config_fp,
             stats: ServeStats::default(),
             cache: Mutex::new(cache),
             watchdog: Watchdog::new(),
+            telemetry,
+            started: Instant::now(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let accept_state = Arc::clone(&state);
@@ -942,6 +994,15 @@ impl Server {
                     // bounded by the socket timeouts, and the acceptor
                     // itself never blocks on a shed client.
                     accept_state.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    if accept_state.config.telemetry {
+                        // A shed connection never reaches a worker, so
+                        // the acceptor records its span: zero stages,
+                        // outcome overload.
+                        let id = accept_state.telemetry.next_request_id();
+                        let mut span = RequestSpan::new(id, "SCHED");
+                        span.outcome = SpanOutcome::Overload;
+                        accept_state.telemetry.record(span);
+                    }
                     std::thread::spawn(move || {
                         let mut stream = stream;
                         let _ = stream.write_all(b"ERR overload admission queue full\n");
@@ -1190,6 +1251,7 @@ fn handle_connection(state: &ServerState, stream: &TcpStream) {
 }
 
 fn serve_one(state: &ServerState, stream: &TcpStream) -> Outcome {
+    let req_start = Instant::now();
     let mut reader = BufReader::new(stream);
     let phase = ReadPhase::bounded(
         stream,
@@ -1207,13 +1269,37 @@ fn serve_one(state: &ServerState, stream: &TcpStream) -> Outcome {
             return Outcome::Malformed;
         }
     };
+    let header_us = elapsed_us(req_start);
     let mut words = header.split_whitespace();
     match words.next() {
         Some("STATS") => {
             let _ = respond(stream, &format!("{}\n", state.stats_json()));
             Outcome::Stats
         }
-        Some("SCHED") => serve_sched(state, &mut reader, stream, words, &phase),
+        Some("METRICS") => {
+            let _ = respond(
+                stream,
+                &format!(
+                    "{}\n{}",
+                    state.telemetry.metrics_json(),
+                    state.telemetry.prometheus()
+                ),
+            );
+            Outcome::Stats
+        }
+        Some("SCHED") => {
+            let mut span = new_span(state, "SCHED", header_us);
+            let outcome = serve_sched(state, &mut reader, stream, words, &phase, &mut span);
+            finish_span(state, span, req_start, &outcome);
+            outcome
+        }
+        Some("TRACE") => {
+            let mut span = new_span(state, "TRACE", header_us);
+            span.cache = CacheDisposition::Bypass;
+            let outcome = serve_trace(state, &mut reader, stream, words, &phase, &mut span);
+            finish_span(state, span, req_start, &outcome);
+            outcome
+        }
         Some(other) => {
             let _ = respond(
                 stream,
@@ -1226,6 +1312,38 @@ fn serve_one(state: &ServerState, stream: &TcpStream) -> Outcome {
             Outcome::Malformed
         }
     }
+}
+
+/// A span for one schedule-class request. When telemetry is off the id
+/// stays 0 and the span is never recorded (see [`finish_span`]), so the
+/// only cost on the disabled path is a stack value.
+fn new_span(state: &ServerState, verb: &'static str, header_us: u64) -> RequestSpan {
+    let id = if state.config.telemetry {
+        state.telemetry.next_request_id()
+    } else {
+        0
+    };
+    let mut span = RequestSpan::new(id, verb);
+    span.stages.read_us = header_us;
+    span
+}
+
+/// Stamps the span's total wall time and outcome and records it.
+fn finish_span(state: &ServerState, mut span: RequestSpan, req_start: Instant, outcome: &Outcome) {
+    if !state.config.telemetry {
+        return;
+    }
+    span.total_us = elapsed_us(req_start);
+    span.outcome = match outcome {
+        Outcome::OkWarm | Outcome::OkCold { degraded: false } => SpanOutcome::Ok,
+        Outcome::OkCold { degraded: true } => SpanOutcome::Degraded,
+        Outcome::Stats => return,
+        Outcome::Malformed => SpanOutcome::Malformed,
+        Outcome::Deadline => SpanOutcome::Deadline,
+        Outcome::Sched => SpanOutcome::Sched,
+        Outcome::Internal => SpanOutcome::Internal,
+    };
+    state.telemetry.record(span);
 }
 
 /// Reads one `NAME <len>` section header plus its body. The body is
@@ -1279,6 +1397,7 @@ fn serve_sched<'a>(
     stream: &TcpStream,
     options: impl Iterator<Item = &'a str>,
     phase: &ReadPhase<'_>,
+    span: &mut RequestSpan,
 ) -> Outcome {
     // Request options.
     let mut limit = state.config.step_limit;
@@ -1314,6 +1433,7 @@ fn serve_sched<'a>(
     let limit = limit.clamp(1, state.config.max_step_limit.max(1));
 
     // Bodies.
+    let t_read = Instant::now();
     let max = state.config.max_request_bytes;
     let kernel_text = match read_section(reader, "KERNEL", max, phase) {
         Ok(t) => t,
@@ -1336,35 +1456,24 @@ fn serve_sched<'a>(
             return Outcome::Malformed;
         }
     }
+    span.stages.read_us += elapsed_us(t_read);
     // The request is fully read: restore the full per-call timeout for
     // the (possibly much later) response write.
     let _ = stream.set_read_timeout(Some(state.config.io_timeout));
 
     // Parse both wire payloads with spanned errors.
-    let kernel = match csched_ir::text::parse(&kernel_text) {
-        Ok(k) => k,
-        Err(e) => {
-            let _ = respond(
-                stream,
-                &format!("ERR malformed kernel: {}\n", one_line(&e.to_string())),
-            );
-            return Outcome::Malformed;
-        }
+    let t_parse = Instant::now();
+    let parsed = parse_payloads(stream, &kernel_text, &arch_text);
+    span.stages.parse_us = elapsed_us(t_parse);
+    let Some((kernel, arch)) = parsed else {
+        return Outcome::Malformed;
     };
-    let arch = match csched_machine::text::parse(&arch_text) {
-        Ok(a) => a,
-        Err(e) => {
-            let _ = respond(
-                stream,
-                &format!("ERR malformed machine: {}\n", one_line(&e.to_string())),
-            );
-            return Outcome::Malformed;
-        }
-    };
+    span.kernel = kernel.name().to_string();
 
     let key = cache_key(kernel_hash(&kernel), arch.fingerprint(), &state.config_fp);
 
     // Warm path: serve straight from the cache.
+    let t_cache = Instant::now();
     {
         let Ok(cache) = state.cache.lock() else {
             let _ = respond(stream, "ERR internal cache lock poisoned\n");
@@ -1372,13 +1481,22 @@ fn serve_sched<'a>(
         };
         if let Some(entry) = cache.lookup(key, limit) {
             let line = ok_line(entry);
+            span.cache = CacheDisposition::Hit;
+            span.stages.cache_us = elapsed_us(t_cache);
+            span.attempts = entry.attempts;
+            span.ii = entry.ii;
             drop(cache);
+            let t_respond = Instant::now();
             let _ = respond(stream, &format!("CACHE hit\n{line}"));
+            span.stages.respond_us = elapsed_us(t_respond);
             return Outcome::OkWarm;
         }
     }
+    span.cache = CacheDisposition::Miss;
+    span.stages.cache_us = elapsed_us(t_cache);
 
     // Cold path: schedule under the request deadline.
+    let t_sched = Instant::now();
     let token = CancelToken::new();
     let budget = StepBudget::new(limit).with_cancel(token.clone());
     let _guard = wall_ms.map(|ms| {
@@ -1386,13 +1504,35 @@ fn serve_sched<'a>(
             .watchdog
             .watch(token.clone(), Instant::now() + Duration::from_millis(ms))
     });
-    let (result, report) = schedule_kernel_anytime(
-        &arch,
-        &kernel,
-        state.config.scheduler.clone(),
-        &RetryPolicy::default(),
-        &budget,
-    );
+    // With telemetry on, a rollup-only sink rides along so the span can
+    // attribute the request's attempts to reject reasons and ladder
+    // rungs; with telemetry off the scheduler runs sink-free (no event
+    // is even constructed).
+    let mut capture = state.config.telemetry.then(TraceCapture::rollup_only);
+    let (result, report) = match capture.as_mut() {
+        Some(sink) => schedule_kernel_anytime_traced(
+            &arch,
+            &kernel,
+            state.config.scheduler.clone(),
+            &RetryPolicy::default(),
+            &budget,
+            sink,
+        ),
+        None => schedule_kernel_anytime(
+            &arch,
+            &kernel,
+            state.config.scheduler.clone(),
+            &RetryPolicy::default(),
+            &budget,
+        ),
+    };
+    if let Some(capture) = &capture {
+        span.rejects = capture.rejects();
+        span.deadline_events = capture.deadline_events();
+        span.rung = capture.rung();
+    }
+    span.attempts = report.attempts_spent;
+    span.degraded = report.degraded;
     match result {
         Ok(schedule) => {
             if let Err(violations) = validate::validate(&arch, &kernel, &schedule) {
@@ -1407,6 +1547,13 @@ fn serve_sched<'a>(
                 );
                 return Outcome::Internal;
             }
+            span.ii = schedule.ii().unwrap_or(0);
+            if state.config.telemetry {
+                // Binding-constraint attribution for the dashboard's
+                // slow-request ring: one cheap analysis pass over the
+                // finished schedule.
+                span.binding = explain::explain(&arch, &kernel, &schedule).binding.kind();
+            }
             let entry = CacheEntry {
                 ii: schedule.ii().unwrap_or(0),
                 copies: schedule.num_copies() as u64,
@@ -1415,9 +1562,11 @@ fn serve_sched<'a>(
                 degraded: report.degraded,
                 limit,
             };
+            span.stages.sched_us = elapsed_us(t_sched);
             // Journal before responding: a response is only ever sent
             // for a durably recorded entry, so a crash immediately after
             // the response still serves this key warm on restart.
+            let t_journal = Instant::now();
             {
                 let Ok(mut cache) = state.cache.lock() else {
                     let _ = respond(stream, "ERR internal cache lock poisoned\n");
@@ -1432,12 +1581,16 @@ fn serve_sched<'a>(
                     return Outcome::Internal;
                 }
             }
+            span.stages.journal_us = elapsed_us(t_journal);
+            let t_respond = Instant::now();
             let _ = respond(stream, &format!("CACHE miss\n{}", ok_line(&entry)));
+            span.stages.respond_us = elapsed_us(t_respond);
             Outcome::OkCold {
                 degraded: entry.degraded,
             }
         }
         Err(e) if e.is_budget_stop() => {
+            span.stages.sched_us = elapsed_us(t_sched);
             let _ = respond(
                 stream,
                 &format!("ERR deadline {}\n", one_line(&e.to_string())),
@@ -1445,10 +1598,214 @@ fn serve_sched<'a>(
             Outcome::Deadline
         }
         Err(e) => {
+            span.stages.sched_us = elapsed_us(t_sched);
             let _ = respond(stream, &format!("ERR sched {}\n", one_line(&e.to_string())));
             Outcome::Sched
         }
     }
+}
+
+/// Parses the two wire payloads, answering `ERR malformed` itself on
+/// failure (shared by `SCHED` and `TRACE`).
+fn parse_payloads(
+    stream: &TcpStream,
+    kernel_text: &str,
+    arch_text: &str,
+) -> Option<(Kernel, csched_machine::Architecture)> {
+    let kernel = match csched_ir::text::parse(kernel_text) {
+        Ok(k) => k,
+        Err(e) => {
+            let _ = respond(
+                stream,
+                &format!("ERR malformed kernel: {}\n", one_line(&e.to_string())),
+            );
+            return None;
+        }
+    };
+    let arch = match csched_machine::text::parse(arch_text) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = respond(
+                stream,
+                &format!("ERR malformed machine: {}\n", one_line(&e.to_string())),
+            );
+            return None;
+        }
+    };
+    Some((kernel, arch))
+}
+
+/// `TRACE`: frames exactly like `SCHED` (plus `events=`/`full=`
+/// options), always bypasses the cache, schedules with a bounded
+/// [`TraceCapture`] attached, and streams the retained events back as
+/// JSONL — each line gains a leading `"req"` key — before a
+/// `TRACE end` summary and the final `OK`/`ERR` line.
+fn serve_trace<'a>(
+    state: &ServerState,
+    reader: &mut impl BufRead,
+    stream: &TcpStream,
+    options: impl Iterator<Item = &'a str>,
+    phase: &ReadPhase<'_>,
+    span: &mut RequestSpan,
+) -> Outcome {
+    let mut limit = state.config.step_limit;
+    let mut wall_ms = state.config.wall_ms;
+    let mut event_cap = state.config.trace_event_cap;
+    let mut full = false;
+    for opt in options {
+        if let Some(v) = opt.strip_prefix("limit=") {
+            match v.parse::<u64>() {
+                Ok(v) => limit = v,
+                Err(_) => {
+                    let _ = respond(stream, "ERR malformed bad limit= value\n");
+                    return Outcome::Malformed;
+                }
+            }
+        } else if let Some(v) = opt.strip_prefix("wall_ms=") {
+            match v.parse::<u64>() {
+                Ok(v) => wall_ms = Some(wall_ms.map_or(v, |server| server.min(v))),
+                Err(_) => {
+                    let _ = respond(stream, "ERR malformed bad wall_ms= value\n");
+                    return Outcome::Malformed;
+                }
+            }
+        } else if let Some(v) = opt.strip_prefix("events=") {
+            match v.parse::<usize>() {
+                // The client may tighten the server's event cap, never
+                // widen it — the cap is the worker-protection bound.
+                Ok(v) => event_cap = event_cap.min(v),
+                Err(_) => {
+                    let _ = respond(stream, "ERR malformed bad events= value\n");
+                    return Outcome::Malformed;
+                }
+            }
+        } else if opt == "full=1" {
+            full = true;
+        } else if opt == "full=0" {
+            full = false;
+        } else {
+            let _ = respond(
+                stream,
+                &format!("ERR malformed unknown option {}\n", one_line(opt)),
+            );
+            return Outcome::Malformed;
+        }
+    }
+    let limit = limit.clamp(1, state.config.max_step_limit.max(1));
+
+    let t_read = Instant::now();
+    let max = state.config.max_request_bytes;
+    let kernel_text = match read_section(reader, "KERNEL", max, phase) {
+        Ok(t) => t,
+        Err(detail) => {
+            let _ = respond(stream, &format!("ERR malformed {}\n", one_line(&detail)));
+            return Outcome::Malformed;
+        }
+    };
+    let arch_text = match read_section(reader, "ARCH", max, phase) {
+        Ok(t) => t,
+        Err(detail) => {
+            let _ = respond(stream, &format!("ERR malformed {}\n", one_line(&detail)));
+            return Outcome::Malformed;
+        }
+    };
+    match read_header_line(reader, 256, phase) {
+        Ok(Some(end)) if end.trim() == "END" => {}
+        Ok(_) | Err(_) => {
+            let _ = respond(stream, "ERR malformed missing END\n");
+            return Outcome::Malformed;
+        }
+    }
+    span.stages.read_us += elapsed_us(t_read);
+    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+
+    let t_parse = Instant::now();
+    let parsed = parse_payloads(stream, &kernel_text, &arch_text);
+    span.stages.parse_us = elapsed_us(t_parse);
+    let Some((kernel, arch)) = parsed else {
+        return Outcome::Malformed;
+    };
+    span.kernel = kernel.name().to_string();
+
+    // Cache deliberately bypassed: a trace of a warm hit would be
+    // empty, and the point of TRACE is the event stream.
+    let t_sched = Instant::now();
+    let token = CancelToken::new();
+    let budget = StepBudget::new(limit).with_cancel(token.clone());
+    let _guard = wall_ms.map(|ms| {
+        state
+            .watchdog
+            .watch(token.clone(), Instant::now() + Duration::from_millis(ms))
+    });
+    let mut capture = TraceCapture::capture(event_cap, full);
+    let (result, report) = schedule_kernel_anytime_traced(
+        &arch,
+        &kernel,
+        state.config.scheduler.clone(),
+        &RetryPolicy::default(),
+        &budget,
+        &mut capture,
+    );
+    span.rejects = capture.rejects();
+    span.deadline_events = capture.deadline_events();
+    span.rung = capture.rung();
+    span.attempts = report.attempts_spent;
+    span.degraded = report.degraded;
+    span.stages.sched_us = elapsed_us(t_sched);
+
+    // The event stream and summary precede the final status line, so a
+    // client can parse the response as: JSONL until a non-`{` line,
+    // one `TRACE end` summary, one `OK`/`ERR`.
+    let mut text = String::with_capacity(capture.events().len() * 48 + 128);
+    for event in capture.events() {
+        let json = event.to_json();
+        // `{"event":...}` becomes `{"req":N,"event":...}`.
+        text.push_str(&format!("{{\"req\":{},{}\n", span.id, &json[1..]));
+    }
+    text.push_str(&format!(
+        "TRACE end events={} total={} truncated={}\n",
+        capture.events().len(),
+        capture.total(),
+        u8::from(capture.truncated()),
+    ));
+    if state.config.telemetry {
+        state
+            .telemetry
+            .add_trace_events(capture.events().len() as u64);
+    }
+
+    let outcome = match result {
+        Ok(schedule) => {
+            span.ii = schedule.ii().unwrap_or(0);
+            if state.config.telemetry {
+                span.binding = explain::explain(&arch, &kernel, &schedule).binding.kind();
+            }
+            let entry = CacheEntry {
+                ii: schedule.ii().unwrap_or(0),
+                copies: schedule.num_copies() as u64,
+                max_registers: regalloc::analyze(&arch, &kernel, &schedule).max_required() as u64,
+                attempts: report.attempts_spent,
+                degraded: report.degraded,
+                limit,
+            };
+            text.push_str(&ok_line(&entry));
+            Outcome::OkCold {
+                degraded: entry.degraded,
+            }
+        }
+        Err(e) if e.is_budget_stop() => {
+            text.push_str(&format!("ERR deadline {}\n", one_line(&e.to_string())));
+            Outcome::Deadline
+        }
+        Err(e) => {
+            text.push_str(&format!("ERR sched {}\n", one_line(&e.to_string())));
+            Outcome::Sched
+        }
+    };
+    let t_respond = Instant::now();
+    let _ = respond(stream, &text);
+    span.stages.respond_us = elapsed_us(t_respond);
+    outcome
 }
 
 // ---------------------------------------------------------------------
@@ -1493,6 +1850,47 @@ pub fn client_request(
 /// [`ServeError::Io`] when the connection fails or times out.
 pub fn client_stats(addr: &str, timeout: Duration) -> Result<String, ServeError> {
     client_raw(addr, b"STATS\n", timeout).map(|s| s.trim_end().to_string())
+}
+
+/// Sends `METRICS` and returns the raw response: one JSON line followed
+/// by the Prometheus text exposition.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the connection fails or times out.
+pub fn client_metrics(addr: &str, timeout: Duration) -> Result<String, ServeError> {
+    client_raw(addr, b"METRICS\n", timeout)
+}
+
+/// Sends one `TRACE` request and returns the full response text: the
+/// JSONL event lines, the `TRACE end` summary, and the final `OK`/`ERR`
+/// line.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the connection fails or times out.
+pub fn client_trace(
+    addr: &str,
+    kernel_text: &str,
+    arch_text: &str,
+    events: Option<usize>,
+    full: bool,
+    timeout: Duration,
+) -> Result<String, ServeError> {
+    let mut request = String::from("TRACE");
+    if let Some(events) = events {
+        request.push_str(&format!(" events={events}"));
+    }
+    if full {
+        request.push_str(" full=1");
+    }
+    request.push('\n');
+    request.push_str(&format!("KERNEL {}\n", kernel_text.len()));
+    request.push_str(kernel_text);
+    request.push_str(&format!("ARCH {}\n", arch_text.len()));
+    request.push_str(arch_text);
+    request.push_str("END\n");
+    client_raw(addr, request.as_bytes(), timeout)
 }
 
 /// Sends raw request bytes and reads the response to EOF — the hook for

@@ -1,0 +1,125 @@
+//! Telemetry determinism properties and the golden `METRICS` line:
+//!
+//! - histogram renderings are a pure function of the recorded multiset
+//!   (byte-identical across runs, insertion orders, and instances);
+//! - every recorded value lands in a bucket whose bounds contain it;
+//! - the Prometheus exposition always passes the line-grammar check and
+//!   is byte-identical for identically fed stores;
+//! - a fixed synthetic request sequence renders a golden `METRICS` JSON
+//!   line, byte for byte (regenerate after an intentional schema change
+//!   with `UPDATE_GOLDEN=1 cargo test -p csched-eval --test
+//!   telemetry_props`).
+
+use csched_eval::telemetry::{
+    validate_prometheus, Histogram, MetricsSnapshot, Outcome, RequestSpan, Telemetry,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+proptest! {
+    /// Same multiset of values -> byte-identical JSON, regardless of
+    /// insertion order (bucket counts are commutative).
+    #[test]
+    fn histogram_rendering_is_order_independent(
+        values in prop::collection::vec(0u64..u64::MAX, 0..200),
+        rotate in 0usize..200,
+    ) {
+        let mut forward = Histogram::new();
+        for &v in &values {
+            forward.record(v);
+        }
+        let mut rotated = Histogram::new();
+        if !values.is_empty() {
+            let pivot = rotate % values.len();
+            for &v in values[pivot..].iter().chain(&values[..pivot]) {
+                rotated.record(v);
+            }
+        }
+        prop_assert_eq!(forward.to_json(), rotated.to_json());
+        prop_assert_eq!(forward.count(), values.len() as u64);
+    }
+
+    /// Every value lands in a bucket whose [lo, hi] range contains it.
+    #[test]
+    fn bucket_bounds_contain_their_values(value in 0u64..u64::MAX) {
+        let index = Histogram::bucket_index(value);
+        prop_assert!(Histogram::bucket_lo(index) <= value);
+        prop_assert!(value <= Histogram::bucket_hi(index));
+    }
+
+    /// Two telemetry stores fed the same span sequence render identical
+    /// METRICS JSON and identical (grammar-valid) Prometheus text.
+    #[test]
+    fn identically_fed_stores_render_identically(
+        spans in prop::collection::vec((0u64..1_000_000, 0u64..100_000, 0usize..7), 0..40),
+    ) {
+        let a = Telemetry::new(8);
+        let b = Telemetry::new(8);
+        for (i, &(total_us, attempts, outcome)) in spans.iter().enumerate() {
+            for t in [&a, &b] {
+                let mut span = RequestSpan::new(i as u64 + 1, "SCHED");
+                span.outcome = Outcome::ALL[outcome];
+                span.total_us = total_us;
+                span.attempts = attempts;
+                t.record(span);
+            }
+        }
+        let json = a.metrics_json();
+        prop_assert_eq!(&json, &b.metrics_json());
+        let prom = a.prometheus();
+        prop_assert_eq!(&prom, &b.prometheus());
+        prop_assert!(validate_prometheus(&prom).is_ok());
+        // The snapshot parser accepts every line the renderer emits.
+        let snap = MetricsSnapshot::parse(&json).map_err(|e| {
+            TestCaseError::fail(format!("unparseable METRICS: {e}"))
+        })?;
+        let total: u64 = snap.requests.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total, spans.len() as u64);
+    }
+}
+
+/// A fixed request sequence produces the golden `METRICS` line byte for
+/// byte. The sequence exercises every deterministic section: multiple
+/// outcomes, reject rollups, ladder rungs, the span ring (with
+/// eviction), and both histograms.
+#[test]
+fn fixed_sequence_renders_golden_metrics_line() {
+    let t = Telemetry::new(2);
+    let fixtures: [(u64, Outcome, u64, u64, u32); 4] = [
+        (10, Outcome::Ok, 5, 3, 0),
+        (100, Outcome::Ok, 5, 0, 0),
+        (1_000, Outcome::Degraded, 12, 40, 2),
+        (50, Outcome::Malformed, 0, 0, 0),
+    ];
+    for (i, &(total_us, outcome, attempts, rejects0, rung)) in fixtures.iter().enumerate() {
+        let mut span = RequestSpan::new(i as u64 + 1, "SCHED");
+        span.kernel = format!("k{i}");
+        span.outcome = outcome;
+        span.total_us = total_us;
+        span.attempts = attempts;
+        span.rejects[0] = rejects0;
+        span.rung = rung;
+        span.degraded = outcome == Outcome::Degraded;
+        t.record(span);
+    }
+    let got = format!("{}\n", t.metrics_json());
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/metrics_line.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect(
+        "golden file missing; regenerate with UPDATE_GOLDEN=1 \
+         cargo test -p csched-eval --test telemetry_props",
+    );
+    assert_eq!(
+        got, want,
+        "METRICS line diverged from golden; if the schema change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and bump \
+         METRICS_SCHEMA"
+    );
+}

@@ -99,7 +99,8 @@ pub mod test_runner {
                     h ^= b as u64;
                     h = h.wrapping_mul(0x1000_0000_01b3);
                 }
-                let mut rng = crate::TestRng::seed(h ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng =
+                    crate::TestRng::seed(h ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 if let Err((e, inputs)) = case(&mut rng) {
                     panic!(
                         "proptest: property `{name}` failed at case {i}/{}:\n  {}\nwith inputs:\n{inputs}",
