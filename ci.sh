@@ -6,9 +6,10 @@
 # The lint and format steps degrade gracefully when the toolchain lacks
 # the `clippy` or `rustfmt` components (e.g. a minimal container); the
 # build and test steps are mandatory. `csched-core`, `csched-ir`, and
-# `csched-eval` (including the `explore`, `soak`, and `dash` binaries,
-# which carry their own crate-level attributes; the `chaosnet` and
-# `telemetry` modules are covered by the csched-eval lib attribute)
+# `csched-eval` (including the `explore`, `soak`, `dash`, and `oracle`
+# binaries, which carry their own crate-level attributes; the `chaosnet`,
+# `telemetry`, and `gap` modules are covered by the csched-eval lib
+# attribute, as is `csched_core::exact` by the csched-core one)
 # additionally carry
 # `deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)` outside
 # test code, so the clippy step doubles as the panic-free gate for the
@@ -82,6 +83,21 @@ cargo test -q --release -p csched-eval --test explore_determinism -- --include-i
 step "explain smoke (FFT on distributed)"
 cargo run -q --release -p csched-eval --bin explain -- FFT distributed --json \
     | grep -q '"binding"'
+
+# Exact-oracle gap smoke: certify three small paper-grid cells under a
+# tight per-cell step budget and check the gap-report JSON schema. The
+# Merge kernel certifies on central/clustered2/clustered4 well inside
+# 500k steps each (clustered4 also exhibits a real heuristic gap of 2);
+# a soundness disagreement between the oracle and the validator — or a
+# cell failing to certify — fails this step.
+step "exact-oracle gap smoke (3 certified cells + gap-v1 schema)"
+cargo run -q --release -p csched-eval --bin oracle -- \
+    --cell Merge central --cell Merge clustered2 --cell Merge clustered4 \
+    --exact-steps 500000 > GAP_ci.json
+grep -q '"schema":"gap-v1"' GAP_ci.json
+grep -q '"certified":3' GAP_ci.json
+grep -q '"disagreements":0' GAP_ci.json
+rm -f GAP_ci.json
 
 # Scheduler-service smoke: start the server on a persistent cache, drive
 # malformed + cold + warm traffic (the bench gates warm throughput at

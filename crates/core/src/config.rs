@@ -14,6 +14,14 @@ pub enum ScheduleOrder {
     /// The ablation baseline: fill each cycle with as many operations as
     /// possible before moving to the next.
     Cycle,
+    /// Recurrence members first, then decreasing height: an ordering
+    /// mined from exact minimum-II schedules (the `csched_core::exact`
+    /// oracle). Loop updates sit on the critical recurrence but have no
+    /// same-iteration successors, so plain height order schedules them
+    /// last — after the issue slots their modulo-wrapped windows need
+    /// are taken. Placing recurrence ops first closes certified
+    /// optimality gaps the plain order cannot.
+    Recurrence,
 }
 
 /// Tunable parameters of the scheduler and communication scheduling.
@@ -110,6 +118,15 @@ impl SchedulerConfig {
     pub fn without_closing_first() -> Self {
         SchedulerConfig {
             closing_first: false,
+            ..Self::default()
+        }
+    }
+
+    /// The exact-mined recurrence-first operation order (see
+    /// [`ScheduleOrder::Recurrence`]).
+    pub fn recurrence_order() -> Self {
+        SchedulerConfig {
+            order: ScheduleOrder::Recurrence,
             ..Self::default()
         }
     }

@@ -422,6 +422,13 @@ fn run_blocks(
                     }
                 }
             }
+            ScheduleOrder::Recurrence => {
+                for op in graph.recurrence_order(kernel, block) {
+                    if !place_with_window(engine, kernel, op, config, &mut scratch) {
+                        return Err(RunError::Block(block, op));
+                    }
+                }
+            }
             ScheduleOrder::Cycle => {
                 schedule_block_cycle_order(engine, kernel, graph, block, config, &mut scratch)
                     .map_err(|op| RunError::Block(block, op))?;

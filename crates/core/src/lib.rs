@@ -18,7 +18,10 @@
 //!   paper §4.3), reusable inside other scheduling algorithms;
 //! - [`validate`]: an independent checker that re-derives every resource
 //!   and dependence constraint from a finished [`Schedule`];
-//! - [`regalloc`]: the §7 register-pressure post-pass.
+//! - [`regalloc`]: the §7 register-pressure post-pass;
+//! - [`exact`]: a branch-and-bound oracle that certifies the *minimum*
+//!   initiation interval of small cells, turning the heuristic-vs-exact
+//!   gap into a measurable quantity.
 //!
 //! ## Quick start
 //!
@@ -61,6 +64,7 @@ pub mod conn;
 mod driver;
 mod engine;
 mod error;
+pub mod exact;
 pub mod explain;
 pub mod faultinject;
 pub mod metrics;
@@ -78,6 +82,7 @@ pub use conn::ConnCache;
 pub use driver::{res_mii, schedule_kernel, schedule_kernel_budgeted, schedule_kernel_traced};
 pub use engine::{Engine, OrderEdge};
 pub use error::SchedError;
+pub use exact::{certify_min_ii, certify_min_ii_traced, ExactConfig, ExactReport, ExactVerdict};
 pub use explain::{explain, Binding, Counterfactual, Explanation, ResourceRank};
 pub use metrics::ScheduleMetrics;
 pub use retry::{

@@ -9,10 +9,15 @@
 //! 1. the caller's configuration unchanged;
 //! 2. relaxed delay and copy budgets (wider placement windows, deeper
 //!    copy recursion, larger cross-block slack — the §4.5 levers);
-//! 3. a widened initiation-interval cap;
-//! 4. the cycle-order ablation (a differently-shaped search that escapes
+//! 3. the exact-mined recurrence-first operation order
+//!    ([`ScheduleOrder::Recurrence`]): certified minimum-II schedules
+//!    from the [`exact`](crate::exact) oracle place recurrence
+//!    operations *early*, where the plain height order leaves them for
+//!    last and fails at IIs the machine can actually sustain;
+//! 4. a widened initiation-interval cap;
+//! 5. the cycle-order ablation (a differently-shaped search that escapes
 //!    operation-order pathologies);
-//! 5. further doubling of the II cap and delay budget.
+//! 6. further doubling of the II cap and delay budget.
 //!
 //! Every attempt is recorded in a [`ScheduleReport`] so a caller (or a
 //! fault-injection campaign) can see which relaxation recovered a failing
@@ -46,7 +51,7 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy {
-            max_attempts: 5,
+            max_attempts: 6,
             budget: 1 << 20,
         }
     }
@@ -144,18 +149,26 @@ fn rung(base: &SchedulerConfig, attempt: usize) -> (SchedulerConfig, &'static st
     if attempt == 1 {
         return (cfg, "relaxed delay and copy budgets");
     }
-    // Rung 2+: widen the II cap.
-    cfg.max_ii = base.max_ii.saturating_mul(4);
     if attempt == 2 {
+        // Rung 2: the recurrence-first operation order, mined from the
+        // exact oracle's certified minimum-II schedules. It runs *before*
+        // the II cap widens: on cells with a real optimality gap it
+        // recovers the better II instead of settling for a larger one.
+        cfg.order = ScheduleOrder::Recurrence;
+        return (cfg, "exact-mined recurrence-first order");
+    }
+    // Rung 3+: widen the II cap.
+    cfg.max_ii = base.max_ii.saturating_mul(4);
+    if attempt == 3 {
         return (cfg, "widened II cap");
     }
-    if attempt == 3 {
-        // Rung 3: a differently-shaped search.
+    if attempt == 4 {
+        // Rung 4: a differently-shaped search.
         cfg.order = ScheduleOrder::Cycle;
         return (cfg, "cycle-order ablation");
     }
-    // Rung 4+: keep doubling the II cap and delay budget.
-    let extra = (attempt - 3) as u32;
+    // Rung 5+: keep doubling the II cap and delay budget.
+    let extra = (attempt - 4) as u32;
     cfg.max_ii = cfg.max_ii.saturating_mul(1 << extra.min(16));
     cfg.max_delay = cfg.max_delay.saturating_mul(1i64 << extra.min(16));
     (cfg, "doubled II cap and delay budget")
@@ -534,6 +547,38 @@ mod tests {
         assert!(report.attempts.last().unwrap().error.is_none());
         // The recovering rung really did widen the cap.
         assert!(report.attempts.last().unwrap().max_ii > 1);
+    }
+
+    #[test]
+    fn mined_recurrence_rung_closes_a_certified_optimality_gap() {
+        use crate::budget::StepBudget;
+        use crate::exact::{certify_min_ii, ExactConfig, ExactVerdict};
+
+        let arch = toy::motivating_example();
+        let kernel = pressured_loop();
+        // The oracle certifies II = 2 on this cell; the plain height
+        // order cannot reach it (it settles at 3).
+        let budget = StepBudget::new(10_000_000);
+        let report = certify_min_ii(&arch, &kernel, &ExactConfig::default(), &budget)
+            .expect("the oracle must run");
+        assert_eq!(report.verdict, ExactVerdict::Certified { ii: 2 });
+
+        // Pin the II cap at the certified minimum: the caller rung and
+        // the budget-relaxation rung exhaust, and the mined
+        // recurrence-first rung schedules at the optimum.
+        let cfg = SchedulerConfig {
+            max_ii: 2,
+            ..SchedulerConfig::default()
+        };
+        let (result, ladder) =
+            schedule_kernel_with_retry(&arch, &kernel, cfg, &RetryPolicy::default());
+        let schedule = result.expect("the mined rung must close the gap");
+        assert_eq!(schedule.ii(), Some(2), "{}", ladder.render());
+        assert!(validate::validate(&arch, &kernel, &schedule).is_ok());
+        assert!(ladder.recovered(), "{}", ladder.render());
+        let winner = ladder.attempts.last().unwrap();
+        assert_eq!(winner.relaxation, "exact-mined recurrence-first order");
+        assert_eq!(winner.max_ii, 2, "the II cap never widened");
     }
 
     #[test]

@@ -252,6 +252,29 @@ pub enum TraceEvent {
         /// II cap in force for this rung.
         max_ii: u32,
     },
+    /// The exact oracle started a branch-and-bound search at this
+    /// candidate initiation interval.
+    ExactIiStart {
+        /// Candidate initiation interval under search.
+        ii: u32,
+    },
+    /// The exact oracle finished searching one candidate II; the node and
+    /// prune counters say *why* an infeasible II failed (which resource
+    /// class dominated the refutation).
+    ExactIiDone {
+        /// Candidate initiation interval searched.
+        ii: u32,
+        /// Whether a schedule was found.
+        feasible: bool,
+        /// Search nodes expanded.
+        nodes: u64,
+        /// Trials pruned by occupied issue slots.
+        pruned_issue: u64,
+        /// Placements pruned by empty dependence windows.
+        pruned_timing: u64,
+        /// Routing trials pruned by stub resource conflicts.
+        pruned_routing: u64,
+    },
     /// A kernel failed to parse; the span information of
     /// [`csched_ir::text::ParseError`] is preserved structurally.
     ParseFailed {
@@ -299,6 +322,8 @@ impl TraceEvent {
             TraceEvent::SpillPlanned { .. } => "spill_planned",
             TraceEvent::DeadlineExceeded { .. } => "deadline_exceeded",
             TraceEvent::RungAdvanced { .. } => "rung_advanced",
+            TraceEvent::ExactIiStart { .. } => "exact_ii_start",
+            TraceEvent::ExactIiDone { .. } => "exact_ii_done",
             TraceEvent::ParseFailed { .. } => "parse_failed",
         }
     }
@@ -394,6 +419,24 @@ impl TraceEvent {
                     s,
                     ",\"attempt\":{attempt},\"relaxation\":\"{}\",\"max_ii\":{max_ii}",
                     json_escape(relaxation)
+                );
+            }
+            TraceEvent::ExactIiStart { ii } => {
+                let _ = write!(s, ",\"ii\":{ii}");
+            }
+            TraceEvent::ExactIiDone {
+                ii,
+                feasible,
+                nodes,
+                pruned_issue,
+                pruned_timing,
+                pruned_routing,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ii\":{ii},\"feasible\":{feasible},\"nodes\":{nodes},\
+                     \"pruned_issue\":{pruned_issue},\"pruned_timing\":{pruned_timing},\
+                     \"pruned_routing\":{pruned_routing}"
                 );
             }
             TraceEvent::ParseFailed {

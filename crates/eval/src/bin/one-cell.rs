@@ -10,8 +10,12 @@
 //!
 //! `--sim` executes the schedule against the scalar reference and prints
 //! per-unit utilisation; `--copies` lists every communication that needed
-//! a copy operation; `--heatmap` renders the per-resource occupancy
-//! heatmap; `--metrics-json` prints the cell's schedule metrics as JSON;
+//! a copy operation; `--certify` runs the exact oracle after the
+//! heuristic and grades the II (`(optimal)`, `(exact=N, gap=G)`, or
+//! `(exact search exhausted ...)`) — exiting nonzero if the oracle and
+//! the validated heuristic schedule disagree; `--heatmap` renders the
+//! per-resource occupancy heatmap; `--metrics-json` prints the cell's
+//! schedule metrics as JSON;
 //! `--explain` / `--explain-json` attribute the achieved II to its
 //! binding constraint (recurrence cycle, saturating unit, or transport
 //! resource) with counterfactual bounds; `--timeline <path>` simulates
@@ -29,6 +33,8 @@ const HELP: &str = "usage: one-cell <kernel> [arch] [flags]
 flags:
   --sim             execute the schedule and print utilisation + traffic
   --copies          list every communication that needed a copy
+  --certify         run the exact oracle and grade the heuristic II;
+                    exits 1 if the oracle disagrees with the validator
   --heatmap         render the per-resource occupancy heatmap
   --metrics-json    print the schedule metrics as JSON
   --explain         attribute the II to its binding constraint (text)
@@ -68,6 +74,50 @@ fn main() {
         t.elapsed()
     );
     validate::validate(&arch, &w.kernel, &s).expect("valid");
+    if args.iter().any(|a| a == "--certify") {
+        use csched_core::exact::{certify_min_ii, ExactConfig, ExactVerdict};
+        use csched_core::StepBudget;
+        let heuristic_ii = s.ii().unwrap_or(0);
+        let budget = StepBudget::new(2_000_000);
+        let report = certify_min_ii(&arch, &w.kernel, &ExactConfig::default(), &budget)
+            .expect("oracle runs");
+        match report.verdict {
+            ExactVerdict::Certified { ii } if ii == heuristic_ii => {
+                println!("  II={heuristic_ii} (optimal)");
+            }
+            ExactVerdict::Certified { ii } if ii < heuristic_ii => {
+                println!(
+                    "  II={heuristic_ii} (exact={ii}, gap={})",
+                    heuristic_ii - ii
+                );
+            }
+            ExactVerdict::Certified { ii } => {
+                // The validator accepted a schedule below the "certified
+                // minimum": one of the two checkers is wrong.
+                eprintln!(
+                    "  SOUNDNESS DISAGREEMENT: oracle certified II={ii} above the \
+                     validated heuristic II={heuristic_ii}"
+                );
+                std::process::exit(1);
+            }
+            ExactVerdict::GapUnknown { spent, limit } => {
+                println!(
+                    "  II={heuristic_ii} (exact search exhausted its budget: \
+                     {spent}/{limit} steps; gap unknown)"
+                );
+            }
+            ExactVerdict::Infeasible { max_ii } if heuristic_ii <= max_ii => {
+                eprintln!(
+                    "  SOUNDNESS DISAGREEMENT: oracle proved II<={max_ii} infeasible, \
+                     yet the validator accepted II={heuristic_ii}"
+                );
+                std::process::exit(1);
+            }
+            ExactVerdict::Infeasible { max_ii } => {
+                println!("  II={heuristic_ii} (exact search capped at II={max_ii}; gap unknown)");
+            }
+        }
+    }
     if args.iter().any(|a| a == "--heatmap") {
         let m = ScheduleMetrics::compute(&arch, &w.kernel, &s);
         println!("{}", m.render_heatmap());

@@ -1,0 +1,165 @@
+//! Exact-scheduling oracle: certifies minimum IIs and reports the
+//! heuristic optimality gap.
+//!
+//! Usage: `cargo run --release -p csched-eval --bin oracle --
+//! [--cell <kernel> <arch>]... [--journal <path>] [--resume]
+//! [--exact-steps <n>] [--heuristic-steps <n>] [--max-ii <n>]
+//! [--explore-sample <n>] [--seed <n>] [--table] [--help]`
+//!
+//! With no `--cell` flags the oracle sweeps the full paper grid (ten
+//! Table 1 kernels × four Imagine register-file organisations) plus
+//! `--explore-sample` seeded explore-family machines; each `--cell`
+//! restricts the run to that kernel × architecture pair (`arch` is
+//! `central`, `clustered2`, `clustered4`, or `distributed`). `--journal`
+//! appends each finished cell to a JSONL journal as soon as it
+//! completes; `--resume` replays completed cells from that journal so a
+//! killed run recomputes nothing, and the report is byte-identical to an
+//! uninterrupted one. Output is the `gap-v1` JSON report (or a
+//! plain-text table with `--table`).
+//!
+//! Exit status: 0 on success (including `gap_unknown` cells — an
+//! exhausted search budget is an answer, not an error), 1 when any cell
+//! records a `disagreement` (the oracle certified a minimum II *above* a
+//! validated heuristic schedule — a soundness bug), 2 on usage or
+//! journal errors.
+
+// The oracle is the soundness arbiter: it must report typed failures,
+// never panic its way out of a cell.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use csched_eval::gap::{gap_json, gap_table, run_gap, run_gap_over, GapCell, GapConfig};
+
+const HELP: &str = "usage: oracle [flags]
+  --cell <kernel> <arch>  certify one cell (repeatable); arch is central |
+                          clustered2 | clustered4 | distributed
+  --journal <path>        append each finished cell to a JSONL journal
+  --resume                replay completed cells from --journal
+  --exact-steps <n>       oracle step budget per cell (default 2000000)
+  --heuristic-steps <n>   heuristic step budget per cell (default 400000)
+  --max-ii <n>            oracle II search cap (default 128)
+  --explore-sample <n>    seeded explore machines appended to the grid
+  --seed <n>              explore subsample seed (default 2000)
+  --table                 plain-text table instead of gap-v1 JSON
+  --help                  this text
+exit status: 0 ok, 1 soundness disagreement, 2 usage/journal error";
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("oracle: {msg}");
+    eprintln!("{HELP}");
+    ExitCode::from(2)
+}
+
+fn parse_num(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(default);
+    };
+    let Some(v) = args.get(i + 1) else {
+        return Err(format!("{flag} needs a value"));
+    };
+    v.parse().map_err(|_| format!("{flag}: not a number: {v}"))
+}
+
+fn arch_by_name(name: &str) -> Option<csched_machine::Architecture> {
+    match name {
+        "central" => Some(csched_machine::imagine::central()),
+        "clustered2" => Some(csched_machine::imagine::clustered(2)),
+        "clustered4" => Some(csched_machine::imagine::clustered(4)),
+        "distributed" => Some(csched_machine::imagine::distributed()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help") {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = GapConfig::default();
+    match parse_num(&args, "--exact-steps", cfg.exact_step_limit) {
+        Ok(v) => cfg.exact_step_limit = v,
+        Err(e) => return usage_err(&e),
+    }
+    match parse_num(&args, "--heuristic-steps", cfg.heuristic_step_limit) {
+        Ok(v) => cfg.heuristic_step_limit = v,
+        Err(e) => return usage_err(&e),
+    }
+    match parse_num(&args, "--seed", cfg.seed) {
+        Ok(v) => cfg.seed = v,
+        Err(e) => return usage_err(&e),
+    }
+    match parse_num(&args, "--max-ii", u64::from(cfg.exact.max_ii)) {
+        Ok(v) if v <= u64::from(u32::MAX) => cfg.exact.max_ii = v as u32,
+        Ok(v) => return usage_err(&format!("--max-ii: {v} does not fit in u32")),
+        Err(e) => return usage_err(&e),
+    }
+    match parse_num(&args, "--explore-sample", cfg.explore_sample as u64) {
+        Ok(v) => cfg.explore_sample = v as usize,
+        Err(e) => return usage_err(&e),
+    }
+
+    let journal: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && journal.is_none() {
+        return usage_err("--resume needs --journal");
+    }
+
+    // Collect explicit cells.
+    let mut cells: Vec<GapCell> = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = args[i..].iter().position(|a| a == "--cell") {
+        let at = i + pos;
+        let (Some(kernel_name), Some(arch_name)) = (args.get(at + 1), args.get(at + 2)) else {
+            return usage_err("--cell needs <kernel> <arch>");
+        };
+        let Some(w) = csched_kernels::by_name(kernel_name) else {
+            return usage_err(&format!("unknown kernel {kernel_name}"));
+        };
+        let Some(arch) = arch_by_name(arch_name) else {
+            return usage_err(&format!("unknown arch {arch_name}"));
+        };
+        cells.push(GapCell {
+            arch,
+            kernel: w.kernel.clone(),
+        });
+        i = at + 3;
+    }
+
+    let report = if cells.is_empty() {
+        run_gap(&cfg, journal.as_deref(), resume)
+    } else {
+        run_gap_over(&cells, &cfg, journal.as_deref(), resume)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("oracle: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.iter().any(|a| a == "--table") {
+        print!("{}", gap_table(&report));
+    } else {
+        println!("{}", gap_json(&report));
+    }
+    for r in report.disagreements() {
+        eprintln!(
+            "oracle: SOUNDNESS DISAGREEMENT on {} x {}: {}",
+            r.kernel, r.arch, r.detail
+        );
+    }
+    if report.disagreements().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

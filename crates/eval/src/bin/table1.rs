@@ -3,7 +3,8 @@
 //!
 //! Usage: `cargo run --release -p csched-eval --bin table1 --
 //! [--metrics-json | --campaign-json] [--journal <path>] [--resume <path>]
-//! [--step-limit <attempts>] [--jobs <threads>] [extra-kernel.k ...]`
+//! [--step-limit <attempts>] [--jobs <threads>] [--gap]
+//! [--gap-steps <attempts>] [extra-kernel.k ...]`
 //!
 //! With `--metrics-json`, schedules every Table 1 kernel on all four
 //! Imagine register-file organisations and prints the full
@@ -21,6 +22,13 @@
 //! cells over N worker threads; the report stays byte-identical because
 //! results merge in grid order and the journal is written only from the
 //! main thread.
+//!
+//! With `--gap`, appends the heuristic-vs-exact optimality-gap table:
+//! every paper-grid cell is certified by the exact oracle under a tight
+//! per-cell step budget (`--gap-steps`, default 300,000), printing the
+//! heuristic II, the certified exact II (`?` when the budget ran out
+//! first), and the gap. Exits 1 if the oracle and the validator disagree
+//! on any cell.
 //!
 //! Extra positional arguments name kernel text files (the
 //! `csched_ir::text` language). A file that fails to parse no longer
@@ -65,6 +73,15 @@ fn main() {
             })
         })
         .unwrap_or(1);
+    let want_gap = args.iter().any(|a| a == "--gap");
+    let gap_steps: u64 = flag_value(&args, "--gap-steps")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--gap-steps: not a number: {v}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(300_000);
 
     // Positional args are kernel files; skip flag values.
     let mut files: Vec<&String> = Vec::new();
@@ -74,7 +91,12 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--journal" || a == "--resume" || a == "--step-limit" || a == "--jobs" {
+        if a == "--journal"
+            || a == "--resume"
+            || a == "--step-limit"
+            || a == "--jobs"
+            || a == "--gap-steps"
+        {
             skip_next = true;
             continue;
         }
@@ -206,6 +228,27 @@ fn main() {
             "all {} kernels match their scalar references",
             workloads.len()
         );
+    }
+    if want_gap {
+        let cfg = csched_eval::GapConfig {
+            exact_step_limit: gap_steps,
+            ..csched_eval::GapConfig::default()
+        };
+        let report = csched_eval::run_gap(&cfg, None, false).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        println!("Optimality gap (exact oracle, {gap_steps} steps/cell):");
+        print!("{}", csched_eval::gap_table(&report));
+        if !report.disagreements().is_empty() {
+            for r in report.disagreements() {
+                eprintln!(
+                    "SOUNDNESS DISAGREEMENT on {} x {}: {}",
+                    r.kernel, r.arch, r.detail
+                );
+            }
+            std::process::exit(1);
+        }
     }
     if !parse_failures.is_empty() {
         std::process::exit(2);

@@ -25,6 +25,10 @@
 //!   disconnects, torn writes, slowloris drips, response truncation,
 //!   latency) used by the `soak` binary to hammer the service through a
 //!   hostile network and assert its invariants survive;
+//! - [`gap`] runs the heuristic and the exact oracle
+//!   ([`csched_core::exact`]) side by side across the paper grid (plus a
+//!   seeded explore subsample), journals each cell, and reports the
+//!   optimality gap per cell (the `oracle` binary drives it);
 //! - [`telemetry`] gives the service per-request structured spans,
 //!   deterministic log-bucketed latency/attempts histograms, and the
 //!   renderings behind the `METRICS` (JSON + Prometheus exposition) and
@@ -45,6 +49,7 @@ pub mod campaign;
 pub mod chaosnet;
 pub mod costs;
 pub mod explore;
+pub mod gap;
 pub mod grid;
 pub mod pool;
 pub mod report;
@@ -61,6 +66,10 @@ pub use campaign::{
 };
 pub use chaosnet::{ChaosNetConfig, ChaosProxy, FaultAction, FaultKind, FaultRecord};
 pub use explore::{explore, pareto, CandidateReport, ExploreConfig, ExploreReport, Origin, Score};
+pub use gap::{
+    gap_cells, gap_fingerprint, gap_json, gap_table, load_gap_journal, measure_gap_cell, run_gap,
+    run_gap_over, GapCell, GapConfig, GapRecord, GapReport,
+};
 pub use grid::{run_grid, Grid, GridError};
 pub use pool::{run_indexed, Rejected, Service};
 pub use serve::{

@@ -202,6 +202,62 @@ impl DepGraph {
         ops
     }
 
+    /// Operations of `block` that lie on a dependence cycle (a
+    /// *recurrence*): a self-edge at any distance, or a path through
+    /// block-local edges — loop-carried ones included — that returns to
+    /// the operation.
+    pub fn recurrence_members(&self, kernel: &Kernel, block: BlockId) -> Vec<OpId> {
+        let ops = kernel.block(block).ops();
+        let in_block: std::collections::HashSet<OpId> = ops.iter().copied().collect();
+        ops.iter()
+            .copied()
+            .filter(|&start| {
+                // DFS from each successor of `start`: on a cycle iff some
+                // edge path leads back to it (self-edges included).
+                let mut stack: Vec<OpId> = self
+                    .succs(start)
+                    .filter(|e| in_block.contains(&e.to))
+                    .map(|e| e.to)
+                    .collect();
+                let mut seen = std::collections::HashSet::new();
+                while let Some(op) = stack.pop() {
+                    if op == start {
+                        return true;
+                    }
+                    if seen.insert(op) {
+                        stack.extend(
+                            self.succs(op)
+                                .filter(|e| in_block.contains(&e.to))
+                                .map(|e| e.to),
+                        );
+                    }
+                }
+                false
+            })
+            .collect()
+    }
+
+    /// Operations of `block` with recurrence members first, then by
+    /// decreasing height (ties by program order) within each class: the
+    /// *recurrence-first* order, mined from exact minimum-II schedules.
+    /// A loop update sits on the critical recurrence but has no
+    /// same-iteration successors, so the plain height order of
+    /// [`operation_order`](Self::operation_order) places it last — after
+    /// the issue slots and ports its tight window needs are taken.
+    pub fn recurrence_order(&self, kernel: &Kernel, block: BlockId) -> Vec<OpId> {
+        let members: std::collections::HashSet<OpId> =
+            self.recurrence_members(kernel, block).into_iter().collect();
+        let mut ops: Vec<OpId> = kernel.block(block).ops().to_vec();
+        ops.sort_by_key(|&op| {
+            (
+                std::cmp::Reverse(members.contains(&op)),
+                std::cmp::Reverse(self.height(op)),
+                op,
+            )
+        });
+        ops
+    }
+
     /// Earliest feasible issue cycle per operation over distance-0 edges
     /// (ASAP schedule, unit-resource-free).
     pub fn asap(&self, kernel: &Kernel) -> Vec<i64> {
